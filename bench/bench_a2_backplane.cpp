@@ -1,0 +1,63 @@
+// A2 — §2.3 design claims: configurable channel granularity ("from 16
+// channels of a single byte to 2 channels of 64 bit"), 1 GB/s per slot,
+// and "configuring the backplane for two independent pairs of ACBs and
+// AIBs, an integrated bandwidth of 2 GB/s will result".
+#include "bench_common.hpp"
+#include "core/aab.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace atlantis;
+  using core::Backplane;
+  bench::banner("A2", "active backplane: granularity and aggregate bandwidth");
+
+  Backplane bp("aab", 8);
+  util::Table t("A2: channel configurations (66 MHz private bus)");
+  t.set_header({"configuration", "channels", "per-channel MB/s",
+                "slot total MB/s"});
+  const std::vector<std::vector<int>> configs = {
+      std::vector<int>(16, 8), std::vector<int>(8, 16),
+      {32, 32, 32, 32}, {64, 64}, {64, 32, 16, 8, 8}};
+  double min_total = 1e9;
+  for (const auto& widths : configs) {
+    bp.configure_channels(widths);
+    std::string desc;
+    for (const int w : widths) desc += std::to_string(w) + " ";
+    t.add_row({desc, std::to_string(bp.channel_count()),
+               util::Table::fmt(bp.channel_mbps(0), 0),
+               util::Table::fmt(bp.slot_mbps(), 0)});
+    min_total = std::min(min_total, bp.slot_mbps());
+  }
+  t.add_note("paper: 'The total bandwidth is 1 GB/s per slot'");
+  t.print();
+
+  bp.configure_channels({32, 32, 32, 32});
+  util::Table p("A2: paired streaming (independent ACB/AIB pairs)");
+  p.set_header({"pairs", "aggregate MB/s"});
+  for (const int pairs : {1, 2, 3}) {
+    p.add_row({std::to_string(pairs),
+               util::Table::fmt(bp.paired_mbps(pairs), 0)});
+  }
+  p.add_note("paper: two pairs -> '2 GB/s for a single ATLANTIS system'");
+  p.print();
+
+  // Latency shape: a 64 kB block vs hop distance.
+  util::Table lat("A2: 64 kB transfer time vs slot distance (32-bit channel)");
+  lat.set_header({"hops", "time (us)"});
+  for (const int to : {2, 4, 7}) {
+    lat.add_row({std::to_string(to - 1),
+                 util::Table::fmt(util::ps_to_us(bp.transfer(1, to, 0,
+                                                             64 * 1024)),
+                                  2)});
+  }
+  lat.print();
+
+  bench::expect(min_total > 1000.0,
+                "every granularity keeps the 1 GB/s slot bandwidth");
+  bench::expect(bp.paired_mbps(2) > 2000.0, "two pairs deliver 2 GB/s");
+  const double vs_pci = bp.slot_mbps() / 125.0;
+  std::printf("\nbackplane vs host PCI: %.1fx\n", vs_pci);
+  bench::expect(vs_pci > 8.0,
+                "private bus dwarfs the 125 MB/s host PCI path");
+  return bench::finish();
+}

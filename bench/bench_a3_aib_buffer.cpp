@@ -1,0 +1,54 @@
+// A3 — §2.2 design claim: "To provide a sustained and high I/O bandwidth
+// even at small block sizes buffering of data can be done in two stages"
+// (32k x 36 port FIFO + 1M x 36 SRAM). The ablation runs bursty external
+// traffic against a backplane that grants drain windows in large
+// arbitration slabs, with and without the SRAM stage.
+#include "bench_common.hpp"
+#include "core/aib.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace atlantis;
+  using namespace atlantis::core;
+  bench::banner("A3", "AIB two-stage buffering under bursty drain");
+
+  util::Table t("A3: sustained channel throughput (offered ~70% of 264 MB/s)");
+  t.set_header({"input burst (words)", "stage 2", "sustained MB/s",
+                "lost words", "FIFO peak", "SRAM peak"});
+
+  double worst_loss_one_stage = 0.0;
+  double best_two_stage = 0.0;
+  for (const std::uint64_t burst : {512ull, 3584ull, 16384ull}) {
+    for (const bool stage2 : {false, true}) {
+      AibChannel ch("ch");
+      ChannelTrafficParams p;
+      p.burst_words = burst;
+      p.gap_cycles = burst * 3 / 7;  // ~70% duty producer
+      p.drain_period = 300'000;
+      p.drain_window = 240'000;
+      p.cycles = 3'000'000;
+      p.use_stage2 = stage2;
+      const ChannelTrafficResult r = ch.simulate(p);
+      t.add_row({std::to_string(burst), stage2 ? "yes" : "no",
+                 util::Table::fmt(r.sustained_mbps, 1),
+                 std::to_string(r.stalled_words),
+                 std::to_string(r.fifo_watermark),
+                 std::to_string(r.sram_watermark)});
+      if (!stage2) {
+        worst_loss_one_stage =
+            std::max(worst_loss_one_stage, static_cast<double>(r.stalled_words));
+      } else {
+        best_two_stage = std::max(best_two_stage, r.sustained_mbps);
+      }
+    }
+  }
+  t.add_note("drain arrives in 240k-cycle arbitration slabs with 60k-cycle "
+             "dead time; only the 1M-word SRAM stage rides that out");
+  t.print();
+
+  bench::expect(worst_loss_one_stage > 0.0,
+                "FIFO-only channel drops words under slab arbitration");
+  bench::expect(best_two_stage > 0.65 * AibChannel::peak_mbps(),
+                "two-stage buffer sustains the offered rate");
+  return bench::finish();
+}

@@ -1,0 +1,34 @@
+// Shared helpers for the experiment harnesses.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace atlantis::bench {
+
+inline int g_failures = 0;
+
+/// Records a reproduced-shape check: prints PASS/FAIL and accumulates
+/// the exit status, so the bench sweep doubles as a regression gate.
+inline void expect(bool ok, const std::string& what) {
+  std::printf("  [%s] %s\n", ok ? "shape OK " : "SHAPE FAIL", what.c_str());
+  if (!ok) ++g_failures;
+}
+
+inline void banner(const std::string& id, const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline int finish() {
+  if (g_failures > 0) {
+    std::printf("\n%d shape check(s) FAILED\n", g_failures);
+    return 1;
+  }
+  std::printf("\nall shape checks passed\n");
+  return 0;
+}
+
+}  // namespace atlantis::bench

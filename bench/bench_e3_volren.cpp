@@ -1,0 +1,91 @@
+// E3 — §3.4 "Volume Rendering": the CT study.
+//
+// Paper: 256x256x128 CT data set, three viewing directions, three
+// soft-tissue opacity levels, 256x128 images. "On average one achieves
+// efficiencies of between 90% and 97%. The number of sample points
+// varies between 10-15% of all voxels if the data set consists mainly of
+// empty space and opaque objects and 25-40% for semi transparent opacity
+// levels. The above results correspond to rendering rates from 20 Hz on
+// semi-transparent data sets to 138 Hz for opaque objects and parallel
+// projection." Plus: ">25 MHz [FPGA clock] reduces the frame rate
+// accordingly" and "perspective views reduce the rendering speed by a
+// factor of about 2".
+#include <vector>
+
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "volren/renderer.hpp"
+
+int main() {
+  using namespace atlantis;
+  using namespace atlantis::volren;
+  bench::banner("E3", "volume rendering: efficiency, sample fraction, frame rate");
+
+  const Volume vol = make_ct_phantom(256, 256, 128);
+  FpgaRendererConfig cfg;  // 256x128 image, 100 MHz technology, >25 MHz FPGA
+  cfg.render = paper_render_params();
+  cfg.camera_zoom = kPaperCameraZoom;
+  cfg.memory_reuse = 2.0;  // interpolation neighbourhood registers
+  FpgaVolumeRenderer renderer(vol, cfg);
+
+  util::Table t("E3: CT phantom 256x256x128, image 256x128, parallel projection");
+  t.set_header({"view", "opacity", "samples/voxels %", "efficiency %",
+                "fps @100MHz", "fps @25MHz FPGA"});
+
+  util::Accumulator eff, opaque_fps, semi_fps, semi_high_fps;
+  util::Accumulator opaque_frac, semi_high_frac;
+  const TransferFunction tfs[] = {tf_opaque(), tf_semi_low(), tf_semi_high()};
+  for (const auto view : {ViewDirection::kFrontal, ViewDirection::kLateral,
+                          ViewDirection::kOblique}) {
+    for (const auto& tf : tfs) {
+      const FrameReport rep = renderer.render_frame(tf, view);
+      t.add_row({rep.view, rep.transfer,
+                 util::Table::fmt(100.0 * rep.sample_fraction, 1),
+                 util::Table::fmt(100.0 * rep.efficiency, 1),
+                 util::Table::fmt(rep.fps_tech, 1),
+                 util::Table::fmt(rep.fps_fpga, 1)});
+      eff.add(rep.efficiency);
+      if (rep.transfer == "opaque") {
+        opaque_fps.add(rep.fps_tech);
+        opaque_frac.add(rep.sample_fraction);
+      } else {
+        semi_fps.add(rep.fps_tech);
+        if (rep.transfer == "semi-high") {
+          semi_high_fps.add(rep.fps_tech);
+          semi_high_frac.add(rep.sample_fraction);
+        }
+      }
+    }
+  }
+  t.add_note("paper: efficiency 90-97%, samples 10-15% (opaque) / 25-40% "
+             "(semi), 20 Hz (semi) .. 138 Hz (opaque)");
+  t.print();
+
+  // Perspective factor: frontal view, where parallel projection is
+  // grid-aligned and the perspective fan breaks the row coherence.
+  const FrameReport par =
+      renderer.render_frame(tf_semi_low(), ViewDirection::kFrontal, false);
+  const FrameReport persp =
+      renderer.render_frame(tf_semi_low(), ViewDirection::kFrontal, true);
+  const double factor = par.fps_tech / persp.fps_tech;
+  std::printf("\nperspective slowdown (frontal, semi-low): %.2fx (paper: ~2)\n",
+              factor);
+
+  bench::expect(eff.mean() > 0.85 && eff.max() <= 1.0,
+                "pipeline efficiency in the 90-97% regime");
+  bench::expect(opaque_frac.mean() > 0.05 && opaque_frac.mean() < 0.20,
+                "opaque sample fraction in the 10-15% regime");
+  bench::expect(semi_high_frac.mean() > 0.18 && semi_high_frac.mean() < 0.50,
+                "semi-transparent sample fraction in the 25-40% regime");
+  bench::expect(opaque_fps.max() > 60.0,
+                "opaque frames reach the ~100 Hz regime at 100 MHz "
+                "(paper estimate: 138 Hz)");
+  bench::expect(semi_high_fps.min() < 60.0,
+                "semi-transparent frames drop toward the 20 Hz regime");
+  bench::expect(opaque_fps.mean() > 2.0 * semi_high_fps.mean(),
+                "opaque clearly outruns semi-transparent");
+  bench::expect(factor > 1.3 && factor < 4.0,
+                "perspective costs about a factor of 2");
+  return bench::finish();
+}

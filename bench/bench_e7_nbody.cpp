@@ -1,0 +1,80 @@
+// E7 — §3.3: FPGA floating point for the N-body force sub-task.
+//
+// Context the paper cites: "In 1995 approx. 10 MFLOP per Xilinx chip were
+// reported for 18 bit precision, and 40 MFLOP with 32 bit precision on an
+// 8 chip Altera board" — and the Enable++ study [15] indicating "FPGAs
+// can indeed provide a significant performance increase even in this
+// area". The harness reports the pair-pipeline throughput per format
+// next to those historical anchors and the workstation x87 baseline,
+// plus the accuracy cost of the reduced formats.
+#include "bench_common.hpp"
+#include "hw/hostcpu.hpp"
+#include "nbody/force.hpp"
+#include "nbody/plummer.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace atlantis;
+  using namespace atlantis::nbody;
+  bench::banner("E7", "N-body force pipeline: precision vs throughput");
+
+  const ParticleSet particles = make_plummer(512);
+  const auto ref = accel_reference(particles, 0.05);
+
+  // Workstation baseline: x87 direct summation at the PII/300 FLOP rate.
+  const double host_mflops = hw::pentium2_300().mflops();
+  const double host_pairs_per_s = host_mflops * 1e6 / kFlopsPerPair;
+
+  util::Table t("E7: 512-particle Plummer sphere, 25 MHz pair pipeline");
+  t.set_header({"arithmetic", "mean rel. err", "max rel. err", "MFLOP/s",
+                "Mpairs/s", "vs PII/300"});
+  t.add_row({"PII/300 x87 double (baseline)", "0", "0",
+             util::Table::fmt(host_mflops, 0),
+             util::Table::fmt(host_pairs_per_s / 1e6, 2), "1.0"});
+
+  struct Row {
+    const char* name;
+    util::CFloatFormat fmt;
+  };
+  const Row rows[] = {{"fp18 (e6 m11)", util::kFloat18},
+                      {"fp24 (e7 m16)", util::kFloat24},
+                      {"fp32 (e8 m23)", util::kFloat32}};
+  double err18 = 0.0, err32 = 0.0, mflops18 = 0.0;
+  for (const Row& row : rows) {
+    ForcePipelineConfig cfg;
+    cfg.format = row.fmt;
+    cfg.clock_mhz = 25.0;
+    const ForcePipelineResult r = accel_pipeline(particles, cfg);
+    const util::Accumulator err = accel_error(ref, r.accel);
+    t.add_row({row.name, util::Table::fmt(err.mean(), 6),
+               util::Table::fmt(err.max(), 6),
+               util::Table::fmt(r.mflops(), 0),
+               util::Table::fmt(r.pairs_per_second() / 1e6, 2),
+               util::Table::fmt(r.pairs_per_second() / host_pairs_per_s, 1)});
+    if (row.fmt == util::kFloat18) {
+      err18 = err.mean();
+      mflops18 = r.mflops();
+    }
+    if (row.fmt == util::kFloat32) err32 = err.mean();
+  }
+  t.add_note("1995 anchors: ~10 MFLOP/chip at 18 bit, 40 MFLOP on an "
+             "8-chip board at 32 bit");
+  t.print();
+
+  // Four parallel pipelines: one per ACB FPGA.
+  ForcePipelineConfig four;
+  four.pipelines = 4;
+  const ForcePipelineResult r4 = accel_pipeline(particles, four);
+  std::printf("\n4 pipelines (one per ACB FPGA): %.0f MFLOP/s equivalent\n",
+              r4.mflops());
+
+  bench::expect(mflops18 > 100.0,
+                "a 1999 pair pipeline leaves the 1995 ~10 MFLOP results "
+                "an order of magnitude behind");
+  bench::expect(mflops18 > 2.0 * host_mflops,
+                "FPGA force pipeline beats the workstation FPU");
+  bench::expect(err18 < 0.05, "18-bit force errors stay at percent level");
+  bench::expect(err32 < 1e-4, "32-bit force errors are negligible");
+  bench::expect(err32 < err18, "precision ladder is monotone");
+  return bench::finish();
+}

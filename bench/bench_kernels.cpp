@@ -1,0 +1,113 @@
+// Microbenchmarks (google-benchmark) of the reproduction's own kernels:
+// the CHDL cycle simulator, the soft-float pipeline, the ray caster and
+// the TRT reference. These measure the *simulator*, not the modelled
+// hardware — they exist so performance regressions in the framework are
+// visible.
+#include <benchmark/benchmark.h>
+
+#include "chdl/builder.hpp"
+#include "chdl/sim.hpp"
+#include "nbody/force.hpp"
+#include "nbody/plummer.hpp"
+#include "trt/hwmodel.hpp"
+#include "volren/renderer.hpp"
+
+namespace {
+
+using namespace atlantis;
+
+void BM_ChdlSimCounterCycles(benchmark::State& state) {
+  chdl::Design d("cnt");
+  const chdl::Wire en = d.input("en", 1);
+  for (int i = 0; i < 32; ++i) {
+    d.output("q" + std::to_string(i),
+             chdl::counter(d, "c" + std::to_string(i), 16, en));
+  }
+  chdl::Simulator sim(d);
+  sim.poke("en", 1);
+  for (auto _ : state) {
+    sim.step();
+    benchmark::DoNotOptimize(sim.cycles());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChdlSimCounterCycles);
+
+void BM_ChdlSimWideDatapath(benchmark::State& state) {
+  chdl::Design d("wide");
+  const chdl::Wire a = d.input("a", 176);
+  const chdl::Wire b = d.input("b", 176);
+  d.output("y", d.reg("r", d.bxor(d.band(a, b), d.bor(a, b))));
+  chdl::Simulator sim(d);
+  sim.poke(d.port("a"), chdl::BitVec::ones(176));
+  sim.poke(d.port("b"), chdl::BitVec(176, 0x5A5A5A5A));
+  for (auto _ : state) {
+    sim.step();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChdlSimWideDatapath);
+
+void BM_CFloatMultiply(benchmark::State& state) {
+  const util::CFloatFormat fmt =
+      state.range(0) == 18 ? util::kFloat18 : util::kFloat32;
+  util::CFloat a = util::CFloat::from_double(3.14159, fmt);
+  const util::CFloat b = util::CFloat::from_double(1.0001, fmt);
+  for (auto _ : state) {
+    a = a * b;
+    benchmark::DoNotOptimize(a);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CFloatMultiply)->Arg(18)->Arg(32);
+
+void BM_CFloatRsqrt(benchmark::State& state) {
+  const util::CFloat x = util::CFloat::from_double(42.0, util::kFloat32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::CFloat::rsqrt(x));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CFloatRsqrt);
+
+void BM_RaycastFrame(benchmark::State& state) {
+  const volren::Volume vol = volren::make_ct_phantom(64, 64, 32);
+  const volren::Camera cam(vol, volren::ViewDirection::kFrontal, 64, 32,
+                           false);
+  const volren::TransferFunction tf = volren::tf_opaque();
+  for (auto _ : state) {
+    const auto out = volren::render(vol, tf, cam, volren::RenderParams{});
+    benchmark::DoNotOptimize(out.stats.samples);
+  }
+}
+BENCHMARK(BM_RaycastFrame)->Unit(benchmark::kMillisecond);
+
+void BM_TrtReferenceHistogram(benchmark::State& state) {
+  trt::DetectorGeometry geo;
+  geo.layers = 50;
+  geo.straws_per_layer = 400;
+  trt::PatternBank bank(geo, 512);
+  const trt::Event ev = trt::EventGenerator(bank, trt::EventParams{}).generate();
+  for (auto _ : state) {
+    const auto r = trt::histogram_reference(bank, ev);
+    benchmark::DoNotOptimize(r.histogram.counts.data());
+  }
+  state.SetItemsProcessed(state.iterations() * ev.hits.size());
+}
+BENCHMARK(BM_TrtReferenceHistogram);
+
+void BM_ForcePipelineStep(benchmark::State& state) {
+  const nbody::ParticleSet p = nbody::make_plummer(64);
+  nbody::ForcePipelineConfig cfg;
+  cfg.format = util::kFloat18;
+  for (auto _ : state) {
+    const auto r = nbody::accel_pipeline(p, cfg);
+    benchmark::DoNotOptimize(r.accel.data());
+  }
+  state.SetItemsProcessed(state.iterations() * p.size() * (p.size() - 1));
+}
+BENCHMARK(BM_ForcePipelineStep)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

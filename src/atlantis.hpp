@@ -1,0 +1,68 @@
+// Umbrella header: the public API of the ATLANTIS reproduction.
+//
+//   #include "atlantis.hpp"
+//
+// pulls in the CHDL toolchain, the hardware models, the machine layer
+// and the four application libraries. Individual headers remain the
+// preferred include for library code; this header serves examples and
+// downstream quick starts.
+#pragma once
+
+// Foundation.
+#include "util/bitops.hpp"
+#include "util/cfloat.hpp"
+#include "util/fixed_point.hpp"
+#include "util/image.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/status.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+// CHDL: design entry, simulation, analysis, export, verification.
+#include "chdl/bitvec.hpp"
+#include "chdl/builder.hpp"
+#include "chdl/design.hpp"
+#include "chdl/export.hpp"
+#include "chdl/fsm.hpp"
+#include "chdl/hostif.hpp"
+#include "chdl/sim.hpp"
+#include "chdl/stats.hpp"
+#include "chdl/vcd.hpp"
+#include "chdl/verify.hpp"
+
+// Hardware substrate models.
+#include "hw/clock.hpp"
+#include "hw/fifo.hpp"
+#include "hw/fpga.hpp"
+#include "hw/hostcpu.hpp"
+#include "hw/pci.hpp"
+#include "hw/sdram.hpp"
+#include "hw/slink.hpp"
+#include "hw/sram.hpp"
+
+// The ATLANTIS machine.
+#include "core/aab.hpp"
+#include "core/acb.hpp"
+#include "core/aib.hpp"
+#include "core/driver.hpp"
+#include "core/memmodule.hpp"
+#include "core/selftest.hpp"
+#include "core/system.hpp"
+#include "core/taskswitch.hpp"
+
+// Applications.
+#include "imgproc/conv_core.hpp"
+#include "imgproc/filters.hpp"
+#include "imgproc/hwmodel.hpp"
+#include "imgproc/sobel_core.hpp"
+#include "nbody/force.hpp"
+#include "nbody/integrator.hpp"
+#include "nbody/plummer.hpp"
+#include "trt/hwmodel.hpp"
+#include "trt/multiboard.hpp"
+#include "trt/slink_frontend.hpp"
+#include "trt/trt_core.hpp"
+#include "volren/interp_core.hpp"
+#include "volren/renderer.hpp"

@@ -1,0 +1,145 @@
+#include "chdl/bitvec.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace atlantis::chdl {
+
+void BitVec::mask_top() {
+  const int rem = width_ % 64;
+  if (rem != 0 && !words_.empty()) {
+    words_.back() &= util::low_mask(rem);
+  }
+}
+
+BitVec BitVec::from_binary(const std::string& bits) {
+  ATLANTIS_CHECK(!bits.empty(), "empty binary literal");
+  BitVec v(static_cast<int>(bits.size()));
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    const char c = bits[i];
+    ATLANTIS_CHECK(c == '0' || c == '1', "binary literal must be 0/1");
+    v.set_bit(static_cast<int>(bits.size() - 1 - i), c == '1');
+  }
+  return v;
+}
+
+BitVec BitVec::ones(int width) {
+  BitVec v(width);
+  std::fill(v.words_.begin(), v.words_.end(), ~std::uint64_t{0});
+  v.mask_top();
+  return v;
+}
+
+std::uint64_t BitVec::to_u64() const {
+  ATLANTIS_CHECK(width_ <= 64, "BitVec wider than 64 bits");
+  return words_.empty() ? 0 : words_[0];
+}
+
+BitVec BitVec::slice(int lo, int width) const {
+  ATLANTIS_CHECK(lo >= 0 && width > 0 && lo + width <= width_,
+                 "BitVec slice out of range");
+  BitVec out(width);
+  for (int i = 0; i < width; ++i) out.set_bit(i, bit(lo + i));
+  return out;
+}
+
+BitVec BitVec::concat(const BitVec& hi, const BitVec& lo) {
+  BitVec out(hi.width_ + lo.width_);
+  for (int i = 0; i < lo.width_; ++i) out.set_bit(i, lo.bit(i));
+  for (int i = 0; i < hi.width_; ++i) out.set_bit(lo.width_ + i, hi.bit(i));
+  return out;
+}
+
+BitVec BitVec::resize(int new_width) const {
+  BitVec out(new_width);
+  const int n = std::min(new_width, width_);
+  for (int i = 0; i < n; ++i) out.set_bit(i, bit(i));
+  return out;
+}
+
+#define ATLANTIS_BITVEC_BINOP(op)                                      \
+  BitVec BitVec::operator op(const BitVec& o) const {                  \
+    ATLANTIS_CHECK(width_ == o.width_, "BitVec width mismatch");       \
+    BitVec out(width_);                                                \
+    for (std::size_t w = 0; w < words_.size(); ++w)                    \
+      out.words_[w] = words_[w] op o.words_[w];                        \
+    out.mask_top();                                                    \
+    return out;                                                        \
+  }
+
+ATLANTIS_BITVEC_BINOP(&)
+ATLANTIS_BITVEC_BINOP(|)
+ATLANTIS_BITVEC_BINOP(^)
+#undef ATLANTIS_BITVEC_BINOP
+
+BitVec BitVec::operator~() const {
+  BitVec out(width_);
+  for (std::size_t w = 0; w < words_.size(); ++w) out.words_[w] = ~words_[w];
+  out.mask_top();
+  return out;
+}
+
+BitVec BitVec::operator+(const BitVec& o) const {
+  ATLANTIS_CHECK(width_ == o.width_, "BitVec width mismatch");
+  BitVec out(width_);
+  unsigned __int128 carry = 0;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    const unsigned __int128 s =
+        static_cast<unsigned __int128>(words_[w]) + o.words_[w] + carry;
+    out.words_[w] = static_cast<std::uint64_t>(s);
+    carry = s >> 64;
+  }
+  out.mask_top();
+  return out;
+}
+
+BitVec BitVec::operator-(const BitVec& o) const {
+  ATLANTIS_CHECK(width_ == o.width_, "BitVec width mismatch");
+  // a - b == a + ~b + 1 at the vector width.
+  BitVec one(width_, 1);
+  return *this + (~o) + one;
+}
+
+BitVec BitVec::shl(int n) const {
+  ATLANTIS_CHECK(n >= 0, "negative shift");
+  BitVec out(width_);
+  for (int i = width_ - 1; i >= n; --i) out.set_bit(i, bit(i - n));
+  return out;
+}
+
+BitVec BitVec::shr(int n) const {
+  ATLANTIS_CHECK(n >= 0, "negative shift");
+  BitVec out(width_);
+  for (int i = 0; i + n < width_; ++i) out.set_bit(i, bit(i + n));
+  return out;
+}
+
+bool BitVec::ult(const BitVec& o) const {
+  ATLANTIS_CHECK(width_ == o.width_, "BitVec width mismatch");
+  for (std::size_t w = words_.size(); w-- > 0;) {
+    if (words_[w] != o.words_[w]) return words_[w] < o.words_[w];
+  }
+  return false;
+}
+
+bool BitVec::any() const {
+  for (const auto w : words_)
+    if (w != 0) return true;
+  return false;
+}
+
+int BitVec::popcount() const {
+  int n = 0;
+  for (const auto w : words_) n += std::popcount(w);
+  return n;
+}
+
+std::string BitVec::to_binary() const {
+  std::string s(static_cast<std::size_t>(width_), '0');
+  for (int i = 0; i < width_; ++i) {
+    if (bit(i)) s[static_cast<std::size_t>(width_ - 1 - i)] = '1';
+  }
+  return s;
+}
+
+}  // namespace atlantis::chdl

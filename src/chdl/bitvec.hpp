@@ -1,0 +1,110 @@
+// Arbitrary-width two-state bit vector: the value type of CHDL.
+//
+// CHDL simulates synchronous FPGA designs whose flip-flops power up to a
+// defined value (true of both the ORCA 3T and Virtex families used by
+// ATLANTIS), so a two-state model is sufficient; there is no X/Z
+// propagation. Widths are arbitrary; words are stored little-endian
+// (word 0 holds bits 0..63).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bitops.hpp"
+#include "util/status.hpp"
+
+namespace atlantis::chdl {
+
+class BitVec {
+ public:
+  /// Zero-width vector (invalid for most operations; default state only).
+  BitVec() = default;
+
+  /// All-zero vector of the given width.
+  explicit BitVec(int width) : width_(width), words_(word_count(width), 0) {
+    ATLANTIS_CHECK(width > 0, "BitVec width must be positive");
+  }
+
+  /// Vector of the given width initialized from the low bits of `value`.
+  BitVec(int width, std::uint64_t value) : BitVec(width) {
+    words_[0] = width >= 64 ? value : (value & util::low_mask(width));
+  }
+
+  /// Parses a binary string, MSB first ("1010" -> width 4, value 10).
+  static BitVec from_binary(const std::string& bits);
+
+  /// All-ones vector.
+  static BitVec ones(int width);
+
+  int width() const { return width_; }
+  bool empty() const { return width_ == 0; }
+
+  bool bit(int i) const {
+    ATLANTIS_CHECK(i >= 0 && i < width_, "BitVec bit index out of range");
+    return ((words_[static_cast<std::size_t>(i) / 64] >> (i % 64)) & 1) != 0;
+  }
+
+  void set_bit(int i, bool v) {
+    ATLANTIS_CHECK(i >= 0 && i < width_, "BitVec bit index out of range");
+    const std::uint64_t m = std::uint64_t{1} << (i % 64);
+    auto& w = words_[static_cast<std::size_t>(i) / 64];
+    w = v ? (w | m) : (w & ~m);
+  }
+
+  /// Low 64 bits as an integer; width may exceed 64 (higher bits ignored
+  /// by to_u64_lossy, rejected by to_u64).
+  std::uint64_t to_u64() const;
+  std::uint64_t to_u64_lossy() const { return words_.empty() ? 0 : words_[0]; }
+
+  /// Bits [lo, lo+width) as a new vector.
+  BitVec slice(int lo, int width) const;
+
+  /// {hi, lo} concatenation: `hi` occupies the upper bits.
+  static BitVec concat(const BitVec& hi, const BitVec& lo);
+
+  /// Zero-extend or truncate to a new width.
+  BitVec resize(int new_width) const;
+
+  // Bitwise operators (widths must match).
+  BitVec operator&(const BitVec& o) const;
+  BitVec operator|(const BitVec& o) const;
+  BitVec operator^(const BitVec& o) const;
+  BitVec operator~() const;
+
+  // Modular arithmetic at the vector width.
+  BitVec operator+(const BitVec& o) const;
+  BitVec operator-(const BitVec& o) const;
+
+  BitVec shl(int n) const;
+  BitVec shr(int n) const;
+
+  bool operator==(const BitVec& o) const = default;
+
+  /// Unsigned comparison.
+  bool ult(const BitVec& o) const;
+
+  /// True if any bit is set.
+  bool any() const;
+  /// Number of set bits.
+  int popcount() const;
+
+  /// Binary string, MSB first.
+  std::string to_binary() const;
+
+  /// Direct word access for the simulator's flat storage.
+  const std::vector<std::uint64_t>& words() const { return words_; }
+  std::vector<std::uint64_t>& words() { return words_; }
+
+  static int word_count(int width) {
+    return static_cast<int>(util::ceil_div(static_cast<std::uint64_t>(width), 64));
+  }
+
+ private:
+  void mask_top();
+
+  int width_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace atlantis::chdl

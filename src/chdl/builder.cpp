@@ -1,0 +1,120 @@
+#include "chdl/builder.hpp"
+
+#include <algorithm>
+
+#include "util/bitops.hpp"
+#include "util/status.hpp"
+
+namespace atlantis::chdl {
+
+Wire counter(Design& d, const std::string& name, int width, Wire enable,
+             Wire clear, ClockId clock) {
+  RegOpts opts;
+  opts.clock = clock;
+  opts.enable = enable;
+  opts.reset = clear;
+  const Wire q = d.reg_forward(name, width, opts);
+  const Wire one = d.constant(width, 1);
+  d.reg_connect(q, d.add(q, one));
+  return q;
+}
+
+int rom_from_u64(Design& d, const std::string& name,
+                 const std::vector<std::uint64_t>& words, int width,
+                 ClockId clock) {
+  ATLANTIS_CHECK(width > 0 && width <= 64, "rom_from_u64 width must be <= 64");
+  std::vector<BitVec> contents;
+  contents.reserve(words.size());
+  for (const std::uint64_t w : words) contents.emplace_back(width, w);
+  return d.add_rom(name, std::move(contents), clock);
+}
+
+Wire adder_tree(Design& d, std::vector<Wire> terms) {
+  ATLANTIS_CHECK(!terms.empty(), "adder_tree needs at least one term");
+  while (terms.size() > 1) {
+    std::vector<Wire> next;
+    next.reserve((terms.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < terms.size(); i += 2) {
+      const int w = std::max(terms[i].width, terms[i + 1].width) + 1;
+      next.push_back(d.add(d.resize(terms[i], w), d.resize(terms[i + 1], w)));
+    }
+    if (terms.size() % 2 != 0) next.push_back(terms.back());
+    terms = std::move(next);
+  }
+  return terms.front();
+}
+
+Wire popcount(Design& d, Wire value) {
+  std::vector<Wire> bits;
+  bits.reserve(static_cast<std::size_t>(value.width));
+  for (int i = 0; i < value.width; ++i) bits.push_back(d.bit(value, i));
+  return adder_tree(d, std::move(bits));
+}
+
+Wire eq_const(Design& d, Wire a, std::uint64_t value) {
+  return d.eq(a, d.constant(a.width, value));
+}
+
+Wire replicate(Design& d, Wire bit, int width) {
+  ATLANTIS_CHECK(bit.width == 1, "replicate takes a single bit");
+  std::vector<Wire> lanes(static_cast<std::size_t>(width), bit);
+  return d.concat(lanes);
+}
+
+Wire multiply(Design& d, Wire a, Wire b) {
+  const int out_width = a.width + b.width;
+  std::vector<Wire> partials;
+  partials.reserve(static_cast<std::size_t>(b.width));
+  const Wire a_wide = d.resize(a, out_width);
+  for (int i = 0; i < b.width; ++i) {
+    const Wire mask = replicate(d, d.bit(b, i), out_width);
+    partials.push_back(d.shl(d.band(a_wide, mask), i));
+  }
+  return d.resize(adder_tree(d, std::move(partials)), out_width);
+}
+
+HostRegFile::HostRegFile(Design& d, int addr_bits, int data_bits,
+                         ClockId clock)
+    : d_(d), addr_bits_(addr_bits), data_bits_(data_bits), clock_(clock) {
+  ATLANTIS_CHECK(addr_bits > 0 && addr_bits <= 32, "bad host address width");
+  ATLANTIS_CHECK(data_bits > 0 && data_bits <= 64, "bad host data width");
+  addr_ = d_.input("host_addr", addr_bits);
+  wdata_ = d_.input("host_wdata", data_bits);
+  we_ = d_.input("host_we", 1);
+}
+
+Wire HostRegFile::write_strobe(std::uint32_t addr) {
+  return d_.band(we_, eq_const(d_, addr_, addr));
+}
+
+Wire HostRegFile::write_reg(const std::string& name, std::uint32_t addr,
+                            int width) {
+  ATLANTIS_CHECK(width > 0 && width <= data_bits_,
+                 "register wider than the host data bus");
+  RegOpts opts;
+  opts.clock = clock_;
+  opts.enable = write_strobe(addr);
+  const Wire q = d_.reg(name, d_.resize(wdata_, width), opts);
+  map_read(addr, q);
+  return q;
+}
+
+void HostRegFile::map_read(std::uint32_t addr, Wire value) {
+  ATLANTIS_CHECK(!finished_, "HostRegFile already finished");
+  ATLANTIS_CHECK(read_map_.find(addr) == read_map_.end(),
+                 "host address mapped twice");
+  read_map_[addr] = value;
+}
+
+void HostRegFile::finish() {
+  ATLANTIS_CHECK(!finished_, "HostRegFile already finished");
+  Wire rdata = d_.constant(data_bits_, 0);
+  for (const auto& [addr, value] : read_map_) {
+    rdata = d_.mux(eq_const(d_, addr_, addr), d_.resize(value, data_bits_),
+                   rdata);
+  }
+  d_.output("host_rdata", rdata);
+  finished_ = true;
+}
+
+}  // namespace atlantis::chdl

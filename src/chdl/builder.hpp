@@ -1,0 +1,91 @@
+// High-level structural generators.
+//
+// The paper's pitch for CHDL is that "complex high level software ...
+// generates the structural design automatically". These helpers are that
+// layer: counters, ROM builders, adder trees and the PLX-style host
+// register file that every ATLANTIS design instantiates to talk to the
+// CPU module.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "chdl/design.hpp"
+
+namespace atlantis::chdl {
+
+/// Free-running or gated up-counter; wraps at 2^width.
+/// `enable`/`clear` are optional 1-bit wires.
+Wire counter(Design& d, const std::string& name, int width, Wire enable = {},
+             Wire clear = {}, ClockId clock = {});
+
+/// ROM from 64-bit words (width <= 64).
+int rom_from_u64(Design& d, const std::string& name,
+                 const std::vector<std::uint64_t>& words, int width,
+                 ClockId clock = {});
+
+/// Balanced adder tree; operands are zero-extended so that no carry is
+/// ever lost. Returns a wire of width max(input widths) + ceil(log2(n)).
+Wire adder_tree(Design& d, std::vector<Wire> terms);
+
+/// Population count of a vector (tree of adders over the bits).
+Wire popcount(Design& d, Wire value);
+
+/// a == constant.
+Wire eq_const(Design& d, Wire a, std::uint64_t value);
+
+/// Unsigned array multiplier: partial products (a AND-masked by each bit
+/// of b, shifted) summed by a balanced adder tree — the structure a
+/// LUT-based FPGA multiplier of the era actually had. Result width is
+/// a.width + b.width.
+Wire multiply(Design& d, Wire a, Wire b);
+
+/// Replicates a single bit across `width` lanes (for AND-masking).
+Wire replicate(Design& d, Wire bit, int width);
+
+/// The memory-mapped host interface every ATLANTIS design exposes through
+/// the PLX 9080 local bus: an address/data/write-enable port plus a
+/// combinational read-back multiplexer. Mirrors the microEnable register
+/// protocol, which is what keeps the basic software "immediately
+/// available" on ATLANTIS (§2).
+class HostRegFile {
+ public:
+  /// Creates ports host_addr / host_wdata / host_we / host_rdata.
+  explicit HostRegFile(Design& d, int addr_bits = 8, int data_bits = 32,
+                       ClockId clock = {});
+
+  /// Host-writable register, readable by the design fabric. Also read
+  /// back by the host at the same address.
+  Wire write_reg(const std::string& name, std::uint32_t addr, int width);
+
+  /// One-cycle strobe, high during a host write to `addr` (command ports,
+  /// FIFO pushes).
+  Wire write_strobe(std::uint32_t addr);
+
+  /// Exposes a fabric value to host reads at `addr`.
+  void map_read(std::uint32_t addr, Wire value);
+
+  /// Builds the read-back mux and the host_rdata output. Must be called
+  /// exactly once, after all registers are declared.
+  void finish();
+
+  Wire addr() const { return addr_; }
+  Wire wdata() const { return wdata_; }
+  Wire we() const { return we_; }
+  int data_bits() const { return data_bits_; }
+
+ private:
+  Design& d_;
+  int addr_bits_;
+  int data_bits_;
+  ClockId clock_;
+  Wire addr_{};
+  Wire wdata_{};
+  Wire we_{};
+  std::map<std::uint32_t, Wire> read_map_;
+  bool finished_ = false;
+};
+
+}  // namespace atlantis::chdl

@@ -1,0 +1,338 @@
+#include "chdl/design.hpp"
+
+#include <utility>
+
+#include "util/bitops.hpp"
+
+namespace atlantis::chdl {
+
+ClockId Design::add_clock(const std::string& name) {
+  clock_names_.push_back(name);
+  return ClockId{static_cast<std::int32_t>(clock_names_.size() - 1)};
+}
+
+Wire Design::new_wire(int width) {
+  ATLANTIS_CHECK(width > 0, "wire width must be positive");
+  wire_widths_.push_back(width);
+  return Wire{next_wire_++, width};
+}
+
+void Design::check_wire(Wire w) const {
+  ATLANTIS_CHECK(w.valid() && w.id < next_wire_, "wire does not belong here");
+  ATLANTIS_CHECK(wire_widths_[static_cast<std::size_t>(w.id)] == w.width,
+                 "wire width mismatch (stale handle?)");
+}
+
+std::string Design::scoped_name(const std::string& base) const {
+  std::string out;
+  for (const auto& s : scope_) {
+    out += s;
+    out += '/';
+  }
+  out += base;
+  return out;
+}
+
+Wire Design::add_comp(CompKind kind, std::vector<Wire> in, int out_width,
+                      std::int32_t a) {
+  for (const Wire w : in) check_wire(w);
+  Component c;
+  c.kind = kind;
+  c.in = std::move(in);
+  c.a = a;
+  if (out_width > 0) c.out = new_wire(out_width);
+  comps_.push_back(std::move(c));
+  return comps_.back().out;
+}
+
+Wire Design::input(const std::string& name, int width) {
+  ATLANTIS_CHECK(!has_port(name), "duplicate port name: " + name);
+  Component c;
+  c.kind = CompKind::kInput;
+  c.out = new_wire(width);
+  c.name = name;
+  comps_.push_back(std::move(c));
+  inputs_.emplace_back(name, comps_.back().out);
+  return comps_.back().out;
+}
+
+void Design::output(const std::string& name, Wire value) {
+  check_wire(value);
+  ATLANTIS_CHECK(!has_port(name), "duplicate port name: " + name);
+  Component c;
+  c.kind = CompKind::kOutput;
+  c.in = {value};
+  c.name = name;
+  comps_.push_back(std::move(c));
+  outputs_.emplace_back(name, value);
+}
+
+Wire Design::port(const std::string& name) const {
+  for (const auto& [n, w] : inputs_)
+    if (n == name) return w;
+  for (const auto& [n, w] : outputs_)
+    if (n == name) return w;
+  throw util::Error("no port named '" + name + "' in design " + name_);
+}
+
+bool Design::has_port(const std::string& name) const {
+  for (const auto& [n, w] : inputs_)
+    if (n == name) return true;
+  for (const auto& [n, w] : outputs_)
+    if (n == name) return true;
+  return false;
+}
+
+Wire Design::constant(const BitVec& value) {
+  ATLANTIS_CHECK(!value.empty(), "constant must have a width");
+  Component c;
+  c.kind = CompKind::kConst;
+  c.out = new_wire(value.width());
+  c.init = value;
+  comps_.push_back(std::move(c));
+  return comps_.back().out;
+}
+
+Wire Design::bnot(Wire a) { return add_comp(CompKind::kNot, {a}, a.width); }
+
+Wire Design::band(Wire a, Wire b) {
+  ATLANTIS_CHECK(a.width == b.width, "operand width mismatch");
+  return add_comp(CompKind::kAnd, {a, b}, a.width);
+}
+
+Wire Design::bor(Wire a, Wire b) {
+  ATLANTIS_CHECK(a.width == b.width, "operand width mismatch");
+  return add_comp(CompKind::kOr, {a, b}, a.width);
+}
+
+Wire Design::bxor(Wire a, Wire b) {
+  ATLANTIS_CHECK(a.width == b.width, "operand width mismatch");
+  return add_comp(CompKind::kXor, {a, b}, a.width);
+}
+
+Wire Design::mux(Wire sel, Wire if1, Wire if0) {
+  ATLANTIS_CHECK(sel.width == 1, "mux select must be one bit");
+  ATLANTIS_CHECK(if1.width == if0.width, "mux arm width mismatch");
+  return add_comp(CompKind::kMux, {sel, if1, if0}, if1.width);
+}
+
+Wire Design::muxn(Wire sel, const std::vector<Wire>& choices) {
+  ATLANTIS_CHECK(!choices.empty(), "muxn needs at least one choice");
+  const int w = choices.front().width;
+  for (const Wire c : choices)
+    ATLANTIS_CHECK(c.width == w, "muxn arm width mismatch");
+  std::vector<Wire> in;
+  in.reserve(choices.size() + 1);
+  in.push_back(sel);
+  in.insert(in.end(), choices.begin(), choices.end());
+  return add_comp(CompKind::kMuxN, std::move(in), w);
+}
+
+Wire Design::add(Wire a, Wire b) {
+  ATLANTIS_CHECK(a.width == b.width, "operand width mismatch");
+  return add_comp(CompKind::kAdd, {a, b}, a.width);
+}
+
+Wire Design::sub(Wire a, Wire b) {
+  ATLANTIS_CHECK(a.width == b.width, "operand width mismatch");
+  return add_comp(CompKind::kSub, {a, b}, a.width);
+}
+
+Wire Design::eq(Wire a, Wire b) {
+  ATLANTIS_CHECK(a.width == b.width, "operand width mismatch");
+  return add_comp(CompKind::kEq, {a, b}, 1);
+}
+
+Wire Design::ult(Wire a, Wire b) {
+  ATLANTIS_CHECK(a.width == b.width, "operand width mismatch");
+  return add_comp(CompKind::kUlt, {a, b}, 1);
+}
+
+Wire Design::reduce_and(Wire a) {
+  return add_comp(CompKind::kReduceAnd, {a}, 1);
+}
+Wire Design::reduce_or(Wire a) { return add_comp(CompKind::kReduceOr, {a}, 1); }
+Wire Design::reduce_xor(Wire a) {
+  return add_comp(CompKind::kReduceXor, {a}, 1);
+}
+
+Wire Design::slice(Wire a, int lo, int width) {
+  ATLANTIS_CHECK(lo >= 0 && width > 0 && lo + width <= a.width,
+                 "slice out of range");
+  return add_comp(CompKind::kSlice, {a}, width, lo);
+}
+
+Wire Design::concat(const std::vector<Wire>& parts) {
+  ATLANTIS_CHECK(!parts.empty(), "concat needs at least one part");
+  int total = 0;
+  for (const Wire p : parts) total += p.width;
+  return add_comp(CompKind::kConcat, parts, total);
+}
+
+Wire Design::shl(Wire a, int amount) {
+  ATLANTIS_CHECK(amount >= 0, "negative shift");
+  return add_comp(CompKind::kShl, {a}, a.width, amount);
+}
+
+Wire Design::shr(Wire a, int amount) {
+  ATLANTIS_CHECK(amount >= 0, "negative shift");
+  return add_comp(CompKind::kShr, {a}, a.width, amount);
+}
+
+Wire Design::resize(Wire a, int width) {
+  if (width == a.width) return a;
+  if (width < a.width) return slice(a, 0, width);
+  return concat({constant(width - a.width, 0), a});
+}
+
+Wire Design::reg(const std::string& name, Wire d, const RegOpts& opts) {
+  check_wire(d);
+  ATLANTIS_CHECK(opts.clock.id >= 0 && opts.clock.id < clock_count(),
+                 "unknown clock domain");
+  std::vector<Wire> in = {d};
+  if (opts.enable.valid()) {
+    ATLANTIS_CHECK(opts.enable.width == 1, "enable must be one bit");
+    in.push_back(opts.enable);
+  } else {
+    in.push_back(Wire{});
+  }
+  if (opts.reset.valid()) {
+    ATLANTIS_CHECK(opts.reset.width == 1, "reset must be one bit");
+    in.push_back(opts.reset);
+  } else {
+    in.push_back(Wire{});
+  }
+  Component c;
+  c.kind = CompKind::kReg;
+  c.in = std::move(in);
+  c.out = new_wire(d.width);
+  c.clock = opts.clock.id;
+  c.init = opts.init.empty() ? BitVec(d.width) : opts.init;
+  ATLANTIS_CHECK(c.init.width() == d.width, "register init width mismatch");
+  c.name = scoped_name(name);
+  comps_.push_back(std::move(c));
+  return comps_.back().out;
+}
+
+Wire Design::reg_forward(const std::string& name, int width,
+                         const RegOpts& opts) {
+  ATLANTIS_CHECK(width > 0, "register width must be positive");
+  ATLANTIS_CHECK(opts.clock.id >= 0 && opts.clock.id < clock_count(),
+                 "unknown clock domain");
+  Component c;
+  c.kind = CompKind::kReg;
+  c.in = {Wire{}, opts.enable, opts.reset};
+  if (opts.enable.valid()) {
+    ATLANTIS_CHECK(opts.enable.width == 1, "enable must be one bit");
+  }
+  if (opts.reset.valid()) {
+    ATLANTIS_CHECK(opts.reset.width == 1, "reset must be one bit");
+  }
+  c.out = new_wire(width);
+  c.clock = opts.clock.id;
+  c.init = opts.init.empty() ? BitVec(width) : opts.init;
+  ATLANTIS_CHECK(c.init.width() == width, "register init width mismatch");
+  c.name = scoped_name(name);
+  comps_.push_back(std::move(c));
+  return comps_.back().out;
+}
+
+void Design::reg_connect(Wire q, Wire d) {
+  check_wire(q);
+  check_wire(d);
+  for (auto& c : comps_) {
+    if (c.kind == CompKind::kReg && c.out.id == q.id) {
+      ATLANTIS_CHECK(!c.in[0].valid(), "register D already connected");
+      ATLANTIS_CHECK(d.width == q.width, "register D width mismatch");
+      c.in[0] = d;
+      return;
+    }
+  }
+  throw util::Error("reg_connect: wire is not a register output");
+}
+
+void Design::check_complete() const {
+  for (const auto& c : comps_) {
+    if (c.kind == CompKind::kReg && !c.in[0].valid()) {
+      throw util::Error("register '" + c.name + "' has unconnected D input");
+    }
+  }
+}
+
+int Design::add_ram(const std::string& name, std::int64_t words, int width,
+                    ClockId clock) {
+  ATLANTIS_CHECK(words > 0 && width > 0, "RAM shape must be positive");
+  RamBlock r;
+  r.name = scoped_name(name);
+  r.words = words;
+  r.width = width;
+  r.clock = clock.id;
+  rams_.push_back(std::move(r));
+  return static_cast<int>(rams_.size() - 1);
+}
+
+int Design::add_rom(const std::string& name, std::vector<BitVec> contents,
+                    ClockId clock) {
+  ATLANTIS_CHECK(!contents.empty(), "ROM must have contents");
+  const int width = contents.front().width();
+  for (const auto& w : contents)
+    ATLANTIS_CHECK(w.width() == width, "ROM word width mismatch");
+  RamBlock r;
+  r.name = scoped_name(name);
+  r.words = static_cast<std::int64_t>(contents.size());
+  r.width = width;
+  r.clock = clock.id;
+  r.writable = false;
+  r.init = std::move(contents);
+  rams_.push_back(std::move(r));
+  return static_cast<int>(rams_.size() - 1);
+}
+
+Wire Design::ram_read(int ram, Wire addr, Wire enable) {
+  ATLANTIS_CHECK(ram >= 0 && ram < static_cast<int>(rams_.size()),
+                 "unknown RAM");
+  const RamBlock& r = rams_[static_cast<std::size_t>(ram)];
+  check_wire(addr);
+  std::vector<Wire> in = {addr};
+  if (enable.valid()) {
+    ATLANTIS_CHECK(enable.width == 1, "read enable must be one bit");
+    in.push_back(enable);
+  }
+  Component c;
+  c.kind = CompKind::kRamRead;
+  c.in = std::move(in);
+  c.out = new_wire(r.width);
+  c.ram = ram;
+  c.clock = r.clock;
+  c.name = r.name + "/rd";
+  comps_.push_back(std::move(c));
+  return comps_.back().out;
+}
+
+void Design::ram_write(int ram, Wire addr, Wire data, Wire we) {
+  ATLANTIS_CHECK(ram >= 0 && ram < static_cast<int>(rams_.size()),
+                 "unknown RAM");
+  const RamBlock& r = rams_[static_cast<std::size_t>(ram)];
+  ATLANTIS_CHECK(r.writable, "cannot write a ROM");
+  ATLANTIS_CHECK(data.width == r.width, "RAM write data width mismatch");
+  ATLANTIS_CHECK(we.width == 1, "write enable must be one bit");
+  check_wire(addr);
+  check_wire(data);
+  check_wire(we);
+  Component c;
+  c.kind = CompKind::kRamWrite;
+  c.in = {addr, data, we};
+  c.ram = ram;
+  c.clock = r.clock;
+  c.name = r.name + "/wr";
+  comps_.push_back(std::move(c));
+}
+
+void Design::push_scope(const std::string& name) { scope_.push_back(name); }
+
+void Design::pop_scope() {
+  ATLANTIS_CHECK(!scope_.empty(), "scope underflow");
+  scope_.pop_back();
+}
+
+}  // namespace atlantis::chdl

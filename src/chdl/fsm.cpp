@@ -1,0 +1,103 @@
+#include "chdl/fsm.hpp"
+
+#include "util/bitops.hpp"
+#include "util/status.hpp"
+
+namespace atlantis::chdl {
+
+Fsm::Fsm(Design& design, std::string name, ClockId clock)
+    : design_(design), name_(std::move(name)), clock_(clock) {}
+
+StateId Fsm::state(const std::string& name) {
+  ATLANTIS_CHECK(!built_, "FSM already built");
+  states_.push_back(name);
+  return StateId{static_cast<std::int32_t>(states_.size() - 1)};
+}
+
+void Fsm::transition(StateId from, StateId to, Wire guard) {
+  ATLANTIS_CHECK(!built_, "FSM already built");
+  ATLANTIS_CHECK(from.valid() && to.valid(), "invalid state handle");
+  ATLANTIS_CHECK(guard.valid() && guard.width == 1,
+                 "transition guard must be a 1-bit wire");
+  transitions_.push_back({from, to, guard});
+}
+
+void Fsm::always(StateId from, StateId to) {
+  ATLANTIS_CHECK(!built_, "FSM already built");
+  transitions_.push_back({from, to, Wire{}});
+}
+
+void Fsm::set_initial(StateId s) {
+  ATLANTIS_CHECK(!built_, "FSM already built");
+  initial_ = s;
+}
+
+void Fsm::build() {
+  ATLANTIS_CHECK(!built_, "FSM already built");
+  ATLANTIS_CHECK(!states_.empty(), "FSM has no states");
+  const auto n = static_cast<std::int32_t>(states_.size());
+  Design::Scope scope(design_, name_);
+
+  // One-hot state registers, forward-declared for the feedback path.
+  active_.resize(static_cast<std::size_t>(n));
+  for (std::int32_t i = 0; i < n; ++i) {
+    RegOpts opts;
+    opts.clock = clock_;
+    opts.init = BitVec(1, i == initial_.id ? 1 : 0);
+    active_[static_cast<std::size_t>(i)] =
+        design_.reg_forward("state_" + states_[static_cast<std::size_t>(i)], 1,
+                            opts);
+  }
+
+  // Effective (prioritized) guard per transition: guard & ~(earlier guard
+  // from the same state). `taken[from]` accumulates earlier guards.
+  std::vector<Wire> taken(static_cast<std::size_t>(n));
+  std::vector<Wire> next(static_cast<std::size_t>(n));
+  const Wire one = design_.constant(1, 1);
+  for (const Transition& t : transitions_) {
+    const auto f = static_cast<std::size_t>(t.from.id);
+    Wire g = t.guard.valid() ? t.guard : one;
+    if (taken[f].valid()) {
+      g = design_.band(g, design_.bnot(taken[f]));
+      taken[f] = design_.bor(taken[f], g);
+    } else {
+      taken[f] = g;
+    }
+    // Contribution to the destination: active(from) & effective guard.
+    const Wire contrib = design_.band(active_[f], g);
+    const auto to = static_cast<std::size_t>(t.to.id);
+    next[to] = next[to].valid() ? design_.bor(next[to], contrib) : contrib;
+  }
+  // Hold term: stay in a state when no outgoing guard fires.
+  for (std::int32_t i = 0; i < n; ++i) {
+    const auto s = static_cast<std::size_t>(i);
+    Wire hold = active_[s];
+    if (taken[s].valid()) hold = design_.band(hold, design_.bnot(taken[s]));
+    next[s] = next[s].valid() ? design_.bor(next[s], hold) : hold;
+    design_.reg_connect(active_[s], next[s]);
+  }
+
+  // Binary encoding for observation / waveforms.
+  const int enc_width = util::bit_width_of(static_cast<std::uint64_t>(n - 1));
+  Wire enc = design_.constant(enc_width, 0);
+  for (std::int32_t i = 1; i < n; ++i) {
+    const Wire idx = design_.constant(enc_width, static_cast<std::uint64_t>(i));
+    enc = design_.mux(active_[static_cast<std::size_t>(i)], idx, enc);
+  }
+  encoded_ = enc;
+  built_ = true;
+}
+
+Wire Fsm::active(StateId s) const {
+  ATLANTIS_CHECK(built_, "FSM not built yet");
+  ATLANTIS_CHECK(s.valid() && s.id < static_cast<std::int32_t>(states_.size()),
+                 "invalid state handle");
+  return active_[static_cast<std::size_t>(s.id)];
+}
+
+Wire Fsm::encoded() const {
+  ATLANTIS_CHECK(built_, "FSM not built yet");
+  return encoded_;
+}
+
+}  // namespace atlantis::chdl

@@ -1,0 +1,53 @@
+// Application-side view of a simulated design's host interface.
+//
+// This is the piece that realizes the paper's CHDL claim: "the developer
+// uses the original application to simulate the designs". The application
+// talks to HostInterface exactly as it would talk to the board driver —
+// register writes, register reads, block transfers — and HostInterface
+// turns those calls into pokes and clock edges on the Simulator.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "chdl/sim.hpp"
+
+namespace atlantis::chdl {
+
+class HostInterface {
+ public:
+  /// The design must expose host_addr/host_wdata/host_we/host_rdata
+  /// (see HostRegFile). `clock` is the domain those registers live in.
+  explicit HostInterface(Simulator& sim, ClockId clock = {});
+
+  /// One register write: address + data presented for one clock edge.
+  void write(std::uint32_t addr, std::uint64_t data);
+
+  /// One register read (combinational read-back; no clock consumed).
+  std::uint64_t read(std::uint32_t addr);
+
+  /// Burst write: one word per cycle to the same address — how the DMA
+  /// engine pushes a block into a design-side FIFO port.
+  void write_block(std::uint32_t addr, std::span<const std::uint64_t> data);
+
+  /// Burst read: `count` reads of the same address, stepping the clock
+  /// between words (for designs that pop a FIFO on read strobes, pair
+  /// this with a read-advance register write per word).
+  std::vector<std::uint64_t> read_block(std::uint32_t addr, std::size_t count);
+
+  /// Runs the design for `n` idle cycles.
+  void idle(int n);
+
+  Simulator& sim() { return sim_; }
+
+ private:
+  Simulator& sim_;
+  ClockId clock_;
+  Wire addr_;
+  Wire wdata_;
+  Wire we_;
+  Wire rdata_;
+};
+
+}  // namespace atlantis::chdl

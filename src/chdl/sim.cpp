@@ -1,0 +1,506 @@
+#include "chdl/sim.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "util/bitops.hpp"
+
+namespace atlantis::chdl {
+namespace {
+
+int words_for(int width) { return BitVec::word_count(width); }
+
+void mask_top_word(std::uint64_t* p, int width) {
+  const int rem = width % 64;
+  if (rem != 0) p[(width - 1) / 64] &= util::low_mask(rem);
+}
+
+bool get_bit(const std::uint64_t* p, int i) {
+  return ((p[i / 64] >> (i % 64)) & 1) != 0;
+}
+
+void set_bit(std::uint64_t* p, int i, bool v) {
+  const std::uint64_t m = std::uint64_t{1} << (i % 64);
+  if (v) {
+    p[i / 64] |= m;
+  } else {
+    p[i / 64] &= ~m;
+  }
+}
+
+/// Copies n bits from src[src_lo..] to dst[dst_lo..]. Bit-granular; hot
+/// designs keep buses <= 64 bits where the word fast paths apply instead.
+void copy_bits(std::uint64_t* dst, int dst_lo, const std::uint64_t* src,
+               int src_lo, int n) {
+  for (int i = 0; i < n; ++i) set_bit(dst, dst_lo + i, get_bit(src, src_lo + i));
+}
+
+}  // namespace
+
+Simulator::Simulator(const Design& design) : design_(design) {
+  design.check_complete();
+  // Allocate one flat slot per wire.
+  slots_.resize(static_cast<std::size_t>(design.wire_count()));
+  std::int32_t offset = 0;
+  for (std::int32_t id = 0; id < design.wire_count(); ++id) {
+    const int width = design.wire_width(id);
+    auto& s = slots_[static_cast<std::size_t>(id)];
+    s.offset = offset;
+    s.width = width;
+    s.words = words_for(width);
+    offset += s.words;
+  }
+  values_.assign(static_cast<std::size_t>(offset), 0);
+  stage_.assign(static_cast<std::size_t>(offset), 0);
+
+  // RAM storage.
+  ram_data_.resize(design.rams().size());
+  ram_stride_.resize(design.rams().size());
+  for (std::size_t r = 0; r < design.rams().size(); ++r) {
+    const RamBlock& blk = design.rams()[r];
+    ram_stride_[r] = words_for(blk.width);
+    ram_data_[r].assign(
+        static_cast<std::size_t>(blk.words) * ram_stride_[r], 0);
+  }
+
+  cycle_count_.assign(static_cast<std::size_t>(design.clock_count()), 0);
+  levelize();
+  reset();
+}
+
+void Simulator::levelize() {
+  const auto& comps = design_.components();
+  // Producer component for each wire (combinational components only).
+  std::vector<std::int32_t> producer(slots_.size(), -1);
+  std::vector<std::int32_t> comb;
+  for (std::int32_t i = 0; i < static_cast<std::int32_t>(comps.size()); ++i) {
+    const Component& c = comps[static_cast<std::size_t>(i)];
+    switch (c.kind) {
+      case CompKind::kReg:
+      case CompKind::kRamRead:
+      case CompKind::kRamWrite:
+        seq_comps_.push_back(i);
+        break;
+      case CompKind::kInput:
+      case CompKind::kConst:
+      case CompKind::kOutput:
+        break;
+      default:
+        comb.push_back(i);
+        if (c.out.valid()) producer[static_cast<std::size_t>(c.out.id)] = i;
+        break;
+    }
+  }
+  // Kahn's algorithm over the comb-only dependency graph.
+  std::vector<std::int32_t> indegree(comps.size(), 0);
+  std::vector<std::vector<std::int32_t>> dependents(comps.size());
+  for (const std::int32_t i : comb) {
+    const Component& c = comps[static_cast<std::size_t>(i)];
+    for (const Wire w : c.in) {
+      if (!w.valid()) continue;
+      const std::int32_t p = producer[static_cast<std::size_t>(w.id)];
+      if (p >= 0) {
+        ++indegree[static_cast<std::size_t>(i)];
+        dependents[static_cast<std::size_t>(p)].push_back(i);
+      }
+    }
+  }
+  std::vector<std::int32_t> ready;
+  for (const std::int32_t i : comb) {
+    if (indegree[static_cast<std::size_t>(i)] == 0) ready.push_back(i);
+  }
+  comb_order_.clear();
+  comb_order_.reserve(comb.size());
+  while (!ready.empty()) {
+    const std::int32_t i = ready.back();
+    ready.pop_back();
+    comb_order_.push_back(i);
+    for (const std::int32_t d : dependents[static_cast<std::size_t>(i)]) {
+      if (--indegree[static_cast<std::size_t>(d)] == 0) ready.push_back(d);
+    }
+  }
+  if (comb_order_.size() != comb.size()) {
+    // Find one offender for the message.
+    for (const std::int32_t i : comb) {
+      if (indegree[static_cast<std::size_t>(i)] > 0) {
+        throw util::Error("combinational cycle in design '" + design_.name() +
+                          "' involving component #" + std::to_string(i));
+      }
+    }
+  }
+}
+
+void Simulator::reset() {
+  std::fill(values_.begin(), values_.end(), 0);
+  const auto& comps = design_.components();
+  for (const Component& c : comps) {
+    if (c.kind == CompKind::kConst || c.kind == CompKind::kReg) {
+      store(c.out, c.init);
+    }
+  }
+  // ROM contents (and zero for RAMs).
+  for (std::size_t r = 0; r < design_.rams().size(); ++r) {
+    const RamBlock& blk = design_.rams()[r];
+    if (!blk.init.empty()) {
+      for (std::size_t a = 0; a < blk.init.size(); ++a) {
+        const auto& w = blk.init[a].words();
+        std::copy(w.begin(), w.end(),
+                  ram_data_[r].begin() +
+                      static_cast<std::ptrdiff_t>(a) * ram_stride_[r]);
+      }
+    } else {
+      std::fill(ram_data_[r].begin(), ram_data_[r].end(), 0);
+    }
+  }
+  std::fill(cycle_count_.begin(), cycle_count_.end(), 0);
+  comb_dirty_ = true;
+}
+
+void Simulator::store(Wire w, const BitVec& v) {
+  ATLANTIS_CHECK(v.width() == w.width, "value width mismatch");
+  const WireSlot& s = slots_[static_cast<std::size_t>(w.id)];
+  std::copy(v.words().begin(), v.words().end(), values_.begin() + s.offset);
+}
+
+BitVec Simulator::load(Wire w) const {
+  const WireSlot& s = slots_[static_cast<std::size_t>(w.id)];
+  BitVec v(w.width);
+  std::copy(values_.begin() + s.offset, values_.begin() + s.offset + s.words,
+            v.words().begin());
+  return v;
+}
+
+void Simulator::poke(Wire input, const BitVec& value) {
+  // The wire must be a design input.
+  bool found = false;
+  for (const auto& [name, w] : design_.inputs()) {
+    if (w.id == input.id) {
+      found = true;
+      break;
+    }
+  }
+  ATLANTIS_CHECK(found, "poke target is not a design input");
+  store(input, value);
+  comb_dirty_ = true;
+}
+
+void Simulator::poke(const std::string& port, std::uint64_t value) {
+  const Wire w = design_.port(port);
+  poke(w, BitVec(w.width, value));
+}
+
+BitVec Simulator::peek(Wire w) {
+  if (comb_dirty_) eval_comb();
+  return load(w);
+}
+
+std::uint64_t Simulator::peek_u64(Wire w) { return peek(w).to_u64(); }
+
+std::uint64_t Simulator::peek_u64(const std::string& port) {
+  return peek_u64(design_.port(port));
+}
+
+void Simulator::eval_comb() {
+  const auto& comps = design_.components();
+  for (const std::int32_t i : comb_order_) {
+    eval_comp(comps[static_cast<std::size_t>(i)]);
+  }
+  comb_dirty_ = false;
+}
+
+void Simulator::eval_comp(const Component& c) {
+  const WireSlot& out = slots_[static_cast<std::size_t>(c.out.id)];
+  std::uint64_t* dst = values_.data() + out.offset;
+  auto src = [&](std::size_t k) -> const std::uint64_t* {
+    return wire_ptr(c.in[k].id);
+  };
+  switch (c.kind) {
+    case CompKind::kNot: {
+      const std::uint64_t* a = src(0);
+      for (int w = 0; w < out.words; ++w) dst[w] = ~a[w];
+      mask_top_word(dst, out.width);
+      break;
+    }
+    case CompKind::kAnd: {
+      const std::uint64_t* a = src(0);
+      const std::uint64_t* b = src(1);
+      for (int w = 0; w < out.words; ++w) dst[w] = a[w] & b[w];
+      break;
+    }
+    case CompKind::kOr: {
+      const std::uint64_t* a = src(0);
+      const std::uint64_t* b = src(1);
+      for (int w = 0; w < out.words; ++w) dst[w] = a[w] | b[w];
+      break;
+    }
+    case CompKind::kXor: {
+      const std::uint64_t* a = src(0);
+      const std::uint64_t* b = src(1);
+      for (int w = 0; w < out.words; ++w) dst[w] = a[w] ^ b[w];
+      break;
+    }
+    case CompKind::kMux: {
+      const bool sel = (src(0)[0] & 1) != 0;
+      const std::uint64_t* v = sel ? src(1) : src(2);
+      std::copy(v, v + out.words, dst);
+      break;
+    }
+    case CompKind::kMuxN: {
+      const std::uint64_t selv = src(0)[0];
+      const std::size_t n = c.in.size() - 1;
+      const std::size_t idx = std::min<std::uint64_t>(selv, n - 1);
+      const std::uint64_t* v = src(1 + idx);
+      std::copy(v, v + out.words, dst);
+      break;
+    }
+    case CompKind::kAdd: {
+      const std::uint64_t* a = src(0);
+      const std::uint64_t* b = src(1);
+      unsigned __int128 carry = 0;
+      for (int w = 0; w < out.words; ++w) {
+        const unsigned __int128 s =
+            static_cast<unsigned __int128>(a[w]) + b[w] + carry;
+        dst[w] = static_cast<std::uint64_t>(s);
+        carry = s >> 64;
+      }
+      mask_top_word(dst, out.width);
+      break;
+    }
+    case CompKind::kSub: {
+      const std::uint64_t* a = src(0);
+      const std::uint64_t* b = src(1);
+      unsigned __int128 carry = 1;
+      for (int w = 0; w < out.words; ++w) {
+        const unsigned __int128 s =
+            static_cast<unsigned __int128>(a[w]) + ~b[w] + carry;
+        dst[w] = static_cast<std::uint64_t>(s);
+        carry = s >> 64;
+      }
+      mask_top_word(dst, out.width);
+      break;
+    }
+    case CompKind::kEq: {
+      const std::uint64_t* a = src(0);
+      const std::uint64_t* b = src(1);
+      const int n = slots_[static_cast<std::size_t>(c.in[0].id)].words;
+      bool equal = true;
+      for (int w = 0; w < n; ++w) {
+        if (a[w] != b[w]) {
+          equal = false;
+          break;
+        }
+      }
+      dst[0] = equal ? 1 : 0;
+      break;
+    }
+    case CompKind::kUlt: {
+      const std::uint64_t* a = src(0);
+      const std::uint64_t* b = src(1);
+      const int n = slots_[static_cast<std::size_t>(c.in[0].id)].words;
+      bool lt = false;
+      for (int w = n; w-- > 0;) {
+        if (a[w] != b[w]) {
+          lt = a[w] < b[w];
+          break;
+        }
+      }
+      dst[0] = lt ? 1 : 0;
+      break;
+    }
+    case CompKind::kReduceAnd: {
+      const Wire in0 = c.in[0];
+      const std::uint64_t* a = src(0);
+      bool all = true;
+      for (int i = 0; i < in0.width && all; ++i) all = get_bit(a, i);
+      dst[0] = all ? 1 : 0;
+      break;
+    }
+    case CompKind::kReduceOr: {
+      const std::uint64_t* a = src(0);
+      const int n = slots_[static_cast<std::size_t>(c.in[0].id)].words;
+      bool any = false;
+      for (int w = 0; w < n && !any; ++w) any = a[w] != 0;
+      dst[0] = any ? 1 : 0;
+      break;
+    }
+    case CompKind::kReduceXor: {
+      const std::uint64_t* a = src(0);
+      const int n = slots_[static_cast<std::size_t>(c.in[0].id)].words;
+      std::uint64_t acc = 0;
+      for (int w = 0; w < n; ++w) acc ^= a[w];
+      dst[0] = static_cast<std::uint64_t>(std::popcount(acc) & 1);
+      break;
+    }
+    case CompKind::kSlice: {
+      const std::uint64_t* a = src(0);
+      if (c.a % 64 == 0 && out.width <= 64) {
+        dst[0] = a[c.a / 64];
+        mask_top_word(dst, out.width);
+      } else if (c.a + out.width <= 64) {
+        dst[0] = (a[0] >> c.a) & util::low_mask(out.width);
+      } else {
+        std::fill(dst, dst + out.words, 0);
+        copy_bits(dst, 0, a, c.a, out.width);
+      }
+      break;
+    }
+    case CompKind::kConcat: {
+      std::fill(dst, dst + out.words, 0);
+      // in[0] is the most significant part.
+      int lo = 0;
+      for (std::size_t k = c.in.size(); k-- > 0;) {
+        copy_bits(dst, lo, src(k), 0, c.in[k].width);
+        lo += c.in[k].width;
+      }
+      break;
+    }
+    case CompKind::kShl: {
+      const std::uint64_t* a = src(0);
+      std::fill(dst, dst + out.words, 0);
+      if (c.a < out.width) copy_bits(dst, c.a, a, 0, out.width - c.a);
+      break;
+    }
+    case CompKind::kShr: {
+      const std::uint64_t* a = src(0);
+      std::fill(dst, dst + out.words, 0);
+      if (c.a < out.width) copy_bits(dst, 0, a, c.a, out.width - c.a);
+      break;
+    }
+    default:
+      break;  // sequential / port kinds are not evaluated here
+  }
+}
+
+void Simulator::step(ClockId clock) {
+  ATLANTIS_CHECK(clock.id >= 0 && clock.id < design_.clock_count(),
+                 "unknown clock domain");
+  eval_comb();
+  commit_edge(clock);
+  comb_dirty_ = true;
+  eval_comb();
+  ++cycle_count_[static_cast<std::size_t>(clock.id)];
+  if (edge_hook_) edge_hook_(*this, clock);
+}
+
+void Simulator::run(int n) {
+  for (int i = 0; i < n; ++i) step();
+}
+
+void Simulator::commit_edge(ClockId clock) {
+  const auto& comps = design_.components();
+  // Phase 1: compute next values into stage_ (reads see pre-edge state).
+  struct PendingWrite {
+    std::int32_t ram;
+    std::int64_t addr;
+    std::int32_t src_wire;
+  };
+  static thread_local std::vector<PendingWrite> writes;
+  writes.clear();
+  static thread_local std::vector<std::int32_t> touched;
+  touched.clear();
+
+  for (const std::int32_t i : seq_comps_) {
+    const Component& c = comps[static_cast<std::size_t>(i)];
+    if (c.clock != clock.id) continue;
+    switch (c.kind) {
+      case CompKind::kReg: {
+        const WireSlot& out = slots_[static_cast<std::size_t>(c.out.id)];
+        std::uint64_t* st = stage_.data() + out.offset;
+        const Wire en = c.in[1];
+        const Wire rst = c.in[2];
+        const bool reset_now = rst.valid() && (wire_ptr(rst.id)[0] & 1) != 0;
+        const bool enabled =
+            !en.valid() || (wire_ptr(en.id)[0] & 1) != 0;
+        if (reset_now) {
+          std::copy(c.init.words().begin(), c.init.words().end(), st);
+        } else if (enabled) {
+          const std::uint64_t* d = wire_ptr(c.in[0].id);
+          std::copy(d, d + out.words, st);
+        } else {
+          const std::uint64_t* q = wire_ptr(c.out.id);
+          std::copy(q, q + out.words, st);
+        }
+        touched.push_back(c.out.id);
+        break;
+      }
+      case CompKind::kRamRead: {
+        const WireSlot& out = slots_[static_cast<std::size_t>(c.out.id)];
+        std::uint64_t* st = stage_.data() + out.offset;
+        const bool enabled =
+            c.in.size() < 2 || (wire_ptr(c.in[1].id)[0] & 1) != 0;
+        if (enabled) {
+          const RamBlock& blk =
+              design_.rams()[static_cast<std::size_t>(c.ram)];
+          const std::uint64_t addr =
+              wire_ptr(c.in[0].id)[0] % static_cast<std::uint64_t>(blk.words);
+          const std::uint64_t* mem =
+              ram_data_[static_cast<std::size_t>(c.ram)].data() +
+              addr * static_cast<std::uint64_t>(
+                         ram_stride_[static_cast<std::size_t>(c.ram)]);
+          std::copy(mem, mem + out.words, st);
+        } else {
+          const std::uint64_t* q = wire_ptr(c.out.id);
+          std::copy(q, q + out.words, st);
+        }
+        touched.push_back(c.out.id);
+        break;
+      }
+      case CompKind::kRamWrite: {
+        const bool we = (wire_ptr(c.in[2].id)[0] & 1) != 0;
+        if (we) {
+          const RamBlock& blk =
+              design_.rams()[static_cast<std::size_t>(c.ram)];
+          const auto addr = static_cast<std::int64_t>(
+              wire_ptr(c.in[0].id)[0] % static_cast<std::uint64_t>(blk.words));
+          writes.push_back({c.ram, addr, c.in[1].id});
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  // Phase 2: commit RAM writes (after all reads sampled old contents).
+  for (const PendingWrite& w : writes) {
+    const std::int32_t stride = ram_stride_[static_cast<std::size_t>(w.ram)];
+    std::uint64_t* mem = ram_data_[static_cast<std::size_t>(w.ram)].data() +
+                         static_cast<std::uint64_t>(w.addr) * stride;
+    const std::uint64_t* d = wire_ptr(w.src_wire);
+    std::copy(d, d + stride, mem);
+  }
+  // Phase 3: commit register / read-port outputs.
+  for (const std::int32_t id : touched) {
+    const WireSlot& s = slots_[static_cast<std::size_t>(id)];
+    std::copy(stage_.begin() + s.offset, stage_.begin() + s.offset + s.words,
+              values_.begin() + s.offset);
+  }
+}
+
+void Simulator::write_ram(int ram, std::int64_t addr, const BitVec& value) {
+  ATLANTIS_CHECK(ram >= 0 && ram < static_cast<int>(ram_data_.size()),
+                 "unknown RAM");
+  const RamBlock& blk = design_.rams()[static_cast<std::size_t>(ram)];
+  ATLANTIS_CHECK(addr >= 0 && addr < blk.words, "RAM address out of range");
+  ATLANTIS_CHECK(value.width() == blk.width, "RAM data width mismatch");
+  std::copy(value.words().begin(), value.words().end(),
+            ram_data_[static_cast<std::size_t>(ram)].begin() +
+                static_cast<std::ptrdiff_t>(addr) *
+                    ram_stride_[static_cast<std::size_t>(ram)]);
+}
+
+BitVec Simulator::read_ram(int ram, std::int64_t addr) const {
+  ATLANTIS_CHECK(ram >= 0 && ram < static_cast<int>(ram_data_.size()),
+                 "unknown RAM");
+  const RamBlock& blk = design_.rams()[static_cast<std::size_t>(ram)];
+  ATLANTIS_CHECK(addr >= 0 && addr < blk.words, "RAM address out of range");
+  BitVec v(blk.width);
+  const auto* mem = ram_data_[static_cast<std::size_t>(ram)].data() +
+                    static_cast<std::ptrdiff_t>(addr) *
+                        ram_stride_[static_cast<std::size_t>(ram)];
+  std::copy(mem, mem + ram_stride_[static_cast<std::size_t>(ram)],
+            v.words().begin());
+  return v;
+}
+
+}  // namespace atlantis::chdl

@@ -1,0 +1,105 @@
+// Levelized cycle simulator for CHDL designs.
+//
+// The simulator keeps every wire's value in one flat word array (no
+// allocation on the evaluation path), evaluates combinational components
+// in topological order, and latches registers and RAM ports on explicit
+// clock edges. Synchronous-read RAMs return the pre-edge memory contents
+// when an address is written on the same edge (read-before-write).
+//
+// The application drives the design directly — poke inputs, clock, peek
+// outputs — which is the CHDL workflow: the C++ program that will operate
+// the real FPGA is also its test bench.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "chdl/design.hpp"
+
+namespace atlantis::chdl {
+
+class Simulator {
+ public:
+  /// Elaborates the design: levelizes combinational logic (throwing
+  /// util::Error on a combinational cycle), allocates flat storage and
+  /// applies power-up values.
+  explicit Simulator(const Design& design);
+
+  const Design& design() const { return design_; }
+
+  /// Drives an input port.
+  void poke(Wire input, const BitVec& value);
+  void poke(Wire input, std::uint64_t value) {
+    poke(input, BitVec(input.width, value));
+  }
+  void poke(const std::string& port, std::uint64_t value);
+
+  /// Reads any wire's current value (combinational logic is brought
+  /// up to date first).
+  BitVec peek(Wire w);
+  std::uint64_t peek_u64(Wire w);
+  std::uint64_t peek_u64(const std::string& port);
+
+  /// Applies one positive clock edge on the given domain, then
+  /// re-evaluates combinational logic.
+  void step(ClockId clock = {});
+  /// Applies `n` edges on domain 0.
+  void run(int n);
+
+  /// Edges applied so far per clock domain.
+  std::uint64_t cycles(ClockId clock = {}) const {
+    return cycle_count_.at(static_cast<std::size_t>(clock.id));
+  }
+
+  /// Direct RAM access for loading images / reading results without
+  /// simulating a host bus (tests and loaders use this; the driver path
+  /// goes through the design's host interface instead).
+  void write_ram(int ram, std::int64_t addr, const BitVec& value);
+  BitVec read_ram(int ram, std::int64_t addr) const;
+
+  /// Observer called after every clock edge (used by the VCD writer).
+  using EdgeHook = std::function<void(Simulator&, ClockId)>;
+  void set_edge_hook(EdgeHook hook) { edge_hook_ = std::move(hook); }
+
+  /// Re-applies power-up values (registers to init, RAM reads to zero;
+  /// RAM contents are preserved, ROMs reloaded).
+  void reset();
+
+ private:
+  struct WireSlot {
+    std::int32_t offset = 0;  // index into values_
+    std::int32_t words = 0;
+    std::int32_t width = 0;
+  };
+
+  std::uint64_t* wire_ptr(std::int32_t id) {
+    return values_.data() + slots_[static_cast<std::size_t>(id)].offset;
+  }
+  const std::uint64_t* wire_ptr(std::int32_t id) const {
+    return values_.data() + slots_[static_cast<std::size_t>(id)].offset;
+  }
+
+  void eval_comb();
+  void eval_comp(const Component& c);
+  void commit_edge(ClockId clock);
+  void levelize();
+  void store(Wire w, const BitVec& v);
+  BitVec load(Wire w) const;
+
+  const Design& design_;
+  std::vector<WireSlot> slots_;
+  std::vector<std::uint64_t> values_;
+  std::vector<std::int32_t> comb_order_;   // component indices, topological
+  std::vector<std::int32_t> seq_comps_;    // kReg / kRamRead / kRamWrite
+  std::vector<std::vector<std::uint64_t>> ram_data_;  // flat words per RAM
+  std::vector<std::int32_t> ram_stride_;   // words per RAM entry
+  std::vector<std::uint64_t> cycle_count_;
+  // Staging for next register / RAM-read values (avoids ordering hazards).
+  std::vector<std::uint64_t> stage_;
+  bool comb_dirty_ = true;
+  EdgeHook edge_hook_;
+};
+
+}  // namespace atlantis::chdl

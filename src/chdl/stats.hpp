@@ -1,0 +1,39 @@
+// Netlist resource estimation.
+//
+// ATLANTIS sizes designs against FPGAs "with more than 100k gates and
+// 400 I/O pins per chip" (ORCA 3T125: ~186k average gates, 422 used I/O
+// on the ACB). This report counts gate equivalents with the conventional
+// marketing-gate model of the era so that fit checks against those
+// published budgets are meaningful.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "chdl/design.hpp"
+
+namespace atlantis::chdl {
+
+struct NetlistStats {
+  std::string design_name;
+  std::int64_t components = 0;
+  std::int64_t gate_equivalents = 0;  // combinational + register gates
+  std::int64_t flipflops = 0;         // register bits
+  std::int64_t lut4_estimate = 0;     // ~4 gate equivalents per LUT4
+  std::int64_t ram_bits = 0;          // block/external memory bits
+  std::int64_t io_pins = 0;           // top-level port bits
+  std::int64_t wires = 0;
+
+  std::string to_string() const;
+};
+
+/// Walks the netlist and accumulates the resource model:
+///   and/or/not: 1 gate/bit        xor: 3 gates/bit
+///   mux2: 3 gates/bit             add/sub: 6 gates/bit
+///   eq: 3 gates/bit + tree        ult: 6 gates/bit
+///   reductions: 1-3 gates/bit     register: 8 gates/bit (counted as FF too)
+///   slice/concat/const shifts: 0 (wiring only)
+///   RAM ports: width gates of addressing/steering; contents in ram_bits
+NetlistStats analyze(const Design& design);
+
+}  // namespace atlantis::chdl

@@ -1,0 +1,82 @@
+#include "chdl/vcd.hpp"
+
+#include "util/status.hpp"
+
+namespace atlantis::chdl {
+
+std::string VcdWriter::id_code(std::size_t index) {
+  // Printable identifier alphabet per the VCD spec ('!' .. '~').
+  std::string code;
+  do {
+    code.push_back(static_cast<char>('!' + index % 94));
+    index /= 94;
+  } while (index != 0);
+  return code;
+}
+
+VcdWriter::VcdWriter(Simulator& sim, const std::string& path, int period_ns)
+    : sim_(sim), period_ns_(period_ns) {
+  file_ = std::fopen(path.c_str(), "w");
+  ATLANTIS_CHECK(file_ != nullptr, "cannot open VCD file: " + path);
+
+  const Design& d = sim.design();
+  auto add_track = [&](const std::string& name, Wire w) {
+    Track t;
+    t.wire = w;
+    t.code = id_code(tracks_.size());
+    t.last = BitVec(w.width);
+    std::string clean = name;
+    for (char& c : clean) {
+      if (c == '/' || c == ' ') c = '.';
+    }
+    std::fprintf(file_, "$var wire %d %s %s $end\n", w.width, t.code.c_str(),
+                 clean.c_str());
+    tracks_.push_back(std::move(t));
+  };
+
+  std::fprintf(file_, "$timescale 1ns $end\n$scope module %s $end\n",
+               d.name().c_str());
+  for (const auto& [name, w] : d.inputs()) add_track(name, w);
+  for (const auto& [name, w] : d.outputs()) add_track(name, w);
+  for (const Component& c : d.components()) {
+    if (c.kind == CompKind::kReg && !c.name.empty()) add_track(c.name, c.out);
+  }
+  std::fprintf(file_, "$upscope $end\n$enddefinitions $end\n");
+
+  sim_.set_edge_hook([this](Simulator& s, ClockId) { sample(s); });
+  // Initial values at time zero.
+  std::fprintf(file_, "#0\n");
+  for (Track& t : tracks_) {
+    t.last = sim_.peek(t.wire);
+    std::fprintf(file_, "b%s %s\n", t.last.to_binary().c_str(),
+                 t.code.c_str());
+  }
+}
+
+void VcdWriter::sample(Simulator& sim) {
+  ++edges_;
+  bool header_done = false;
+  for (Track& t : tracks_) {
+    BitVec v = sim.peek(t.wire);
+    if (v == t.last) continue;
+    if (!header_done) {
+      std::fprintf(file_, "#%llu\n",
+                   static_cast<unsigned long long>(edges_ * period_ns_));
+      header_done = true;
+    }
+    std::fprintf(file_, "b%s %s\n", v.to_binary().c_str(), t.code.c_str());
+    t.last = std::move(v);
+  }
+}
+
+void VcdWriter::close() {
+  if (file_ != nullptr) {
+    sim_.set_edge_hook({});
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+VcdWriter::~VcdWriter() { close(); }
+
+}  // namespace atlantis::chdl

@@ -1,0 +1,44 @@
+// VCD waveform writer: attaches to a Simulator and records the design's
+// ports and named registers after every clock edge.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chdl/sim.hpp"
+
+namespace atlantis::chdl {
+
+class VcdWriter {
+ public:
+  /// Opens `path` and installs itself as the simulator's edge hook.
+  /// `period_ns` scales cycle numbers to VCD time.
+  VcdWriter(Simulator& sim, const std::string& path, int period_ns = 25);
+  ~VcdWriter();
+
+  VcdWriter(const VcdWriter&) = delete;
+  VcdWriter& operator=(const VcdWriter&) = delete;
+
+  /// Flushes and detaches; further edges are not recorded.
+  void close();
+
+ private:
+  struct Track {
+    Wire wire;
+    std::string code;  // VCD identifier
+    BitVec last;
+  };
+
+  void sample(Simulator& sim);
+  static std::string id_code(std::size_t index);
+
+  Simulator& sim_;
+  std::FILE* file_ = nullptr;
+  std::vector<Track> tracks_;
+  int period_ns_;
+  std::uint64_t edges_ = 0;
+};
+
+}  // namespace atlantis::chdl

@@ -1,0 +1,65 @@
+#include "core/aab.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace atlantis::core {
+
+Backplane::Backplane(std::string name, int slots, bool passive)
+    : name_(std::move(name)), slots_(slots), passive_(passive) {
+  ATLANTIS_CHECK(slots > 1, "backplane needs at least two slots");
+  widths_ = {32, 32, 32, 32};  // the paper's default configuration
+}
+
+void Backplane::configure_channels(const std::vector<int>& widths) {
+  if (passive_) {
+    throw util::StateError(
+        "the passive test backplane has a fixed channel configuration");
+  }
+  ATLANTIS_CHECK(!widths.empty(), "at least one channel required");
+  int total = 0;
+  for (const int w : widths) {
+    ATLANTIS_CHECK(w == 8 || w == 16 || w == 32 || w == 64,
+                   "channel width must be 8, 16, 32 or 64 bits");
+    total += w;
+  }
+  ATLANTIS_CHECK(total <= AabSpec::kDataLines,
+                 "channel widths exceed the 128 data lines");
+  widths_ = widths;
+}
+
+double Backplane::channel_mbps(int channel) const {
+  ATLANTIS_CHECK(channel >= 0 && channel < channel_count(),
+                 "channel index out of range");
+  return AabSpec::kClockMhz *
+         static_cast<double>(widths_[static_cast<std::size_t>(channel)]) / 8.0;
+}
+
+double Backplane::slot_mbps() const {
+  double total = 0.0;
+  for (int c = 0; c < channel_count(); ++c) total += channel_mbps(c);
+  return total;
+}
+
+util::Picoseconds Backplane::transfer(int from_slot, int to_slot, int channel,
+                                      std::uint64_t bytes) const {
+  ATLANTIS_CHECK(from_slot >= 0 && from_slot < slots_, "slot out of range");
+  ATLANTIS_CHECK(to_slot >= 0 && to_slot < slots_, "slot out of range");
+  ATLANTIS_CHECK(from_slot != to_slot, "transfer to the same slot");
+  const double rate_mbps = channel_mbps(channel);
+  const auto burst = static_cast<util::Picoseconds>(
+      static_cast<double>(bytes) / (rate_mbps * 1e6) *
+      static_cast<double>(util::kSecond));
+  // One pipeline register per slot traversed on the pipelined bus.
+  const int hops = std::abs(to_slot - from_slot);
+  return burst + static_cast<util::Picoseconds>(hops) *
+                     util::period_from_mhz(AabSpec::kClockMhz);
+}
+
+double Backplane::paired_mbps(int pairs) const {
+  ATLANTIS_CHECK(pairs >= 1, "need at least one pair");
+  ATLANTIS_CHECK(2 * pairs <= slots_, "not enough slots for that many pairs");
+  return static_cast<double>(pairs) * slot_mbps();
+}
+
+}  // namespace atlantis::core

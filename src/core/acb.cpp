@@ -1,0 +1,93 @@
+#include "core/acb.hpp"
+
+#include "util/status.hpp"
+
+namespace atlantis::core {
+
+AcbBoard::AcbBoard(std::string name)
+    : name_(std::move(name)), local_clock_(name_ + "/clk_local") {
+  for (int i = 0; i < kFpgaCount; ++i) {
+    fpgas_.push_back(std::make_unique<hw::FpgaDevice>(
+        name_ + "/fpga" + std::to_string(i), hw::orca_3t125()));
+    io_clocks_.emplace_back(name_ + "/clk_io" + std::to_string(i));
+    module_of_fpga_.emplace_back(std::nullopt);
+  }
+}
+
+hw::FpgaDevice& AcbBoard::fpga(int index) {
+  ATLANTIS_CHECK(index >= 0 && index < kFpgaCount, "FPGA index out of range");
+  return *fpgas_[static_cast<std::size_t>(index)];
+}
+
+const hw::FpgaDevice& AcbBoard::fpga(int index) const {
+  ATLANTIS_CHECK(index >= 0 && index < kFpgaCount, "FPGA index out of range");
+  return *fpgas_[static_cast<std::size_t>(index)];
+}
+
+AcbIoRole AcbBoard::io_role(int fpga_index) const {
+  ATLANTIS_CHECK(fpga_index >= 0 && fpga_index < kFpgaCount,
+                 "FPGA index out of range");
+  // §2.1: one FPGA on the PLX, two on the backplane, one on LVDS.
+  switch (fpga_index) {
+    case 0:
+      return AcbIoRole::kHostPci;
+    case 1:
+      return AcbIoRole::kBackplaneA;
+    case 2:
+      return AcbIoRole::kBackplaneB;
+    default:
+      return AcbIoRole::kExternalLvds;
+  }
+}
+
+std::int64_t AcbBoard::total_gate_capacity() const {
+  std::int64_t total = 0;
+  for (const auto& f : fpgas_) total += f->family().gate_capacity;
+  return total;
+}
+
+void AcbBoard::attach_memory(int fpga_index, MemModule module) {
+  ATLANTIS_CHECK(fpga_index >= 0 && fpga_index < kFpgaCount,
+                 "FPGA index out of range");
+  ATLANTIS_CHECK(!module_of_fpga_[static_cast<std::size_t>(fpga_index)],
+                 "FPGA memory port already occupied");
+  if (module.slots_occupied() > free_slots_) {
+    throw util::CapacityError("memory module '" + module.name() + "' needs " +
+                              std::to_string(module.slots_occupied()) +
+                              " mezzanine slots; only " +
+                              std::to_string(free_slots_) + " free on " +
+                              name_);
+  }
+  free_slots_ -= module.slots_occupied();
+  modules_.push_back(std::move(module));
+  module_of_fpga_[static_cast<std::size_t>(fpga_index)] =
+      static_cast<int>(modules_.size() - 1);
+}
+
+MemModule* AcbBoard::memory_at(int fpga_index) {
+  ATLANTIS_CHECK(fpga_index >= 0 && fpga_index < kFpgaCount,
+                 "FPGA index out of range");
+  const auto& slot = module_of_fpga_[static_cast<std::size_t>(fpga_index)];
+  if (!slot) return nullptr;
+  return &modules_[static_cast<std::size_t>(*slot)];
+}
+
+int AcbBoard::total_memory_width_bits() const {
+  int width = 0;
+  for (const auto& m : modules_) width += m.data_width_bits();
+  return width;
+}
+
+util::Picoseconds AcbBoard::configure_all(const hw::Bitstream& bs) {
+  util::Picoseconds total = 0;
+  for (auto& f : fpgas_) total += f->configure(bs);
+  return total;
+}
+
+hw::ClockGenerator& AcbBoard::io_clock(int fpga_index) {
+  ATLANTIS_CHECK(fpga_index >= 0 && fpga_index < kFpgaCount,
+                 "FPGA index out of range");
+  return io_clocks_[static_cast<std::size_t>(fpga_index)];
+}
+
+}  // namespace atlantis::core

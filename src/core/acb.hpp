@@ -1,0 +1,99 @@
+// ATLANTIS Computing Board (ACB).
+//
+// §2.1: a 2x2 matrix of ORCA 3T125 FPGAs (~744k gates total). Each FPGA
+// has four ports totalling 422 I/O signals:
+//   * 2 x 72 lines to the vertical and horizontal neighbour,
+//   * 1 x 72-line logical I/O port (role depends on position: one FPGA
+//     talks to the PLX 9080, two drive the backplane, one the external
+//     LVDS connectors),
+//   * 1 x 206-line memory interconnect (two 124-pin mezzanine connectors).
+// The board carries a local programmable clock and per-FPGA I/O clocks.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/memmodule.hpp"
+#include "hw/clock.hpp"
+#include "hw/fpga.hpp"
+#include "hw/pci.hpp"
+#include "util/units.hpp"
+
+namespace atlantis::core {
+
+/// Role of an FPGA's logical I/O port, fixed by board position.
+enum class AcbIoRole {
+  kHostPci,    // connected to the PLX 9080
+  kBackplaneA, // first private-bus port (64 bit @ 66 MHz)
+  kBackplaneB, // second private-bus port
+  kExternalLvds,
+};
+
+/// Port width constants from the paper.
+struct AcbPortSpec {
+  static constexpr int kNeighborLines = 72;   // per direction
+  static constexpr int kIoLines = 72;
+  static constexpr int kMemoryLines = 206;
+  static constexpr int kTotalIoSignals = 422; // 2*72 + 72 + 206
+  static constexpr int kMezzanineSlots = 4;   // per board
+  static constexpr int kBackplaneBits = 64;   // per backplane port
+  static constexpr double kBackplaneMhz = 66.0;
+};
+
+class AcbBoard {
+ public:
+  explicit AcbBoard(std::string name);
+
+  const std::string& name() const { return name_; }
+
+  /// The 2x2 FPGA matrix, row-major: index = row*2 + col.
+  hw::FpgaDevice& fpga(int index);
+  const hw::FpgaDevice& fpga(int index) const;
+  static constexpr int kFpgaCount = 4;
+
+  AcbIoRole io_role(int fpga_index) const;
+
+  /// Sum of the family gate capacities (the paper's 744k figure).
+  std::int64_t total_gate_capacity() const;
+
+  /// Attaches a memory module to the given FPGA's memory port. Triple-
+  /// width modules occupy three of the board's four mezzanine positions.
+  void attach_memory(int fpga_index, MemModule module);
+  /// Modules currently attached (board-wide).
+  const std::vector<MemModule>& memory() const { return modules_; }
+  /// Module on one FPGA's port, if any.
+  MemModule* memory_at(int fpga_index);
+  int free_mezzanine_slots() const { return free_slots_; }
+
+  /// Combined RAM width of all attached modules — the quantity the TRT
+  /// scaling argument is about ("RAM access with a width of 4*176 bits").
+  int total_memory_width_bits() const;
+
+  /// Configures all four FPGAs with the same bitstream; returns the total
+  /// (sequential) configuration time through the CPLD support logic.
+  util::Picoseconds configure_all(const hw::Bitstream& bs);
+
+  hw::Plx9080& pci() { return pci_; }
+  hw::ClockGenerator& local_clock() { return local_clock_; }
+  hw::ClockGenerator& io_clock(int fpga_index);
+
+  /// Peak backplane bandwidth of this board (2 ports x 64 bit x 66 MHz).
+  double backplane_mbps() const {
+    return 2.0 * AcbPortSpec::kBackplaneBits / 8.0 * AcbPortSpec::kBackplaneMhz;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<hw::FpgaDevice>> fpgas_;
+  std::vector<std::optional<int>> module_of_fpga_;  // index into modules_
+  std::vector<MemModule> modules_;
+  int free_slots_ = AcbPortSpec::kMezzanineSlots;
+  hw::Plx9080 pci_;
+  hw::ClockGenerator local_clock_;
+  std::vector<hw::ClockGenerator> io_clocks_;
+};
+
+}  // namespace atlantis::core

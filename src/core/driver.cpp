@@ -1,0 +1,93 @@
+#include "core/driver.hpp"
+
+#include "util/status.hpp"
+
+namespace atlantis::core {
+
+AtlantisDriver::AtlantisDriver(AtlantisSystem& system, int acb_index)
+    : system_(system), board_(system.acb(acb_index)) {
+  host_ifs_.resize(AcbBoard::kFpgaCount);
+}
+
+void AtlantisDriver::advance_cycles(std::uint64_t cycles) {
+  elapsed_ += board_.local_clock().cycles(cycles);
+}
+
+void AtlantisDriver::configure(int fpga, const hw::Bitstream& bs) {
+  elapsed_ += board_.fpga(fpga).configure(bs);
+  host_ifs_[static_cast<std::size_t>(fpga)].reset();
+}
+
+void AtlantisDriver::partial_reconfigure(int fpga, const hw::Bitstream& bs) {
+  elapsed_ += board_.fpga(fpga).partial_reconfigure(bs);
+  host_ifs_[static_cast<std::size_t>(fpga)].reset();
+}
+
+void AtlantisDriver::set_design_clock(double mhz) {
+  board_.local_clock().set_mhz(mhz);
+}
+
+chdl::HostInterface* AtlantisDriver::host_if(int fpga) {
+  auto& slot = host_ifs_[static_cast<std::size_t>(fpga)];
+  if (slot == nullptr) {
+    chdl::Simulator* sim = board_.fpga(fpga).sim();
+    if (sim == nullptr) return nullptr;
+    if (!sim->design().has_port("host_rdata")) return nullptr;
+    slot = std::make_unique<chdl::HostInterface>(*sim);
+  }
+  return slot.get();
+}
+
+void AtlantisDriver::reg_write(int fpga, std::uint32_t addr,
+                               std::uint64_t data) {
+  elapsed_ += board_.pci().target_access();
+  if (chdl::HostInterface* hif = host_if(fpga)) {
+    hif->write(addr, data);
+    elapsed_ += board_.local_clock().cycles(1);
+  }
+}
+
+std::uint64_t AtlantisDriver::reg_read(int fpga, std::uint32_t addr) {
+  elapsed_ += board_.pci().target_access();
+  if (chdl::HostInterface* hif = host_if(fpga)) {
+    return hif->read(addr);
+  }
+  return 0;
+}
+
+hw::DmaTransfer AtlantisDriver::dma_write(std::uint64_t bytes) {
+  const hw::DmaTransfer t =
+      board_.pci().transfer(hw::DmaDirection::kWrite, bytes);
+  board_.pci().record(t);
+  elapsed_ += t.duration;
+  return t;
+}
+
+hw::DmaTransfer AtlantisDriver::dma_read(std::uint64_t bytes) {
+  const hw::DmaTransfer t =
+      board_.pci().transfer(hw::DmaDirection::kRead, bytes);
+  board_.pci().record(t);
+  elapsed_ += t.duration;
+  return t;
+}
+
+hw::DmaTransfer AtlantisDriver::dma_write_to_sim(
+    int fpga, std::uint32_t addr, std::span<const std::uint64_t> words) {
+  chdl::HostInterface* hif = host_if(fpga);
+  ATLANTIS_CHECK(hif != nullptr,
+                 "dma_write_to_sim needs a simulated design with a host port");
+  hif->write_block(addr, words);
+  // Time: the DMA burst and the design-side drain overlap; the modelled
+  // duration is the larger of bus time and design-clock time.
+  const std::uint64_t bytes = words.size() * 4;  // 32-bit local bus words
+  const hw::DmaTransfer bus =
+      board_.pci().transfer(hw::DmaDirection::kWrite, bytes);
+  const util::Picoseconds drain = board_.local_clock().cycles(words.size());
+  hw::DmaTransfer t = bus;
+  t.duration = std::max(bus.duration, drain);
+  board_.pci().record(t);
+  elapsed_ += t.duration;
+  return t;
+}
+
+}  // namespace atlantis::core

@@ -1,0 +1,84 @@
+// AtlantisDriver: the microEnable-compatible software interface.
+//
+// §2 and §2.4: the PLX 9080 and the CPLD support logic are taken from the
+// microEnable coprocessor, so "virtually all basic software (WinNT
+// driver, test tools, etc.) are immediately available for ATLANTIS".
+// This class is that driver surface: configure, register access, block
+// DMA. Applications written against it run identically whether the
+// target FPGA carries a cycle-simulated CHDL design (the CHDL workflow)
+// or only a timing model.
+//
+// The driver keeps a time ledger: every call advances `elapsed()` by the
+// modelled hardware cost, which is how the experiment harnesses obtain
+// end-to-end execution times ("algorithm plus I/O").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "chdl/hostif.hpp"
+#include "core/system.hpp"
+#include "hw/fpga.hpp"
+#include "hw/pci.hpp"
+#include "util/units.hpp"
+
+namespace atlantis::core {
+
+class AtlantisDriver {
+ public:
+  /// Opens the ACB with the given index, like the driver's open() call.
+  AtlantisDriver(AtlantisSystem& system, int acb_index);
+
+  AcbBoard& board() { return board_; }
+
+  // --- time ledger ---------------------------------------------------
+  util::Picoseconds elapsed() const { return elapsed_; }
+  void reset_time() { elapsed_ = 0; }
+  /// Adds externally-computed hardware time (e.g. N design clocks).
+  void advance(util::Picoseconds t) { elapsed_ += t; }
+  /// Adds `cycles` of the board's design clock.
+  void advance_cycles(std::uint64_t cycles);
+
+  // --- configuration --------------------------------------------------
+  /// Full configuration of one FPGA.
+  void configure(int fpga, const hw::Bitstream& bs);
+  /// Partial reconfiguration (hardware task switch on the ORCA parts).
+  void partial_reconfigure(int fpga, const hw::Bitstream& bs);
+
+  /// Programs the board's design clock (the "design speed 40 MHz" knob
+  /// from the Table 1 measurements).
+  void set_design_clock(double mhz);
+  double design_clock_mhz() const { return board_.local_clock().mhz(); }
+
+  // --- register access -------------------------------------------------
+  /// Single-word target-mode access. If the FPGA carries a simulated
+  /// design with a host port, the access is also applied to it.
+  void reg_write(int fpga, std::uint32_t addr, std::uint64_t data);
+  std::uint64_t reg_read(int fpga, std::uint32_t addr);
+
+  // --- DMA --------------------------------------------------------------
+  /// Block DMA host->board / board->host; advances the ledger and
+  /// returns the modelled transfer.
+  hw::DmaTransfer dma_write(std::uint64_t bytes);
+  hw::DmaTransfer dma_read(std::uint64_t bytes);
+
+  /// DMA that also delivers payload words into the simulated design,
+  /// one word per design clock through the host port at `addr`
+  /// (the FIFO-push pattern of the microEnable driver).
+  hw::DmaTransfer dma_write_to_sim(int fpga, std::uint32_t addr,
+                                   std::span<const std::uint64_t> words);
+
+  /// Direct access to the simulated design (tests and loaders).
+  chdl::HostInterface* host_if(int fpga);
+  chdl::Simulator* sim(int fpga) { return board_.fpga(fpga).sim(); }
+
+ private:
+  AtlantisSystem& system_;
+  AcbBoard& board_;
+  util::Picoseconds elapsed_ = 0;
+  std::vector<std::unique_ptr<chdl::HostInterface>> host_ifs_;
+};
+
+}  // namespace atlantis::core

@@ -1,0 +1,49 @@
+#include "core/memmodule.hpp"
+
+namespace atlantis::core {
+
+MemModule MemModule::make_trt(const std::string& name, double clock_mhz) {
+  MemModule m;
+  m.kind_ = MemModuleKind::kTrtSsram;
+  m.name_ = name;
+  m.slots_ = 1;
+  m.width_bits_ = 176;
+  hw::SramConfig cfg;
+  cfg.words = 512 * 1024;
+  cfg.width_bits = 176;
+  cfg.banks = 1;
+  cfg.clock_mhz = clock_mhz;
+  m.capacity_bytes_ = cfg.total_bytes();
+  m.sram_ = std::make_shared<hw::SyncSram>(name, cfg);
+  return m;
+}
+
+MemModule MemModule::make_volren(const std::string& name) {
+  MemModule m;
+  m.kind_ = MemModuleKind::kVolrenSdram;
+  m.name_ = name;
+  m.slots_ = 3;  // "a single module of triple width"
+  m.width_bits_ = 8 * 64;
+  hw::SdramConfig cfg;  // defaults: 512 MB, 8 banks, 100 MHz
+  m.capacity_bytes_ = cfg.capacity_bytes;
+  m.sdram_ = std::make_shared<hw::Sdram>(name, cfg);
+  return m;
+}
+
+MemModule MemModule::make_image(const std::string& name, double clock_mhz) {
+  MemModule m;
+  m.kind_ = MemModuleKind::kImageSsram;
+  m.name_ = name;
+  m.slots_ = 1;
+  m.width_bits_ = 2 * 72;
+  hw::SramConfig cfg;
+  cfg.words = 512 * 1024;
+  cfg.width_bits = 72;
+  cfg.banks = 2;
+  cfg.clock_mhz = clock_mhz;
+  m.capacity_bytes_ = cfg.total_bytes();
+  m.sram_ = std::make_shared<hw::SyncSram>(name, cfg);
+  return m;
+}
+
+}  // namespace atlantis::core

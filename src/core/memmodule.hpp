@@ -1,0 +1,64 @@
+// Exchangeable memory mezzanine modules.
+//
+// "Depending on the application, memory modules with different
+// architectures can be used to optimize system performance" (§2.1).
+// The three module types the paper names:
+//   * TRT trigger:        1 bank of 512k x 176 synchronous SRAM
+//                          (44 MB per ACB with 4 modules),
+//   * volume rendering:   one triple-width module, 512 MB SDRAM in
+//                          8 simultaneously accessible banks,
+//   * 2-D image processing: 9 MB of synchronous SRAM as 2 banks of
+//                          512k x 72.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "hw/sdram.hpp"
+#include "hw/sram.hpp"
+#include "util/status.hpp"
+
+namespace atlantis::core {
+
+enum class MemModuleKind {
+  kTrtSsram,     // 512k x 176 SSRAM, single width
+  kVolrenSdram,  // 512 MB SDRAM, 8 banks, triple width
+  kImageSsram,   // 2 banks of 512k x 72 SSRAM, single width
+};
+
+/// One mezzanine module. Exactly one of sram()/sdram() is non-null
+/// depending on the kind.
+class MemModule {
+ public:
+  static MemModule make_trt(const std::string& name, double clock_mhz = 40.0);
+  static MemModule make_volren(const std::string& name);
+  static MemModule make_image(const std::string& name,
+                              double clock_mhz = 40.0);
+
+  MemModuleKind kind() const { return kind_; }
+  const std::string& name() const { return name_; }
+  /// Mezzanine connector positions occupied (the SDRAM module is "a
+  /// single module of triple width").
+  int slots_occupied() const { return slots_; }
+  /// Total data width presented to the FPGA memory port.
+  int data_width_bits() const { return width_bits_; }
+  std::int64_t capacity_bytes() const { return capacity_bytes_; }
+
+  hw::SyncSram* sram() { return sram_.get(); }
+  const hw::SyncSram* sram() const { return sram_.get(); }
+  hw::Sdram* sdram() { return sdram_.get(); }
+  const hw::Sdram* sdram() const { return sdram_.get(); }
+
+ private:
+  MemModule() = default;
+
+  MemModuleKind kind_ = MemModuleKind::kTrtSsram;
+  std::string name_;
+  int slots_ = 1;
+  int width_bits_ = 0;
+  std::int64_t capacity_bytes_ = 0;
+  std::shared_ptr<hw::SyncSram> sram_;
+  std::shared_ptr<hw::Sdram> sdram_;
+};
+
+}  // namespace atlantis::core

@@ -1,0 +1,65 @@
+#include "core/system.hpp"
+
+#include "util/status.hpp"
+
+namespace atlantis::core {
+
+AtlantisSystem::AtlantisSystem(std::string name, hw::HostCpuModel host,
+                               int slots, bool passive_backplane)
+    : name_(std::move(name)), host_(std::move(host)),
+      backplane_(name_ + "/aab", slots, passive_backplane),
+      main_clock_(name_ + "/clk_main") {}
+
+int AtlantisSystem::take_slot(const std::string& what) {
+  if (next_slot_ >= backplane_.slots()) {
+    throw util::CapacityError("no free crate slot for " + what);
+  }
+  return next_slot_++;
+}
+
+int AtlantisSystem::add_acb(const std::string& name) {
+  const int slot = take_slot(name);
+  acbs_.push_back(std::make_unique<AcbBoard>(name));
+  acb_slots_.push_back(slot);
+  return static_cast<int>(acbs_.size() - 1);
+}
+
+int AtlantisSystem::add_aib(const std::string& name) {
+  const int slot = take_slot(name);
+  aibs_.push_back(std::make_unique<AibBoard>(name));
+  aib_slots_.push_back(slot);
+  return static_cast<int>(aibs_.size() - 1);
+}
+
+AcbBoard& AtlantisSystem::acb(int index) {
+  ATLANTIS_CHECK(index >= 0 && index < acb_count(), "ACB index out of range");
+  return *acbs_[static_cast<std::size_t>(index)];
+}
+
+AibBoard& AtlantisSystem::aib(int index) {
+  ATLANTIS_CHECK(index >= 0 && index < aib_count(), "AIB index out of range");
+  return *aibs_[static_cast<std::size_t>(index)];
+}
+
+int AtlantisSystem::acb_slot(int index) const {
+  ATLANTIS_CHECK(index >= 0 && index < acb_count(), "ACB index out of range");
+  return acb_slots_[static_cast<std::size_t>(index)];
+}
+
+int AtlantisSystem::aib_slot(int index) const {
+  ATLANTIS_CHECK(index >= 0 && index < aib_count(), "AIB index out of range");
+  return aib_slots_[static_cast<std::size_t>(index)];
+}
+
+std::int64_t AtlantisSystem::total_gate_capacity() const {
+  std::int64_t total = 0;
+  for (const auto& b : acbs_) total += b->total_gate_capacity();
+  for (const auto& b : aibs_) {
+    for (int i = 0; i < AibBoard::kFpgaCount; ++i) {
+      total += b->fpga(i).family().gate_capacity;
+    }
+  }
+  return total;
+}
+
+}  // namespace atlantis::core

@@ -1,0 +1,64 @@
+// The assembled ATLANTIS machine: host CPU module, backplane, and a mix
+// of computing and I/O boards in the CompactPCI crate.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/aab.hpp"
+#include "core/acb.hpp"
+#include "core/aib.hpp"
+#include "hw/clock.hpp"
+#include "hw/hostcpu.hpp"
+
+namespace atlantis::core {
+
+class AtlantisSystem {
+ public:
+  /// Creates a crate with the host CPU in slot 0 and an empty backplane.
+  explicit AtlantisSystem(std::string name,
+                          hw::HostCpuModel host = hw::pentium200_mmx(),
+                          int slots = AabSpec::kDefaultSlots,
+                          bool passive_backplane = false);
+
+  const std::string& name() const { return name_; }
+
+  /// Adds a board to the next free slot; returns its board index.
+  int add_acb(const std::string& name);
+  int add_aib(const std::string& name);
+
+  AcbBoard& acb(int index);
+  AibBoard& aib(int index);
+  int acb_count() const { return static_cast<int>(acbs_.size()); }
+  int aib_count() const { return static_cast<int>(aibs_.size()); }
+  /// Crate slot occupied by a board.
+  int acb_slot(int index) const;
+  int aib_slot(int index) const;
+
+  Backplane& backplane() { return backplane_; }
+  const hw::HostCpuModel& host() const { return host_; }
+
+  /// The central clock distributed from the AAB; boards may fall back to
+  /// their local generators when it is absent.
+  hw::ClockGenerator& main_clock() { return main_clock_; }
+
+  /// Total gate capacity across all boards (sales-brochure number, but
+  /// also the budget configure() enforces per chip).
+  std::int64_t total_gate_capacity() const;
+
+ private:
+  int take_slot(const std::string& what);
+
+  std::string name_;
+  hw::HostCpuModel host_;
+  Backplane backplane_;
+  hw::ClockGenerator main_clock_;
+  std::vector<std::unique_ptr<AcbBoard>> acbs_;
+  std::vector<std::unique_ptr<AibBoard>> aibs_;
+  std::vector<int> acb_slots_;
+  std::vector<int> aib_slots_;
+  int next_slot_ = 1;  // slot 0 is the CPU module
+};
+
+}  // namespace atlantis::core

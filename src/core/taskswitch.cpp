@@ -1,0 +1,36 @@
+#include "core/taskswitch.hpp"
+
+#include "util/status.hpp"
+
+namespace atlantis::core {
+
+void TaskSwitcher::add_task(const hw::Bitstream& bs) {
+  ATLANTIS_CHECK(!bs.name.empty(), "task needs a name");
+  ATLANTIS_CHECK(tasks_.find(bs.name) == tasks_.end(),
+                 "task '" + bs.name + "' already registered");
+  tasks_.emplace(bs.name, bs);
+}
+
+util::Picoseconds TaskSwitcher::switch_to(const std::string& name) {
+  const auto it = tasks_.find(name);
+  if (it == tasks_.end()) {
+    throw util::StateError("unknown task '" + name + "'");
+  }
+  if (current_ == name) {
+    last_time_ = 0;
+    return 0;  // already resident
+  }
+  util::Picoseconds t = 0;
+  if (device_.configured() && device_.family().partial_reconfig) {
+    t = device_.partial_reconfigure(it->second);
+  } else {
+    t = device_.configure(it->second);
+  }
+  current_ = name;
+  ++switches_;
+  total_time_ += t;
+  last_time_ = t;
+  return t;
+}
+
+}  // namespace atlantis::core

@@ -1,0 +1,44 @@
+// Hardware task switching via (partial) reconfiguration.
+//
+// §2: "In particular the partial reconfiguration is of great interest for
+// co-processing applications involving hardware task switches." The
+// switcher keeps a set of named tasks (bitstreams) for one FPGA and swaps
+// between them, using partial reconfiguration when the device supports it
+// and the incoming task declares the array fraction it touches.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "hw/fpga.hpp"
+#include "util/units.hpp"
+
+namespace atlantis::core {
+
+class TaskSwitcher {
+ public:
+  explicit TaskSwitcher(hw::FpgaDevice& device) : device_(device) {}
+
+  /// Registers a task under its bitstream name.
+  void add_task(const hw::Bitstream& bs);
+
+  /// Switches to `name`. The first activation is always a full
+  /// configuration; later switches are partial when the device allows it.
+  /// Returns the reconfiguration time.
+  util::Picoseconds switch_to(const std::string& name);
+
+  const std::string& current() const { return current_; }
+  std::uint64_t switch_count() const { return switches_; }
+  util::Picoseconds total_switch_time() const { return total_time_; }
+  util::Picoseconds last_switch_time() const { return last_time_; }
+
+ private:
+  hw::FpgaDevice& device_;
+  std::map<std::string, hw::Bitstream> tasks_;
+  std::string current_;
+  std::uint64_t switches_ = 0;
+  util::Picoseconds total_time_ = 0;
+  util::Picoseconds last_time_ = 0;
+};
+
+}  // namespace atlantis::core

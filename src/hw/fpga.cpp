@@ -1,0 +1,115 @@
+#include "hw/fpga.hpp"
+
+#include "util/status.hpp"
+
+namespace atlantis::hw {
+
+const FpgaFamily& orca_3t125() {
+  static const FpgaFamily f{
+      .name = "ORCA 3T125",
+      .gate_capacity = 186'000,
+      .io_pins = 432,
+      // 3T125-class parts stream roughly 1.5 Mbit of configuration data
+      // over an 8-bit port at 10 MHz.
+      .config_bits = 1'500'000,
+      .config_clock_mhz = 10.0,
+      .config_bus_bits = 8,
+      .partial_reconfig = true,
+      .readback = true,
+  };
+  return f;
+}
+
+const FpgaFamily& virtex_xcv600() {
+  static const FpgaFamily f{
+      .name = "Virtex XCV600",
+      .gate_capacity = 661'000,
+      .io_pins = 512,
+      // XCV600 bitstream is ~3.6 Mbit, SelectMAP loads 8 bits at 33 MHz.
+      .config_bits = 3'600'000,
+      .config_clock_mhz = 33.0,
+      .config_bus_bits = 8,
+      .partial_reconfig = false,
+      .readback = true,
+  };
+  return f;
+}
+
+Bitstream Bitstream::from_design(const chdl::Design& design) {
+  Bitstream bs;
+  bs.name = design.name();
+  bs.stats = chdl::analyze(design);
+  bs.design = &design;
+  return bs;
+}
+
+void FpgaDevice::check_fit(const chdl::NetlistStats& stats) const {
+  if (stats.gate_equivalents > family_->gate_capacity) {
+    throw util::CapacityError(
+        "design '" + stats.design_name + "' needs " +
+        std::to_string(stats.gate_equivalents) + " gates but " +
+        family_->name + " provides " +
+        std::to_string(family_->gate_capacity));
+  }
+  if (stats.io_pins > family_->io_pins) {
+    throw util::CapacityError(
+        "design '" + stats.design_name + "' needs " +
+        std::to_string(stats.io_pins) + " I/O pins but " + family_->name +
+        " provides " + std::to_string(family_->io_pins));
+  }
+}
+
+util::Picoseconds FpgaDevice::config_time(std::int64_t bits) const {
+  const auto clocks = util::ceil_div(static_cast<std::uint64_t>(bits),
+                                     static_cast<std::uint64_t>(
+                                         family_->config_bus_bits));
+  return static_cast<util::Picoseconds>(clocks) *
+         util::period_from_mhz(family_->config_clock_mhz);
+}
+
+util::Picoseconds FpgaDevice::configure(const Bitstream& bs) {
+  check_fit(bs.stats);
+  configured_ = true;
+  design_name_ = bs.name;
+  sim_.reset();
+  if (bs.design != nullptr) {
+    sim_ = std::make_unique<chdl::Simulator>(*bs.design);
+  }
+  return config_time(family_->config_bits);
+}
+
+util::Picoseconds FpgaDevice::partial_reconfigure(const Bitstream& bs) {
+  ATLANTIS_CHECK(family_->partial_reconfig,
+                 family_->name + " does not support partial reconfiguration");
+  if (!configured_) {
+    throw util::StateError("partial reconfiguration of unconfigured device " +
+                           name_);
+  }
+  ATLANTIS_CHECK(bs.fraction > 0.0 && bs.fraction <= 1.0,
+                 "bitstream fraction out of range");
+  check_fit(bs.stats);
+  design_name_ = bs.name;
+  sim_.reset();
+  if (bs.design != nullptr) {
+    sim_ = std::make_unique<chdl::Simulator>(*bs.design);
+  }
+  return config_time(static_cast<std::int64_t>(
+      static_cast<double>(family_->config_bits) * bs.fraction));
+}
+
+util::Picoseconds FpgaDevice::readback() const {
+  ATLANTIS_CHECK(family_->readback,
+                 family_->name + " does not support readback");
+  if (!configured_) {
+    throw util::StateError("readback of unconfigured device " + name_);
+  }
+  return config_time(family_->config_bits);
+}
+
+void FpgaDevice::deconfigure() {
+  configured_ = false;
+  design_name_.clear();
+  sim_.reset();
+}
+
+}  // namespace atlantis::hw

@@ -1,0 +1,95 @@
+// FPGA device model: capacity checking, configuration, partial
+// reconfiguration and readback timing.
+//
+// The ATLANTIS chips: Lucent ORCA 3T125 on the ACB (chosen for
+// read-back/test support, asynchronous DP-RAM and *partial
+// reconfiguration*, which enables hardware task switches), and Xilinx
+// Virtex XCV600 on the AIB. A configured device can carry a CHDL design,
+// in which case it owns a cycle simulator for it.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "chdl/sim.hpp"
+#include "chdl/stats.hpp"
+#include "util/units.hpp"
+
+namespace atlantis::hw {
+
+/// Static description of an FPGA family member.
+struct FpgaFamily {
+  std::string name;
+  std::int64_t gate_capacity = 0;   // usable system gates
+  std::int64_t io_pins = 0;         // user I/O
+  std::int64_t config_bits = 0;     // full bitstream size
+  double config_clock_mhz = 0.0;    // serial/parallel config clock
+  int config_bus_bits = 8;          // bits loaded per config clock
+  bool partial_reconfig = false;
+  bool readback = false;
+};
+
+/// Lucent ORCA 3T125: ~186k average gates (the paper's 4-chip matrix sums
+/// to 744k), 422 used I/O signals, partial reconfiguration and readback.
+const FpgaFamily& orca_3t125();
+
+/// Xilinx Virtex XCV600 (AIB): larger gate count, no partial reconfig in
+/// the generation ATLANTIS used.
+const FpgaFamily& virtex_xcv600();
+
+/// A loadable configuration: resource footprint plus (optionally) the
+/// CHDL design itself for bit-accurate simulation.
+struct Bitstream {
+  std::string name;
+  chdl::NetlistStats stats;
+  const chdl::Design* design = nullptr;  // optional; enables CycleSim
+  double fraction = 1.0;  // fraction of the device the bitstream covers
+
+  /// Convenience: analyze a design and wrap it.
+  static Bitstream from_design(const chdl::Design& design);
+};
+
+class FpgaDevice {
+ public:
+  FpgaDevice(std::string instance_name, const FpgaFamily& family)
+      : name_(std::move(instance_name)), family_(&family) {}
+
+  const std::string& name() const { return name_; }
+  const FpgaFamily& family() const { return *family_; }
+  bool configured() const { return configured_; }
+  const std::string& design_name() const { return design_name_; }
+
+  /// Full configuration. Throws CapacityError if the netlist exceeds the
+  /// gate or pin budget. Returns the configuration time.
+  util::Picoseconds configure(const Bitstream& bs);
+
+  /// Partial reconfiguration of `fraction` of the array (hardware task
+  /// switch). Only legal on families with partial_reconfig; the device
+  /// must already be configured.
+  util::Picoseconds partial_reconfigure(const Bitstream& bs);
+
+  /// Configuration readback (test/verify path). Returns the time to read
+  /// the full bitstream back out.
+  util::Picoseconds readback() const;
+
+  /// Clears the configuration (GSR).
+  void deconfigure();
+
+  /// The simulator for the loaded design, if the bitstream carried one.
+  chdl::Simulator* sim() { return sim_.get(); }
+
+  /// Time to shift `bits` of configuration data.
+  util::Picoseconds config_time(std::int64_t bits) const;
+
+ private:
+  void check_fit(const chdl::NetlistStats& stats) const;
+
+  std::string name_;
+  const FpgaFamily* family_;
+  bool configured_ = false;
+  std::string design_name_;
+  std::unique_ptr<chdl::Simulator> sim_;
+};
+
+}  // namespace atlantis::hw

@@ -1,0 +1,26 @@
+#include "hw/hostcpu.hpp"
+
+namespace atlantis::hw {
+
+HostCpuModel pentium200_mmx() {
+  return HostCpuModel{.name = "Pentium-200 MMX",
+                      .clock_mhz = 200.0,
+                      .sustained_ipc = 0.55,
+                      .flops_per_clock = 0.25};
+}
+
+HostCpuModel celeron450() {
+  return HostCpuModel{.name = "Celeron-450",
+                      .clock_mhz = 450.0,
+                      .sustained_ipc = 0.62,
+                      .flops_per_clock = 0.33};
+}
+
+HostCpuModel pentium2_300() {
+  return HostCpuModel{.name = "Pentium-II/300",
+                      .clock_mhz = 300.0,
+                      .sustained_ipc = 0.65,
+                      .flops_per_clock = 0.33};
+}
+
+}  // namespace atlantis::hw

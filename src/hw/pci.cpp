@@ -1,0 +1,28 @@
+#include "hw/pci.hpp"
+
+#include <cmath>
+
+#include "util/bitops.hpp"
+
+namespace atlantis::hw {
+
+DmaTransfer Plx9080::transfer(DmaDirection dir, std::uint64_t bytes) const {
+  ATLANTIS_CHECK(bytes > 0, "zero-length DMA");
+  const double efficiency = dir == DmaDirection::kWrite
+                                ? params_.write_efficiency
+                                : params_.read_efficiency;
+  const double rate_mbps = params_.peak_mbps() * efficiency;
+  const auto burst = static_cast<util::Picoseconds>(
+      static_cast<double>(bytes) / (rate_mbps * 1.0e6) *
+      static_cast<double>(util::kSecond));
+  const std::uint64_t pages = util::ceil_div(bytes, params_.page_bytes);
+  DmaTransfer t;
+  t.bytes = bytes;
+  t.duration = params_.setup_latency +
+               static_cast<util::Picoseconds>(pages) *
+                   params_.descriptor_latency +
+               burst;
+  return t;
+}
+
+}  // namespace atlantis::hw

@@ -1,0 +1,90 @@
+// CompactPCI bus and PLX 9080 bridge timing model.
+//
+// Both ACB and AIB use a PLX 9080 as PCI interface, register-compatible
+// with the microEnable coprocessor ("virtually all basic software ... is
+// immediately available"). The host interface allows "125 MB/s max. data
+// rate" (§2.1) over 32-bit/33 MHz CompactPCI.
+//
+// The model is transaction-level: a transfer costs a fixed setup latency
+// (driver call + DMA programming), a per-page scatter/gather descriptor
+// fetch, and the burst time at the direction-dependent sustained rate.
+// This is the mechanism that produces Table 1's block-size dependence.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.hpp"
+#include "util/units.hpp"
+
+namespace atlantis::hw {
+
+/// Direction of a DMA transfer as seen from the host.
+enum class DmaDirection {
+  kRead,   // board -> host memory
+  kWrite,  // host memory -> board
+};
+
+/// Bus + bridge parameters. Defaults model 32-bit/33 MHz CompactPCI
+/// through a PLX 9080 with the microEnable WinNT driver stack.
+struct PciParams {
+  double bus_clock_mhz = 33.0;
+  int bus_bytes = 4;  // 32-bit PCI
+
+  /// Sustained fraction of the 132 MB/s theoretical peak. Posted writes
+  /// stream at near full rate; reads pay turnaround/latency on every
+  /// burst, which is why Table 1's read column trails its write column.
+  double write_efficiency = 0.93;
+  double read_efficiency = 0.80;
+
+  /// Fixed per-transfer cost: user/kernel transition, DMA programming,
+  /// completion interrupt.
+  util::Picoseconds setup_latency = 40 * util::kMicrosecond;
+
+  /// Scatter/gather descriptor fetch per page of host memory.
+  util::Picoseconds descriptor_latency = 700 * util::kNanosecond;
+  std::uint64_t page_bytes = 4096;
+
+  double peak_mbps() const { return bus_clock_mhz * bus_bytes; }
+};
+
+/// Result of one modelled transfer.
+struct DmaTransfer {
+  std::uint64_t bytes = 0;
+  util::Picoseconds duration = 0;
+  double mbps() const { return util::mb_per_s(bytes, duration); }
+};
+
+/// The PLX 9080 bridge: computes transfer timing and keeps lifetime
+/// counters, like the chip's own DMA status registers.
+class Plx9080 {
+ public:
+  explicit Plx9080(PciParams params = {}) : params_(params) {}
+
+  const PciParams& params() const { return params_; }
+
+  /// Models one block DMA in the given direction.
+  DmaTransfer transfer(DmaDirection dir, std::uint64_t bytes) const;
+
+  /// Single-word target-mode access (register read/write): one bus
+  /// transaction, no DMA setup. Dominated by PCI latency.
+  util::Picoseconds target_access() const {
+    // Address + turnaround + data phases, ~10 bus clocks through a bridge.
+    return 10 * util::period_from_mhz(params_.bus_clock_mhz);
+  }
+
+  /// Aggregate statistics (updated by record()).
+  std::uint64_t total_bytes() const { return total_bytes_; }
+  util::Picoseconds total_time() const { return total_time_; }
+  void record(const DmaTransfer& t) {
+    total_bytes_ += t.bytes;
+    total_time_ += t.duration;
+  }
+
+ private:
+  PciParams params_;
+  std::uint64_t total_bytes_ = 0;
+  util::Picoseconds total_time_ = 0;
+};
+
+}  // namespace atlantis::hw

@@ -1,0 +1,68 @@
+#include "hw/slink.hpp"
+
+#include "util/rng.hpp"
+
+namespace atlantis::hw {
+
+SlinkChannel::SlinkChannel(std::string name, std::size_t fifo_words,
+                           double clock_mhz)
+    : name_(std::move(name)), fifo_depth_(fifo_words), clock_mhz_(clock_mhz) {
+  ATLANTIS_CHECK(fifo_words > 0, "S-Link buffer must not be empty");
+  ATLANTIS_CHECK(clock_mhz > 0.0, "S-Link clock must be positive");
+}
+
+bool SlinkChannel::send(const SlinkWord& word) {
+  if (xoff()) {
+    ++refused_;
+    return false;
+  }
+  fifo_.push_back(word);
+  ++sent_;
+  return true;
+}
+
+std::size_t SlinkChannel::send_fragment(
+    std::uint32_t event_id, const std::vector<std::uint32_t>& payload) {
+  std::size_t accepted = 0;
+  if (!send({kBeginFragment | (event_id & 0xFFFFF), true})) return accepted;
+  ++accepted;
+  for (const std::uint32_t w : payload) {
+    if (!send({w, false})) return accepted;
+    ++accepted;
+  }
+  if (send({kEndFragment | (event_id & 0xFFFFF), true})) ++accepted;
+  return accepted;
+}
+
+std::optional<SlinkWord> SlinkChannel::receive() {
+  if (head_ >= fifo_.size()) return std::nullopt;
+  const SlinkWord w = fifo_[head_++];
+  // Compact occasionally so the vector does not grow without bound.
+  if (head_ > 4096 && head_ * 2 > fifo_.size()) {
+    fifo_.erase(fifo_.begin(), fifo_.begin() + static_cast<std::ptrdiff_t>(head_));
+    head_ = 0;
+  }
+  return w;
+}
+
+bool SlinkChannel::self_test(int words) {
+  util::Rng rng(0x51'1A'CB);
+  std::vector<std::uint32_t> pattern;
+  pattern.reserve(static_cast<std::size_t>(words));
+  for (int i = 0; i < words; ++i) {
+    pattern.push_back(static_cast<std::uint32_t>(rng.next_u64()));
+  }
+  // Drain whatever is buffered, then loop the pattern through.
+  while (receive().has_value()) {
+  }
+  for (const std::uint32_t w : pattern) {
+    if (!send({w, false})) return false;
+  }
+  for (const std::uint32_t w : pattern) {
+    const auto got = receive();
+    if (!got || got->control || got->payload != w) return false;
+  }
+  return true;
+}
+
+}  // namespace atlantis::hw

@@ -1,0 +1,86 @@
+// S-Link model.
+//
+// "S-Link is a FIFO-like CERN internal standard for point-to-point
+// links" (§2.1 footnote). The ACB's external-LVDS FPGA and the AIB
+// mezzanines carry S-Link interfaces to the detector readout. The model
+// is the protocol's visible behaviour: a unidirectional word stream with
+// control words marking event fragments, link-full flow control (XOFF)
+// and an error/test mode, at a configurable link clock.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+#include "util/units.hpp"
+
+namespace atlantis::hw {
+
+/// One 32-bit S-Link transfer: data word or control word (fragment
+/// delimiters carry an event id in the payload).
+struct SlinkWord {
+  std::uint32_t payload = 0;
+  bool control = false;
+  bool operator==(const SlinkWord&) const = default;
+};
+
+class SlinkChannel {
+ public:
+  /// `fifo_words`: receive-side buffer; the link asserts XOFF when it
+  /// fills and words offered during XOFF are refused (the sender's link
+  /// card retries them).
+  SlinkChannel(std::string name, std::size_t fifo_words = 1024,
+               double clock_mhz = 40.0);
+
+  const std::string& name() const { return name_; }
+  double clock_mhz() const { return clock_mhz_; }
+
+  /// Sender side: offers one word; returns false on XOFF (buffer full).
+  bool send(const SlinkWord& word);
+
+  /// Convenience: send an event fragment (begin marker, payload, end
+  /// marker). Returns words accepted; stops early on XOFF.
+  std::size_t send_fragment(std::uint32_t event_id,
+                            const std::vector<std::uint32_t>& payload);
+
+  /// Receiver side: pops the next word if available.
+  std::optional<SlinkWord> receive();
+
+  bool xoff() const { return buffered() >= fifo_depth_; }
+  std::size_t buffered() const { return fifo_.size() - head_; }
+
+  /// Link-level statistics.
+  std::uint64_t words_sent() const { return sent_; }
+  std::uint64_t words_refused() const { return refused_; }
+
+  /// Time to clock `words` across the link (one word per link clock).
+  util::Picoseconds transfer_time(std::uint64_t words) const {
+    return static_cast<util::Picoseconds>(words) *
+           util::period_from_mhz(clock_mhz_);
+  }
+
+  /// Peak bandwidth in MB/s (32-bit words at the link clock).
+  double peak_mbps() const { return clock_mhz_ * 4.0; }
+
+  /// Test mode: loops a known pattern through the link and checks it
+  /// (the S-Link "link test" feature). Returns true if the pattern
+  /// survives.
+  bool self_test(int words = 256);
+
+  /// Control-word markers.
+  static constexpr std::uint32_t kBeginFragment = 0xB0F00000;
+  static constexpr std::uint32_t kEndFragment = 0xE0F00000;
+
+ private:
+  std::string name_;
+  std::size_t fifo_depth_;
+  double clock_mhz_;
+  std::vector<SlinkWord> fifo_;  // simple FIFO; front at index head_
+  std::size_t head_ = 0;
+  std::uint64_t sent_ = 0;
+  std::uint64_t refused_ = 0;
+};
+
+}  // namespace atlantis::hw

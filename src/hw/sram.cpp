@@ -1,0 +1,40 @@
+#include "hw/sram.hpp"
+
+#include <algorithm>
+
+namespace atlantis::hw {
+
+SyncSram::SyncSram(std::string name, const SramConfig& cfg)
+    : name_(std::move(name)), cfg_(cfg),
+      stride_(chdl::BitVec::word_count(cfg.width_bits)) {
+  ATLANTIS_CHECK(cfg.words > 0 && cfg.width_bits > 0 && cfg.banks > 0,
+                 "invalid SRAM shape");
+  data_.assign(static_cast<std::size_t>(cfg.banks) *
+                   static_cast<std::size_t>(cfg.words) * stride_,
+               0);
+}
+
+std::size_t SyncSram::index(int bank, std::int64_t addr) const {
+  ATLANTIS_CHECK(bank >= 0 && bank < cfg_.banks, "SRAM bank out of range");
+  ATLANTIS_CHECK(addr >= 0 && addr < cfg_.words, "SRAM address out of range");
+  return (static_cast<std::size_t>(bank) * static_cast<std::size_t>(cfg_.words) +
+          static_cast<std::size_t>(addr)) *
+         static_cast<std::size_t>(stride_);
+}
+
+void SyncSram::write(int bank, std::int64_t addr, const chdl::BitVec& value) {
+  ATLANTIS_CHECK(value.width() == cfg_.width_bits, "SRAM data width mismatch");
+  const std::size_t i = index(bank, addr);
+  std::copy(value.words().begin(), value.words().end(), data_.begin() + i);
+}
+
+chdl::BitVec SyncSram::read(int bank, std::int64_t addr) const {
+  const std::size_t i = index(bank, addr);
+  chdl::BitVec v(cfg_.width_bits);
+  std::copy(data_.begin() + static_cast<std::ptrdiff_t>(i),
+            data_.begin() + static_cast<std::ptrdiff_t>(i) + stride_,
+            v.words().begin());
+  return v;
+}
+
+}  // namespace atlantis::hw

@@ -1,0 +1,32 @@
+#include "imgproc/conv_core.hpp"
+
+#include "chdl/builder.hpp"
+#include "imgproc/window.hpp"
+#include "util/status.hpp"
+
+namespace atlantis::imgproc {
+
+ConvCoreLayout build_conv_core(chdl::Design& d, int image_width,
+                               const Kernel3x3& kernel) {
+  using chdl::Wire;
+  constexpr int kAccBits = 20;  // 8-bit pixels x 4-bit coeffs x 9 taps fits
+
+  chdl::HostRegFile hrf(d, /*addr_bits=*/8, /*data_bits=*/32);
+  const StreamWindow window = build_stream_window(d, hrf, image_width);
+
+  // Constant-coefficient MAC, normalization shift, clamp, output reg.
+  const Wire acc = window_mac(d, window.taps, kernel.k, kAccBits);
+  const Wire shifted = arith_shr(d, acc, kernel.shift);
+  const Wire clamped = clamp_u8(d, shifted);
+  chdl::RegOpts oopts;
+  oopts.enable = window.advance;
+  hrf.map_read(0x02, d.reg("conv_out", clamped, oopts));
+  hrf.finish();
+
+  ConvCoreLayout layout;
+  layout.image_width = image_width;
+  layout.kernel = kernel;
+  return layout;
+}
+
+}  // namespace atlantis::imgproc

@@ -1,0 +1,35 @@
+// CHDL streaming 3x3 convolution engine.
+//
+// The classic FPGA filter datapath: pixels stream in row-major, two
+// line-buffer RAMs recirculate the previous two rows, a 3x3 register
+// window slides along, and a constant-coefficient MAC (built from shifts
+// and adds — multipliers were LUT-expensive in this generation) produces
+// one filtered pixel per clock. The kernel is baked into the netlist at
+// build time, exactly like a real constant-coefficient implementation.
+//
+// Host register map:
+//   0x00 w  reset stream state (column counter)
+//   0x01 w  pixel push (low 8 bits; one pixel per write)
+//   0x02 r  current filtered output (low 8 bits)
+//   0x03 r  pixels pushed so far
+//
+// The engine produces outputs continuously; the application aligns the
+// output stream to pixel centers by the fixed pipeline latency (see
+// tests). Borders are handled by streaming an edge-replicated image.
+#pragma once
+
+#include "chdl/design.hpp"
+#include "imgproc/filters.hpp"
+
+namespace atlantis::imgproc {
+
+struct ConvCoreLayout {
+  int image_width = 0;
+  Kernel3x3 kernel;
+};
+
+/// Builds the engine for a fixed image (row) width.
+ConvCoreLayout build_conv_core(chdl::Design& design, int image_width,
+                               const Kernel3x3& kernel);
+
+}  // namespace atlantis::imgproc

@@ -1,0 +1,50 @@
+// 2-D local filters: the software reference for the industrial
+// image-processing application (§3, "almost all image processing
+// applications involve tasks where image elements have to be processed
+// with local filters").
+//
+// All kernels are integer with a power-of-two normalization shift — the
+// arithmetic an FPGA convolution engine implements — so hardware and
+// software results are bit-identical.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/image.hpp"
+
+namespace atlantis::imgproc {
+
+using Gray8 = util::Image<std::uint8_t>;
+
+/// 3x3 integer kernel; output = clamp((sum(k*p) ) >> shift).
+struct Kernel3x3 {
+  std::array<std::int16_t, 9> k{};
+  int shift = 0;
+
+  static Kernel3x3 box_blur();    // all ones, >>3 (approximate mean)
+  static Kernel3x3 sharpen();     // 5-center Laplacian sharpen
+  static Kernel3x3 gaussian();    // 1-2-1 binomial, >>4
+  static Kernel3x3 sobel_x();
+  static Kernel3x3 sobel_y();
+};
+
+/// 3x3 convolution with edge clamping.
+Gray8 convolve3x3(const Gray8& in, const Kernel3x3& kernel);
+
+/// Sobel gradient magnitude (|gx| + |gy|, clamped) — the classic
+/// edge-detection front end.
+Gray8 sobel_magnitude(const Gray8& in);
+
+/// 3x3 median filter (salt-and-pepper removal).
+Gray8 median3x3(const Gray8& in);
+
+/// Fixed threshold binarization (0 / 255).
+Gray8 threshold(const Gray8& in, std::uint8_t level);
+
+/// Abstract op counts per pixel for the host-CPU model.
+double convolve_ops_per_pixel();
+double sobel_ops_per_pixel();
+double median_ops_per_pixel();
+
+}  // namespace atlantis::imgproc

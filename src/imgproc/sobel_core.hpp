@@ -1,0 +1,25 @@
+// CHDL Sobel edge-detection engine.
+//
+// The composed filter datapath: one streaming 3x3 window feeding two
+// constant-coefficient MACs (the x and y Sobel kernels) whose absolute
+// responses are summed and clamped — |gx| + |gy|, the same norm the
+// software reference uses, so hardware and software agree bit for bit.
+// Demonstrates how CHDL designs compose from the shared window front
+// end (the "complex high level software generates the structure" claim).
+//
+// Host register map: as the convolution engine (0x00 reset, 0x01 push,
+// 0x02 magnitude out, 0x03 pixel count), plus 0x04 = edge-pixel count at
+// the programmable threshold in register 0x05.
+#pragma once
+
+#include "chdl/design.hpp"
+
+namespace atlantis::imgproc {
+
+struct SobelCoreLayout {
+  int image_width = 0;
+};
+
+SobelCoreLayout build_sobel_core(chdl::Design& design, int image_width);
+
+}  // namespace atlantis::imgproc

@@ -1,0 +1,65 @@
+// Force evaluation: IEEE-double reference and the reduced-precision
+// FPGA pipeline.
+//
+// The FPGA force unit is the GRAPE-style pair pipeline: for each (i, j)
+// pair it computes dx, r^2 = dx.dx + eps^2, r^-3 via reciprocal square
+// root, and accumulates m_j * r^-3 * dx — about 20 floating-point
+// operations per pair, one pair per clock once the pipeline is full.
+// Arithmetic runs in a configurable CFloat format so the 18-bit precision
+// of the 1995 Xilinx results, the 24-bit middle ground and full single
+// precision can all be evaluated for accuracy and resource cost.
+#pragma once
+
+#include <vector>
+
+#include "nbody/particle.hpp"
+#include "util/cfloat.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace atlantis::nbody {
+
+/// Operations per pipeline pair (3 sub, 3 mul + 3 add for r^2, rsqrt
+/// counted as 4, 1 add for eps, 3 mul + 3 add for the accumulation,
+/// plus the m_j scale).
+inline constexpr int kFlopsPerPair = 20;
+
+/// IEEE-double direct summation (the workstation baseline and the
+/// accuracy oracle).
+std::vector<Vec3d> accel_reference(const ParticleSet& particles,
+                                   double softening);
+
+struct ForcePipelineConfig {
+  util::CFloatFormat format = util::kFloat18;
+  double clock_mhz = 25.0;  // Enable++-class pipelines ran 20-40 MHz
+  int pipeline_depth = 40;  // stages from dx to accumulation
+  int pipelines = 1;        // parallel force units on the FPGA(s)
+  double softening = 0.05;
+};
+
+struct ForcePipelineResult {
+  std::vector<Vec3d> accel;  // converted back to double for analysis
+  std::uint64_t pairs = 0;
+  std::uint64_t cycles = 0;
+  util::Picoseconds time = 0;
+  /// Equivalent MFLOP/s of the pipeline at the configured clock.
+  double mflops() const {
+    return time > 0 ? static_cast<double>(pairs) * kFlopsPerPair /
+                          util::ps_to_s(time) / 1e6
+                    : 0.0;
+  }
+  double pairs_per_second() const {
+    return time > 0 ? static_cast<double>(pairs) / util::ps_to_s(time) : 0.0;
+  }
+};
+
+/// Runs the bit-accurate reduced-precision pipeline over all pairs.
+ForcePipelineResult accel_pipeline(const ParticleSet& particles,
+                                   const ForcePipelineConfig& cfg);
+
+/// Relative acceleration error of `test` against `ref` (per particle:
+/// |a_test - a_ref| / |a_ref|).
+util::Accumulator accel_error(const std::vector<Vec3d>& ref,
+                              const std::vector<Vec3d>& test);
+
+}  // namespace atlantis::nbody

@@ -1,0 +1,51 @@
+#include "nbody/integrator.hpp"
+
+#include <cmath>
+
+#include "util/status.hpp"
+
+namespace atlantis::nbody {
+
+double total_energy(const ParticleSet& particles, double softening) {
+  const std::size_t n = particles.size();
+  double kinetic = 0.0;
+  double potential = 0.0;
+  const double eps2 = softening * softening;
+  for (std::size_t i = 0; i < n; ++i) {
+    kinetic += 0.5 * particles[i].mass * particles[i].vel.dot(particles[i].vel);
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const Vec3d d = particles[j].pos - particles[i].pos;
+      potential -= particles[i].mass * particles[j].mass /
+                   std::sqrt(d.dot(d) + eps2);
+    }
+  }
+  return kinetic + potential;
+}
+
+void leapfrog_step(ParticleSet& particles, double dt,
+                   const ForceEngine& engine) {
+  const std::vector<Vec3d> a0 = engine(particles);
+  ATLANTIS_CHECK(a0.size() == particles.size(), "force engine size mismatch");
+  // Kick-drift.
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    particles[i].vel += a0[i] * (0.5 * dt);
+    particles[i].pos += particles[i].vel * dt;
+  }
+  // Second kick with the updated positions.
+  const std::vector<Vec3d> a1 = engine(particles);
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    particles[i].vel += a1[i] * (0.5 * dt);
+  }
+}
+
+double integrate(ParticleSet& particles, double dt, int steps,
+                 const ForceEngine& engine, double softening) {
+  const double e0 = total_energy(particles, softening);
+  for (int s = 0; s < steps; ++s) {
+    leapfrog_step(particles, dt, engine);
+  }
+  const double e1 = total_energy(particles, softening);
+  return e0 != 0.0 ? std::fabs((e1 - e0) / e0) : std::fabs(e1 - e0);
+}
+
+}  // namespace atlantis::nbody

@@ -1,0 +1,23 @@
+// Leapfrog (kick-drift-kick) integrator over a pluggable force engine,
+// used by the astronomy example and the energy-conservation tests.
+#pragma once
+
+#include <functional>
+
+#include "nbody/particle.hpp"
+
+namespace atlantis::nbody {
+
+using ForceEngine =
+    std::function<std::vector<Vec3d>(const ParticleSet&)>;
+
+/// Advances the system by one step of size dt.
+void leapfrog_step(ParticleSet& particles, double dt,
+                   const ForceEngine& engine);
+
+/// Advances `steps` steps; returns the relative energy drift
+/// |E_end - E_start| / |E_start|.
+double integrate(ParticleSet& particles, double dt, int steps,
+                 const ForceEngine& engine, double softening);
+
+}  // namespace atlantis::nbody

@@ -1,0 +1,42 @@
+// N-body primitives: particles and phase-space vectors.
+//
+// §3.3: direct collisional N-body simulation (Spurzem & Aarseth style)
+// needs Tera-FLOP force evaluation and was traditionally accelerated by
+// GRAPE ASICs; the paper investigates the force sub-task on FPGAs.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace atlantis::nbody {
+
+struct Vec3d {
+  double x = 0.0, y = 0.0, z = 0.0;
+
+  Vec3d operator+(const Vec3d& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  Vec3d operator-(const Vec3d& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  Vec3d operator*(double s) const { return {x * s, y * s, z * s}; }
+  Vec3d& operator+=(const Vec3d& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  double dot(const Vec3d& o) const { return x * o.x + y * o.y + z * o.z; }
+  double norm() const { return std::sqrt(dot(*this)); }
+};
+
+struct Particle {
+  Vec3d pos;
+  Vec3d vel;
+  double mass = 1.0;
+};
+
+using ParticleSet = std::vector<Particle>;
+
+/// Total energy (kinetic + pairwise potential with softening) — the
+/// integrator conservation check.
+double total_energy(const ParticleSet& particles, double softening);
+
+}  // namespace atlantis::nbody

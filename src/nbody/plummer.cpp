@@ -1,0 +1,52 @@
+#include "nbody/plummer.hpp"
+
+#include <cmath>
+
+#include "util/rng.hpp"
+#include "util/status.hpp"
+
+namespace atlantis::nbody {
+
+ParticleSet make_plummer(int n, std::uint64_t seed) {
+  ATLANTIS_CHECK(n > 0, "need at least one particle");
+  util::Rng rng(seed);
+  ParticleSet particles(static_cast<std::size_t>(n));
+  const double mass = 1.0 / n;
+
+  Vec3d com{};
+  Vec3d cov{};
+  for (auto& p : particles) {
+    p.mass = mass;
+    // Radius from the inverse cumulative mass profile.
+    const double m = rng.uniform(0.05, 0.95);  // avoid extreme outliers
+    const double r = 1.0 / std::sqrt(std::pow(m, -2.0 / 3.0) - 1.0);
+    // Isotropic direction.
+    const double z = rng.uniform(-1.0, 1.0);
+    const double phi = rng.uniform(0.0, 2.0 * M_PI);
+    const double s = std::sqrt(1.0 - z * z);
+    p.pos = {r * s * std::cos(phi), r * s * std::sin(phi), r * z};
+    // Velocity via rejection from q^2 (1-q^2)^(7/2).
+    double q = 0.0;
+    for (;;) {
+      q = rng.uniform(0.0, 1.0);
+      const double g = q * q * std::pow(1.0 - q * q, 3.5);
+      if (rng.uniform(0.0, 0.1) < g) break;
+    }
+    const double vesc = std::sqrt(2.0) * std::pow(1.0 + r * r, -0.25);
+    const double v = q * vesc;
+    const double vz = rng.uniform(-1.0, 1.0);
+    const double vphi = rng.uniform(0.0, 2.0 * M_PI);
+    const double vs = std::sqrt(1.0 - vz * vz);
+    p.vel = {v * vs * std::cos(vphi), v * vs * std::sin(vphi), v * vz};
+    com += p.pos * mass;
+    cov += p.vel * mass;
+  }
+  // Centre-of-mass correction.
+  for (auto& p : particles) {
+    p.pos = p.pos - com;
+    p.vel = p.vel - cov;
+  }
+  return particles;
+}
+
+}  // namespace atlantis::nbody

@@ -1,0 +1,18 @@
+// Plummer-sphere initial conditions.
+//
+// The standard collisional-cluster model (the [8] reference simulates
+// 10,000 particles past core collapse starts from exactly this profile).
+// Positions follow the Plummer density; velocities are drawn from the
+// local escape-speed distribution by von Neumann rejection (Aarseth,
+// Henon & Wielen 1974). Units: G = M = 1, virial radius scaling.
+#pragma once
+
+#include <cstdint>
+
+#include "nbody/particle.hpp"
+
+namespace atlantis::nbody {
+
+ParticleSet make_plummer(int n, std::uint64_t seed = 0x9B0D7);
+
+}  // namespace atlantis::nbody

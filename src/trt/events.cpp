@@ -1,0 +1,55 @@
+#include "trt/events.hpp"
+
+#include <algorithm>
+
+#include "util/status.hpp"
+
+namespace atlantis::trt {
+
+EventGenerator::EventGenerator(const PatternBank& bank, EventParams params,
+                               std::uint64_t seed)
+    : bank_(bank), params_(params), rng_(seed) {
+  ATLANTIS_CHECK(params.tracks >= 0, "negative track count");
+  ATLANTIS_CHECK(params.straw_efficiency > 0.0 && params.straw_efficiency <= 1.0,
+                 "straw efficiency out of range");
+  ATLANTIS_CHECK(params.noise_occupancy >= 0.0 && params.noise_occupancy < 1.0,
+                 "noise occupancy out of range");
+}
+
+Event EventGenerator::generate() {
+  Event ev;
+  const int straws = bank_.geometry().straw_count();
+  ev.hit_mask.assign(static_cast<std::size_t>(straws), 0);
+
+  // Plant true tracks.
+  for (int t = 0; t < params_.tracks; ++t) {
+    const auto p = static_cast<std::int32_t>(
+        rng_.next_below(static_cast<std::uint64_t>(bank_.pattern_count())));
+    ev.true_tracks.push_back(p);
+    for (const std::int32_t s : bank_.pattern_straws(p)) {
+      if (rng_.bernoulli(params_.straw_efficiency)) {
+        ev.hit_mask[static_cast<std::size_t>(s)] = 1;
+      }
+    }
+  }
+  // Uniform noise.
+  if (params_.noise_occupancy > 0.0) {
+    for (int s = 0; s < straws; ++s) {
+      if (rng_.bernoulli(params_.noise_occupancy)) {
+        ev.hit_mask[static_cast<std::size_t>(s)] = 1;
+      }
+    }
+  }
+  for (int s = 0; s < straws; ++s) {
+    if (ev.hit_mask[static_cast<std::size_t>(s)] != 0) {
+      ev.hits.push_back(s);
+    }
+  }
+  std::sort(ev.true_tracks.begin(), ev.true_tracks.end());
+  ev.true_tracks.erase(
+      std::unique(ev.true_tracks.begin(), ev.true_tracks.end()),
+      ev.true_tracks.end());
+  return ev;
+}
+
+}  // namespace atlantis::trt

@@ -1,0 +1,46 @@
+// Synthetic TRT event generation.
+//
+// The paper's detector data (ATLAS LVL2 full-scan events) is not
+// available; DESIGN.md records the substitution. An event is produced by
+// picking true tracks from the pattern bank, firing their straws with a
+// per-straw efficiency, and adding uniform noise occupancy — the same
+// input statistics (80k straws, percent-level occupancy, O(10) tracks)
+// that drive the LUT-histogramming datapath.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trt/patterns.hpp"
+#include "util/rng.hpp"
+
+namespace atlantis::trt {
+
+struct Event {
+  std::vector<std::int32_t> hits;        // sorted straw ids, unique
+  std::vector<std::uint8_t> hit_mask;    // straw -> 0/1
+  std::vector<std::int32_t> true_tracks; // pattern ids planted
+};
+
+struct EventParams {
+  int tracks = 10;               // true tracks per event
+  double straw_efficiency = 0.95;
+  double noise_occupancy = 0.02; // fraction of straws firing randomly
+};
+
+class EventGenerator {
+ public:
+  EventGenerator(const PatternBank& bank, EventParams params,
+                 std::uint64_t seed = 0xA71A5ull);
+
+  Event generate();
+
+  const EventParams& params() const { return params_; }
+
+ private:
+  const PatternBank& bank_;
+  EventParams params_;
+  util::Rng rng_;
+};
+
+}  // namespace atlantis::trt

@@ -1,0 +1,20 @@
+#include "trt/geometry.hpp"
+
+#include <cmath>
+
+namespace atlantis::trt {
+
+std::vector<std::int32_t> track_straws(const DetectorGeometry& geo,
+                                       const TrackParams& t) {
+  std::vector<std::int32_t> straws;
+  straws.reserve(static_cast<std::size_t>(geo.layers));
+  for (int l = 0; l < geo.layers; ++l) {
+    const double pos =
+        t.phi + t.slope * l + t.curvature * static_cast<double>(l) * l;
+    straws.push_back(
+        geo.straw_id(l, static_cast<int>(std::lround(pos))));
+  }
+  return straws;
+}
+
+}  // namespace atlantis::trt

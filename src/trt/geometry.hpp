@@ -1,0 +1,44 @@
+// TRT detector geometry and pattern parametrization.
+//
+// §3.1: the transition radiation tracker delivers a 2-D image of 80,000
+// pixels ("straws") at up to 100 kHz; the trigger looks for straight or
+// curved tracks. We model the detector as L radial layers of S straws
+// each (L*S = 80,000 by default) and a track pattern as the set of straws
+// a parametrized trajectory crosses: one straw per layer, with position
+//   s(l) = phi + slope*l + curvature*l^2  (mod S).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace atlantis::trt {
+
+struct DetectorGeometry {
+  int layers = 100;
+  int straws_per_layer = 800;  // 100 * 800 = 80,000 straws
+
+  int straw_count() const { return layers * straws_per_layer; }
+
+  int straw_id(int layer, int position) const {
+    ATLANTIS_CHECK(layer >= 0 && layer < layers, "layer out of range");
+    // Positions wrap around the barrel.
+    int p = position % straws_per_layer;
+    if (p < 0) p += straws_per_layer;
+    return layer * straws_per_layer + p;
+  }
+};
+
+/// Track parametrization in straw-position units.
+struct TrackParams {
+  double phi = 0.0;        // position in layer 0
+  double slope = 0.0;      // straws per layer (stiff-track angle)
+  double curvature = 0.0;  // quadratic term (momentum-dependent bend)
+};
+
+/// The straws a track crosses, one per layer.
+std::vector<std::int32_t> track_straws(const DetectorGeometry& geo,
+                                       const TrackParams& t);
+
+}  // namespace atlantis::trt

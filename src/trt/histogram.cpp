@@ -1,0 +1,56 @@
+#include "trt/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace atlantis::trt {
+
+std::vector<std::int32_t> TrackHistogram::tracks_above(int threshold) const {
+  std::vector<std::int32_t> out;
+  for (std::size_t p = 0; p < counts.size(); ++p) {
+    if (counts[p] >= threshold) out.push_back(static_cast<std::int32_t>(p));
+  }
+  return out;
+}
+
+TrackFinderQuality score_tracks(const Event& ev,
+                                const std::vector<std::int32_t>& found) {
+  TrackFinderQuality q;
+  q.true_tracks = static_cast<int>(ev.true_tracks.size());
+  q.found_tracks = static_cast<int>(found.size());
+  for (const std::int32_t p : found) {
+    if (std::binary_search(ev.true_tracks.begin(), ev.true_tracks.end(), p)) {
+      ++q.matched;
+    }
+  }
+  return q;
+}
+
+ReferenceResult histogram_reference(const PatternBank& bank, const Event& ev) {
+  ReferenceResult r;
+  r.histogram.counts.assign(static_cast<std::size_t>(bank.pattern_count()), 0);
+  double ops = 0.0;
+  for (const std::int32_t s : ev.hits) {
+    const auto& list = bank.straw_patterns(s);
+    for (const std::int32_t p : list) {
+      ++r.histogram.counts[static_cast<std::size_t>(p)];
+    }
+    // Per hit: loop control + load of the list header, then per entry a
+    // load, an index computation and a read-modify-write increment (~3
+    // simple ops on a late-90s x86 with the counter array missing cache).
+    ops += 4.0 + 3.0 * static_cast<double>(list.size());
+  }
+  // Final threshold scan over the histogram.
+  ops += 2.0 * static_cast<double>(bank.pattern_count());
+  r.op_count = ops;
+  return r;
+}
+
+int default_threshold(const DetectorGeometry& geo, double straw_efficiency) {
+  // Expect efficiency*layers hits on a true track; place the cut at ~75%
+  // of that to tolerate noise-free fluctuations.
+  return static_cast<int>(
+      std::floor(0.75 * straw_efficiency * static_cast<double>(geo.layers)));
+}
+
+}  // namespace atlantis::trt

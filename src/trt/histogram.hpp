@@ -1,0 +1,54 @@
+// Track histogramming: the shared functional core and the software
+// reference implementation (the "C++ implementation on a Pentium-II/300"
+// side of the §3.4 comparison).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trt/events.hpp"
+#include "trt/patterns.hpp"
+
+namespace atlantis::trt {
+
+/// Result of histogramming one event.
+struct TrackHistogram {
+  std::vector<std::uint16_t> counts;  // per-pattern hit counters
+
+  /// Patterns whose counter reaches `threshold` ("a track is considered
+  /// valid if its value is above a predefined threshold").
+  std::vector<std::int32_t> tracks_above(int threshold) const;
+};
+
+/// Quality of a found-track list against the planted truth.
+struct TrackFinderQuality {
+  int true_tracks = 0;
+  int found_tracks = 0;
+  int matched = 0;  // found tracks that are true
+  double efficiency() const {
+    return true_tracks ? static_cast<double>(matched) / true_tracks : 1.0;
+  }
+  double purity() const {
+    return found_tracks ? static_cast<double>(matched) / found_tracks : 1.0;
+  }
+};
+
+TrackFinderQuality score_tracks(const Event& ev,
+                                const std::vector<std::int32_t>& found);
+
+/// Software histogrammer. Walks each hit straw's pattern list and
+/// increments the counters — the cache-hostile loop the paper timed at
+/// 35 ms. Also reports the abstract operation count the host-CPU model
+/// converts to time.
+struct ReferenceResult {
+  TrackHistogram histogram;
+  double op_count = 0.0;  // simple ops: list walks + increments + overhead
+};
+
+ReferenceResult histogram_reference(const PatternBank& bank, const Event& ev);
+
+/// Threshold heuristic: a track must light up most of its layers.
+int default_threshold(const DetectorGeometry& geo,
+                      double straw_efficiency = 0.95);
+
+}  // namespace atlantis::trt

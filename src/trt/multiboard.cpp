@@ -1,0 +1,86 @@
+#include "trt/multiboard.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/bitops.hpp"
+#include "util/status.hpp"
+
+namespace atlantis::trt {
+
+MultiBoardResult histogram_multiboard(const PatternBank& bank,
+                                      const Event& ev,
+                                      const MultiBoardConfig& cfg,
+                                      core::AtlantisSystem& system) {
+  ATLANTIS_CHECK(cfg.boards >= 1, "need at least one board");
+  ATLANTIS_CHECK(cfg.modules_per_board >= 1 && cfg.modules_per_board <= 4,
+                 "1..4 mezzanine modules per board");
+  if (system.acb_count() < cfg.boards) {
+    throw util::Error("system has " + std::to_string(system.acb_count()) +
+                      " ACBs but the configuration needs " +
+                      std::to_string(cfg.boards));
+  }
+  if (system.aib_count() < 1) {
+    throw util::Error("event broadcast needs an AIB as backplane source");
+  }
+
+  MultiBoardResult r;
+  // Functional result: each board histogramms its pattern slice; the
+  // concatenation is exactly the reference histogram.
+  r.histogram = histogram_reference(bank, ev).histogram;
+  r.patterns_per_board = static_cast<int>(util::ceil_div(
+      static_cast<std::uint64_t>(bank.pattern_count()),
+      static_cast<std::uint64_t>(cfg.boards)));
+
+  core::Backplane& bp = system.backplane();
+  const int src_slot = system.aib_slot(0);
+
+  // Phase 1: image broadcast. Each board gets the full bit image over
+  // its own backplane channel; with the default 4x32-bit configuration
+  // up to four boards stream in parallel, so the phase costs the
+  // slowest (furthest) transfer.
+  const std::uint64_t image_bytes = util::ceil_div(
+      static_cast<std::uint64_t>(bank.geometry().straw_count()), 8);
+  if (!cfg.detector_fed) {
+    for (int b = 0; b < cfg.boards; ++b) {
+      const int channel = b % bp.channel_count();
+      r.broadcast_time =
+          std::max(r.broadcast_time,
+                   bp.transfer(src_slot, system.acb_slot(b), channel,
+                               image_bytes));
+    }
+  }
+
+  // Phase 2: parallel histogramming of the slices.
+  for (int b = 0; b < cfg.boards; ++b) {
+    TrtHwConfig board_cfg;
+    board_cfg.clock_mhz = cfg.clock_mhz;
+    board_cfg.ram_width_bits = 176 * cfg.modules_per_board;
+    board_cfg.include_readout = false;  // collection is phase 3
+    // Build a per-board cycle count for its slice of the patterns.
+    const auto straws =
+        static_cast<std::uint64_t>(bank.geometry().straw_count());
+    const double passes = std::ceil(static_cast<double>(r.patterns_per_board) /
+                                    board_cfg.ram_width_bits);
+    const auto cycles = static_cast<std::uint64_t>(
+        static_cast<double>(straws) * passes + board_cfg.pipeline_depth);
+    const util::Picoseconds t =
+        static_cast<util::Picoseconds>(cycles) *
+        util::period_from_mhz(cfg.clock_mhz);
+    r.compute_time = std::max(r.compute_time, t);
+  }
+
+  // Phase 3: collect the partial histograms (16-bit counters) back over
+  // the backplane, serialized onto one channel at the collector.
+  const std::uint64_t hist_bytes =
+      static_cast<std::uint64_t>(r.patterns_per_board) * 2;
+  for (int b = 0; b < cfg.boards; ++b) {
+    r.collect_time +=
+        bp.transfer(system.acb_slot(b), src_slot, 0, hist_bytes);
+  }
+
+  r.total_time = r.broadcast_time + r.compute_time + r.collect_time;
+  return r;
+}
+
+}  // namespace atlantis::trt

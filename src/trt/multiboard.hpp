@@ -1,0 +1,47 @@
+// Multi-board TRT: the "2 ACB with 4 memory modules each" configuration
+// of §3.4, modelled as an actual system rather than the paper's linear
+// extrapolation.
+//
+// The pattern bank is sliced across boards (each board's memory modules
+// hold its slice of the LUT columns); the event image is broadcast to
+// all boards over the private backplane (every board needs every straw),
+// boards histogram their slices in parallel, and the partial histograms
+// are collected back over the backplane and concatenated. The model
+// accounts for each phase separately, which is exactly where it diverges
+// from the paper's "divide by the width ratio" estimate: broadcast and
+// collection do not shrink with more boards.
+#pragma once
+
+#include "core/system.hpp"
+#include "trt/hwmodel.hpp"
+
+namespace atlantis::trt {
+
+struct MultiBoardConfig {
+  int boards = 2;
+  int modules_per_board = 4;   // 176 bit each
+  double clock_mhz = 40.0;
+  /// Event delivery: detector-fed boards receive the image over their
+  /// own links in parallel with processing; host-fed boards pay the
+  /// backplane broadcast up front.
+  bool detector_fed = false;
+};
+
+struct MultiBoardResult {
+  TrackHistogram histogram;     // functionally identical to the reference
+  util::Picoseconds broadcast_time = 0;
+  util::Picoseconds compute_time = 0;   // max over boards (parallel)
+  util::Picoseconds collect_time = 0;   // partial-histogram merge
+  util::Picoseconds total_time = 0;
+  int patterns_per_board = 0;
+};
+
+/// Runs the distributed trigger on `system`, which must contain at least
+/// `cfg.boards` ACBs and one AIB (the event source feeding the
+/// backplane). Throws util::Error otherwise.
+MultiBoardResult histogram_multiboard(const PatternBank& bank,
+                                      const Event& ev,
+                                      const MultiBoardConfig& cfg,
+                                      core::AtlantisSystem& system);
+
+}  // namespace atlantis::trt

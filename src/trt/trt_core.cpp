@@ -1,0 +1,112 @@
+#include "trt/trt_core.hpp"
+
+#include <vector>
+
+#include "chdl/builder.hpp"
+#include "chdl/fsm.hpp"
+#include "util/bitops.hpp"
+#include "util/status.hpp"
+
+namespace atlantis::trt {
+
+TrtCoreLayout build_trt_core(chdl::Design& d, const PatternBank& bank,
+                             int counter_bits) {
+  using chdl::Wire;
+  const int straws = bank.geometry().straw_count();
+  const int patterns = bank.pattern_count();
+  ATLANTIS_CHECK(patterns > 0 && patterns <= 4096,
+                 "pattern count unreasonable for a register-file core");
+  ATLANTIS_CHECK(counter_bits >= 4 && counter_bits <= 16,
+                 "counter width out of range");
+
+  TrtCoreLayout layout;
+  layout.straw_bits =
+      util::bit_width_of(static_cast<std::uint64_t>(straws - 1));
+  layout.counter_bits = counter_bits;
+  layout.pattern_count = patterns;
+
+  chdl::HostRegFile hrf(d, /*addr_bits=*/16, /*data_bits=*/32);
+
+  // LUT ROM: one row per straw, one bit per pattern.
+  std::vector<chdl::BitVec> rows;
+  rows.reserve(static_cast<std::size_t>(straws));
+  for (int s = 0; s < straws; ++s) rows.push_back(bank.lut_row(s));
+  const int rom = d.add_rom("lut", std::move(rows));
+
+  // Straw push pipeline: the write strobe launches a synchronous ROM
+  // read; the row arrives one cycle later, qualified by valid_d1.
+  const Wire push = hrf.write_strobe(0x01);
+  const Wire clear = hrf.write_strobe(0x00);
+  const Wire addr = d.slice(hrf.wdata(), 0, layout.straw_bits);
+  const Wire row = d.ram_read(rom, addr, push);
+  chdl::RegOpts vopts;
+  const Wire valid_d1 = d.reg("valid_d1", push, vopts);
+
+  // Per-pattern counters with increment-on-bit and synchronous clear.
+  const Wire one = d.constant(counter_bits, 1);
+  std::vector<Wire> counters(static_cast<std::size_t>(patterns));
+  d.push_scope("hist");
+  for (int p = 0; p < patterns; ++p) {
+    const Wire inc = d.band(valid_d1, d.bit(row, p));
+    chdl::RegOpts opts;
+    opts.enable = inc;
+    opts.reset = clear;
+    const Wire q =
+        d.reg_forward("cnt" + std::to_string(p), counter_bits, opts);
+    d.reg_connect(q, d.add(q, one));
+    counters[static_cast<std::size_t>(p)] = q;
+    hrf.map_read(0x10 + static_cast<std::uint32_t>(p), q);
+  }
+  d.pop_scope();
+
+  // Threshold comparator bank and found-track popcount.
+  const Wire threshold = hrf.write_reg("threshold", 0x02, counter_bits);
+  std::vector<Wire> above;
+  above.reserve(static_cast<std::size_t>(patterns));
+  for (int p = 0; p < patterns; ++p) {
+    above.push_back(
+        d.bnot(d.ult(counters[static_cast<std::size_t>(p)], threshold)));
+  }
+  const Wire found = chdl::adder_tree(d, above);
+  hrf.map_read(0x03, found);
+  hrf.map_read(0x04, d.constant(16, static_cast<std::uint64_t>(patterns)));
+
+  // Readout sequencer: an FSM drains the histogram one counter per
+  // clock through the scan mux.
+  {
+    d.push_scope("scan");
+    const Wire start = hrf.write_strobe(0x05);
+    const int idx_bits =
+        util::bit_width_of(static_cast<std::uint64_t>(patterns - 1));
+    chdl::RegOpts iopts;
+    const Wire idx = d.reg_forward("idx", idx_bits, iopts);
+    const Wire at_last = chdl::eq_const(
+        d, idx, static_cast<std::uint64_t>(patterns - 1));
+
+    chdl::Fsm fsm(d, "readout");
+    const chdl::StateId acquire = fsm.state("acquire");
+    const chdl::StateId scanning = fsm.state("scanning");
+    const chdl::StateId done = fsm.state("done");
+    fsm.transition(acquire, scanning, start);
+    fsm.transition(scanning, acquire, clear);
+    fsm.transition(scanning, done, at_last);
+    fsm.transition(done, acquire, clear);
+    fsm.build();
+
+    // Index counts up while scanning, resets on start/clear.
+    const Wire advancing = fsm.active(scanning);
+    const Wire idx_next =
+        d.mux(d.bor(start, clear), d.constant(idx_bits, 0),
+              d.mux(advancing, d.add(idx, d.constant(idx_bits, 1)), idx));
+    d.reg_connect(idx, idx_next);
+
+    hrf.map_read(0x06, d.muxn(idx, counters));
+    hrf.map_read(0x07, idx);
+    hrf.map_read(0x08, fsm.encoded());
+    d.pop_scope();
+  }
+  hrf.finish();
+  return layout;
+}
+
+}  // namespace atlantis::trt

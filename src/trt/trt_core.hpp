@@ -1,0 +1,48 @@
+// CHDL gate-level TRT histogrammer core.
+//
+// This is the design an ACB FPGA would actually carry, built for reduced
+// configurations so the cycle simulator stays fast: a LUT ROM addressed
+// by straw id, one registered counter per pattern, a threshold comparator
+// and a host register file. Tests drive it hit-by-hit through the
+// HostInterface and check bit-exact agreement with the software
+// reference — the CHDL "application as test bench" workflow.
+//
+// Host register map:
+//   0x00 w   clear (any write zeroes the counters, aborts a scan)
+//   0x01 w   straw id push (one straw per write, pipelined increment)
+//   0x02 rw  threshold
+//   0x03 r   number of patterns at or above threshold
+//   0x04 r   pattern_count
+//   0x05 w   start readout scan (the FSM-driven drain sequencer)
+//   0x06 r   scan data: counter at the current scan index
+//   0x07 r   scan index
+//   0x08 r   scan state (0 acquire, 1 scanning, 2 done)
+//   0x10+p r counter of pattern p (random access)
+//
+// The readout sequencer is a CHDL state machine (chdl::Fsm): a host
+// strobe to 0x05 moves acquire->scan; the FSM advances one counter per
+// clock through the read mux and parks in `done` until the next clear —
+// the drain loop the execution model charges `pattern_count` cycles for.
+#pragma once
+
+#include <memory>
+
+#include "chdl/design.hpp"
+#include "trt/patterns.hpp"
+
+namespace atlantis::trt {
+
+struct TrtCoreLayout {
+  int straw_bits = 0;
+  int counter_bits = 8;
+  int pattern_count = 0;
+};
+
+/// Builds the histogrammer for `bank` into `design`. The bank must be
+/// small enough for per-pattern registers (<= 512 patterns is sensible
+/// for simulation; the capacity check against the ORCA budget is what
+/// bench_a4 exercises).
+TrtCoreLayout build_trt_core(chdl::Design& design, const PatternBank& bank,
+                             int counter_bits = 8);
+
+}  // namespace atlantis::trt

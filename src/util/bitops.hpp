@@ -1,0 +1,61 @@
+// Small bit-manipulation helpers shared by the CHDL value types and the
+// hardware models.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "util/status.hpp"
+
+namespace atlantis::util {
+
+/// Number of bits needed to represent `value` (0 -> 1).
+constexpr int bit_width_of(std::uint64_t value) {
+  return value == 0 ? 1 : std::bit_width(value);
+}
+
+/// Mask with the low `n` bits set; n in [0, 64].
+constexpr std::uint64_t low_mask(int n) {
+  ATLANTIS_CHECK(n >= 0 && n <= 64, "mask width out of range");
+  return n == 64 ? ~0ull : ((1ull << n) - 1ull);
+}
+
+/// Extract bits [lo, lo+width) of `value`.
+constexpr std::uint64_t extract_bits(std::uint64_t value, int lo, int width) {
+  ATLANTIS_CHECK(lo >= 0 && width >= 0 && lo + width <= 64,
+                 "bit extract out of range");
+  return (value >> lo) & low_mask(width);
+}
+
+/// Sign-extend the low `width` bits of `value` to 64 bits.
+constexpr std::int64_t sign_extend(std::uint64_t value, int width) {
+  ATLANTIS_CHECK(width > 0 && width <= 64, "sign extend width out of range");
+  const std::uint64_t m = 1ull << (width - 1);
+  const std::uint64_t v = value & low_mask(width);
+  return static_cast<std::int64_t>((v ^ m) - m);
+}
+
+/// Round `value` up to the next multiple of `align` (align must be > 0).
+constexpr std::uint64_t round_up(std::uint64_t value, std::uint64_t align) {
+  ATLANTIS_CHECK(align > 0, "alignment must be positive");
+  return (value + align - 1) / align * align;
+}
+
+/// Integer ceil division.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  ATLANTIS_CHECK(b > 0, "division by zero");
+  return (a + b - 1) / b;
+}
+
+/// True if `value` is a power of two (0 is not).
+constexpr bool is_pow2(std::uint64_t value) {
+  return value != 0 && (value & (value - 1)) == 0;
+}
+
+/// log2 of a power of two.
+constexpr int log2_exact(std::uint64_t value) {
+  ATLANTIS_CHECK(is_pow2(value), "log2_exact of non power of two");
+  return std::bit_width(value) - 1;
+}
+
+}  // namespace atlantis::util

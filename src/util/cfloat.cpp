@@ -1,0 +1,312 @@
+#include "util/cfloat.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/bitops.hpp"
+
+namespace atlantis::util {
+namespace {
+
+// Round-to-nearest-even removal of the low 3 guard/round/sticky bits.
+std::uint64_t round_rne(std::uint64_t mant_grs) {
+  const std::uint64_t g = (mant_grs >> 2) & 1;
+  const std::uint64_t r = (mant_grs >> 1) & 1;
+  const std::uint64_t s = mant_grs & 1;
+  std::uint64_t m = mant_grs >> 3;
+  if (g && (r || s || (m & 1))) ++m;
+  return m;
+}
+
+// Right shift preserving a sticky bit in bit 0.
+std::uint64_t shift_right_sticky(std::uint64_t v, std::int64_t s) {
+  if (s <= 0) return v;
+  if (s >= 64) return v != 0 ? 1 : 0;
+  const std::uint64_t lost = v & low_mask(static_cast<int>(s));
+  return (v >> s) | (lost != 0 ? 1 : 0);
+}
+
+void check_format(const CFloatFormat& fmt) {
+  ATLANTIS_CHECK(fmt.exp_bits >= 2 && fmt.exp_bits <= 11,
+                 "CFloat exponent width out of supported range");
+  ATLANTIS_CHECK(fmt.mant_bits >= 2 && fmt.mant_bits <= 30,
+                 "CFloat mantissa width out of supported range");
+}
+
+}  // namespace
+
+CFloat CFloat::make_special(bool sign, bool inf, bool nan,
+                            const CFloatFormat& fmt) {
+  CFloat f;
+  f.fmt_ = fmt;
+  f.sign_ = sign;
+  f.inf_ = inf;
+  f.nan_ = nan;
+  return f;
+}
+
+CFloat CFloat::make(bool sign, std::int64_t exp, std::uint64_t mant,
+                    const CFloatFormat& fmt) {
+  CFloat f;
+  f.fmt_ = fmt;
+  f.sign_ = sign;
+  if (mant == 0) return f;
+  const int mb = fmt.mant_bits;
+  // Renormalize after rounding carries or cancellation.
+  while (mant >= (std::uint64_t{2} << mb)) {
+    mant = (mant >> 1) | (mant & 1);
+    ++exp;
+  }
+  while (mant < (std::uint64_t{1} << mb)) {
+    mant <<= 1;
+    --exp;
+  }
+  const std::int64_t biased = exp + fmt.bias();
+  if (biased >= fmt.max_biased_exp()) {
+    return make_special(sign, /*inf=*/true, /*nan=*/false, fmt);
+  }
+  if (biased < 1) {
+    // Flush-to-zero: the era's FPGA pipelines had no denormal hardware.
+    return f;
+  }
+  f.exp_ = static_cast<std::int32_t>(exp);
+  f.mant_ = mant;
+  return f;
+}
+
+namespace {
+
+// Normalize value = M * 2^E to mant_bits+1 significant bits with RNE.
+CFloat normalize_round(bool sign, std::int64_t E, std::uint64_t M,
+                       const CFloatFormat& fmt) {
+  if (M == 0) return CFloat::make_special(sign, false, false, fmt);
+  const int mb = fmt.mant_bits;
+  const int target = mb + 4;  // hidden + stored + 3 GRS bits
+  const int width = bit_width_of(M);
+  if (width > target) {
+    const int s = width - target;
+    M = shift_right_sticky(M, s);
+    E += s;
+  } else if (width < target) {
+    M <<= (target - width);
+    E -= (target - width);
+  }
+  const std::uint64_t rounded = round_rne(M);
+  return CFloat::make(sign, E + 3 + mb, rounded, fmt);
+}
+
+}  // namespace
+
+CFloat CFloat::from_double(double v, const CFloatFormat& fmt) {
+  check_format(fmt);
+  if (std::isnan(v)) return make_special(false, false, true, fmt);
+  const bool sign = std::signbit(v);
+  if (std::isinf(v)) return make_special(sign, true, false, fmt);
+  if (v == 0.0) return make_special(sign, false, false, fmt);
+  int e = 0;
+  const double fr = std::frexp(std::fabs(v), &e);  // fr in [0.5, 1)
+  const int mb = fmt.mant_bits;
+  const double scaled = std::ldexp(fr, mb + 4);
+  auto ip = static_cast<std::uint64_t>(scaled);
+  if (scaled != std::floor(scaled)) ip |= 1;  // sticky
+  const std::uint64_t rounded = round_rne(ip);
+  return make(sign, e - 1, rounded, fmt);
+}
+
+CFloat CFloat::from_bits(std::uint64_t bits, const CFloatFormat& fmt) {
+  check_format(fmt);
+  const int mb = fmt.mant_bits;
+  const int eb = fmt.exp_bits;
+  const bool sign = ((bits >> (mb + eb)) & 1) != 0;
+  const auto biased =
+      static_cast<std::int64_t>(extract_bits(bits, mb, eb));
+  const std::uint64_t frac = extract_bits(bits, 0, mb);
+  if (biased == fmt.max_biased_exp()) {
+    return make_special(sign, frac == 0, frac != 0, fmt);
+  }
+  if (biased == 0) {
+    // Denormals flush to (signed) zero on load as well.
+    return make_special(sign, false, false, fmt);
+  }
+  CFloat f;
+  f.fmt_ = fmt;
+  f.sign_ = sign;
+  f.exp_ = static_cast<std::int32_t>(biased - fmt.bias());
+  f.mant_ = frac | (std::uint64_t{1} << mb);
+  return f;
+}
+
+double CFloat::to_double() const {
+  if (nan_) return std::nan("");
+  if (inf_) return sign_ ? -INFINITY : INFINITY;
+  if (mant_ == 0) return sign_ ? -0.0 : 0.0;
+  const double mag =
+      std::ldexp(static_cast<double>(mant_), exp_ - fmt_.mant_bits);
+  return sign_ ? -mag : mag;
+}
+
+std::uint64_t CFloat::pack() const {
+  const int mb = fmt_.mant_bits;
+  const int eb = fmt_.exp_bits;
+  const std::uint64_t s = sign_ ? (std::uint64_t{1} << (mb + eb)) : 0;
+  if (nan_) {
+    return s | (static_cast<std::uint64_t>(fmt_.max_biased_exp()) << mb) |
+           (std::uint64_t{1} << (mb - 1));
+  }
+  if (inf_) {
+    return s | (static_cast<std::uint64_t>(fmt_.max_biased_exp()) << mb);
+  }
+  if (mant_ == 0) return s;
+  const auto biased = static_cast<std::uint64_t>(exp_ + fmt_.bias());
+  return s | (biased << mb) | (mant_ & low_mask(mb));
+}
+
+CFloat add_impl(const CFloat& a, const CFloat& b, bool subtract) {
+  ATLANTIS_CHECK(a.fmt_ == b.fmt_, "CFloat format mismatch");
+  const CFloatFormat& fmt = a.fmt_;
+  const bool bsign = subtract ? !b.sign_ : b.sign_;
+  if (a.nan_ || b.nan_) return CFloat::make_special(false, false, true, fmt);
+  if (a.inf_ && b.inf_) {
+    if (a.sign_ != bsign) return CFloat::make_special(false, false, true, fmt);
+    return CFloat::make_special(a.sign_, true, false, fmt);
+  }
+  if (a.inf_) return CFloat::make_special(a.sign_, true, false, fmt);
+  if (b.inf_) return CFloat::make_special(bsign, true, false, fmt);
+  if (a.mant_ == 0 && b.mant_ == 0) {
+    // +0 unless both are -0 (IEEE default rounding behaviour).
+    return CFloat::make_special(a.sign_ && bsign, false, false, fmt);
+  }
+  if (a.mant_ == 0) {
+    CFloat r = b;
+    r.sign_ = bsign;
+    return r;
+  }
+  if (b.mant_ == 0) return a;
+
+  // Order so that x has the larger exponent.
+  const CFloat* x = &a;
+  bool xsign = a.sign_;
+  const CFloat* y = &b;
+  bool ysign = bsign;
+  if (b.exp_ > a.exp_ || (b.exp_ == a.exp_ && b.mant_ > a.mant_)) {
+    x = &b;
+    xsign = bsign;
+    y = &a;
+    ysign = a.sign_;
+  }
+  std::uint64_t mx = x->mant_ << 3;
+  std::uint64_t my = shift_right_sticky(y->mant_ << 3, x->exp_ - y->exp_);
+  std::uint64_t m = 0;
+  bool rsign = xsign;
+  if (xsign == ysign) {
+    m = mx + my;
+  } else {
+    m = mx - my;  // mx >= my by the ordering above
+  }
+  // Result value = m * 2^(x->exp_ - mant_bits - 3).
+  return normalize_round(rsign, x->exp_ - fmt.mant_bits - 3, m, fmt);
+}
+
+CFloat operator+(const CFloat& a, const CFloat& b) {
+  return add_impl(a, b, false);
+}
+
+CFloat operator-(const CFloat& a, const CFloat& b) {
+  return add_impl(a, b, true);
+}
+
+CFloat operator*(const CFloat& a, const CFloat& b) {
+  ATLANTIS_CHECK(a.format() == b.format(), "CFloat format mismatch");
+  const CFloatFormat& fmt = a.format();
+  if (a.is_nan() || b.is_nan())
+    return CFloat::make_special(false, false, true, fmt);
+  const bool sign = a.sign() != b.sign();
+  if (a.is_inf() || b.is_inf()) {
+    if (a.is_zero() || b.is_zero())
+      return CFloat::make_special(false, false, true, fmt);
+    return CFloat::make_special(sign, true, false, fmt);
+  }
+  if (a.is_zero() || b.is_zero())
+    return CFloat::make_special(sign, false, false, fmt);
+  const std::uint64_t p = a.mant_ * b.mant_;  // <= 2*(mant_bits+1) <= 62 bits
+  return normalize_round(sign, static_cast<std::int64_t>(a.exp_) + b.exp_ -
+                                   2 * fmt.mant_bits,
+                         p, fmt);
+}
+
+CFloat operator/(const CFloat& a, const CFloat& b) {
+  ATLANTIS_CHECK(a.format() == b.format(), "CFloat format mismatch");
+  const CFloatFormat& fmt = a.format();
+  if (a.is_nan() || b.is_nan())
+    return CFloat::make_special(false, false, true, fmt);
+  const bool sign = a.sign() != b.sign();
+  if (a.is_inf()) {
+    if (b.is_inf()) return CFloat::make_special(false, false, true, fmt);
+    return CFloat::make_special(sign, true, false, fmt);
+  }
+  if (b.is_inf()) return CFloat::make_special(sign, false, false, fmt);
+  if (b.is_zero()) {
+    if (a.is_zero()) return CFloat::make_special(false, false, true, fmt);
+    return CFloat::make_special(sign, true, false, fmt);
+  }
+  if (a.is_zero()) return CFloat::make_special(sign, false, false, fmt);
+  const int mb = fmt.mant_bits;
+  const std::uint64_t num = a.mant_ << (mb + 4);
+  std::uint64_t q = num / b.mant_;
+  if (num % b.mant_ != 0) q |= 1;  // sticky
+  return normalize_round(
+      sign, static_cast<std::int64_t>(a.exp_) - b.exp_ - mb - 4, q, fmt);
+}
+
+CFloat CFloat::neg(const CFloat& a) {
+  CFloat r = a;
+  r.sign_ = !r.sign_;
+  return r;
+}
+
+CFloat CFloat::rsqrt(const CFloat& a) {
+  const CFloatFormat& fmt = a.format();
+  if (a.is_nan() || (a.sign() && !a.is_zero()))
+    return make_special(false, false, true, fmt);
+  if (a.is_zero()) return make_special(a.sign(), true, false, fmt);
+  if (a.is_inf()) return make_special(false, false, false, fmt);
+
+  // Seed as a hardware pipeline would: halve the exponent and look up the
+  // top mantissa bits in a small table — here synthesized from a double
+  // evaluation truncated to 8 significant bits.
+  const double d = a.to_double();
+  int e = 0;
+  std::frexp(d, &e);
+  const double seed_full = 1.0 / std::sqrt(d);
+  const double seed_trunc =
+      std::ldexp(std::floor(std::ldexp(seed_full, 8 - std::ilogb(seed_full) - 1)),
+                 std::ilogb(seed_full) + 1 - 8);
+  CFloat y = from_double(seed_trunc, fmt);
+  const CFloat half = from_double(0.5, fmt);
+  const CFloat three_halves = from_double(1.5, fmt);
+  // Newton-Raphson: y <- y * (1.5 - 0.5 * x * y^2). Three iterations take
+  // an 8-bit seed past 30 bits of precision.
+  for (int i = 0; i < 3; ++i) {
+    const CFloat y2 = y * y;
+    const CFloat t = three_halves - (half * a) * y2;
+    y = y * t;
+  }
+  return y;
+}
+
+CFloat CFloat::sqrt(const CFloat& a) {
+  const CFloatFormat& fmt = a.format();
+  if (a.is_zero()) return a;
+  if (a.is_nan() || a.sign()) return make_special(false, false, true, fmt);
+  if (a.is_inf()) return a;
+  return a * rsqrt(a);
+}
+
+std::string CFloat::to_string() const {
+  std::ostringstream os;
+  os << to_double() << " [fp" << fmt_.total_bits() << " e" << fmt_.exp_bits
+     << "m" << fmt_.mant_bits << "]";
+  return os.str();
+}
+
+}  // namespace atlantis::util

@@ -1,0 +1,98 @@
+// Reduced-precision software floating point ("CFloat").
+//
+// §3.3 of the paper revisits FPGA floating point for the N-body force
+// pipeline, citing 1995 results of ~10 MFLOP/chip at 18-bit precision and
+// 40 MFLOP at 32-bit on an 8-chip board. CFloat reproduces the number
+// formats such pipelines used: a sign bit, EXP exponent bits (biased),
+// MANT stored mantissa bits with an implicit leading one, round-to-nearest
+// -even, flush-to-zero denormals (denormal hardware was never built on
+// FPGAs of that era), and saturation to +-inf on overflow.
+//
+// Every operation goes through integer arithmetic only, so results are
+// bit-identical to what a synthesized pipeline would produce.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.hpp"
+
+namespace atlantis::util {
+
+/// Runtime-parameterized float format. Kept as a value class (not a
+/// template) so the N-body benches can sweep formats from one binary.
+struct CFloatFormat {
+  int exp_bits = 8;
+  int mant_bits = 23;  // stored mantissa bits (excluding hidden one)
+
+  int bias() const { return (1 << (exp_bits - 1)) - 1; }
+  int total_bits() const { return 1 + exp_bits + mant_bits; }
+  int max_biased_exp() const { return (1 << exp_bits) - 1; }
+
+  bool operator==(const CFloatFormat&) const = default;
+};
+
+/// IEEE-754 single equivalent.
+inline constexpr CFloatFormat kFloat32{8, 23};
+/// The 18-bit format of the 1995 Xilinx N-body pipeline (6-bit exponent).
+inline constexpr CFloatFormat kFloat18{6, 11};
+/// A 24-bit compromise format used in the ablation sweep.
+inline constexpr CFloatFormat kFloat24{7, 16};
+
+/// One value in a given CFloatFormat. Stored unpacked for speed; pack()
+/// produces the bit pattern a hardware register would hold.
+class CFloat {
+ public:
+  CFloat() = default;
+
+  /// Round a double into the format (this is the "load from host" path).
+  static CFloat from_double(double v, const CFloatFormat& fmt);
+
+  /// Reconstruct from a packed bit pattern.
+  static CFloat from_bits(std::uint64_t bits, const CFloatFormat& fmt);
+
+  double to_double() const;
+  std::uint64_t pack() const;
+  const CFloatFormat& format() const { return fmt_; }
+
+  bool is_zero() const { return !inf_ && !nan_ && mant_ == 0; }
+  bool is_inf() const { return inf_; }
+  bool is_nan() const { return nan_; }
+  bool sign() const { return sign_; }
+
+  /// Arithmetic; both operands must share a format.
+  friend CFloat operator+(const CFloat& a, const CFloat& b);
+  friend CFloat operator-(const CFloat& a, const CFloat& b);
+  friend CFloat operator*(const CFloat& a, const CFloat& b);
+  friend CFloat operator/(const CFloat& a, const CFloat& b);
+
+  /// Newton-Raphson reciprocal square root seeded from a small LUT —
+  /// the implementation the GRAPE-style force pipelines used.
+  static CFloat rsqrt(const CFloat& a);
+  static CFloat sqrt(const CFloat& a);
+  static CFloat neg(const CFloat& a);
+
+  std::string to_string() const;
+
+  /// Factory from a normalized (sign, exponent-of-leading-one, mantissa
+  /// including hidden bit) triple; renormalizes, saturates to infinity on
+  /// exponent overflow and flushes to zero on underflow.
+  static CFloat make(bool sign, std::int64_t exp, std::uint64_t mant,
+                     const CFloatFormat& fmt);
+  static CFloat make_special(bool sign, bool inf, bool nan,
+                             const CFloatFormat& fmt);
+
+ private:
+  // Normalized representation: value = (-1)^sign * mant * 2^(exp - mant_bits)
+  // with mant in [2^mant_bits, 2^(mant_bits+1)) unless zero.
+  CFloatFormat fmt_{};
+  bool sign_ = false;
+  bool inf_ = false;
+  bool nan_ = false;
+  std::int32_t exp_ = 0;        // unbiased exponent of the leading one
+  std::uint64_t mant_ = 0;      // includes the hidden bit when nonzero
+
+  friend CFloat add_impl(const CFloat& a, const CFloat& b, bool subtract);
+};
+
+}  // namespace atlantis::util

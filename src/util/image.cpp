@@ -1,0 +1,36 @@
+#include "util/image.hpp"
+
+#include <cstdio>
+#include <memory>
+
+namespace atlantis::util {
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+FilePtr open_for_write(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  ATLANTIS_CHECK(f != nullptr, "cannot open output file: " + path);
+  return f;
+}
+
+}  // namespace
+
+void write_pgm(const Image<std::uint8_t>& img, const std::string& path) {
+  FilePtr f = open_for_write(path);
+  std::fprintf(f.get(), "P5\n%d %d\n255\n", img.width(), img.height());
+  std::fwrite(img.data().data(), 1, img.data().size(), f.get());
+}
+
+void write_ppm(const Image<Rgb>& img, const std::string& path) {
+  FilePtr f = open_for_write(path);
+  std::fprintf(f.get(), "P6\n%d %d\n255\n", img.width(), img.height());
+  std::fwrite(img.data().data(), sizeof(Rgb), img.data().size(), f.get());
+}
+
+}  // namespace atlantis::util

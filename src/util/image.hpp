@@ -1,0 +1,84 @@
+// Simple dense 2-D image container plus PGM/PPM writers. Used by the
+// volume-rendering and image-processing libraries and their examples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace atlantis::util {
+
+/// Row-major 2-D grid of T.
+template <typename T>
+class Image {
+ public:
+  Image() = default;
+  Image(int width, int height, T fill = T{})
+      : width_(width), height_(height),
+        data_(checked_size(width, height), fill) {}
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  std::size_t size() const { return data_.size(); }
+
+  T& at(int x, int y) {
+    ATLANTIS_CHECK(in_bounds(x, y), "image access out of bounds");
+    return data_[static_cast<std::size_t>(y) * width_ + x];
+  }
+  const T& at(int x, int y) const {
+    ATLANTIS_CHECK(in_bounds(x, y), "image access out of bounds");
+    return data_[static_cast<std::size_t>(y) * width_ + x];
+  }
+
+  /// Unchecked access for hot loops.
+  T& operator()(int x, int y) {
+    return data_[static_cast<std::size_t>(y) * width_ + x];
+  }
+  const T& operator()(int x, int y) const {
+    return data_[static_cast<std::size_t>(y) * width_ + x];
+  }
+
+  /// Clamped access: coordinates outside the image read the nearest edge
+  /// pixel (the boundary convention of the 2-D filter hardware).
+  const T& clamped(int x, int y) const {
+    x = x < 0 ? 0 : (x >= width_ ? width_ - 1 : x);
+    y = y < 0 ? 0 : (y >= height_ ? height_ - 1 : y);
+    return (*this)(x, y);
+  }
+
+  bool in_bounds(int x, int y) const {
+    return x >= 0 && x < width_ && y >= 0 && y < height_;
+  }
+
+  std::vector<T>& data() { return data_; }
+  const std::vector<T>& data() const { return data_; }
+
+  bool operator==(const Image&) const = default;
+
+ private:
+  static std::size_t checked_size(int width, int height) {
+    ATLANTIS_CHECK(width > 0 && height > 0,
+                   "image dimensions must be positive");
+    return static_cast<std::size_t>(width) * static_cast<std::size_t>(height);
+  }
+
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<T> data_;
+};
+
+/// 8-bit RGB pixel.
+struct Rgb {
+  std::uint8_t r = 0, g = 0, b = 0;
+  bool operator==(const Rgb&) const = default;
+};
+
+/// Write a grayscale image as binary PGM (P5).
+void write_pgm(const Image<std::uint8_t>& img, const std::string& path);
+
+/// Write an RGB image as binary PPM (P6).
+void write_ppm(const Image<Rgb>& img, const std::string& path);
+
+}  // namespace atlantis::util

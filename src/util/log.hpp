@@ -1,0 +1,51 @@
+// Minimal leveled logger. The hardware models log configuration and DMA
+// events at Debug level; benches run with the logger at Warn so timing is
+// unaffected.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace atlantis::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void emit(LogLevel level, const std::string& msg);
+}
+
+/// RAII message builder: LogLine(kInfo) << "configured " << n << " FPGAs";
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() {
+    if (level_ >= log_level()) detail::emit(level_, os_.str());
+  }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (level_ >= log_level()) os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace atlantis::util
+
+#define ATLANTIS_LOG_DEBUG() \
+  ::atlantis::util::LogLine(::atlantis::util::LogLevel::kDebug)
+#define ATLANTIS_LOG_INFO() \
+  ::atlantis::util::LogLine(::atlantis::util::LogLevel::kInfo)
+#define ATLANTIS_LOG_WARN() \
+  ::atlantis::util::LogLine(::atlantis::util::LogLevel::kWarn)
+#define ATLANTIS_LOG_ERROR() \
+  ::atlantis::util::LogLine(::atlantis::util::LogLevel::kError)

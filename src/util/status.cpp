@@ -1,0 +1,14 @@
+#include "util/status.hpp"
+
+#include <sstream>
+
+namespace atlantis::util::detail {
+
+void throw_check_failure(const char* expr, const char* file, int line,
+                         const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: (" << expr << ") " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace atlantis::util::detail

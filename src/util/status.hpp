@@ -1,0 +1,50 @@
+// Error handling primitives for the ATLANTIS libraries.
+//
+// Unrecoverable misuse (bad configuration, out-of-range port widths,
+// netlist violations) throws util::Error; recoverable outcomes are
+// returned as values. This follows the C++ Core Guidelines (E.2/E.14):
+// exceptions for errors that cannot be handled locally, types for the rest.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace atlantis::util {
+
+/// Base exception for all ATLANTIS library errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string what) : std::runtime_error(std::move(what)) {}
+};
+
+/// Thrown when a design exceeds a hardware resource budget
+/// (gates, pins, memory size, backplane lines).
+class CapacityError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Thrown when an API is driven in an invalid order
+/// (e.g. DMA before configuration, simulation of an unelaborated design).
+class StateError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* expr, const char* file,
+                                      int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace atlantis::util
+
+/// Precondition check that is active in all build types.
+/// Usage: ATLANTIS_CHECK(width > 0, "port width must be positive");
+#define ATLANTIS_CHECK(expr, msg)                                           \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::atlantis::util::detail::throw_check_failure(#expr, __FILE__,        \
+                                                    __LINE__, (msg));       \
+    }                                                                       \
+  } while (false)

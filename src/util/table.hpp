@@ -1,0 +1,41 @@
+// ASCII table renderer for the benchmark harnesses: every experiment
+// prints "paper" and "measured" rows side by side in the same shape the
+// paper reports them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace atlantis::util {
+
+/// Column-aligned text table with a title and optional footnotes.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the header row (also fixes the column count).
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a data row; must match the header width if one was set.
+  void add_row(std::vector<std::string> row);
+
+  /// Appends a horizontal separator between row groups.
+  void add_separator();
+
+  void add_note(std::string note) { notes_.push_back(std::move(note)); }
+
+  /// Renders to a string; `print()` writes it to stdout.
+  std::string render() const;
+  void print() const;
+
+  /// Convenience: format a double with the given precision.
+  static std::string fmt(double v, int precision = 1);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+  std::vector<std::string> notes_;
+};
+
+}  // namespace atlantis::util

@@ -1,0 +1,43 @@
+// Physical units used throughout the timing models. Time is kept in
+// integral picoseconds (exact arithmetic at every clock rate the paper
+// uses: 33 MHz PCI, 40 MHz designs, 66 MHz backplane, 80 MHz max).
+#pragma once
+
+#include <cstdint>
+
+namespace atlantis::util {
+
+/// Simulation time in picoseconds.
+using Picoseconds = std::int64_t;
+
+inline constexpr Picoseconds kPicosecond = 1;
+inline constexpr Picoseconds kNanosecond = 1'000;
+inline constexpr Picoseconds kMicrosecond = 1'000'000;
+inline constexpr Picoseconds kMillisecond = 1'000'000'000;
+inline constexpr Picoseconds kSecond = 1'000'000'000'000;
+
+/// Clock period for a frequency in MHz (rounded to the nearest ps).
+constexpr Picoseconds period_from_mhz(double mhz) {
+  return static_cast<Picoseconds>(1'000'000.0 / mhz + 0.5);
+}
+
+constexpr double ps_to_ms(Picoseconds t) {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+constexpr double ps_to_us(Picoseconds t) {
+  return static_cast<double>(t) / static_cast<double>(kMicrosecond);
+}
+constexpr double ps_to_s(Picoseconds t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+/// Throughput in MB/s given bytes moved over a duration.
+constexpr double mb_per_s(std::uint64_t bytes, Picoseconds t) {
+  if (t <= 0) return 0.0;
+  return (static_cast<double>(bytes) / 1.0e6) / ps_to_s(t);
+}
+
+inline constexpr std::uint64_t kKiB = 1024;
+inline constexpr std::uint64_t kMiB = 1024 * 1024;
+
+}  // namespace atlantis::util

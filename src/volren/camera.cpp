@@ -1,0 +1,76 @@
+#include "volren/camera.hpp"
+
+#include <cmath>
+
+#include "util/status.hpp"
+
+namespace atlantis::volren {
+
+const char* view_name(ViewDirection v) {
+  switch (v) {
+    case ViewDirection::kFrontal:
+      return "frontal";
+    case ViewDirection::kLateral:
+      return "lateral";
+    default:
+      return "oblique";
+  }
+}
+
+Camera::Camera(const Volume& vol, ViewDirection view, int image_width,
+               int image_height, bool perspective, double zoom)
+    : view_(view), width_(image_width), height_(image_height),
+      perspective_(perspective) {
+  ATLANTIS_CHECK(image_width > 0 && image_height > 0, "bad image size");
+  ATLANTIS_CHECK(zoom >= 1.0, "zoom must be >= 1");
+  const Vec3 center{vol.nx() / 2.0, vol.ny() / 2.0, vol.nz() / 2.0};
+  const double extent =
+      std::sqrt(static_cast<double>(vol.nx()) * vol.nx() +
+                static_cast<double>(vol.ny()) * vol.ny() +
+                static_cast<double>(vol.nz()) * vol.nz());
+
+  Vec3 dir;
+  switch (view) {
+    case ViewDirection::kFrontal:
+      dir = {0.0, 1.0, 0.0};
+      break;
+    case ViewDirection::kLateral:
+      dir = {1.0, 0.0, 0.0};
+      break;
+    default:
+      dir = Vec3{1.0, 1.0, 0.6}.normalized();
+      break;
+  }
+  forward_ = dir;
+  // Perspective eye close enough for a wide field of view (rays through
+  // neighbouring pixels diverge measurably — the §3.4 perspective cost).
+  eye_ = center - dir * (0.55 * extent);
+
+  // Image plane basis perpendicular to the view direction.
+  const Vec3 up = std::fabs(dir.z) > 0.9 ? Vec3{0, 1, 0} : Vec3{0, 0, 1};
+  const Vec3 right = dir.cross(up).normalized();
+  const Vec3 down = dir.cross(right).normalized();
+  // Plane spans the volume diagonal (scaled down by the zoom framing).
+  const double span_u = extent / zoom;
+  const double span_v = extent / zoom * static_cast<double>(height_) / width_;
+  du_ = right * (span_u / width_);
+  dv_ = down * (span_v / height_);
+  plane_origin_ =
+      center - right * (span_u / 2.0) - down * (span_v / 2.0);
+}
+
+Ray Camera::ray(int px, int py) const {
+  const Vec3 pixel =
+      plane_origin_ + du_ * (px + 0.5) + dv_ * (py + 0.5);
+  Ray r;
+  if (perspective_) {
+    r.origin = eye_;
+    r.dir = (pixel - eye_).normalized();
+  } else {
+    r.origin = pixel - forward_ * 1.0e4;  // parallel rays from far away
+    r.dir = forward_;
+  }
+  return r;
+}
+
+}  // namespace atlantis::volren

@@ -1,0 +1,74 @@
+#include "volren/interp_core.hpp"
+
+#include <vector>
+
+#include "chdl/builder.hpp"
+
+namespace atlantis::volren {
+namespace {
+
+using chdl::Design;
+using chdl::Wire;
+
+/// (a*(256-f) + b*f) >> 8, all unsigned; a/b are 8-bit, f is 8-bit.
+Wire lerp_unit(Design& d, Wire a, Wire b, Wire f) {
+  // 256 - f as a 9-bit value.
+  const Wire f9 = d.resize(f, 9);
+  const Wire c256 = d.constant(9, 256);
+  const Wire inv = d.sub(c256, f9);
+  const Wire pa = chdl::multiply(d, a, inv);  // 8 x 9 -> 17 bits
+  const Wire pb = chdl::multiply(d, b, f9);
+  const Wire sum = d.add(d.resize(pa, 18), d.resize(pb, 18));
+  return d.slice(sum, 8, 8);  // >> 8, keep 8 bits
+}
+
+}  // namespace
+
+InterpCoreLayout build_trilinear_core(chdl::Design& d) {
+  Wire c[8];
+  for (int i = 0; i < 8; ++i) {
+    c[i] = d.input("c" + std::to_string(i), 8);
+  }
+  const Wire fx = d.input("fx", 8);
+  const Wire fy = d.input("fy", 8);
+  const Wire fz = d.input("fz", 8);
+
+  // Plane 1: four x-lerps, registered.
+  Design::Scope scope(d, "trilin");
+  Wire x_regs[4];
+  Wire fy_d1{}, fz_d1{};
+  {
+    for (int i = 0; i < 4; ++i) {
+      const Wire lo = c[2 * i];      // x=0 corner
+      const Wire hi = c[2 * i + 1];  // x=1 corner
+      x_regs[i] = d.reg("x" + std::to_string(i), lerp_unit(d, lo, hi, fx));
+    }
+    fy_d1 = d.reg("fy_d1", fy);
+    fz_d1 = d.reg("fz_d1", fz);
+  }
+  // Plane 2: two y-lerps, registered.
+  const Wire y0 = d.reg("y0", lerp_unit(d, x_regs[0], x_regs[1], fy_d1));
+  const Wire y1 = d.reg("y1", lerp_unit(d, x_regs[2], x_regs[3], fy_d1));
+  const Wire fz_d2 = d.reg("fz_d2", fz_d1);
+  // Plane 3: the z-lerp, registered output.
+  const Wire out = d.reg("value_q", lerp_unit(d, y0, y1, fz_d2));
+  d.output("value", out);
+  return InterpCoreLayout{};
+}
+
+std::uint8_t trilinear_fixed(const std::array<std::uint8_t, 8>& corners,
+                             std::uint8_t fx, std::uint8_t fy,
+                             std::uint8_t fz) {
+  auto lerp = [](std::uint32_t a, std::uint32_t b, std::uint32_t f) {
+    return static_cast<std::uint32_t>((a * (256 - f) + b * f) >> 8);
+  };
+  const std::uint32_t x0 = lerp(corners[0], corners[1], fx);
+  const std::uint32_t x1 = lerp(corners[2], corners[3], fx);
+  const std::uint32_t x2 = lerp(corners[4], corners[5], fx);
+  const std::uint32_t x3 = lerp(corners[6], corners[7], fx);
+  const std::uint32_t y0 = lerp(x0, x1, fy);
+  const std::uint32_t y1 = lerp(x2, x3, fy);
+  return static_cast<std::uint8_t>(lerp(y0, y1, fz));
+}
+
+}  // namespace atlantis::volren

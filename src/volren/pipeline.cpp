@@ -1,0 +1,74 @@
+#include "volren/pipeline.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/status.hpp"
+
+namespace atlantis::volren {
+
+PipelineResult simulate_pipeline(
+    const std::vector<std::uint32_t>& samples_per_ray,
+    const PipelineParams& params) {
+  ATLANTIS_CHECK(params.depth >= 1, "pipeline depth must be >= 1");
+  ATLANTIS_CHECK(params.contexts >= 1, "need at least one ray context");
+
+  struct Context {
+    std::uint32_t remaining = 0;
+    std::uint64_t ready = 0;
+  };
+  std::vector<Context> ctx(static_cast<std::size_t>(params.contexts));
+
+  std::size_t next_ray = 0;
+  auto load_next = [&](Context& c, std::uint64_t cycle) {
+    while (next_ray < samples_per_ray.size() &&
+           samples_per_ray[next_ray] == 0) {
+      ++next_ray;  // rays that miss the volume never enter the pipeline
+    }
+    if (next_ray < samples_per_ray.size()) {
+      c.remaining = samples_per_ray[next_ray++];
+      c.ready = cycle;  // a fresh ray can issue immediately
+    } else {
+      c.remaining = 0;
+    }
+  };
+  for (auto& c : ctx) load_next(c, 0);
+
+  PipelineResult r;
+  std::uint64_t cycle = 0;
+  std::size_t rr = 0;  // round-robin scan start
+  for (;;) {
+    bool any_active = false;
+    bool issued = false;
+    std::uint64_t min_ready = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t k = 0; k < ctx.size(); ++k) {
+      Context& c = ctx[(rr + k) % ctx.size()];
+      if (c.remaining == 0) continue;
+      any_active = true;
+      if (!issued && c.ready <= cycle) {
+        // Issue one sample for this ray; the hazard blocks its next
+        // sample for a full pipeline depth.
+        --c.remaining;
+        c.ready = cycle + static_cast<std::uint64_t>(params.depth);
+        if (c.remaining == 0) load_next(c, cycle + 1);
+        ++r.issued;
+        issued = true;
+        rr = (rr + k + 1) % ctx.size();
+      }
+      min_ready = std::min(min_ready, c.ready);
+    }
+    if (!any_active) break;
+    if (issued) {
+      ++cycle;
+    } else {
+      // No context ready: fast-forward to the next completion and count
+      // the dead issue slots as stalls.
+      r.stalls += min_ready - cycle;
+      cycle = min_ready;
+    }
+  }
+  r.cycles = cycle;
+  return r;
+}
+
+}  // namespace atlantis::volren

@@ -1,0 +1,178 @@
+#include "volren/raycast.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "util/bitops.hpp"
+#include "util/status.hpp"
+#include "volren/interp_core.hpp"
+
+namespace atlantis::volren {
+namespace {
+
+/// Samples through the hardware's fixed-point trilinear datapath.
+double sample_quantized(const Volume& vol, double x, double y, double z) {
+  const int x0 = static_cast<int>(std::floor(x));
+  const int y0 = static_cast<int>(std::floor(y));
+  const int z0 = static_cast<int>(std::floor(z));
+  std::array<std::uint8_t, 8> corners{};
+  for (int c = 0; c < 8; ++c) {
+    corners[static_cast<std::size_t>(c)] =
+        vol.clamped(x0 + (c & 1), y0 + ((c >> 1) & 1), z0 + ((c >> 2) & 1));
+  }
+  const auto frac = [](double v, int lo) {
+    return static_cast<std::uint8_t>(
+        std::clamp((v - lo) * 256.0, 0.0, 255.0));
+  };
+  return trilinear_fixed(corners, frac(x, x0), frac(y, y0), frac(z, z0));
+}
+
+}  // namespace
+
+OccupancyGrid::OccupancyGrid(const Volume& vol, const TransferFunction& tf,
+                             int block_size)
+    : block_(block_size) {
+  ATLANTIS_CHECK(block_size > 0, "block size must be positive");
+  bx_ = (vol.nx() + block_ - 1) / block_;
+  by_ = (vol.ny() + block_ - 1) / block_;
+  bz_ = (vol.nz() + block_ - 1) / block_;
+  flags_.assign(static_cast<std::size_t>(bx_) * by_ * bz_, 0);
+  for (int bz = 0; bz < bz_; ++bz) {
+    for (int by = 0; by < by_; ++by) {
+      for (int bx = 0; bx < bx_; ++bx) {
+        // Max value over the block plus a one-voxel apron (interpolation
+        // reaches into neighbouring blocks).
+        std::uint8_t vmax = 0;
+        const int x0 = bx * block_ - 1, x1 = (bx + 1) * block_;
+        const int y0 = by * block_ - 1, y1 = (by + 1) * block_;
+        const int z0 = bz * block_ - 1, z1 = (bz + 1) * block_;
+        for (int z = std::max(0, z0); z <= std::min(vol.nz() - 1, z1); ++z) {
+          for (int y = std::max(0, y0); y <= std::min(vol.ny() - 1, y1); ++y) {
+            for (int x = std::max(0, x0); x <= std::min(vol.nx() - 1, x1);
+                 ++x) {
+              vmax = std::max(vmax, vol.at(x, y, z));
+            }
+          }
+        }
+        const bool contributes = tf.max_opacity(vmax) > 0.0;
+        flags_[(static_cast<std::size_t>(bz) * by_ + by) * bx_ + bx] =
+            contributes ? 1 : 0;
+      }
+    }
+  }
+}
+
+bool OccupancyGrid::occupied(double x, double y, double z) const {
+  const int bx = static_cast<int>(x) / block_;
+  const int by = static_cast<int>(y) / block_;
+  const int bz = static_cast<int>(z) / block_;
+  if (bx < 0 || bx >= bx_ || by < 0 || by >= by_ || bz < 0 || bz >= bz_) {
+    return false;
+  }
+  return flags_[(static_cast<std::size_t>(bz) * by_ + by) * bx_ + bx] != 0;
+}
+
+namespace {
+
+/// Slab intersection of a ray with the volume bounding box.
+/// Returns false if the ray misses.
+bool intersect_box(const Ray& r, double nx, double ny, double nz,
+                   double& t0, double& t1) {
+  t0 = 0.0;
+  t1 = std::numeric_limits<double>::infinity();
+  const double origin[3] = {r.origin.x, r.origin.y, r.origin.z};
+  const double dir[3] = {r.dir.x, r.dir.y, r.dir.z};
+  const double hi[3] = {nx - 1.0, ny - 1.0, nz - 1.0};
+  for (int axis = 0; axis < 3; ++axis) {
+    if (std::fabs(dir[axis]) < 1e-12) {
+      if (origin[axis] < 0.0 || origin[axis] > hi[axis]) return false;
+      continue;
+    }
+    double ta = (0.0 - origin[axis]) / dir[axis];
+    double tb = (hi[axis] - origin[axis]) / dir[axis];
+    if (ta > tb) std::swap(ta, tb);
+    t0 = std::max(t0, ta);
+    t1 = std::min(t1, tb);
+  }
+  return t0 <= t1;
+}
+
+}  // namespace
+
+RenderOutput render(const Volume& vol, const TransferFunction& tf,
+                    const Camera& cam, const RenderParams& params,
+                    const SampleHook& hook) {
+  ATLANTIS_CHECK(params.step > 0.0, "sample step must be positive");
+  RenderOutput out{util::Image<std::uint8_t>(cam.width(), cam.height()),
+                   RenderStats{}};
+  std::unique_ptr<OccupancyGrid> grid;
+  if (params.space_skipping) {
+    grid = std::make_unique<OccupancyGrid>(vol, tf, params.skip_block);
+  }
+  out.stats.samples_per_ray.reserve(
+      static_cast<std::size_t>(cam.width()) * cam.height());
+
+  for (int py = 0; py < cam.height(); ++py) {
+    for (int px = 0; px < cam.width(); ++px) {
+      const Ray ray = cam.ray(px, py);
+      ++out.stats.rays;
+      std::uint32_t ray_samples = 0;
+      double accum = 0.0;          // composited intensity
+      double transmittance = 1.0;  // remaining light
+
+      double t0 = 0.0, t1 = 0.0;
+      if (intersect_box(ray, vol.nx(), vol.ny(), vol.nz(), t0, t1)) {
+        const int block =
+            params.space_skipping ? grid->block_size() : 0;
+        for (double t = t0; t <= t1; t += params.step) {
+          const double x = ray.origin.x + ray.dir.x * t;
+          const double y = ray.origin.y + ray.dir.y * t;
+          const double z = ray.origin.z + ray.dir.z * t;
+          if (params.space_skipping && !grid->occupied(x, y, z)) {
+            // Jump to the next block boundary along the ray.
+            const double skip =
+                std::max(params.step, static_cast<double>(block) * 0.5);
+            out.stats.skipped_steps += static_cast<std::uint64_t>(
+                skip / params.step);
+            t += skip - params.step;
+            continue;
+          }
+          ++out.stats.samples;
+          ++ray_samples;
+          if (hook) hook(x, y, z);
+          const double value = params.quantized_datapath
+                                   ? sample_quantized(vol, x, y, z)
+                                   : vol.sample(x, y, z);
+          // The gradient (six more interpolations) is only needed for
+          // shading, so samples that classify to zero opacity skip it —
+          // the same short-circuit the hardware classification stage has.
+          Classified c{};
+          if (tf.max_opacity(value) > 0.0) {
+            c = tf.classify(value, vol.gradient(x, y, z).norm());
+          }
+          if (c.opacity > 0.0) {
+            // Front-to-back compositing, opacity corrected for step size.
+            const double alpha =
+                1.0 - std::pow(1.0 - c.opacity, params.step);
+            accum += transmittance * alpha * c.intensity;
+            transmittance *= 1.0 - alpha;
+            if (params.early_termination &&
+                transmittance < params.termination_threshold) {
+              ++out.stats.terminated_rays;
+              break;
+            }
+          }
+        }
+      }
+      out.stats.samples_per_ray.push_back(ray_samples);
+      out.image(px, py) = static_cast<std::uint8_t>(
+          std::clamp(accum * 255.0, 0.0, 255.0));
+    }
+  }
+  return out;
+}
+
+}  // namespace atlantis::volren

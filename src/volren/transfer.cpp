@@ -1,0 +1,58 @@
+#include "volren/transfer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.hpp"
+
+namespace atlantis::volren {
+
+TransferFunction::TransferFunction(std::string name, double tissue_opacity,
+                                   double bone_opacity, double bone_iso)
+    : name_(std::move(name)), tissue_opacity_(tissue_opacity),
+      bone_opacity_(bone_opacity), bone_iso_(bone_iso) {
+  ATLANTIS_CHECK(tissue_opacity >= 0.0 && tissue_opacity <= 1.0,
+                 "tissue opacity out of range");
+  ATLANTIS_CHECK(bone_opacity >= 0.0 && bone_opacity <= 1.0,
+                 "bone opacity out of range");
+}
+
+Classified TransferFunction::classify(double value, double gradient_mag) const {
+  Classified c;
+  if (value < 20.0) {
+    return c;  // air: fully transparent
+  }
+  if (value >= bone_iso_) {
+    c.opacity = bone_opacity_;
+  } else {
+    c.opacity = tissue_opacity_;
+  }
+  if (c.opacity <= 0.0) return Classified{};
+  // Headlight shading: gradient magnitude highlights surfaces; a small
+  // ambient floor keeps homogeneous tissue visible.
+  const double g = std::min(1.0, gradient_mag / 64.0);
+  c.intensity = std::clamp(0.25 + 0.75 * g, 0.0, 1.0) *
+                std::min(1.0, value / 255.0 + 0.3);
+  return c;
+}
+
+double TransferFunction::max_opacity(double value) const {
+  if (value < 20.0) return 0.0;
+  if (value >= bone_iso_) return bone_opacity_;
+  return tissue_opacity_;
+}
+
+TransferFunction tf_opaque() {
+  // Hard bone surface, invisible tissue: the fast case.
+  return TransferFunction("opaque", 0.0, 0.95);
+}
+TransferFunction tf_semi_low() {
+  // Faint tissue; bone translucent enough to see major structures.
+  return TransferFunction("semi-low", 0.02, 0.40);
+}
+TransferFunction tf_semi_high() {
+  // Strong tissue rendering with glassy bone: rays traverse the head.
+  return TransferFunction("semi-high", 0.03, 0.12);
+}
+
+}  // namespace atlantis::volren

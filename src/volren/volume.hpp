@@ -1,0 +1,77 @@
+// Volume data set: dense 8-bit voxel grid with trilinear sampling and
+// central-difference gradients, plus a procedural CT-like phantom.
+//
+// The paper's detailed simulations use "a CT data set with 256*256*128
+// voxels" with hard surfaces (bone), soft tissue and empty space. The
+// scanner data is not available, so make_ct_phantom() builds a head-like
+// phantom with the same material mix: an ellipsoidal skull shell over
+// soft tissue with ventricle cavities, embedded in air. DESIGN.md records
+// the substitution.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/status.hpp"
+
+namespace atlantis::volren {
+
+struct Vec3 {
+  double x = 0.0, y = 0.0, z = 0.0;
+
+  Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  double dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  double norm() const;
+  Vec3 normalized() const;
+  Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+};
+
+class Volume {
+ public:
+  Volume(int nx, int ny, int nz, std::uint8_t fill = 0);
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  int nz() const { return nz_; }
+  std::int64_t voxel_count() const {
+    return static_cast<std::int64_t>(nx_) * ny_ * nz_;
+  }
+
+  std::uint8_t at(int x, int y, int z) const {
+    return data_[index(x, y, z)];
+  }
+  void set(int x, int y, int z, std::uint8_t v) { data_[index(x, y, z)] = v; }
+
+  /// Clamped voxel fetch (out-of-grid reads the nearest voxel).
+  std::uint8_t clamped(int x, int y, int z) const;
+
+  /// Trilinear interpolation at a continuous position in voxel units.
+  double sample(double x, double y, double z) const;
+
+  /// Central-difference gradient (the classification input).
+  Vec3 gradient(double x, double y, double z) const;
+
+  const std::vector<std::uint8_t>& data() const { return data_; }
+  std::vector<std::uint8_t>& data() { return data_; }
+
+ private:
+  std::size_t index(int x, int y, int z) const {
+    ATLANTIS_CHECK(x >= 0 && x < nx_ && y >= 0 && y < ny_ && z >= 0 && z < nz_,
+                   "voxel index out of range");
+    return (static_cast<std::size_t>(z) * ny_ + y) * nx_ + x;
+  }
+
+  int nx_, ny_, nz_;
+  std::vector<std::uint8_t> data_;
+};
+
+/// CT-like head phantom. Values: air 0, soft tissue ~90 with texture,
+/// ventricles ~40, skull shell ~220, a few dense inclusions ~250.
+Volume make_ct_phantom(int nx, int ny, int nz, std::uint64_t seed = 0xC7);
+
+}  // namespace atlantis::volren

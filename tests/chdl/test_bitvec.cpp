@@ -1,0 +1,150 @@
+#include "chdl/bitvec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace atlantis::chdl {
+namespace {
+
+TEST(BitVec, ConstructionAndWidth) {
+  BitVec v(8, 0xAB);
+  EXPECT_EQ(v.width(), 8);
+  EXPECT_EQ(v.to_u64(), 0xABu);
+  EXPECT_THROW(BitVec(0), util::Error);
+}
+
+TEST(BitVec, ValueIsMaskedToWidth) {
+  BitVec v(4, 0xFF);
+  EXPECT_EQ(v.to_u64(), 0xFu);
+}
+
+TEST(BitVec, BitAccess) {
+  BitVec v(8, 0b10100101);
+  EXPECT_TRUE(v.bit(0));
+  EXPECT_FALSE(v.bit(1));
+  EXPECT_TRUE(v.bit(7));
+  v.set_bit(1, true);
+  EXPECT_EQ(v.to_u64(), 0b10100111u);
+  EXPECT_THROW(v.bit(8), util::Error);
+}
+
+TEST(BitVec, FromBinaryMsbFirst) {
+  const BitVec v = BitVec::from_binary("1010");
+  EXPECT_EQ(v.width(), 4);
+  EXPECT_EQ(v.to_u64(), 10u);
+  EXPECT_EQ(v.to_binary(), "1010");
+  EXPECT_THROW(BitVec::from_binary("10x0"), util::Error);
+  EXPECT_THROW(BitVec::from_binary(""), util::Error);
+}
+
+TEST(BitVec, OnesAndPopcount) {
+  const BitVec v = BitVec::ones(100);
+  EXPECT_EQ(v.popcount(), 100);
+  EXPECT_TRUE(v.any());
+  EXPECT_FALSE(BitVec(100).any());
+}
+
+TEST(BitVec, WideVectorsAcrossWordBoundaries) {
+  BitVec v(176);
+  v.set_bit(0, true);
+  v.set_bit(63, true);
+  v.set_bit(64, true);
+  v.set_bit(175, true);
+  EXPECT_EQ(v.popcount(), 4);
+  EXPECT_TRUE(v.bit(64));
+  EXPECT_TRUE(v.bit(175));
+  EXPECT_FALSE(v.bit(100));
+}
+
+TEST(BitVec, SliceAndConcatRoundtrip) {
+  const BitVec v(16, 0xBEEF);
+  const BitVec hi = v.slice(8, 8);
+  const BitVec lo = v.slice(0, 8);
+  EXPECT_EQ(hi.to_u64(), 0xBEu);
+  EXPECT_EQ(lo.to_u64(), 0xEFu);
+  EXPECT_EQ(BitVec::concat(hi, lo), v);
+  EXPECT_THROW(v.slice(10, 8), util::Error);
+}
+
+TEST(BitVec, ResizeExtendsAndTruncates) {
+  const BitVec v(8, 0xFF);
+  EXPECT_EQ(v.resize(12).to_u64(), 0xFFu);
+  EXPECT_EQ(v.resize(4).to_u64(), 0xFu);
+}
+
+TEST(BitVec, LogicOps) {
+  const BitVec a(8, 0b11001100);
+  const BitVec b(8, 0b10101010);
+  EXPECT_EQ((a & b).to_u64(), 0b10001000u);
+  EXPECT_EQ((a | b).to_u64(), 0b11101110u);
+  EXPECT_EQ((a ^ b).to_u64(), 0b01100110u);
+  EXPECT_EQ((~a).to_u64(), 0b00110011u);
+  EXPECT_THROW(a & BitVec(4, 1), util::Error);
+}
+
+TEST(BitVec, ModularArithmetic) {
+  const BitVec a(8, 200);
+  const BitVec b(8, 100);
+  EXPECT_EQ((a + b).to_u64(), (200u + 100u) & 0xFF);
+  EXPECT_EQ((b - a).to_u64(), (256u + 100u - 200u) & 0xFF);
+}
+
+TEST(BitVec, WideAdditionCarriesAcrossWords) {
+  BitVec a = BitVec::ones(128);
+  BitVec one(128, 1);
+  const BitVec sum = a + one;  // wraps to zero
+  EXPECT_FALSE(sum.any());
+  // 2^64 - 1 + 1 = 2^64: bit 64 set.
+  BitVec low64(128, ~0ull);
+  const BitVec carry = low64 + one;
+  EXPECT_TRUE(carry.bit(64));
+  EXPECT_EQ(carry.popcount(), 1);
+}
+
+TEST(BitVec, Shifts) {
+  const BitVec v(8, 0b00001111);
+  EXPECT_EQ(v.shl(2).to_u64(), 0b00111100u);
+  EXPECT_EQ(v.shr(2).to_u64(), 0b00000011u);
+  EXPECT_EQ(v.shl(8).to_u64(), 0u);
+  EXPECT_EQ(v.shr(8).to_u64(), 0u);
+}
+
+TEST(BitVec, UnsignedComparison) {
+  const BitVec a(8, 5), b(8, 9);
+  EXPECT_TRUE(a.ult(b));
+  EXPECT_FALSE(b.ult(a));
+  EXPECT_FALSE(a.ult(a));
+  BitVec wa(128), wb(128);
+  wa.set_bit(100, true);
+  wb.set_bit(101, true);
+  EXPECT_TRUE(wa.ult(wb));
+}
+
+// Property: arithmetic at width <= 64 matches native modular arithmetic.
+class BitVecArithSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitVecArithSweep, MatchesNativeModular) {
+  const int width = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(width));
+  const std::uint64_t mask =
+      width == 64 ? ~0ull : ((1ull << width) - 1);
+  for (int i = 0; i < 300; ++i) {
+    const std::uint64_t x = rng.next_u64() & mask;
+    const std::uint64_t y = rng.next_u64() & mask;
+    const BitVec a(width, x), b(width, y);
+    EXPECT_EQ((a + b).to_u64(), (x + y) & mask);
+    EXPECT_EQ((a - b).to_u64(), (x - y) & mask);
+    EXPECT_EQ((a & b).to_u64(), x & y);
+    EXPECT_EQ((a ^ b).to_u64(), x ^ y);
+    EXPECT_EQ(a.ult(b), (x < y));
+    EXPECT_EQ(a == b, x == y);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitVecArithSweep,
+                         ::testing::Values(1, 3, 8, 16, 31, 32, 33, 48, 63,
+                                           64));
+
+}  // namespace
+}  // namespace atlantis::chdl

@@ -1,0 +1,211 @@
+#include "chdl/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chdl/hostif.hpp"
+#include "chdl/sim.hpp"
+#include "util/rng.hpp"
+
+namespace atlantis::chdl {
+namespace {
+
+TEST(Builder, CounterCountsWithEnableAndClear) {
+  Design d("cnt");
+  const Wire en = d.input("en", 1);
+  const Wire clr = d.input("clr", 1);
+  d.output("q", counter(d, "c", 8, en, clr));
+  Simulator sim(d);
+  sim.poke("en", 1);
+  sim.run(5);
+  EXPECT_EQ(sim.peek_u64("q"), 5u);
+  sim.poke("en", 0);
+  sim.run(3);
+  EXPECT_EQ(sim.peek_u64("q"), 5u);
+  sim.poke("clr", 1);
+  sim.step();
+  EXPECT_EQ(sim.peek_u64("q"), 0u);
+}
+
+TEST(Builder, CounterWrapsAtWidth) {
+  Design d("cnt");
+  d.output("q", counter(d, "c", 3));
+  Simulator sim(d);
+  sim.run(10);
+  EXPECT_EQ(sim.peek_u64("q"), 10u % 8u);
+}
+
+TEST(Builder, AdderTreeSumsWithoutOverflow) {
+  Design d("tree");
+  std::vector<Wire> terms;
+  std::vector<std::string> names;
+  for (int i = 0; i < 9; ++i) {
+    terms.push_back(d.input("t" + std::to_string(i), 8));
+    names.push_back("t" + std::to_string(i));
+  }
+  const Wire sum = adder_tree(d, terms);
+  EXPECT_GE(sum.width, 12);  // 9 * 255 needs 12 bits
+  d.output("sum", sum);
+  Simulator sim(d);
+  util::Rng rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::uint64_t expected = 0;
+    for (const auto& n : names) {
+      const std::uint64_t v = rng.next_u64() & 0xFF;
+      expected += v;
+      sim.poke(n, v);
+    }
+    EXPECT_EQ(sim.peek_u64("sum"), expected);
+  }
+}
+
+TEST(Builder, PopcountMatchesBuiltin) {
+  Design d("pop");
+  const Wire in = d.input("in", 20);
+  d.output("n", popcount(d, in));
+  Simulator sim(d);
+  util::Rng rng(6);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t v = rng.next_u64() & 0xFFFFF;
+    sim.poke("in", v);
+    EXPECT_EQ(sim.peek_u64("n"),
+              static_cast<std::uint64_t>(__builtin_popcountll(v)));
+  }
+}
+
+TEST(Builder, EqConst) {
+  Design d("eqc");
+  const Wire in = d.input("in", 8);
+  d.output("is42", eq_const(d, in, 42));
+  Simulator sim(d);
+  sim.poke("in", 42);
+  EXPECT_EQ(sim.peek_u64("is42"), 1u);
+  sim.poke("in", 43);
+  EXPECT_EQ(sim.peek_u64("is42"), 0u);
+}
+
+TEST(Builder, RomFromU64) {
+  Design d("rom");
+  const int rom = rom_from_u64(d, "r", {5, 10, 15}, 8);
+  const Wire addr = d.input("a", 2);
+  d.output("q", d.ram_read(rom, addr));
+  Simulator sim(d);
+  sim.poke("a", 2);
+  sim.step();
+  EXPECT_EQ(sim.peek_u64("q"), 15u);
+  EXPECT_THROW(rom_from_u64(d, "bad", {1}, 65), util::Error);
+}
+
+TEST(Builder, MultiplyMatchesNativeProduct) {
+  Design d("mul");
+  const Wire a = d.input("a", 8);
+  const Wire b = d.input("b", 9);
+  const Wire p = multiply(d, a, b);
+  EXPECT_EQ(p.width, 17);
+  d.output("p", p);
+  Simulator sim(d);
+  util::Rng rng(91);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t x = rng.next_u64() & 0xFF;
+    const std::uint64_t y = rng.next_u64() & 0x1FF;
+    sim.poke("a", x);
+    sim.poke("b", y);
+    EXPECT_EQ(sim.peek_u64("p"), x * y);
+  }
+}
+
+TEST(Builder, ReplicateFansOutBit) {
+  Design d("rep");
+  const Wire b = d.input("b", 1);
+  d.output("r", replicate(d, b, 12));
+  Simulator sim(d);
+  sim.poke("b", 1);
+  EXPECT_EQ(sim.peek_u64("r"), 0xFFFu);
+  sim.poke("b", 0);
+  EXPECT_EQ(sim.peek_u64("r"), 0u);
+}
+
+TEST(HostRegFile, WriteRegReadback) {
+  Design d("host");
+  HostRegFile hrf(d);
+  const Wire r0 = hrf.write_reg("r0", 0, 32);
+  d.output("r0_val", r0);
+  hrf.map_read(7, d.constant(32, 0xCAFE));
+  hrf.finish();
+  Simulator sim(d);
+  HostInterface host(sim);
+  host.write(0, 0x1234);
+  EXPECT_EQ(host.read(0), 0x1234u);
+  EXPECT_EQ(sim.peek_u64("r0_val"), 0x1234u);
+  EXPECT_EQ(host.read(7), 0xCAFEu);
+  EXPECT_EQ(host.read(99), 0u);  // unmapped reads as zero
+}
+
+TEST(HostRegFile, WritesAreAddressSelective) {
+  Design d("host");
+  HostRegFile hrf(d);
+  hrf.write_reg("a", 1, 16);
+  hrf.write_reg("b", 2, 16);
+  hrf.finish();
+  Simulator sim(d);
+  HostInterface host(sim);
+  host.write(1, 111);
+  host.write(2, 222);
+  EXPECT_EQ(host.read(1), 111u);
+  EXPECT_EQ(host.read(2), 222u);
+  host.write(1, 333);
+  EXPECT_EQ(host.read(1), 333u);
+  EXPECT_EQ(host.read(2), 222u);
+}
+
+TEST(HostRegFile, StrobeDrivesCounter) {
+  Design d("host");
+  HostRegFile hrf(d);
+  const Wire strobe = hrf.write_strobe(5);
+  hrf.map_read(0x10, counter(d, "events", 16, strobe));
+  hrf.finish();
+  Simulator sim(d);
+  HostInterface host(sim);
+  for (int i = 0; i < 7; ++i) host.write(5, 0);
+  host.write(6, 0);  // different address: no count
+  EXPECT_EQ(host.read(0x10), 7u);
+}
+
+TEST(HostRegFile, DoubleMapAndDoubleFinishRejected) {
+  Design d("host");
+  HostRegFile hrf(d);
+  hrf.map_read(3, d.constant(8, 1));
+  EXPECT_THROW(hrf.map_read(3, d.constant(8, 2)), util::Error);
+  hrf.finish();
+  EXPECT_THROW(hrf.finish(), util::Error);
+}
+
+TEST(HostInterface, BlockTransfers) {
+  Design d("host");
+  HostRegFile hrf(d);
+  // Accumulator register: adds every word written to address 1.
+  const Wire push = hrf.write_strobe(1);
+  RegOpts opts;
+  opts.enable = push;
+  const Wire acc = d.reg_forward("acc", 32, opts);
+  d.reg_connect(acc, d.add(acc, d.resize(hrf.wdata(), 32)));
+  hrf.map_read(2, acc);
+  hrf.finish();
+  Simulator sim(d);
+  HostInterface host(sim);
+  const std::vector<std::uint64_t> data = {1, 2, 3, 4, 5};
+  host.write_block(1, data);
+  EXPECT_EQ(host.read(2), 15u);
+  const auto out = host.read_block(2, 3);
+  EXPECT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], 15u);
+}
+
+TEST(HostInterface, RequiresHostPorts) {
+  Design d("nohost");
+  d.output("y", d.input("a", 1));
+  Simulator sim(d);
+  EXPECT_THROW(HostInterface{sim}, util::Error);
+}
+
+}  // namespace
+}  // namespace atlantis::chdl

@@ -1,0 +1,148 @@
+#include "chdl/design.hpp"
+
+#include <gtest/gtest.h>
+
+namespace atlantis::chdl {
+namespace {
+
+TEST(Design, PortsAreNamedAndLookedUp) {
+  Design d("top");
+  const Wire a = d.input("a", 8);
+  d.output("y", a);
+  EXPECT_TRUE(d.has_port("a"));
+  EXPECT_TRUE(d.has_port("y"));
+  EXPECT_FALSE(d.has_port("z"));
+  EXPECT_EQ(d.port("a").id, a.id);
+  EXPECT_THROW(d.port("z"), util::Error);
+}
+
+TEST(Design, DuplicatePortNameRejected) {
+  Design d("top");
+  d.input("a", 8);
+  EXPECT_THROW(d.input("a", 4), util::Error);
+  const Wire w = d.constant(4, 0);
+  EXPECT_THROW(d.output("a", w), util::Error);
+}
+
+TEST(Design, WidthMismatchRejected) {
+  Design d("top");
+  const Wire a = d.input("a", 8);
+  const Wire b = d.input("b", 4);
+  EXPECT_THROW(d.band(a, b), util::Error);
+  EXPECT_THROW(d.add(a, b), util::Error);
+  EXPECT_THROW(d.mux(a /* not 1 bit */, a, a), util::Error);
+}
+
+TEST(Design, SliceBoundsChecked) {
+  Design d("top");
+  const Wire a = d.input("a", 8);
+  EXPECT_NO_THROW(d.slice(a, 0, 8));
+  EXPECT_THROW(d.slice(a, 4, 8), util::Error);
+  EXPECT_THROW(d.slice(a, 0, 0), util::Error);
+}
+
+TEST(Design, ResizeProducesRequestedWidth) {
+  Design d("top");
+  const Wire a = d.input("a", 8);
+  EXPECT_EQ(d.resize(a, 8).id, a.id);  // no-op returns same wire
+  EXPECT_EQ(d.resize(a, 16).width, 16);
+  EXPECT_EQ(d.resize(a, 3).width, 3);
+}
+
+TEST(Design, ForeignWireRejected) {
+  Design d1("a"), d2("b");
+  const Wire w = d1.input("x", 8);
+  EXPECT_THROW(d2.bnot(w), util::Error);
+}
+
+TEST(Design, RegForwardMustBeConnected) {
+  Design d("top");
+  const Wire q = d.reg_forward("q", 8);
+  EXPECT_THROW(d.check_complete(), util::Error);
+  d.reg_connect(q, d.constant(8, 1));
+  EXPECT_NO_THROW(d.check_complete());
+  // Double connect rejected.
+  EXPECT_THROW(d.reg_connect(q, d.constant(8, 2)), util::Error);
+}
+
+TEST(Design, RegConnectRejectsNonRegister) {
+  Design d("top");
+  const Wire c = d.constant(8, 0);
+  EXPECT_THROW(d.reg_connect(c, c), util::Error);
+}
+
+TEST(Design, RomRequiresUniformWidth) {
+  Design d("top");
+  std::vector<BitVec> contents = {BitVec(8, 1), BitVec(4, 2)};
+  EXPECT_THROW(d.add_rom("rom", contents), util::Error);
+  EXPECT_THROW(d.add_rom("rom", {}), util::Error);
+}
+
+TEST(Design, RomIsReadOnly) {
+  Design d("top");
+  const int rom = d.add_rom("rom", {BitVec(8, 1), BitVec(8, 2)});
+  const Wire addr = d.input("addr", 1);
+  const Wire data = d.input("data", 8);
+  const Wire we = d.input("we", 1);
+  EXPECT_NO_THROW(d.ram_read(rom, addr));
+  EXPECT_THROW(d.ram_write(rom, addr, data, we), util::Error);
+}
+
+TEST(Design, RamWriteChecksWidths) {
+  Design d("top");
+  const int ram = d.add_ram("ram", 16, 8);
+  const Wire addr = d.input("addr", 4);
+  const Wire we = d.input("we", 1);
+  const Wire bad = d.input("bad", 4);
+  EXPECT_THROW(d.ram_write(ram, addr, bad, we), util::Error);
+  EXPECT_THROW(d.ram_write(99, addr, bad, we), util::Error);
+}
+
+TEST(Design, ScopesPrefixNames) {
+  Design d("top");
+  {
+    Design::Scope outer(d, "u_core");
+    Design::Scope inner(d, "hist");
+    d.reg("cnt", d.constant(8, 0));
+  }
+  bool found = false;
+  for (const auto& c : d.components()) {
+    if (c.kind == CompKind::kReg) {
+      EXPECT_EQ(c.name, "u_core/hist/cnt");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_THROW(d.pop_scope(), util::Error);
+}
+
+TEST(Design, ClockDomains) {
+  Design d("top");
+  EXPECT_EQ(d.clock_count(), 1);
+  const ClockId io = d.add_clock("clk_io");
+  EXPECT_EQ(d.clock_count(), 2);
+  EXPECT_EQ(d.clock_name(io), "clk_io");
+  RegOpts opts;
+  opts.clock = ClockId{5};
+  EXPECT_THROW(d.reg("r", d.constant(1, 0), opts), util::Error);
+}
+
+TEST(Design, MuxnValidation) {
+  Design d("top");
+  const Wire sel = d.input("sel", 2);
+  const Wire a = d.input("a", 8);
+  const Wire b = d.input("b", 8);
+  EXPECT_NO_THROW(d.muxn(sel, {a, b}));
+  EXPECT_THROW(d.muxn(sel, {}), util::Error);
+  EXPECT_THROW(d.muxn(sel, {a, d.input("c", 4)}), util::Error);
+}
+
+TEST(Design, ConcatWidthIsSum) {
+  Design d("top");
+  const Wire a = d.input("a", 8);
+  const Wire b = d.input("b", 3);
+  EXPECT_EQ(d.concat({a, b}).width, 11);
+}
+
+}  // namespace
+}  // namespace atlantis::chdl

@@ -1,0 +1,67 @@
+#include "chdl/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chdl/builder.hpp"
+
+namespace atlantis::chdl {
+namespace {
+
+TEST(NetlistStats, CountsGatesOfKnownDesign) {
+  Design d("known");
+  const Wire a = d.input("a", 8);
+  const Wire b = d.input("b", 8);
+  const Wire x = d.band(a, b);      // 8 gates
+  const Wire y = d.add(a, b);       // 48 gates
+  d.output("q", d.reg("r", d.bxor(x, y)));  // xor 24 + reg 64
+  const NetlistStats s = analyze(d);
+  EXPECT_EQ(s.gate_equivalents, 8 + 48 + 24 + 64);
+  EXPECT_EQ(s.flipflops, 8);
+  EXPECT_EQ(s.io_pins, 8 + 8 + 8);
+  EXPECT_GT(s.components, 0);
+  EXPECT_GT(s.wires, 0);
+}
+
+TEST(NetlistStats, RamBitsCounted) {
+  Design d("mem");
+  d.add_ram("m", 512 * 1024, 176);
+  const NetlistStats s = analyze(d);
+  EXPECT_EQ(s.ram_bits, 512ll * 1024 * 176);
+}
+
+TEST(NetlistStats, WiringIsFree) {
+  Design d("wires");
+  const Wire a = d.input("a", 32);
+  d.output("y", d.concat({d.slice(a, 16, 16), d.slice(a, 0, 16)}));
+  const NetlistStats s = analyze(d);
+  EXPECT_EQ(s.gate_equivalents, 0);
+  EXPECT_EQ(s.flipflops, 0);
+}
+
+TEST(NetlistStats, ToStringMentionsDesign) {
+  Design d("pretty");
+  d.output("y", d.input("a", 1));
+  EXPECT_NE(analyze(d).to_string().find("pretty"), std::string::npos);
+}
+
+TEST(NetlistStats, GrowsMonotonicallyWithStructure) {
+  // Property: adding counters strictly increases gates and flipflops.
+  std::int64_t prev_gates = 0;
+  std::int64_t prev_ff = 0;
+  for (int n = 1; n <= 4; ++n) {
+    Design d("grow");
+    const Wire en = d.input("en", 1);
+    for (int i = 0; i < n * 8; ++i) {
+      d.output("q" + std::to_string(i),
+               counter(d, "c" + std::to_string(i), 8, en));
+    }
+    const NetlistStats s = analyze(d);
+    EXPECT_GT(s.gate_equivalents, prev_gates);
+    EXPECT_GT(s.flipflops, prev_ff);
+    prev_gates = s.gate_equivalents;
+    prev_ff = s.flipflops;
+  }
+}
+
+}  // namespace
+}  // namespace atlantis::chdl

@@ -1,0 +1,75 @@
+#include "chdl/vcd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "chdl/builder.hpp"
+
+namespace atlantis::chdl {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(Vcd, WritesHeaderAndChanges) {
+  Design d("wave");
+  const Wire en = d.input("en", 1);
+  d.output("q", counter(d, "cnt", 4, en));
+  Simulator sim(d);
+  const std::string path = ::testing::TempDir() + "/wave.vcd";
+  {
+    VcdWriter vcd(sim, path, 25);
+    sim.poke("en", 1);
+    sim.run(5);
+    vcd.close();
+  }
+  const std::string text = slurp(path);
+  EXPECT_NE(text.find("$timescale 1ns $end"), std::string::npos);
+  EXPECT_NE(text.find("$var wire 1"), std::string::npos);   // en
+  EXPECT_NE(text.find("$var wire 4"), std::string::npos);   // q / cnt
+  EXPECT_NE(text.find("$enddefinitions"), std::string::npos);
+  EXPECT_NE(text.find("#0"), std::string::npos);
+  EXPECT_NE(text.find("#25"), std::string::npos);  // first edge at 25 ns
+  // Counter value 5 = b0101 appears.
+  EXPECT_NE(text.find("b0101"), std::string::npos);
+}
+
+TEST(Vcd, NoChangeNoTimestamp) {
+  Design d("quiet");
+  const Wire a = d.input("a", 1);
+  d.output("y", a);
+  Simulator sim(d);
+  const std::string path = ::testing::TempDir() + "/quiet.vcd";
+  {
+    VcdWriter vcd(sim, path, 10);
+    sim.run(3);  // nothing toggles
+    vcd.close();
+  }
+  const std::string text = slurp(path);
+  EXPECT_EQ(text.find("#10"), std::string::npos);
+  EXPECT_EQ(text.find("#20"), std::string::npos);
+}
+
+TEST(Vcd, SanitizesHierarchicalNames) {
+  Design d("hier");
+  {
+    Design::Scope scope(d, "u_core");
+    d.output("q", d.reg("state", d.input("a", 1)));
+  }
+  Simulator sim(d);
+  const std::string path = ::testing::TempDir() + "/hier.vcd";
+  {
+    VcdWriter vcd(sim, path);
+    vcd.close();
+  }
+  EXPECT_NE(slurp(path).find("u_core.state"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace atlantis::chdl

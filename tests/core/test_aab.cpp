@@ -1,0 +1,79 @@
+#include "core/aab.hpp"
+
+#include <gtest/gtest.h>
+
+namespace atlantis::core {
+namespace {
+
+TEST(Aab, DefaultIsFourBy32) {
+  Backplane bp("aab");
+  EXPECT_EQ(bp.channel_count(), 4);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_NEAR(bp.channel_mbps(c), 264.0, 0.1);  // 32 bit @ 66 MHz
+  }
+  // 1 GB/s per slot (128 data bits @ 66 MHz = 1056 MB/s).
+  EXPECT_NEAR(bp.slot_mbps(), 1056.0, 0.5);
+}
+
+TEST(Aab, GranularityRange) {
+  Backplane bp("aab");
+  // "any granularity from 16 channels of a single byte to 2 channels of
+  // 64 bit might be useful" — both extremes keep the 1 GB/s slot rate.
+  bp.configure_channels(std::vector<int>(16, 8));
+  EXPECT_EQ(bp.channel_count(), 16);
+  EXPECT_NEAR(bp.slot_mbps(), 1056.0, 0.5);
+  bp.configure_channels({64, 64});
+  EXPECT_EQ(bp.channel_count(), 2);
+  EXPECT_NEAR(bp.slot_mbps(), 1056.0, 0.5);
+  bp.configure_channels({64, 32, 16, 8, 8});
+  EXPECT_EQ(bp.channel_count(), 5);
+}
+
+TEST(Aab, InvalidConfigurationsRejected) {
+  Backplane bp("aab");
+  EXPECT_THROW(bp.configure_channels({}), util::Error);
+  EXPECT_THROW(bp.configure_channels({24}), util::Error);       // bad width
+  EXPECT_THROW(bp.configure_channels({64, 64, 8}), util::Error);  // >128 lines
+}
+
+TEST(Aab, PassiveBackplaneIsFixed) {
+  // "A simple pipelined, passive, i.e. not configurable, backplane is
+  // currently used for system and performance tests."
+  Backplane bp("aab", 8, /*passive=*/true);
+  EXPECT_TRUE(bp.passive());
+  EXPECT_EQ(bp.channel_count(), 4);
+  EXPECT_THROW(bp.configure_channels({64, 64}), util::StateError);
+}
+
+TEST(Aab, TransferTimeHasBurstPlusPipeline) {
+  Backplane bp("aab");
+  const std::uint64_t bytes = 1024 * 1024;
+  const auto near_slots = bp.transfer(1, 2, 0, bytes);
+  const auto far_slots = bp.transfer(1, 7, 0, bytes);
+  EXPECT_GT(far_slots, near_slots);  // more pipeline hops
+  // Burst dominates: 1 MiB at 264 MB/s ~ 3.97 ms.
+  EXPECT_NEAR(util::ps_to_ms(near_slots), 3.97, 0.1);
+}
+
+TEST(Aab, TransferValidation) {
+  Backplane bp("aab", 4);
+  EXPECT_THROW(bp.transfer(0, 0, 0, 100), util::Error);   // same slot
+  EXPECT_THROW(bp.transfer(0, 9, 0, 100), util::Error);   // bad slot
+  EXPECT_THROW(bp.transfer(0, 1, 7, 100), util::Error);   // bad channel
+}
+
+TEST(Aab, PairedBandwidthScales) {
+  Backplane bp("aab", 8);
+  // "two independent pairs of ACBs and AIBs -> 2 GB/s".
+  EXPECT_NEAR(bp.paired_mbps(2), 2112.0, 1.0);
+  EXPECT_THROW(bp.paired_mbps(0), util::Error);
+  EXPECT_THROW(bp.paired_mbps(5), util::Error);  // 10 slots needed
+}
+
+TEST(Aab, SignalBudget) {
+  EXPECT_EQ(AabSpec::kSignalLines, 160);
+  EXPECT_EQ(AabSpec::kDataLines, 128);
+}
+
+}  // namespace
+}  // namespace atlantis::core

@@ -1,0 +1,49 @@
+#include "core/memmodule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace atlantis::core {
+namespace {
+
+TEST(MemModule, TrtModuleShape) {
+  MemModule m = MemModule::make_trt("trt0");
+  EXPECT_EQ(m.kind(), MemModuleKind::kTrtSsram);
+  EXPECT_EQ(m.slots_occupied(), 1);
+  EXPECT_EQ(m.data_width_bits(), 176);
+  ASSERT_NE(m.sram(), nullptr);
+  EXPECT_EQ(m.sdram(), nullptr);
+  EXPECT_EQ(m.sram()->config().words, 512 * 1024);
+  EXPECT_EQ(m.sram()->config().width_bits, 176);
+  // 4 modules = the paper's "44 MB per ACB" (exact in binary megabytes:
+  // 4 x 512k x 176 bit = 44.0 MiB).
+  const double mib4 =
+      4.0 * static_cast<double>(m.capacity_bytes()) / (1024.0 * 1024.0);
+  EXPECT_NEAR(mib4, 44.0, 0.01);
+}
+
+TEST(MemModule, VolrenModuleShape) {
+  MemModule m = MemModule::make_volren("vr0");
+  EXPECT_EQ(m.kind(), MemModuleKind::kVolrenSdram);
+  EXPECT_EQ(m.slots_occupied(), 3);  // "a single module of triple width"
+  ASSERT_NE(m.sdram(), nullptr);
+  EXPECT_EQ(m.sdram()->config().banks, 8);
+  EXPECT_EQ(m.capacity_bytes(), 512ll * 1024 * 1024);
+}
+
+TEST(MemModule, ImageModuleShape) {
+  MemModule m = MemModule::make_image("img0");
+  EXPECT_EQ(m.kind(), MemModuleKind::kImageSsram);
+  ASSERT_NE(m.sram(), nullptr);
+  EXPECT_EQ(m.sram()->config().banks, 2);
+  EXPECT_EQ(m.sram()->config().width_bits, 72);
+  // "9 MB of synchronous SRAM organized in 2 banks of 512k*72".
+  EXPECT_NEAR(static_cast<double>(m.capacity_bytes()) / 1e6, 9.4, 0.5);
+}
+
+TEST(MemModule, ClockIsConfigurable) {
+  MemModule m = MemModule::make_trt("trt0", 66.0);
+  EXPECT_DOUBLE_EQ(m.sram()->config().clock_mhz, 66.0);
+}
+
+}  // namespace
+}  // namespace atlantis::core

@@ -1,0 +1,64 @@
+#include "core/system.hpp"
+
+#include <gtest/gtest.h>
+
+namespace atlantis::core {
+namespace {
+
+TEST(System, BoardsTakeSlots) {
+  AtlantisSystem sys("crate");
+  const int acb0 = sys.add_acb("acb0");
+  const int aib0 = sys.add_aib("aib0");
+  const int acb1 = sys.add_acb("acb1");
+  EXPECT_EQ(sys.acb_count(), 2);
+  EXPECT_EQ(sys.aib_count(), 1);
+  // Slot 0 is the CPU module; boards follow in order.
+  EXPECT_EQ(sys.acb_slot(acb0), 1);
+  EXPECT_EQ(sys.aib_slot(aib0), 2);
+  EXPECT_EQ(sys.acb_slot(acb1), 3);
+  EXPECT_EQ(sys.acb(acb1).name(), "acb1");
+}
+
+TEST(System, CrateCapacityEnforced) {
+  AtlantisSystem sys("crate", hw::pentium200_mmx(), /*slots=*/3);
+  sys.add_acb("a");
+  sys.add_aib("b");
+  EXPECT_THROW(sys.add_acb("c"), util::CapacityError);
+}
+
+TEST(System, DefaultHostIsPentium200) {
+  AtlantisSystem sys("crate");
+  EXPECT_EQ(sys.host().name, "Pentium-200 MMX");
+  AtlantisSystem sys2("crate2", hw::celeron450());
+  EXPECT_EQ(sys2.host().name, "Celeron-450");
+}
+
+TEST(System, TotalGateCapacitySums) {
+  AtlantisSystem sys("crate");
+  sys.add_acb("acb0");
+  sys.add_aib("aib0");
+  // 744k (ACB) + 2 x 661k (AIB Virtex).
+  EXPECT_EQ(sys.total_gate_capacity(), 744'000 + 2 * 661'000);
+}
+
+TEST(System, MainClockProgrammable) {
+  AtlantisSystem sys("crate");
+  sys.main_clock().set_mhz(66.0);
+  EXPECT_DOUBLE_EQ(sys.main_clock().mhz(), 66.0);
+}
+
+TEST(System, PassiveBackplaneOption) {
+  AtlantisSystem sys("crate", hw::pentium200_mmx(), 8, true);
+  EXPECT_TRUE(sys.backplane().passive());
+}
+
+TEST(System, IndexValidation) {
+  AtlantisSystem sys("crate");
+  sys.add_acb("a");
+  EXPECT_THROW(sys.acb(1), util::Error);
+  EXPECT_THROW(sys.aib(0), util::Error);
+  EXPECT_THROW(sys.acb_slot(-1), util::Error);
+}
+
+}  // namespace
+}  // namespace atlantis::core

@@ -1,0 +1,71 @@
+#include "core/taskswitch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chdl/builder.hpp"
+
+namespace atlantis::core {
+namespace {
+
+hw::Bitstream make_task(const std::string& name, double fraction) {
+  hw::Bitstream bs;
+  bs.name = name;
+  bs.stats.design_name = name;
+  bs.stats.gate_equivalents = 50'000;
+  bs.fraction = fraction;
+  return bs;
+}
+
+TEST(TaskSwitcher, FirstActivationIsFullConfiguration) {
+  hw::FpgaDevice dev("orca", hw::orca_3t125());
+  TaskSwitcher sw(dev);
+  sw.add_task(make_task("trt", 0.3));
+  const util::Picoseconds t = sw.switch_to("trt");
+  EXPECT_EQ(t, dev.config_time(dev.family().config_bits));
+  EXPECT_EQ(sw.current(), "trt");
+  EXPECT_EQ(sw.switch_count(), 1u);
+}
+
+TEST(TaskSwitcher, LaterSwitchesArePartialOnOrca) {
+  hw::FpgaDevice dev("orca", hw::orca_3t125());
+  TaskSwitcher sw(dev);
+  sw.add_task(make_task("trt", 0.3));
+  sw.add_task(make_task("conv", 0.3));
+  const util::Picoseconds full = sw.switch_to("trt");
+  const util::Picoseconds partial = sw.switch_to("conv");
+  EXPECT_LT(partial, full / 2);
+  EXPECT_EQ(sw.last_switch_time(), partial);
+  EXPECT_EQ(sw.total_switch_time(), full + partial);
+}
+
+TEST(TaskSwitcher, VirtexAlwaysReconfiguresFully) {
+  hw::FpgaDevice dev("virtex", hw::virtex_xcv600());
+  TaskSwitcher sw(dev);
+  sw.add_task(make_task("a", 0.3));
+  sw.add_task(make_task("b", 0.3));
+  const util::Picoseconds first = sw.switch_to("a");
+  const util::Picoseconds second = sw.switch_to("b");
+  EXPECT_EQ(first, second);  // no partial support: both are full loads
+}
+
+TEST(TaskSwitcher, SwitchToResidentTaskIsFree) {
+  hw::FpgaDevice dev("orca", hw::orca_3t125());
+  TaskSwitcher sw(dev);
+  sw.add_task(make_task("trt", 0.5));
+  sw.switch_to("trt");
+  EXPECT_EQ(sw.switch_to("trt"), 0);
+  EXPECT_EQ(sw.switch_count(), 1u);
+}
+
+TEST(TaskSwitcher, Validation) {
+  hw::FpgaDevice dev("orca", hw::orca_3t125());
+  TaskSwitcher sw(dev);
+  EXPECT_THROW(sw.switch_to("ghost"), util::StateError);
+  sw.add_task(make_task("trt", 0.5));
+  EXPECT_THROW(sw.add_task(make_task("trt", 0.5)), util::Error);
+  hw::Bitstream unnamed;
+  EXPECT_THROW(sw.add_task(unnamed), util::Error);
+}
+
+}  // namespace
+}  // namespace atlantis::core

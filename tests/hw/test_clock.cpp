@@ -1,0 +1,39 @@
+#include "hw/clock.hpp"
+
+#include <gtest/gtest.h>
+
+namespace atlantis::hw {
+namespace {
+
+TEST(Clock, PeriodMatchesFrequency) {
+  ClockGenerator clk("clk", 1.0, 80.0, 40.0);
+  EXPECT_DOUBLE_EQ(clk.mhz(), 40.0);
+  EXPECT_EQ(clk.period(), 25'000);  // 25 ns in ps
+  clk.set_mhz(80.0);
+  EXPECT_EQ(clk.period(), 12'500);
+  clk.set_mhz(66.0);
+  EXPECT_NEAR(static_cast<double>(clk.period()), 15'152.0, 1.0);
+}
+
+TEST(Clock, ProgrammableRangeEnforced) {
+  // "programmable in the range of a few MHz up to at least 80 MHz".
+  ClockGenerator clk("clk");
+  EXPECT_NO_THROW(clk.set_mhz(1.0));
+  EXPECT_NO_THROW(clk.set_mhz(80.0));
+  EXPECT_THROW(clk.set_mhz(0.5), util::Error);
+  EXPECT_THROW(clk.set_mhz(100.0), util::Error);
+}
+
+TEST(Clock, CyclesScaleLinearly) {
+  ClockGenerator clk("clk", 1.0, 80.0, 40.0);
+  EXPECT_EQ(clk.cycles(1'000'000), 25 * util::kMillisecond);
+  EXPECT_EQ(clk.cycles(0), 0);
+}
+
+TEST(Clock, NamePreserved) {
+  ClockGenerator clk("acb0/clk_io2");
+  EXPECT_EQ(clk.name(), "acb0/clk_io2");
+}
+
+}  // namespace
+}  // namespace atlantis::hw

@@ -1,0 +1,122 @@
+#include "hw/fpga.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chdl/builder.hpp"
+
+namespace atlantis::hw {
+namespace {
+
+chdl::Design& small_design() {
+  static chdl::Design d = [] {
+    chdl::Design dd("blinky");
+    const chdl::Wire en = dd.input("en", 1);
+    dd.output("q", chdl::counter(dd, "c", 8, en));
+    return dd;
+  }();
+  return d;
+}
+
+TEST(FpgaFamily, PaperFigures) {
+  // ORCA 3T125: ~186k average gates; 4 of them sum to the 744k of §2.1.
+  EXPECT_EQ(orca_3t125().gate_capacity * 4, 744'000);
+  // "more than 100k gates and 400 I/O pins per chip".
+  EXPECT_GT(orca_3t125().gate_capacity, 100'000);
+  EXPECT_GE(orca_3t125().io_pins, 422);  // the ACB uses 422 signals
+  EXPECT_TRUE(orca_3t125().partial_reconfig);
+  EXPECT_TRUE(orca_3t125().readback);
+  EXPECT_FALSE(virtex_xcv600().partial_reconfig);
+  EXPECT_GT(virtex_xcv600().gate_capacity, orca_3t125().gate_capacity);
+}
+
+TEST(FpgaDevice, ConfigureLoadsDesignAndSim) {
+  FpgaDevice dev("fpga0", orca_3t125());
+  EXPECT_FALSE(dev.configured());
+  const Bitstream bs = Bitstream::from_design(small_design());
+  const util::Picoseconds t = dev.configure(bs);
+  EXPECT_GT(t, 0);
+  EXPECT_TRUE(dev.configured());
+  EXPECT_EQ(dev.design_name(), "blinky");
+  ASSERT_NE(dev.sim(), nullptr);
+  dev.sim()->poke("en", 1);
+  dev.sim()->run(3);
+  EXPECT_EQ(dev.sim()->peek_u64("q"), 3u);
+}
+
+TEST(FpgaDevice, ConfigTimeMatchesBitstreamRate) {
+  FpgaDevice dev("fpga0", orca_3t125());
+  // 1.5 Mbit over 8 bits @ 10 MHz = 187500 clocks x 100 ns = 18.75 ms.
+  EXPECT_EQ(dev.config_time(orca_3t125().config_bits), 187'500ll * 100'000);
+}
+
+TEST(FpgaDevice, GateBudgetEnforced) {
+  FpgaDevice dev("fpga0", orca_3t125());
+  Bitstream bs;
+  bs.name = "huge";
+  bs.stats.design_name = "huge";
+  bs.stats.gate_equivalents = 1'000'000;
+  EXPECT_THROW(dev.configure(bs), util::CapacityError);
+  EXPECT_FALSE(dev.configured());
+}
+
+TEST(FpgaDevice, PinBudgetEnforced) {
+  FpgaDevice dev("fpga0", orca_3t125());
+  Bitstream bs;
+  bs.name = "pins";
+  bs.stats.io_pins = 500;
+  EXPECT_THROW(dev.configure(bs), util::CapacityError);
+}
+
+TEST(FpgaDevice, PartialReconfigurationRules) {
+  FpgaDevice orca("orca", orca_3t125());
+  FpgaDevice virtex("virtex", virtex_xcv600());
+  Bitstream bs = Bitstream::from_design(small_design());
+  bs.fraction = 0.25;
+
+  // Must be configured first.
+  EXPECT_THROW(orca.partial_reconfigure(bs), util::StateError);
+  const util::Picoseconds full = orca.configure(bs);
+  const util::Picoseconds partial = orca.partial_reconfigure(bs);
+  EXPECT_LT(partial, full);
+  EXPECT_NEAR(static_cast<double>(partial), static_cast<double>(full) * 0.25,
+              static_cast<double>(full) * 0.01);
+
+  // Virtex generation: no partial reconfiguration.
+  virtex.configure(bs);
+  EXPECT_THROW(virtex.partial_reconfigure(bs), util::Error);
+}
+
+TEST(FpgaDevice, BadFractionRejected) {
+  FpgaDevice dev("fpga0", orca_3t125());
+  Bitstream bs = Bitstream::from_design(small_design());
+  dev.configure(bs);
+  bs.fraction = 0.0;
+  EXPECT_THROW(dev.partial_reconfigure(bs), util::Error);
+  bs.fraction = 1.5;
+  EXPECT_THROW(dev.partial_reconfigure(bs), util::Error);
+}
+
+TEST(FpgaDevice, ReadbackRequiresConfiguration) {
+  FpgaDevice dev("fpga0", orca_3t125());
+  EXPECT_THROW(dev.readback(), util::StateError);
+  dev.configure(Bitstream::from_design(small_design()));
+  EXPECT_GT(dev.readback(), 0);
+}
+
+TEST(FpgaDevice, DeconfigureClearsState) {
+  FpgaDevice dev("fpga0", orca_3t125());
+  dev.configure(Bitstream::from_design(small_design()));
+  dev.deconfigure();
+  EXPECT_FALSE(dev.configured());
+  EXPECT_EQ(dev.sim(), nullptr);
+}
+
+TEST(Bitstream, FromDesignAnalyzes) {
+  const Bitstream bs = Bitstream::from_design(small_design());
+  EXPECT_EQ(bs.name, "blinky");
+  EXPECT_GT(bs.stats.gate_equivalents, 0);
+  EXPECT_EQ(bs.design, &small_design());
+}
+
+}  // namespace
+}  // namespace atlantis::hw

@@ -1,0 +1,40 @@
+#include "hw/hostcpu.hpp"
+
+#include <gtest/gtest.h>
+
+namespace atlantis::hw {
+namespace {
+
+TEST(HostCpu, ModelsAreOrderedBySpeed) {
+  EXPECT_LT(pentium200_mmx().ops_per_second(),
+            pentium2_300().ops_per_second());
+  EXPECT_LT(pentium2_300().ops_per_second(), celeron450().ops_per_second());
+}
+
+TEST(HostCpu, TimeScalesWithOps) {
+  const HostCpuModel cpu = pentium2_300();
+  const auto t1 = cpu.time_for_ops(1e6);
+  const auto t2 = cpu.time_for_ops(2e6);
+  EXPECT_NEAR(static_cast<double>(t2), 2.0 * static_cast<double>(t1),
+              static_cast<double>(t1) * 0.01);
+}
+
+TEST(HostCpu, Pentium2FlopsInEraRange) {
+  // Late-90s x87: around 100 MFLOPS sustained.
+  const double mflops = pentium2_300().mflops();
+  EXPECT_GT(mflops, 50.0);
+  EXPECT_LT(mflops, 200.0);
+}
+
+TEST(HostCpu, CalibrationAnchorsTrtBaseline) {
+  // The §3.4 anchor: the dense TRT histogram walk costs ~8M simple ops
+  // (see trt tests); at the Pentium-II/300 rate that must land in the
+  // neighbourhood of the measured 35 ms.
+  const HostCpuModel cpu = pentium2_300();
+  const double ms = util::ps_to_ms(cpu.time_for_ops(7.0e6));
+  EXPECT_GT(ms, 20.0);
+  EXPECT_LT(ms, 50.0);
+}
+
+}  // namespace
+}  // namespace atlantis::hw

@@ -1,0 +1,94 @@
+#include "hw/slink.hpp"
+
+#include <gtest/gtest.h>
+
+namespace atlantis::hw {
+namespace {
+
+TEST(Slink, WordsArriveInOrder) {
+  SlinkChannel link("sl0");
+  EXPECT_TRUE(link.send({1, false}));
+  EXPECT_TRUE(link.send({2, true}));
+  EXPECT_TRUE(link.send({3, false}));
+  auto a = link.receive();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->payload, 1u);
+  EXPECT_FALSE(a->control);
+  auto b = link.receive();
+  ASSERT_TRUE(b.has_value());
+  EXPECT_TRUE(b->control);
+  EXPECT_EQ(link.receive()->payload, 3u);
+  EXPECT_FALSE(link.receive().has_value());
+}
+
+TEST(Slink, XoffWhenBufferFull) {
+  SlinkChannel link("sl0", /*fifo_words=*/4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(link.send({static_cast<std::uint32_t>(i), false}));
+  }
+  EXPECT_TRUE(link.xoff());
+  EXPECT_FALSE(link.send({99, false}));
+  EXPECT_EQ(link.words_refused(), 1u);
+  // Draining reopens the link.
+  link.receive();
+  EXPECT_FALSE(link.xoff());
+  EXPECT_TRUE(link.send({99, false}));
+}
+
+TEST(Slink, FragmentFramedByControlWords) {
+  SlinkChannel link("sl0");
+  const std::vector<std::uint32_t> payload = {0xAA, 0xBB, 0xCC};
+  EXPECT_EQ(link.send_fragment(0x123, payload), payload.size() + 2);
+  const auto begin = link.receive();
+  ASSERT_TRUE(begin.has_value());
+  EXPECT_TRUE(begin->control);
+  EXPECT_EQ(begin->payload, SlinkChannel::kBeginFragment | 0x123);
+  for (const std::uint32_t w : payload) {
+    EXPECT_EQ(link.receive()->payload, w);
+  }
+  const auto end = link.receive();
+  EXPECT_TRUE(end->control);
+  EXPECT_EQ(end->payload, SlinkChannel::kEndFragment | 0x123);
+}
+
+TEST(Slink, FragmentStopsOnXoff) {
+  SlinkChannel link("sl0", 3);
+  const std::vector<std::uint32_t> payload(10, 7);
+  EXPECT_EQ(link.send_fragment(1, payload), 3u);  // begin + 2 data words
+}
+
+TEST(Slink, BandwidthMatchesFootnoteHardware) {
+  // S-Link at 40 MHz moves 160 MB/s — the class of rate the TRT input
+  // stage needs per link.
+  SlinkChannel link("sl0", 1024, 40.0);
+  EXPECT_DOUBLE_EQ(link.peak_mbps(), 160.0);
+  EXPECT_EQ(link.transfer_time(40'000'000), util::kSecond);
+}
+
+TEST(Slink, SelfTestPasses) {
+  SlinkChannel link("sl0");
+  EXPECT_TRUE(link.self_test());
+  // Still usable afterwards.
+  EXPECT_TRUE(link.send({5, false}));
+  EXPECT_EQ(link.receive()->payload, 5u);
+}
+
+TEST(Slink, LongStreamCompactsInternally) {
+  SlinkChannel link("sl0", 64);
+  for (int round = 0; round < 2000; ++round) {
+    ASSERT_TRUE(link.send({static_cast<std::uint32_t>(round), false}));
+    const auto w = link.receive();
+    ASSERT_TRUE(w.has_value());
+    EXPECT_EQ(w->payload, static_cast<std::uint32_t>(round));
+  }
+  EXPECT_EQ(link.words_sent(), 2000u);
+  EXPECT_EQ(link.buffered(), 0u);
+}
+
+TEST(Slink, Validation) {
+  EXPECT_THROW(SlinkChannel("x", 0), util::Error);
+  EXPECT_THROW(SlinkChannel("x", 16, 0.0), util::Error);
+}
+
+}  // namespace
+}  // namespace atlantis::hw

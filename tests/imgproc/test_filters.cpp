@@ -1,0 +1,156 @@
+#include "imgproc/filters.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace atlantis::imgproc {
+namespace {
+
+Gray8 random_image(int w, int h, std::uint64_t seed) {
+  Gray8 img(w, h);
+  util::Rng rng(seed);
+  for (auto& px : img.data()) {
+    px = static_cast<std::uint8_t>(rng.next_below(256));
+  }
+  return img;
+}
+
+TEST(Filters, BoxBlurOfConstantIsAlmostConstant) {
+  Gray8 img(16, 16, 80);
+  const Gray8 out = convolve3x3(img, Kernel3x3::box_blur());
+  for (const std::uint8_t px : out.data()) {
+    EXPECT_EQ(px, 90);  // 9 * 80 / 8 = 90 (sum >> 3)
+  }
+}
+
+TEST(Filters, GaussianPreservesConstant) {
+  Gray8 img(16, 16, 100);
+  const Gray8 out = convolve3x3(img, Kernel3x3::gaussian());
+  // Kernel sums to 16, shift 4: exact preservation.
+  for (const std::uint8_t px : out.data()) EXPECT_EQ(px, 100);
+}
+
+TEST(Filters, ImpulseResponseIsTheKernel) {
+  Gray8 img(7, 7, 0);
+  img(3, 3) = 255;
+  const Kernel3x3 k = Kernel3x3::gaussian();
+  const Gray8 out = convolve3x3(img, k);
+  // Output at (2,2)..(4,4) is the flipped kernel scaled by 255 >> 4.
+  int idx = 0;
+  for (int dy = -1; dy <= 1; ++dy) {
+    for (int dx = -1; dx <= 1; ++dx) {
+      // Convolution here is correlation (kernels are symmetric anyway).
+      const int expected = (255 * k.k[static_cast<std::size_t>(idx++)]) >> 4;
+      EXPECT_EQ(out(3 - dx, 3 - dy), std::min(expected, 255));
+    }
+  }
+}
+
+TEST(Filters, SharpenClampsNegativeLobes) {
+  Gray8 img(8, 8, 0);
+  img(4, 4) = 255;
+  const Gray8 out = convolve3x3(img, Kernel3x3::sharpen());
+  // Neighbours of the impulse go negative -> clamp to 0.
+  EXPECT_EQ(out(3, 4), 0);
+  EXPECT_EQ(out(4, 3), 0);
+  // Centre: 8*255 >> 2 = 510 -> clamps to 255.
+  EXPECT_EQ(out(4, 4), 255);
+}
+
+TEST(Filters, SobelFlatFieldIsZero) {
+  Gray8 img(16, 16, 123);
+  const Gray8 out = sobel_magnitude(img);
+  for (const std::uint8_t px : out.data()) EXPECT_EQ(px, 0);
+}
+
+TEST(Filters, SobelDetectsVerticalEdge) {
+  Gray8 img(16, 16, 0);
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 8; x < 16; ++x) img(x, y) = 200;
+  }
+  const Gray8 out = sobel_magnitude(img);
+  // Strong response on the edge columns, none far away.
+  EXPECT_EQ(out(7, 8), 255);  // gradient 4*200 clamps
+  EXPECT_EQ(out(8, 8), 255);
+  EXPECT_EQ(out(2, 8), 0);
+  EXPECT_EQ(out(13, 8), 0);
+}
+
+TEST(Filters, MedianRemovesSaltAndPepper) {
+  Gray8 img(16, 16, 100);
+  img(5, 5) = 255;  // salt
+  img(9, 9) = 0;    // pepper
+  const Gray8 out = median3x3(img);
+  EXPECT_EQ(out(5, 5), 100);
+  EXPECT_EQ(out(9, 9), 100);
+}
+
+TEST(Filters, MedianPreservesEdges) {
+  Gray8 img(16, 16, 0);
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 8; x < 16; ++x) img(x, y) = 200;
+  }
+  const Gray8 out = median3x3(img);
+  EXPECT_EQ(out(4, 8), 0);
+  EXPECT_EQ(out(12, 8), 200);
+  EXPECT_EQ(out(7, 8), 0);   // majority of the window is dark
+  EXPECT_EQ(out(8, 8), 200); // majority bright
+}
+
+TEST(Filters, ThresholdBinarizes) {
+  Gray8 img(4, 1);
+  img(0, 0) = 10;
+  img(1, 0) = 127;
+  img(2, 0) = 128;
+  img(3, 0) = 255;
+  const Gray8 out = threshold(img, 128);
+  EXPECT_EQ(out(0, 0), 0);
+  EXPECT_EQ(out(1, 0), 0);
+  EXPECT_EQ(out(2, 0), 255);
+  EXPECT_EQ(out(3, 0), 255);
+}
+
+TEST(Filters, EdgeClampingMatchesManualComputation) {
+  // Corner pixel: the window reads the clamped border.
+  Gray8 img = random_image(5, 5, 7);
+  const Kernel3x3 k = Kernel3x3::box_blur();
+  const Gray8 out = convolve3x3(img, k);
+  std::int32_t acc = 0;
+  for (int dy = -1; dy <= 1; ++dy) {
+    for (int dx = -1; dx <= 1; ++dx) {
+      acc += img.clamped(0 + dx, 0 + dy);
+    }
+  }
+  EXPECT_EQ(out(0, 0), static_cast<std::uint8_t>(
+                           std::clamp(acc >> 3, 0, 255)));
+}
+
+TEST(Filters, OpCountsArePositive) {
+  EXPECT_GT(convolve_ops_per_pixel(), 0.0);
+  EXPECT_GT(sobel_ops_per_pixel(), convolve_ops_per_pixel());
+  EXPECT_GT(median_ops_per_pixel(), 0.0);
+}
+
+// Parameterized: every stock kernel maps a constant field to a constant.
+class KernelSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(KernelSweep, ConstantInConstantOut) {
+  const Kernel3x3 kernels[] = {Kernel3x3::box_blur(), Kernel3x3::sharpen(),
+                               Kernel3x3::gaussian(), Kernel3x3::sobel_x(),
+                               Kernel3x3::sobel_y()};
+  const Kernel3x3& k = kernels[GetParam()];
+  Gray8 img(9, 9, 64);
+  const Gray8 out = convolve3x3(img, k);
+  const std::uint8_t first = out(4, 4);
+  for (int y = 1; y < 8; ++y) {
+    for (int x = 1; x < 8; ++x) {
+      EXPECT_EQ(out(x, y), first);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, KernelSweep, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace atlantis::imgproc

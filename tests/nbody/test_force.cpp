@@ -1,0 +1,121 @@
+#include "nbody/force.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nbody/plummer.hpp"
+
+namespace atlantis::nbody {
+namespace {
+
+TEST(ForceReference, TwoBodyInverseSquare) {
+  ParticleSet p(2);
+  p[0].pos = {0, 0, 0};
+  p[1].pos = {2, 0, 0};
+  p[0].mass = 1.0;
+  p[1].mass = 3.0;
+  const auto acc = accel_reference(p, 0.0);
+  // a0 = G*m1/r^2 toward +x.
+  EXPECT_NEAR(acc[0].x, 3.0 / 4.0, 1e-12);
+  EXPECT_NEAR(acc[1].x, -1.0 / 4.0, 1e-12);
+  EXPECT_NEAR(acc[0].y, 0.0, 1e-15);
+}
+
+TEST(ForceReference, MomentumIsConserved) {
+  const ParticleSet p = make_plummer(200);
+  const auto acc = accel_reference(p, 0.05);
+  Vec3d net{};
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    net += acc[i] * p[i].mass;
+  }
+  EXPECT_NEAR(net.norm(), 0.0, 1e-10);
+}
+
+TEST(ForceReference, SofteningBoundsCloseEncounters) {
+  ParticleSet p(2);
+  p[0].pos = {0, 0, 0};
+  p[1].pos = {1e-8, 0, 0};
+  const auto soft = accel_reference(p, 0.1);
+  EXPECT_LT(soft[0].norm(), 200.0);  // ~m/eps^2
+}
+
+TEST(ForcePipeline, Float32TracksReferenceClosely) {
+  const ParticleSet p = make_plummer(150);
+  const auto ref = accel_reference(p, 0.05);
+  ForcePipelineConfig cfg;
+  cfg.format = util::kFloat32;
+  const ForcePipelineResult r = accel_pipeline(p, cfg);
+  const util::Accumulator err = accel_error(ref, r.accel);
+  EXPECT_LT(err.mean(), 1e-5);
+  EXPECT_LT(err.max(), 1e-3);
+}
+
+TEST(ForcePipeline, PrecisionLadder) {
+  // The §3.3 story: 18-bit arithmetic (the 1995 pipelines) is coarse;
+  // wider formats converge monotonically to the double reference.
+  const ParticleSet p = make_plummer(100);
+  const auto ref = accel_reference(p, 0.05);
+  double prev_err = 1e9;
+  for (const auto& fmt : {util::kFloat18, util::kFloat24, util::kFloat32}) {
+    ForcePipelineConfig cfg;
+    cfg.format = fmt;
+    const util::Accumulator err =
+        accel_error(ref, accel_pipeline(p, cfg).accel);
+    EXPECT_LT(err.mean(), prev_err);
+    prev_err = err.mean();
+  }
+  // 18-bit is still usable for collisionless dynamics: percent level.
+  ForcePipelineConfig cfg18;
+  cfg18.format = util::kFloat18;
+  const util::Accumulator err18 =
+      accel_error(ref, accel_pipeline(p, cfg18).accel);
+  EXPECT_LT(err18.mean(), 0.05);
+}
+
+TEST(ForcePipeline, PairAndCycleAccounting) {
+  const ParticleSet p = make_plummer(64);
+  ForcePipelineConfig cfg;
+  cfg.pipeline_depth = 40;
+  cfg.pipelines = 1;
+  const ForcePipelineResult r = accel_pipeline(p, cfg);
+  EXPECT_EQ(r.pairs, 64u * 63u);
+  EXPECT_EQ(r.cycles, r.pairs + 64u * 40u);
+  EXPECT_GT(r.time, 0);
+  EXPECT_GT(r.mflops(), 0.0);
+}
+
+TEST(ForcePipeline, ParallelPipelinesScaleThroughput) {
+  // Large enough that the per-particle drain does not mask the scaling.
+  const ParticleSet p = make_plummer(256);
+  ForcePipelineConfig one;
+  ForcePipelineConfig four;
+  four.pipelines = 4;
+  const auto r1 = accel_pipeline(p, one);
+  const auto r4 = accel_pipeline(p, four);
+  EXPECT_LT(r4.cycles, r1.cycles);
+  EXPECT_GT(r4.pairs_per_second(), 2.0 * r1.pairs_per_second());
+}
+
+TEST(ForcePipeline, BeatsThe1995Results) {
+  // §3.3 footnote: 1995 results were ~10 MFLOP (18 bit) per chip. A
+  // 25 MHz pair pipeline at 20 FLOP/pair is an order of magnitude more.
+  const ParticleSet p = make_plummer(96);
+  ForcePipelineConfig cfg;
+  cfg.format = util::kFloat18;
+  cfg.clock_mhz = 25.0;
+  const ForcePipelineResult r = accel_pipeline(p, cfg);
+  EXPECT_GT(r.mflops(), 100.0);
+}
+
+TEST(ForcePipeline, ConfigValidation) {
+  const ParticleSet p = make_plummer(8);
+  ForcePipelineConfig cfg;
+  cfg.pipelines = 0;
+  EXPECT_THROW(accel_pipeline(p, cfg), util::Error);
+}
+
+TEST(ForceError, SizeMismatchThrows) {
+  EXPECT_THROW(accel_error({{1, 0, 0}}, {}), util::Error);
+}
+
+}  // namespace
+}  // namespace atlantis::nbody

@@ -1,0 +1,86 @@
+#include "nbody/integrator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nbody/force.hpp"
+#include "nbody/plummer.hpp"
+
+namespace atlantis::nbody {
+namespace {
+
+constexpr double kSoftening = 0.05;
+
+ForceEngine reference_engine() {
+  return [](const ParticleSet& p) { return accel_reference(p, kSoftening); };
+}
+
+TEST(Integrator, TwoBodyCircularOrbitStaysCircular) {
+  // Equal masses on a circular orbit: radius must be preserved.
+  ParticleSet p(2);
+  p[0].mass = p[1].mass = 0.5;
+  p[0].pos = {-1, 0, 0};
+  p[1].pos = {1, 0, 0};
+  // v for circular orbit of the reduced problem: a = G m / (2r)^2 = v^2/r.
+  const double v = std::sqrt(0.5 / 4.0);
+  p[0].vel = {0, -v, 0};
+  p[1].vel = {0, v, 0};
+  ForceEngine engine = [](const ParticleSet& q) {
+    return accel_reference(q, 0.0);
+  };
+  for (int s = 0; s < 2000; ++s) {
+    leapfrog_step(p, 0.01, engine);
+  }
+  EXPECT_NEAR((p[0].pos - p[1].pos).norm(), 2.0, 0.05);
+}
+
+TEST(Integrator, EnergyDriftIsSmall) {
+  ParticleSet p = make_plummer(100);
+  const double drift =
+      integrate(p, 0.005, 100, reference_engine(), kSoftening);
+  EXPECT_LT(drift, 1e-3);
+}
+
+TEST(Integrator, PipelineEngineConservesEnergyToo) {
+  // Running the reduced-precision hardware engine inside the integrator:
+  // the end-to-end workflow of the astronomy application.
+  ParticleSet p = make_plummer(60);
+  ForceEngine engine = [](const ParticleSet& q) {
+    ForcePipelineConfig cfg;
+    cfg.format = util::kFloat24;
+    cfg.softening = kSoftening;
+    return accel_pipeline(q, cfg).accel;
+  };
+  const double drift = integrate(p, 0.005, 30, engine, kSoftening);
+  EXPECT_LT(drift, 1e-2);
+}
+
+TEST(Integrator, SmallerStepsDriftLess) {
+  ParticleSet coarse = make_plummer(80, 3);
+  ParticleSet fine = make_plummer(80, 3);
+  const double d_coarse =
+      integrate(coarse, 0.02, 50, reference_engine(), kSoftening);
+  const double d_fine =
+      integrate(fine, 0.005, 200, reference_engine(), kSoftening);
+  EXPECT_LT(d_fine, d_coarse);
+}
+
+TEST(Integrator, EngineSizeMismatchThrows) {
+  ParticleSet p = make_plummer(4);
+  ForceEngine bad = [](const ParticleSet&) {
+    return std::vector<Vec3d>(2);
+  };
+  EXPECT_THROW(leapfrog_step(p, 0.01, bad), util::Error);
+}
+
+TEST(Energy, KineticPlusPotential) {
+  ParticleSet p(2);
+  p[0].mass = p[1].mass = 1.0;
+  p[0].pos = {0, 0, 0};
+  p[1].pos = {1, 0, 0};
+  p[1].vel = {0, 2, 0};
+  const double e = total_energy(p, 0.0);
+  EXPECT_NEAR(e, 0.5 * 4.0 - 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace atlantis::nbody

@@ -1,0 +1,81 @@
+#include "nbody/plummer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "nbody/integrator.hpp"
+#include "util/status.hpp"
+
+namespace atlantis::nbody {
+namespace {
+
+TEST(Plummer, DeterministicAndSized) {
+  const ParticleSet a = make_plummer(500, 1);
+  const ParticleSet b = make_plummer(500, 1);
+  ASSERT_EQ(a.size(), 500u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].pos.x, b[i].pos.x);
+    EXPECT_DOUBLE_EQ(a[i].vel.z, b[i].vel.z);
+  }
+  EXPECT_THROW(make_plummer(0), util::Error);
+}
+
+TEST(Plummer, UnitTotalMass) {
+  const ParticleSet p = make_plummer(1000);
+  double mass = 0.0;
+  for (const Particle& q : p) mass += q.mass;
+  EXPECT_NEAR(mass, 1.0, 1e-9);
+}
+
+TEST(Plummer, CenterOfMassAtRest) {
+  const ParticleSet p = make_plummer(2000);
+  Vec3d com{}, cov{};
+  for (const Particle& q : p) {
+    com += q.pos * q.mass;
+    cov += q.vel * q.mass;
+  }
+  EXPECT_NEAR(com.norm(), 0.0, 1e-9);
+  EXPECT_NEAR(cov.norm(), 0.0, 1e-9);
+}
+
+TEST(Plummer, RadiiFollowTheProfile) {
+  // Half-mass radius of a Plummer sphere is ~1.3 scale radii; our
+  // truncated sampling keeps the median radius near 1.
+  ParticleSet p = make_plummer(5000);
+  std::vector<double> radii;
+  radii.reserve(p.size());
+  for (const Particle& q : p) radii.push_back(q.pos.norm());
+  std::nth_element(radii.begin(), radii.begin() + radii.size() / 2,
+                   radii.end());
+  const double median = radii[radii.size() / 2];
+  EXPECT_GT(median, 0.5);
+  EXPECT_LT(median, 2.0);
+}
+
+TEST(Plummer, BoundSystem) {
+  // Total energy must be negative (bound cluster) and the virial ratio
+  // -2K/U should be order one.
+  const ParticleSet p = make_plummer(800);
+  const double e = total_energy(p, 0.01);
+  EXPECT_LT(e, 0.0);
+  double kinetic = 0.0;
+  for (const Particle& q : p) kinetic += 0.5 * q.mass * q.vel.dot(q.vel);
+  const double potential = e - kinetic;
+  const double virial = -2.0 * kinetic / potential;
+  EXPECT_GT(virial, 0.3);
+  EXPECT_LT(virial, 1.2);
+}
+
+TEST(Plummer, VelocitiesBelowEscapeSpeed) {
+  const ParticleSet p = make_plummer(2000);
+  for (const Particle& q : p) {
+    const double r = q.pos.norm();
+    const double vesc = std::sqrt(2.0) * std::pow(1.0 + r * r, -0.25);
+    // Small slack for the centre-of-mass velocity correction.
+    EXPECT_LE(q.vel.norm(), vesc * 1.05 + 0.02);
+  }
+}
+
+}  // namespace
+}  // namespace atlantis::nbody

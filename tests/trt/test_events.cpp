@@ -1,0 +1,107 @@
+#include "trt/events.hpp"
+
+#include <gtest/gtest.h>
+
+namespace atlantis::trt {
+namespace {
+
+DetectorGeometry small_geo() {
+  DetectorGeometry geo;
+  geo.layers = 10;
+  geo.straws_per_layer = 100;
+  return geo;
+}
+
+TEST(Events, DeterministicFromSeed) {
+  PatternBank bank(small_geo(), 60);
+  EventGenerator g1(bank, EventParams{}, 99);
+  EventGenerator g2(bank, EventParams{}, 99);
+  const Event a = g1.generate();
+  const Event b = g2.generate();
+  EXPECT_EQ(a.hits, b.hits);
+  EXPECT_EQ(a.true_tracks, b.true_tracks);
+}
+
+TEST(Events, HitListMatchesMask) {
+  PatternBank bank(small_geo(), 60);
+  EventGenerator gen(bank, EventParams{});
+  const Event ev = gen.generate();
+  std::size_t mask_hits = 0;
+  for (std::size_t s = 0; s < ev.hit_mask.size(); ++s) {
+    if (ev.hit_mask[s] != 0) {
+      ++mask_hits;
+      EXPECT_TRUE(std::binary_search(ev.hits.begin(), ev.hits.end(),
+                                     static_cast<std::int32_t>(s)));
+    }
+  }
+  EXPECT_EQ(ev.hits.size(), mask_hits);
+}
+
+TEST(Events, TrueTracksLightUpTheirStraws) {
+  PatternBank bank(small_geo(), 60);
+  EventParams p;
+  p.straw_efficiency = 1.0;  // no losses: every track straw must fire
+  p.noise_occupancy = 0.0;
+  EventGenerator gen(bank, p);
+  const Event ev = gen.generate();
+  for (const std::int32_t t : ev.true_tracks) {
+    for (const std::int32_t s : bank.pattern_straws(t)) {
+      EXPECT_EQ(ev.hit_mask[static_cast<std::size_t>(s)], 1);
+    }
+  }
+}
+
+TEST(Events, NoiseOccupancyIsRespected) {
+  PatternBank bank(small_geo(), 60);
+  EventParams p;
+  p.tracks = 0;
+  p.noise_occupancy = 0.1;
+  EventGenerator gen(bank, p);
+  const Event ev = gen.generate();
+  const double occupancy = static_cast<double>(ev.hits.size()) /
+                           static_cast<double>(small_geo().straw_count());
+  EXPECT_NEAR(occupancy, 0.1, 0.02);
+  EXPECT_TRUE(ev.true_tracks.empty());
+}
+
+TEST(Events, ZeroNoiseZeroTracksIsEmpty) {
+  PatternBank bank(small_geo(), 60);
+  EventParams p;
+  p.tracks = 0;
+  p.noise_occupancy = 0.0;
+  EventGenerator gen(bank, p);
+  EXPECT_TRUE(gen.generate().hits.empty());
+}
+
+TEST(Events, TrueTracksAreSortedUnique) {
+  PatternBank bank(small_geo(), 8);  // few patterns: duplicates likely
+  EventParams p;
+  p.tracks = 20;
+  EventGenerator gen(bank, p);
+  const Event ev = gen.generate();
+  EXPECT_TRUE(std::is_sorted(ev.true_tracks.begin(), ev.true_tracks.end()));
+  EXPECT_EQ(std::adjacent_find(ev.true_tracks.begin(), ev.true_tracks.end()),
+            ev.true_tracks.end());
+}
+
+TEST(Events, ParamValidation) {
+  PatternBank bank(small_geo(), 8);
+  EventParams p;
+  p.straw_efficiency = 0.0;
+  EXPECT_THROW(EventGenerator(bank, p), util::Error);
+  p = EventParams{};
+  p.noise_occupancy = 1.0;
+  EXPECT_THROW(EventGenerator(bank, p), util::Error);
+  p = EventParams{};
+  p.tracks = -1;
+  EXPECT_THROW(EventGenerator(bank, p), util::Error);
+}
+
+TEST(Events, SuccessiveEventsDiffer) {
+  PatternBank bank(small_geo(), 60);
+  EventGenerator gen(bank, EventParams{});
+  EXPECT_NE(gen.generate().hits, gen.generate().hits);
+}
+
+}  // namespace
+}  // namespace atlantis::trt

@@ -1,0 +1,77 @@
+#include "trt/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace atlantis::trt {
+namespace {
+
+TEST(Geometry, DefaultIs80kStraws) {
+  const DetectorGeometry geo;
+  // "The size of the detector image is 80,000 pixels."
+  EXPECT_EQ(geo.straw_count(), 80'000);
+}
+
+TEST(Geometry, StrawIdsAreLayerMajor) {
+  DetectorGeometry geo;
+  geo.layers = 4;
+  geo.straws_per_layer = 10;
+  EXPECT_EQ(geo.straw_id(0, 0), 0);
+  EXPECT_EQ(geo.straw_id(0, 9), 9);
+  EXPECT_EQ(geo.straw_id(1, 0), 10);
+  EXPECT_EQ(geo.straw_id(3, 9), 39);
+  EXPECT_THROW(geo.straw_id(4, 0), util::Error);
+}
+
+TEST(Geometry, PositionsWrapAroundBarrel) {
+  DetectorGeometry geo;
+  geo.layers = 2;
+  geo.straws_per_layer = 10;
+  EXPECT_EQ(geo.straw_id(0, 12), 2);
+  EXPECT_EQ(geo.straw_id(0, -1), 9);
+  EXPECT_EQ(geo.straw_id(1, -11), 9 + 10);
+}
+
+TEST(Geometry, StraightTrackHasConstantSlopeSteps) {
+  DetectorGeometry geo;
+  geo.layers = 10;
+  geo.straws_per_layer = 100;
+  TrackParams t;
+  t.phi = 5.0;
+  t.slope = 2.0;
+  const auto straws = track_straws(geo, t);
+  ASSERT_EQ(straws.size(), 10u);
+  for (int l = 0; l < 10; ++l) {
+    EXPECT_EQ(straws[static_cast<std::size_t>(l)], l * 100 + 5 + 2 * l);
+  }
+}
+
+TEST(Geometry, CurvedTrackBends) {
+  DetectorGeometry geo;
+  geo.layers = 10;
+  geo.straws_per_layer = 1000;
+  TrackParams straight{100.0, 1.0, 0.0};
+  TrackParams curved{100.0, 1.0, 0.5};
+  const auto s = track_straws(geo, straight);
+  const auto c = track_straws(geo, curved);
+  EXPECT_EQ(s[0], c[0]);  // same origin
+  // The quadratic term pulls the curved track away monotonically.
+  int diverging = 0;
+  for (std::size_t l = 1; l < s.size(); ++l) {
+    if (c[l] - s[l] > c[l - 1] - s[l - 1]) ++diverging;
+  }
+  EXPECT_GE(diverging, 8);
+}
+
+TEST(Geometry, TrackCrossesEachLayerOnce) {
+  const DetectorGeometry geo;
+  const auto straws = track_straws(geo, TrackParams{123.0, -1.5, 0.02});
+  ASSERT_EQ(straws.size(), static_cast<std::size_t>(geo.layers));
+  for (int l = 0; l < geo.layers; ++l) {
+    const std::int32_t s = straws[static_cast<std::size_t>(l)];
+    EXPECT_GE(s, l * geo.straws_per_layer);
+    EXPECT_LT(s, (l + 1) * geo.straws_per_layer);
+  }
+}
+
+}  // namespace
+}  // namespace atlantis::trt

@@ -1,0 +1,120 @@
+#include "trt/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trt/hwmodel.hpp"
+
+namespace atlantis::trt {
+namespace {
+
+DetectorGeometry small_geo() {
+  DetectorGeometry geo;
+  geo.layers = 10;
+  geo.straws_per_layer = 100;
+  return geo;
+}
+
+TEST(Histogram, CountsMatchBruteForce) {
+  PatternBank bank(small_geo(), 60);
+  EventGenerator gen(bank, EventParams{});
+  const Event ev = gen.generate();
+  const ReferenceResult r = histogram_reference(bank, ev);
+  // Brute force: for each pattern, count its hit straws.
+  for (int p = 0; p < bank.pattern_count(); ++p) {
+    int expected = 0;
+    for (const std::int32_t s : bank.pattern_straws(p)) {
+      if (ev.hit_mask[static_cast<std::size_t>(s)] != 0) ++expected;
+    }
+    EXPECT_EQ(r.histogram.counts[static_cast<std::size_t>(p)], expected);
+  }
+}
+
+TEST(Histogram, DenseAndSparseAgree) {
+  PatternBank bank(small_geo(), 60);
+  EventGenerator gen(bank, EventParams{});
+  const Event ev = gen.generate();
+  EXPECT_EQ(histogram_reference(bank, ev).histogram.counts,
+            histogram_reference_dense(bank, ev).histogram.counts);
+}
+
+TEST(Histogram, PerfectTracksReachFullLayerCount) {
+  PatternBank bank(small_geo(), 60);
+  EventParams p;
+  p.straw_efficiency = 1.0;
+  p.noise_occupancy = 0.0;
+  EventGenerator gen(bank, p);
+  const Event ev = gen.generate();
+  const ReferenceResult r = histogram_reference(bank, ev);
+  for (const std::int32_t t : ev.true_tracks) {
+    EXPECT_EQ(r.histogram.counts[static_cast<std::size_t>(t)],
+              small_geo().layers);
+  }
+}
+
+TEST(Histogram, ThresholdSelectsTracks) {
+  TrackHistogram h;
+  h.counts = {3, 9, 5, 10, 0, 7};
+  const auto found = h.tracks_above(7);
+  EXPECT_EQ(found, (std::vector<std::int32_t>{1, 3, 5}));
+  EXPECT_TRUE(h.tracks_above(11).empty());
+  EXPECT_EQ(h.tracks_above(0).size(), 6u);
+}
+
+TEST(Histogram, TrackFinderRecoversPlantedTracks) {
+  // The end-to-end trigger property: with realistic efficiency and low
+  // noise, thresholding finds (nearly) all planted tracks with high
+  // purity.
+  PatternBank bank(small_geo(), 120);
+  EventParams p;
+  p.tracks = 6;
+  p.straw_efficiency = 0.95;
+  p.noise_occupancy = 0.02;
+  EventGenerator gen(bank, p, 7);
+  const int threshold = default_threshold(small_geo(), p.straw_efficiency);
+  int total_true = 0, total_matched = 0, total_found = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const Event ev = gen.generate();
+    const ReferenceResult r = histogram_reference(bank, ev);
+    const TrackFinderQuality q =
+        score_tracks(ev, r.histogram.tracks_above(threshold));
+    total_true += q.true_tracks;
+    total_matched += q.matched;
+    total_found += q.found_tracks;
+  }
+  EXPECT_GT(static_cast<double>(total_matched) / total_true, 0.9);
+  EXPECT_GT(static_cast<double>(total_matched) / total_found, 0.6);
+}
+
+TEST(Histogram, ScoreTracksCountsMatches) {
+  Event ev;
+  ev.true_tracks = {2, 5, 9};
+  const TrackFinderQuality q = score_tracks(ev, {1, 2, 9, 11});
+  EXPECT_EQ(q.true_tracks, 3);
+  EXPECT_EQ(q.found_tracks, 4);
+  EXPECT_EQ(q.matched, 2);
+  EXPECT_NEAR(q.efficiency(), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(q.purity(), 0.5, 1e-12);
+}
+
+TEST(Histogram, OpCountScalesWithHits) {
+  PatternBank bank(small_geo(), 60);
+  EventParams quiet;
+  quiet.tracks = 1;
+  quiet.noise_occupancy = 0.0;
+  EventParams busy;
+  busy.tracks = 10;
+  busy.noise_occupancy = 0.2;
+  const Event small = EventGenerator(bank, quiet, 1).generate();
+  const Event large = EventGenerator(bank, busy, 1).generate();
+  EXPECT_LT(histogram_reference(bank, small).op_count,
+            histogram_reference(bank, large).op_count);
+}
+
+TEST(Histogram, DefaultThresholdIsReasonable) {
+  const int t = default_threshold(small_geo(), 0.95);
+  EXPECT_GT(t, small_geo().layers / 2);
+  EXPECT_LT(t, small_geo().layers);
+}
+
+}  // namespace
+}  // namespace atlantis::trt

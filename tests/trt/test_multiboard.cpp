@@ -1,0 +1,100 @@
+#include "trt/multiboard.hpp"
+
+#include <gtest/gtest.h>
+
+namespace atlantis::trt {
+namespace {
+
+DetectorGeometry small_geo() {
+  DetectorGeometry geo;
+  geo.layers = 10;
+  geo.straws_per_layer = 100;
+  return geo;
+}
+
+core::AtlantisSystem make_system(int acbs) {
+  core::AtlantisSystem sys("crate");
+  for (int i = 0; i < acbs; ++i) sys.add_acb("acb" + std::to_string(i));
+  sys.add_aib("aib0");
+  return sys;
+}
+
+TEST(MultiBoard, FunctionallyIdenticalToReference) {
+  PatternBank bank(small_geo(), 120);
+  const Event ev = EventGenerator(bank, EventParams{}).generate();
+  auto sys = make_system(2);
+  const MultiBoardResult r =
+      histogram_multiboard(bank, ev, MultiBoardConfig{}, sys);
+  EXPECT_EQ(r.histogram.counts,
+            histogram_reference(bank, ev).histogram.counts);
+  EXPECT_EQ(r.patterns_per_board, 60);
+}
+
+TEST(MultiBoard, TwoBoardsBeatOne) {
+  const DetectorGeometry geo;  // full scale: compute dominates
+  PatternBank bank(geo, 1584);
+  const Event ev = EventGenerator(bank, EventParams{}).generate();
+  auto sys = make_system(2);
+  MultiBoardConfig one;
+  one.boards = 1;
+  MultiBoardConfig two;
+  two.boards = 2;
+  const auto r1 = histogram_multiboard(bank, ev, one, sys);
+  const auto r2 = histogram_multiboard(bank, ev, two, sys);
+  EXPECT_LT(r2.compute_time, r1.compute_time);
+  EXPECT_LT(r2.total_time, r1.total_time);
+}
+
+TEST(MultiBoard, BroadcastAndCollectDoNotShrink) {
+  // The phases the paper's extrapolation ignores: fixed broadcast cost,
+  // growing collection cost.
+  const DetectorGeometry geo;
+  PatternBank bank(geo, 1584);
+  const Event ev = EventGenerator(bank, EventParams{}).generate();
+  auto sys = make_system(3);
+  MultiBoardConfig one;
+  one.boards = 1;
+  MultiBoardConfig three;
+  three.boards = 3;
+  const auto r1 = histogram_multiboard(bank, ev, one, sys);
+  const auto r3 = histogram_multiboard(bank, ev, three, sys);
+  EXPECT_GE(r3.broadcast_time, r1.broadcast_time);
+  EXPECT_GT(r3.collect_time, 0);
+  // Speedup is therefore sublinear in boards.
+  const double speedup = static_cast<double>(r1.total_time) /
+                         static_cast<double>(r3.total_time);
+  EXPECT_GT(speedup, 1.5);
+  EXPECT_LT(speedup, 3.0);
+}
+
+TEST(MultiBoard, DetectorFedSkipsBroadcast) {
+  PatternBank bank(small_geo(), 120);
+  const Event ev = EventGenerator(bank, EventParams{}).generate();
+  auto sys = make_system(2);
+  MultiBoardConfig fed;
+  fed.detector_fed = true;
+  const auto r = histogram_multiboard(bank, ev, fed, sys);
+  EXPECT_EQ(r.broadcast_time, 0);
+  MultiBoardConfig host;
+  const auto rh = histogram_multiboard(bank, ev, host, sys);
+  EXPECT_GT(rh.broadcast_time, 0);
+  EXPECT_LT(r.total_time, rh.total_time);
+}
+
+TEST(MultiBoard, SystemRequirementsChecked) {
+  PatternBank bank(small_geo(), 120);
+  const Event ev = EventGenerator(bank, EventParams{}).generate();
+  auto small = make_system(1);
+  MultiBoardConfig two;
+  two.boards = 2;
+  EXPECT_THROW(histogram_multiboard(bank, ev, two, small), util::Error);
+
+  core::AtlantisSystem no_aib("crate");
+  no_aib.add_acb("acb0");
+  MultiBoardConfig one;
+  one.boards = 1;
+  EXPECT_THROW(histogram_multiboard(bank, ev, one, no_aib), util::Error);
+}
+
+}  // namespace
+}  // namespace atlantis::trt

@@ -1,0 +1,105 @@
+#include "trt/patterns.hpp"
+
+#include <gtest/gtest.h>
+
+namespace atlantis::trt {
+namespace {
+
+DetectorGeometry small_geo() {
+  DetectorGeometry geo;
+  geo.layers = 8;
+  geo.straws_per_layer = 32;
+  return geo;
+}
+
+TEST(PatternBank, ProducesRequestedCount) {
+  // The paper's range: "from 240 to more than 2,400".
+  const DetectorGeometry geo;
+  for (const int n : {240, 1584, 2400}) {
+    PatternBank bank(geo, n);
+    EXPECT_EQ(bank.pattern_count(), n);
+  }
+}
+
+TEST(PatternBank, PatternsAreDistinct) {
+  PatternBank bank(small_geo(), 48);
+  for (int a = 0; a < bank.pattern_count(); ++a) {
+    for (int b = a + 1; b < bank.pattern_count(); ++b) {
+      EXPECT_NE(bank.pattern_straws(a), bank.pattern_straws(b))
+          << "patterns " << a << " and " << b;
+    }
+  }
+}
+
+TEST(PatternBank, InverseMappingIsConsistent) {
+  PatternBank bank(small_geo(), 36);
+  // pattern -> straws and straw -> patterns must describe the same
+  // membership relation.
+  for (int p = 0; p < bank.pattern_count(); ++p) {
+    for (const std::int32_t s : bank.pattern_straws(p)) {
+      const auto& back = bank.straw_patterns(s);
+      EXPECT_NE(std::find(back.begin(), back.end(), p), back.end());
+    }
+  }
+  std::int64_t from_patterns = 0;
+  for (int p = 0; p < bank.pattern_count(); ++p) {
+    from_patterns += static_cast<std::int64_t>(bank.pattern_straws(p).size());
+  }
+  std::int64_t from_straws = 0;
+  for (int s = 0; s < small_geo().straw_count(); ++s) {
+    from_straws += static_cast<std::int64_t>(bank.straw_patterns(s).size());
+  }
+  EXPECT_EQ(from_patterns, from_straws);
+}
+
+TEST(PatternBank, LutRowMatchesStrawPatterns) {
+  PatternBank bank(small_geo(), 36);
+  for (int s = 0; s < small_geo().straw_count(); ++s) {
+    const chdl::BitVec row = bank.lut_row(s);
+    EXPECT_EQ(row.width(), bank.pattern_count());
+    EXPECT_EQ(row.popcount(),
+              static_cast<int>(bank.straw_patterns(s).size()));
+    for (const std::int32_t p : bank.straw_patterns(s)) {
+      EXPECT_TRUE(row.bit(p));
+    }
+  }
+}
+
+TEST(PatternBank, LutSlicesTileTheRow) {
+  PatternBank bank(small_geo(), 40);
+  const std::int32_t s = 17;
+  const chdl::BitVec full = bank.lut_row(s);
+  const chdl::BitVec lo = bank.lut_row_slice(s, 0, 16);
+  const chdl::BitVec mid = bank.lut_row_slice(s, 16, 16);
+  const chdl::BitVec hi = bank.lut_row_slice(s, 32, 8);
+  EXPECT_EQ(chdl::BitVec::concat(chdl::BitVec::concat(hi, mid), lo), full);
+}
+
+TEST(PatternBank, EveryPatternCrossesEveryLayer) {
+  PatternBank bank(small_geo(), 24);
+  for (int p = 0; p < bank.pattern_count(); ++p) {
+    EXPECT_EQ(bank.pattern_straws(p).size(),
+              static_cast<std::size_t>(small_geo().layers));
+  }
+}
+
+TEST(PatternBank, MeanPatternsPerStrawMatchesTotals) {
+  PatternBank bank(small_geo(), 24);
+  const double expected =
+      static_cast<double>(24 * small_geo().layers) /
+      static_cast<double>(small_geo().straw_count());
+  EXPECT_NEAR(bank.mean_patterns_per_straw(), expected, 1e-9);
+}
+
+TEST(PatternBank, LutBitsScaleWithPatterns) {
+  const DetectorGeometry geo;
+  PatternBank small(geo, 240);
+  EXPECT_EQ(small.lut_bits(), 80'000ll * 240);
+}
+
+TEST(PatternBank, EmptyBankRejected) {
+  EXPECT_THROW(PatternBank(small_geo(), 0), util::Error);
+}
+
+}  // namespace
+}  // namespace atlantis::trt

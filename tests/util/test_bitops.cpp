@@ -1,0 +1,86 @@
+#include "util/bitops.hpp"
+
+#include <gtest/gtest.h>
+
+namespace atlantis::util {
+namespace {
+
+TEST(BitOps, BitWidthOf) {
+  EXPECT_EQ(bit_width_of(0), 1);
+  EXPECT_EQ(bit_width_of(1), 1);
+  EXPECT_EQ(bit_width_of(2), 2);
+  EXPECT_EQ(bit_width_of(255), 8);
+  EXPECT_EQ(bit_width_of(256), 9);
+  EXPECT_EQ(bit_width_of(~0ull), 64);
+}
+
+TEST(BitOps, LowMask) {
+  EXPECT_EQ(low_mask(0), 0u);
+  EXPECT_EQ(low_mask(1), 1u);
+  EXPECT_EQ(low_mask(8), 0xFFu);
+  EXPECT_EQ(low_mask(64), ~0ull);
+  EXPECT_THROW(low_mask(65), Error);
+  EXPECT_THROW(low_mask(-1), Error);
+}
+
+TEST(BitOps, ExtractBits) {
+  EXPECT_EQ(extract_bits(0xDEADBEEF, 0, 8), 0xEFu);
+  EXPECT_EQ(extract_bits(0xDEADBEEF, 8, 8), 0xBEu);
+  EXPECT_EQ(extract_bits(0xDEADBEEF, 16, 16), 0xDEADu);
+  EXPECT_EQ(extract_bits(0xF0, 4, 0), 0u);
+  EXPECT_THROW(extract_bits(1, 60, 8), Error);
+}
+
+TEST(BitOps, SignExtend) {
+  EXPECT_EQ(sign_extend(0x7F, 8), 127);
+  EXPECT_EQ(sign_extend(0x80, 8), -128);
+  EXPECT_EQ(sign_extend(0xFF, 8), -1);
+  EXPECT_EQ(sign_extend(0x1FF, 8), -1);  // upper bits ignored
+  EXPECT_EQ(sign_extend(1, 1), -1);
+  EXPECT_EQ(sign_extend(0, 1), 0);
+  EXPECT_THROW(sign_extend(0, 0), Error);
+}
+
+TEST(BitOps, RoundUp) {
+  EXPECT_EQ(round_up(0, 8), 0u);
+  EXPECT_EQ(round_up(1, 8), 8u);
+  EXPECT_EQ(round_up(8, 8), 8u);
+  EXPECT_EQ(round_up(9, 8), 16u);
+  EXPECT_THROW(round_up(1, 0), Error);
+}
+
+TEST(BitOps, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 4), 0u);
+  EXPECT_EQ(ceil_div(1, 4), 1u);
+  EXPECT_EQ(ceil_div(4, 4), 1u);
+  EXPECT_EQ(ceil_div(5, 4), 2u);
+  EXPECT_THROW(ceil_div(5, 0), Error);
+}
+
+TEST(BitOps, IsPow2AndLog2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_EQ(log2_exact(1), 0);
+  EXPECT_EQ(log2_exact(1024), 10);
+  EXPECT_THROW(log2_exact(3), Error);
+}
+
+// Property sweep: extract composes with shifts for many (lo, width).
+class ExtractSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExtractSweep, ExtractMatchesShiftMask) {
+  const int lo = GetParam();
+  const std::uint64_t v = 0x0123456789ABCDEFull;
+  for (int width = 0; lo + width <= 64; width += 7) {
+    EXPECT_EQ(extract_bits(v, lo, width), (v >> lo) & low_mask(width))
+        << "lo=" << lo << " width=" << width;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOffsets, ExtractSweep,
+                         ::testing::Values(0, 1, 7, 8, 31, 32, 33, 63));
+
+}  // namespace
+}  // namespace atlantis::util

@@ -1,0 +1,163 @@
+#include "util/cfloat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace atlantis::util {
+namespace {
+
+TEST(CFloat, ZeroAndSpecials) {
+  const CFloat z = CFloat::from_double(0.0, kFloat32);
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_EQ(z.to_double(), 0.0);
+  const CFloat inf = CFloat::from_double(INFINITY, kFloat32);
+  EXPECT_TRUE(inf.is_inf());
+  const CFloat nan = CFloat::from_double(NAN, kFloat32);
+  EXPECT_TRUE(nan.is_nan());
+  EXPECT_TRUE(std::isnan(nan.to_double()));
+}
+
+TEST(CFloat, Float32FormatMatchesIeeeSingle) {
+  // In the 8/23 format, from_double must round exactly like a float cast.
+  Rng rng(41);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.uniform(-1e6, 1e6);
+    EXPECT_EQ(CFloat::from_double(v, kFloat32).to_double(),
+              static_cast<double>(static_cast<float>(v)))
+        << "v=" << v;
+  }
+}
+
+TEST(CFloat, PackUnpackRoundtrip) {
+  Rng rng(43);
+  for (const auto& fmt : {kFloat32, kFloat24, kFloat18}) {
+    for (int i = 0; i < 1000; ++i) {
+      const CFloat a = CFloat::from_double(rng.uniform(-100.0, 100.0), fmt);
+      const CFloat b = CFloat::from_bits(a.pack(), fmt);
+      EXPECT_EQ(a.pack(), b.pack());
+      EXPECT_EQ(a.to_double(), b.to_double());
+    }
+  }
+}
+
+TEST(CFloat, PackedWidthFitsFormat) {
+  const CFloat a = CFloat::from_double(-123.456, kFloat18);
+  EXPECT_LT(a.pack(), 1ull << kFloat18.total_bits());
+  EXPECT_EQ(kFloat18.total_bits(), 18);
+  EXPECT_EQ(kFloat32.total_bits(), 32);
+  EXPECT_EQ(kFloat24.total_bits(), 24);
+}
+
+TEST(CFloat, AddMatchesFloatInSingleFormat) {
+  // float hardware is the oracle for the 8/23 format: single-rounded
+  // add/sub/mul/div in round-to-nearest-even.
+  Rng rng(47);
+  for (int i = 0; i < 3000; ++i) {
+    const float x = static_cast<float>(rng.uniform(-1e4, 1e4));
+    const float y = static_cast<float>(rng.uniform(-1e4, 1e4));
+    const CFloat a = CFloat::from_double(x, kFloat32);
+    const CFloat b = CFloat::from_double(y, kFloat32);
+    EXPECT_EQ((a + b).to_double(), static_cast<double>(x + y));
+    EXPECT_EQ((a - b).to_double(), static_cast<double>(x - y));
+    EXPECT_EQ((a * b).to_double(), static_cast<double>(x * y));
+    if (y != 0.0f) {
+      EXPECT_EQ((a / b).to_double(), static_cast<double>(x / y));
+    }
+  }
+}
+
+TEST(CFloat, CancellationIsExact) {
+  const CFloat a = CFloat::from_double(1.0, kFloat32);
+  const CFloat b = CFloat::from_double(1.0, kFloat32);
+  EXPECT_TRUE((a - b).is_zero());
+}
+
+TEST(CFloat, InfinityArithmetic) {
+  const CFloat inf = CFloat::from_double(INFINITY, kFloat32);
+  const CFloat one = CFloat::from_double(1.0, kFloat32);
+  EXPECT_TRUE((inf + one).is_inf());
+  EXPECT_TRUE((inf - inf).is_nan());
+  EXPECT_TRUE((inf * one).is_inf());
+  EXPECT_TRUE((one / CFloat::from_double(0.0, kFloat32)).is_inf());
+  EXPECT_TRUE((CFloat::from_double(0.0, kFloat32) /
+               CFloat::from_double(0.0, kFloat32))
+                  .is_nan());
+}
+
+TEST(CFloat, OverflowSaturatesToInfinity) {
+  const CFloat big = CFloat::from_double(1e30, kFloat18);
+  EXPECT_TRUE(big.is_inf());  // 6-bit exponent cannot hold 1e30
+  const CFloat max24 = CFloat::from_double(1e18, kFloat24);
+  EXPECT_TRUE((max24 * max24).is_inf());
+}
+
+TEST(CFloat, UnderflowFlushesToZero) {
+  const CFloat tiny = CFloat::from_double(1e-30, kFloat18);
+  EXPECT_TRUE(tiny.is_zero());
+}
+
+TEST(CFloat, NegFlipsSign) {
+  const CFloat a = CFloat::from_double(2.5, kFloat24);
+  EXPECT_EQ(CFloat::neg(a).to_double(), -2.5);
+}
+
+TEST(CFloat, RsqrtAccuracyScalesWithFormat) {
+  Rng rng(53);
+  double worst18 = 0.0, worst32 = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.uniform(0.01, 1000.0);
+    const double exact = 1.0 / std::sqrt(v);
+    const double e18 = std::fabs(
+        CFloat::rsqrt(CFloat::from_double(v, kFloat18)).to_double() - exact) /
+        exact;
+    const double e32 = std::fabs(
+        CFloat::rsqrt(CFloat::from_double(v, kFloat32)).to_double() - exact) /
+        exact;
+    worst18 = std::max(worst18, e18);
+    worst32 = std::max(worst32, e32);
+  }
+  EXPECT_LT(worst18, 1e-2);   // 11-bit mantissa
+  EXPECT_LT(worst32, 1e-6);   // 23-bit mantissa
+  EXPECT_LT(worst32, worst18);
+}
+
+TEST(CFloat, SqrtSpecials) {
+  EXPECT_TRUE(CFloat::sqrt(CFloat::from_double(-1.0, kFloat32)).is_nan());
+  EXPECT_TRUE(CFloat::sqrt(CFloat::from_double(0.0, kFloat32)).is_zero());
+  EXPECT_NEAR(CFloat::sqrt(CFloat::from_double(16.0, kFloat32)).to_double(),
+              4.0, 1e-5);
+}
+
+TEST(CFloat, FormatMismatchThrows) {
+  const CFloat a = CFloat::from_double(1.0, kFloat32);
+  const CFloat b = CFloat::from_double(1.0, kFloat18);
+  EXPECT_THROW(a + b, Error);
+  EXPECT_THROW(a * b, Error);
+}
+
+// Parameterized precision ladder: narrower formats must not beat wider
+// ones on roundtrip error.
+class FormatLadder : public ::testing::TestWithParam<double> {};
+
+TEST_P(FormatLadder, RoundtripErrorOrdering) {
+  const double v = GetParam();
+  const double e18 =
+      std::fabs(CFloat::from_double(v, kFloat18).to_double() - v);
+  const double e24 =
+      std::fabs(CFloat::from_double(v, kFloat24).to_double() - v);
+  const double e32 =
+      std::fabs(CFloat::from_double(v, kFloat32).to_double() - v);
+  EXPECT_LE(e32, e24);
+  EXPECT_LE(e24, e18);
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, FormatLadder,
+                         ::testing::Values(3.14159, -2.71828, 1234.5678,
+                                           0.0001234, -99999.9, 7.0,
+                                           1.0 / 3.0));
+
+}  // namespace
+}  // namespace atlantis::util

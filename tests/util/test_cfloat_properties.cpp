@@ -1,0 +1,116 @@
+// Algebraic property sweeps over every CFloat format: the identities a
+// correctly implemented rounded floating point must satisfy regardless
+// of precision.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/cfloat.hpp"
+#include "util/rng.hpp"
+
+namespace atlantis::util {
+namespace {
+
+class FormatSweep : public ::testing::TestWithParam<CFloatFormat> {
+ protected:
+  CFloat num(double v) const { return CFloat::from_double(v, GetParam()); }
+};
+
+TEST_P(FormatSweep, AdditionCommutes) {
+  Rng rng(101);
+  for (int i = 0; i < 500; ++i) {
+    const CFloat a = num(rng.uniform(-1e3, 1e3));
+    const CFloat b = num(rng.uniform(-1e3, 1e3));
+    EXPECT_EQ((a + b).pack(), (b + a).pack());
+  }
+}
+
+TEST_P(FormatSweep, MultiplicationCommutes) {
+  Rng rng(103);
+  for (int i = 0; i < 500; ++i) {
+    const CFloat a = num(rng.uniform(-1e3, 1e3));
+    const CFloat b = num(rng.uniform(-1e3, 1e3));
+    EXPECT_EQ((a * b).pack(), (b * a).pack());
+  }
+}
+
+TEST_P(FormatSweep, AdditiveAndMultiplicativeIdentity) {
+  Rng rng(107);
+  const CFloat zero = num(0.0);
+  const CFloat one = num(1.0);
+  for (int i = 0; i < 300; ++i) {
+    const CFloat a = num(rng.uniform(-1e4, 1e4));
+    EXPECT_EQ((a + zero).pack(), a.pack());
+    EXPECT_EQ((a * one).pack(), a.pack());
+  }
+}
+
+TEST_P(FormatSweep, SelfSubtractionIsZero) {
+  Rng rng(109);
+  for (int i = 0; i < 300; ++i) {
+    const CFloat a = num(rng.uniform(-1e4, 1e4));
+    EXPECT_TRUE((a - a).is_zero());
+  }
+}
+
+TEST_P(FormatSweep, SelfDivisionIsOne) {
+  Rng rng(113);
+  for (int i = 0; i < 300; ++i) {
+    double v = rng.uniform(0.001, 1e4);
+    if (rng.bernoulli(0.5)) v = -v;
+    const CFloat a = num(v);
+    EXPECT_EQ((a / a).to_double(), 1.0);
+  }
+}
+
+TEST_P(FormatSweep, NegationIsInvolutive) {
+  Rng rng(127);
+  for (int i = 0; i < 300; ++i) {
+    const CFloat a = num(rng.uniform(-1e4, 1e4));
+    EXPECT_EQ(CFloat::neg(CFloat::neg(a)).pack(), a.pack());
+    EXPECT_TRUE((a + CFloat::neg(a)).is_zero());
+  }
+}
+
+TEST_P(FormatSweep, RoundingIsMonotone) {
+  // If x <= y then round(x) <= round(y) — a property any rounding
+  // function must have.
+  Rng rng(131);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(-1e4, 1e4);
+    const double y = x + std::fabs(rng.uniform(0.0, 10.0));
+    EXPECT_LE(num(x).to_double(), num(y).to_double());
+  }
+}
+
+TEST_P(FormatSweep, RelativeRoundingErrorBounded) {
+  // |round(v) - v| <= ulp/2 <= |v| * 2^-(mant_bits) for normal values.
+  Rng rng(137);
+  const double bound = std::ldexp(1.0, -GetParam().mant_bits);
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.uniform(0.5, 1e4);
+    const double r = num(v).to_double();
+    EXPECT_LE(std::fabs(r - v), std::fabs(v) * bound) << v;
+  }
+}
+
+TEST_P(FormatSweep, SqrtInvertsSquareApproximately) {
+  Rng rng(139);
+  const double tol = std::ldexp(8.0, -GetParam().mant_bits);
+  for (int i = 0; i < 200; ++i) {
+    const double v = rng.uniform(0.1, 100.0);
+    const CFloat a = num(v);
+    const double back = CFloat::sqrt(a * a).to_double();
+    EXPECT_NEAR(back / v, 1.0, tol) << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, FormatSweep,
+                         ::testing::Values(kFloat18, kFloat24, kFloat32),
+                         [](const auto& info) {
+                           return "e" + std::to_string(info.param.exp_bits) +
+                                  "m" + std::to_string(info.param.mant_bits);
+                         });
+
+}  // namespace
+}  // namespace atlantis::util

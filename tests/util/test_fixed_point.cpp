@@ -1,0 +1,93 @@
+#include "util/fixed_point.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace atlantis::util {
+namespace {
+
+TEST(Fixed, IntRoundtrip) {
+  for (int i = -100; i <= 100; ++i) {
+    EXPECT_EQ(Fix16::from_int(i).to_int(), i);
+  }
+}
+
+TEST(Fixed, DoubleRoundtripWithinHalfUlp) {
+  Rng rng(31);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-100.0, 100.0);
+    const double back = Fix16::from_double(v).to_double();
+    EXPECT_NEAR(back, v, 1.0 / 256.0 / 2.0 + 1e-12);
+  }
+}
+
+TEST(Fixed, AdditionIsExact) {
+  const auto a = Fix16::from_double(1.25);
+  const auto b = Fix16::from_double(2.5);
+  EXPECT_DOUBLE_EQ((a + b).to_double(), 3.75);
+  EXPECT_DOUBLE_EQ((a - b).to_double(), -1.25);
+  EXPECT_DOUBLE_EQ((-a).to_double(), -1.25);
+}
+
+TEST(Fixed, MultiplicationOfDyadicsIsExact) {
+  const auto a = Fix16::from_double(1.5);
+  const auto b = Fix16::from_double(2.25);
+  EXPECT_DOUBLE_EQ((a * b).to_double(), 3.375);
+}
+
+TEST(Fixed, DivisionApproximatesRatio) {
+  const auto a = Fix32::from_double(10.0);
+  const auto b = Fix32::from_double(3.0);
+  EXPECT_NEAR((a / b).to_double(), 10.0 / 3.0, 1.0 / 65536.0);
+}
+
+TEST(Fixed, DivisionByZeroThrows) {
+  EXPECT_THROW(Fix16::from_int(1) / Fix16::from_int(0), Error);
+}
+
+TEST(Fixed, SaturatesInsteadOfWrapping) {
+  const auto big = Fix16::from_double(127.0);
+  const auto sum = big + big;
+  EXPECT_DOUBLE_EQ(sum.to_double(), Fix16::from_raw(Fix16::kMaxRaw).to_double());
+  const auto neg = Fix16::from_double(-128.0);
+  const auto diff = neg + neg;
+  EXPECT_EQ(diff.raw(), Fix16::kMinRaw);
+}
+
+TEST(Fixed, ComparisonFollowsValue) {
+  const auto a = Fix16::from_double(1.0);
+  const auto b = Fix16::from_double(2.0);
+  EXPECT_LT(a, b);
+  EXPECT_GT(b, a);
+  EXPECT_EQ(a, Fix16::from_double(1.0));
+}
+
+TEST(Fixed, LerpEndpointsAndMidpoint) {
+  const auto a = Fix16::from_double(10.0);
+  const auto b = Fix16::from_double(20.0);
+  EXPECT_DOUBLE_EQ(Fix16::lerp(a, b, Fix16::from_double(0.0)).to_double(), 10.0);
+  EXPECT_DOUBLE_EQ(Fix16::lerp(a, b, Fix16::from_double(1.0)).to_double(), 20.0);
+  EXPECT_DOUBLE_EQ(Fix16::lerp(a, b, Fix16::from_double(0.5)).to_double(), 15.0);
+}
+
+// Property: fixed-point add matches double add when no saturation occurs.
+class FixedAddSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FixedAddSweep, MatchesDouble) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.uniform(-50.0, 50.0);
+    const double y = rng.uniform(-50.0, 50.0);
+    const auto fx = Fix32::from_double(x);
+    const auto fy = Fix32::from_double(y);
+    EXPECT_NEAR((fx + fy).to_double(), x + y, 2.0 / 65536.0);
+    EXPECT_NEAR((fx * fy).to_double(), x * y, 0.01);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FixedAddSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace atlantis::util

@@ -1,0 +1,90 @@
+#include "util/image.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace atlantis::util {
+namespace {
+
+TEST(Image, ConstructionAndAccess) {
+  Image<std::uint8_t> img(4, 3, 7);
+  EXPECT_EQ(img.width(), 4);
+  EXPECT_EQ(img.height(), 3);
+  EXPECT_EQ(img.size(), 12u);
+  EXPECT_EQ(img.at(0, 0), 7);
+  img.at(2, 1) = 42;
+  EXPECT_EQ(img(2, 1), 42);
+}
+
+TEST(Image, OutOfBoundsThrows) {
+  Image<std::uint8_t> img(4, 3);
+  EXPECT_THROW(img.at(4, 0), Error);
+  EXPECT_THROW(img.at(0, 3), Error);
+  EXPECT_THROW(img.at(-1, 0), Error);
+}
+
+TEST(Image, ZeroSizeRejected) {
+  EXPECT_THROW((Image<std::uint8_t>(0, 4)), Error);
+  EXPECT_THROW((Image<std::uint8_t>(4, -1)), Error);
+}
+
+TEST(Image, ClampedReadsEdge) {
+  Image<std::uint8_t> img(2, 2);
+  img(0, 0) = 1;
+  img(1, 0) = 2;
+  img(0, 1) = 3;
+  img(1, 1) = 4;
+  EXPECT_EQ(img.clamped(-5, -5), 1);
+  EXPECT_EQ(img.clamped(9, 0), 2);
+  EXPECT_EQ(img.clamped(0, 9), 3);
+  EXPECT_EQ(img.clamped(9, 9), 4);
+}
+
+TEST(Image, EqualityIsValueBased) {
+  Image<std::uint8_t> a(2, 2, 5), b(2, 2, 5);
+  EXPECT_EQ(a, b);
+  b(1, 1) = 6;
+  EXPECT_NE(a, b);
+}
+
+TEST(Image, PgmWriterProducesValidHeader) {
+  Image<std::uint8_t> img(3, 2, 128);
+  const std::string path = ::testing::TempDir() + "/test.pgm";
+  write_pgm(img, path);
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::string magic;
+  int w = 0, h = 0, maxval = 0;
+  in >> magic >> w >> h >> maxval;
+  EXPECT_EQ(magic, "P5");
+  EXPECT_EQ(w, 3);
+  EXPECT_EQ(h, 2);
+  EXPECT_EQ(maxval, 255);
+  in.get();  // single whitespace after header
+  std::string payload((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(payload.size(), 6u);
+  EXPECT_EQ(static_cast<unsigned char>(payload[0]), 128);
+}
+
+TEST(Image, PpmWriterProducesValidHeader) {
+  Image<Rgb> img(2, 2, Rgb{10, 20, 30});
+  const std::string path = ::testing::TempDir() + "/test.ppm";
+  write_ppm(img, path);
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::string magic;
+  in >> magic;
+  EXPECT_EQ(magic, "P6");
+}
+
+TEST(Image, WriteToBadPathThrows) {
+  Image<std::uint8_t> img(2, 2);
+  EXPECT_THROW(write_pgm(img, "/nonexistent-dir-xyz/out.pgm"), Error);
+}
+
+}  // namespace
+}  // namespace atlantis::util

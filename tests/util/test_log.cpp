@@ -1,0 +1,55 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace atlantis::util {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, LevelIsProcessWide) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+}
+
+TEST(Log, LevelsAreOrdered) {
+  EXPECT_LT(static_cast<int>(LogLevel::kDebug),
+            static_cast<int>(LogLevel::kInfo));
+  EXPECT_LT(static_cast<int>(LogLevel::kInfo),
+            static_cast<int>(LogLevel::kWarn));
+  EXPECT_LT(static_cast<int>(LogLevel::kWarn),
+            static_cast<int>(LogLevel::kError));
+  EXPECT_LT(static_cast<int>(LogLevel::kError),
+            static_cast<int>(LogLevel::kOff));
+}
+
+TEST(Log, LoggingBelowLevelIsANoOp) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  // Nothing may be emitted or crash at any level when logging is off.
+  ATLANTIS_LOG_DEBUG() << "suppressed " << 1;
+  ATLANTIS_LOG_INFO() << "suppressed " << 2.5;
+  ATLANTIS_LOG_WARN() << "suppressed " << "three";
+  ATLANTIS_LOG_ERROR() << "suppressed";
+  SUCCEED();
+}
+
+TEST(Log, EmittingLinesDoesNotThrow) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  EXPECT_NO_THROW({ ATLANTIS_LOG_DEBUG() << "visible debug " << 42; });
+  EXPECT_NO_THROW({ ATLANTIS_LOG_ERROR() << "visible error"; });
+}
+
+}  // namespace
+}  // namespace atlantis::util

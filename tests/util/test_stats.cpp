@@ -1,0 +1,103 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace atlantis::util {
+namespace {
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator a;
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.stddev(), 0.0);
+}
+
+TEST(Accumulator, MatchesDirectComputation) {
+  Accumulator a;
+  const double xs[] = {1.0, 2.0, 4.0, 8.0, 16.0};
+  double sum = 0.0;
+  for (const double x : xs) {
+    a.add(x);
+    sum += x;
+  }
+  const double mean = sum / 5.0;
+  double var = 0.0;
+  for (const double x : xs) var += (x - mean) * (x - mean);
+  var /= 4.0;
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  EXPECT_NEAR(a.variance(), var, 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 16.0);
+  EXPECT_DOUBLE_EQ(a.sum(), sum);
+}
+
+TEST(Accumulator, MergeEqualsSinglePass) {
+  Rng rng(17);
+  Accumulator whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal() * 3.0 + 1.0;
+    whole.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(Accumulator, MergeWithEmptyIsIdentity) {
+  Accumulator a, empty;
+  a.add(3.0);
+  a.add(5.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_DOUBLE_EQ(empty.mean(), mean);
+}
+
+TEST(Accumulator, SingleSampleHasZeroVariance) {
+  Accumulator a;
+  a.add(42.0);
+  EXPECT_EQ(a.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(a.mean(), 42.0);
+}
+
+TEST(Histogram, RejectsBadShape) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), Error);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), Error);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), Error);
+}
+
+TEST(Histogram, BinsAndTotals) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.add(i + 0.5);
+  EXPECT_EQ(h.total(), 10u);
+  for (std::size_t b = 0; b < h.bins(); ++b) EXPECT_EQ(h.bin(b), 1u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdgeBins) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-5.0);
+  h.add(7.0);
+  EXPECT_EQ(h.bin(0), 1u);
+  EXPECT_EQ(h.bin(3), 1u);
+}
+
+TEST(Histogram, QuantileApproximatesMedian) {
+  Histogram h(0.0, 100.0, 100);
+  Rng rng(23);
+  for (int i = 0; i < 10000; ++i) h.add(rng.uniform(0.0, 100.0));
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 3.0);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 3.0);
+}
+
+}  // namespace
+}  // namespace atlantis::util

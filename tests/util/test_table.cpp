@@ -1,0 +1,80 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/status.hpp"
+
+namespace atlantis::util {
+namespace {
+
+TEST(Table, RendersTitleHeaderAndRows) {
+  Table t("Table 1. DMA performance");
+  t.set_header({"Block size", "Read MB/s", "Write MB/s"});
+  t.add_row({"64 kB", "105.2", "118.9"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Table 1. DMA performance"), std::string::npos);
+  EXPECT_NE(out.find("Block size"), std::string::npos);
+  EXPECT_NE(out.find("105.2"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t("x");
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), Error);
+}
+
+TEST(Table, SeparatorAndNotes) {
+  Table t("x");
+  t.set_header({"a"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  t.add_note("reconstructed from the garbled scrape");
+  const std::string out = t.render();
+  EXPECT_NE(out.find("note: reconstructed"), std::string::npos);
+  // Four rules: top, under header, separator, bottom.
+  int rules = 0;
+  for (std::size_t pos = 0; (pos = out.find("+--", pos)) != std::string::npos;
+       ++pos) {
+    ++rules;
+  }
+  EXPECT_EQ(rules, 4);
+}
+
+TEST(Table, ColumnsAlignToWidestCell) {
+  Table t("x");
+  t.set_header({"col"});
+  t.add_row({"very-long-cell-content"});
+  t.add_row({"s"});
+  const std::string out = t.render();
+  // Each data line has the same length.
+  std::size_t first_len = 0;
+  std::istringstream is(out);
+  std::string line;
+  std::getline(is, line);  // title
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (first_len == 0) {
+      first_len = line.size();
+    } else {
+      EXPECT_EQ(line.size(), first_len) << line;
+    }
+  }
+}
+
+TEST(Table, FmtFormatsPrecision) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(10.0, 0), "10");
+  EXPECT_EQ(Table::fmt(1.5), "1.5");
+}
+
+TEST(Table, WorksWithoutHeader) {
+  Table t("no header");
+  t.add_row({"a", "b"});
+  EXPECT_NE(t.render().find("| a | b |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace atlantis::util

@@ -1,0 +1,37 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace atlantis::util {
+namespace {
+
+TEST(Units, PeriodFromMhz) {
+  EXPECT_EQ(period_from_mhz(40.0), 25'000);
+  EXPECT_EQ(period_from_mhz(33.0), 30'303);
+  EXPECT_EQ(period_from_mhz(100.0), 10'000);
+  EXPECT_EQ(period_from_mhz(1.0), 1'000'000);
+}
+
+TEST(Units, Conversions) {
+  EXPECT_DOUBLE_EQ(ps_to_ms(kMillisecond), 1.0);
+  EXPECT_DOUBLE_EQ(ps_to_us(kMicrosecond), 1.0);
+  EXPECT_DOUBLE_EQ(ps_to_s(kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(ps_to_ms(25 * kMicrosecond), 0.025);
+}
+
+TEST(Units, MbPerS) {
+  // 100 MB in one second = 100 MB/s.
+  EXPECT_DOUBLE_EQ(mb_per_s(100'000'000, kSecond), 100.0);
+  // 1 KiB in 10 us ~ 102.4 MB/s.
+  EXPECT_NEAR(mb_per_s(kKiB, 10 * kMicrosecond), 102.4, 0.01);
+  EXPECT_EQ(mb_per_s(100, 0), 0.0);
+  EXPECT_EQ(mb_per_s(100, -5), 0.0);
+}
+
+TEST(Units, ByteConstants) {
+  EXPECT_EQ(kKiB, 1024u);
+  EXPECT_EQ(kMiB, 1024u * 1024u);
+}
+
+}  // namespace
+}  // namespace atlantis::util

@@ -1,0 +1,82 @@
+#include "volren/camera.hpp"
+
+#include <gtest/gtest.h>
+
+namespace atlantis::volren {
+namespace {
+
+TEST(Camera, ParallelRaysShareDirection) {
+  const Volume v(32, 32, 32);
+  const Camera cam(v, ViewDirection::kFrontal, 16, 8, false);
+  const Ray r0 = cam.ray(0, 0);
+  const Ray r1 = cam.ray(15, 7);
+  EXPECT_NEAR(r0.dir.x, r1.dir.x, 1e-12);
+  EXPECT_NEAR(r0.dir.y, r1.dir.y, 1e-12);
+  EXPECT_NEAR(r0.dir.z, r1.dir.z, 1e-12);
+  EXPECT_NE(r0.origin.x, r1.origin.x);
+}
+
+TEST(Camera, PerspectiveRaysDiverge) {
+  const Volume v(32, 32, 32);
+  const Camera cam(v, ViewDirection::kFrontal, 16, 8, true);
+  const Ray r0 = cam.ray(0, 0);
+  const Ray r1 = cam.ray(15, 7);
+  const double dot = r0.dir.dot(r1.dir);
+  EXPECT_LT(dot, 0.9999);  // not parallel
+  // Shared eye point.
+  EXPECT_DOUBLE_EQ(r0.origin.x, r1.origin.x);
+  EXPECT_DOUBLE_EQ(r0.origin.y, r1.origin.y);
+}
+
+TEST(Camera, DirectionsAreNormalized) {
+  const Volume v(32, 32, 32);
+  for (const auto view : {ViewDirection::kFrontal, ViewDirection::kLateral,
+                          ViewDirection::kOblique}) {
+    for (const bool persp : {false, true}) {
+      const Camera cam(v, view, 8, 8, persp);
+      for (int p = 0; p < 8; ++p) {
+        EXPECT_NEAR(cam.ray(p, p).dir.norm(), 1.0, 1e-9);
+      }
+    }
+  }
+}
+
+TEST(Camera, ViewsLookAlongExpectedAxes) {
+  const Volume v(32, 32, 32);
+  const Camera frontal(v, ViewDirection::kFrontal, 8, 8, false);
+  EXPECT_NEAR(frontal.ray(4, 4).dir.y, 1.0, 1e-9);
+  const Camera lateral(v, ViewDirection::kLateral, 8, 8, false);
+  EXPECT_NEAR(lateral.ray(4, 4).dir.x, 1.0, 1e-9);
+  const Camera oblique(v, ViewDirection::kOblique, 8, 8, false);
+  EXPECT_GT(oblique.ray(4, 4).dir.x, 0.3);
+  EXPECT_GT(oblique.ray(4, 4).dir.y, 0.3);
+}
+
+TEST(Camera, CentralRayPassesNearVolumeCenter) {
+  const Volume v(64, 64, 64);
+  for (const auto view : {ViewDirection::kFrontal, ViewDirection::kLateral,
+                          ViewDirection::kOblique}) {
+    const Camera cam(v, view, 64, 64, false);
+    const Ray r = cam.ray(32, 32);
+    // Distance from the volume center to the ray line.
+    const Vec3 center{32, 32, 32};
+    const Vec3 to_center = center - r.origin;
+    const double along = to_center.dot(r.dir);
+    const Vec3 closest = r.origin + r.dir * along;
+    EXPECT_LT((closest - center).norm(), 3.0) << view_name(view);
+  }
+}
+
+TEST(Camera, BadImageSizeRejected) {
+  const Volume v(8, 8, 8);
+  EXPECT_THROW(Camera(v, ViewDirection::kFrontal, 0, 8), util::Error);
+}
+
+TEST(Camera, ViewNames) {
+  EXPECT_STREQ(view_name(ViewDirection::kFrontal), "frontal");
+  EXPECT_STREQ(view_name(ViewDirection::kLateral), "lateral");
+  EXPECT_STREQ(view_name(ViewDirection::kOblique), "oblique");
+}
+
+}  // namespace
+}  // namespace atlantis::volren

@@ -1,0 +1,142 @@
+// Gate-level trilinear interpolator vs its bit-exact software model and
+// the double-precision reference.
+#include "volren/interp_core.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "chdl/sim.hpp"
+#include "chdl/stats.hpp"
+#include "hw/fpga.hpp"
+#include "util/rng.hpp"
+#include "volren/volume.hpp"
+
+namespace atlantis::volren {
+namespace {
+
+struct InterpFixture {
+  InterpFixture() : design("trilin") {
+    build_trilinear_core(design);
+    sim = std::make_unique<chdl::Simulator>(design);
+  }
+
+  std::uint8_t run(const std::array<std::uint8_t, 8>& corners, std::uint8_t fx,
+                   std::uint8_t fy, std::uint8_t fz) {
+    for (int i = 0; i < 8; ++i) {
+      sim->poke("c" + std::to_string(i), corners[static_cast<std::size_t>(i)]);
+    }
+    sim->poke("fx", fx);
+    sim->poke("fy", fy);
+    sim->poke("fz", fz);
+    sim->run(InterpCoreLayout::kLatency);
+    return static_cast<std::uint8_t>(sim->peek_u64("value"));
+  }
+
+  chdl::Design design;
+  std::unique_ptr<chdl::Simulator> sim;
+};
+
+TEST(InterpCore, MatchesSoftwareModelExhaustiveCorners) {
+  InterpFixture f;
+  // Axis-aligned cases: fraction 0 returns corner 'low', 255 nearly 'high'.
+  const std::array<std::uint8_t, 8> corners = {10, 250, 30, 70,
+                                               90, 110, 130, 150};
+  EXPECT_EQ(f.run(corners, 0, 0, 0), 10);
+  EXPECT_EQ(f.run(corners, 0, 0, 0),
+            trilinear_fixed(corners, 0, 0, 0));
+  EXPECT_EQ(f.run(corners, 255, 0, 0), trilinear_fixed(corners, 255, 0, 0));
+  EXPECT_EQ(f.run(corners, 128, 128, 128),
+            trilinear_fixed(corners, 128, 128, 128));
+}
+
+TEST(InterpCore, MatchesSoftwareModelRandomSweep) {
+  InterpFixture f;
+  util::Rng rng(77);
+  for (int i = 0; i < 300; ++i) {
+    std::array<std::uint8_t, 8> corners{};
+    for (auto& c : corners) {
+      c = static_cast<std::uint8_t>(rng.next_below(256));
+    }
+    const auto fx = static_cast<std::uint8_t>(rng.next_below(256));
+    const auto fy = static_cast<std::uint8_t>(rng.next_below(256));
+    const auto fz = static_cast<std::uint8_t>(rng.next_below(256));
+    EXPECT_EQ(f.run(corners, fx, fy, fz),
+              trilinear_fixed(corners, fx, fy, fz))
+        << "case " << i;
+  }
+}
+
+TEST(InterpCore, PipelinesOneSamplePerClock) {
+  // Present a new input every clock; after the fill latency a result
+  // emerges every cycle (check by streaming distinguishable constants).
+  InterpFixture f;
+  std::vector<std::uint8_t> expected;
+  std::vector<std::uint8_t> got;
+  for (int v = 0; v < 32; ++v) {
+    const std::array<std::uint8_t, 8> corners = {
+        static_cast<std::uint8_t>(v * 8), static_cast<std::uint8_t>(v * 8),
+        static_cast<std::uint8_t>(v * 8), static_cast<std::uint8_t>(v * 8),
+        static_cast<std::uint8_t>(v * 8), static_cast<std::uint8_t>(v * 8),
+        static_cast<std::uint8_t>(v * 8), static_cast<std::uint8_t>(v * 8)};
+    expected.push_back(trilinear_fixed(corners, 13, 77, 200));
+    for (int i = 0; i < 8; ++i) {
+      f.sim->poke("c" + std::to_string(i), static_cast<std::uint64_t>(v * 8));
+    }
+    f.sim->poke("fx", 13);
+    f.sim->poke("fy", 77);
+    f.sim->poke("fz", 200);
+    f.sim->step();
+    got.push_back(static_cast<std::uint8_t>(f.sim->peek_u64("value")));
+  }
+  // got is expected delayed by the pipeline fill. Sampling happens after
+  // each edge, so the visible offset is kLatency-1 issue slots.
+  const std::size_t offset = InterpCoreLayout::kLatency - 1;
+  for (std::size_t i = offset; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], expected[i - offset]);
+  }
+}
+
+TEST(InterpCore, TracksDoublePrecisionWithinQuantization) {
+  util::Rng rng(91);
+  Volume vol(4, 4, 4);
+  for (int z = 0; z < 4; ++z) {
+    for (int y = 0; y < 4; ++y) {
+      for (int x = 0; x < 4; ++x) {
+        vol.set(x, y, z, static_cast<std::uint8_t>(rng.next_below(256)));
+      }
+    }
+  }
+  InterpFixture f;
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.uniform(0.0, 2.999);
+    const double y = rng.uniform(0.0, 2.999);
+    const double z = rng.uniform(0.0, 2.999);
+    const int x0 = static_cast<int>(x), y0 = static_cast<int>(y),
+              z0 = static_cast<int>(z);
+    std::array<std::uint8_t, 8> corners{};
+    for (int c = 0; c < 8; ++c) {
+      corners[static_cast<std::size_t>(c)] = vol.at(
+          x0 + (c & 1), y0 + ((c >> 1) & 1), z0 + ((c >> 2) & 1));
+    }
+    const auto fx = static_cast<std::uint8_t>((x - x0) * 256.0);
+    const auto fy = static_cast<std::uint8_t>((y - y0) * 256.0);
+    const auto fz = static_cast<std::uint8_t>((z - z0) * 256.0);
+    const double exact = vol.sample(x, y, z);
+    const double fixed = f.run(corners, fx, fy, fz);
+    // 8-bit fractions + three truncating lerp planes: a few LSB.
+    EXPECT_NEAR(fixed, exact, 6.0) << "at " << x << "," << y << "," << z;
+  }
+}
+
+TEST(InterpCore, FitsTheOrcaBudget) {
+  chdl::Design d("trilin");
+  build_trilinear_core(d);
+  hw::FpgaDevice orca("orca", hw::orca_3t125());
+  EXPECT_NO_THROW(orca.configure(hw::Bitstream::from_design(d)));
+  const chdl::NetlistStats stats = chdl::analyze(d);
+  EXPECT_GT(stats.gate_equivalents, 1000);  // 14 multipliers is not free
+}
+
+}  // namespace
+}  // namespace atlantis::volren

@@ -1,0 +1,85 @@
+#include "volren/memsim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace atlantis::volren {
+namespace {
+
+TEST(VoxelMemory, FirstAccessMissesThenStreams) {
+  const Volume v(64, 64, 64);
+  VoxelMemory mem(v);
+  const std::uint64_t first = mem.sample_access(10.5, 10.5, 10.5);
+  EXPECT_GT(first, 1u);  // eight cold banks
+  const std::uint64_t second = mem.sample_access(11.5, 10.5, 10.5);
+  EXPECT_EQ(second, 1u);  // same rows in all banks
+  EXPECT_EQ(mem.total_samples(), 2u);
+}
+
+TEST(VoxelMemory, AxisAlignedMarchIsRowFriendly) {
+  const Volume v(128, 128, 64);
+  VoxelMemory mem(v);
+  for (int x = 1; x < 126; ++x) {
+    mem.sample_access(x + 0.5, 64.2, 32.2);
+  }
+  EXPECT_GT(mem.hit_rate(), 0.95);
+  EXPECT_LT(mem.mean_cycles_per_sample(), 1.2);
+}
+
+TEST(VoxelMemory, RandomAccessThrashesRows) {
+  const Volume v(128, 128, 64);
+  VoxelMemory aligned(v);
+  VoxelMemory random(v);
+  util::Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    aligned.sample_access(1.0 + i % 120, 64.0, 32.0);
+    random.sample_access(rng.uniform(1, 126), rng.uniform(1, 126),
+                         rng.uniform(1, 62));
+  }
+  EXPECT_GT(random.mean_cycles_per_sample(),
+            2.0 * aligned.mean_cycles_per_sample());
+  EXPECT_LT(random.hit_rate(), aligned.hit_rate());
+}
+
+TEST(VoxelMemory, ObliqueCostsMoreThanAxisAligned) {
+  // This is the mechanism behind the paper's "perspective views reduce
+  // the rendering speed by a factor of about 2".
+  const Volume v(128, 128, 128);
+  VoxelMemory axis(v);
+  VoxelMemory oblique(v);
+  for (int i = 1; i < 120; ++i) {
+    axis.sample_access(i, 64.0, 64.0);
+    oblique.sample_access(i, 10.0 + 0.9 * i, 20.0 + 0.8 * i);
+  }
+  EXPECT_GT(oblique.total_cycles(), axis.total_cycles());
+}
+
+TEST(VoxelMemory, ResetClearsStateAndCounters) {
+  const Volume v(32, 32, 32);
+  VoxelMemory mem(v);
+  mem.sample_access(5, 5, 5);
+  mem.sample_access(6, 5, 5);
+  mem.reset();
+  EXPECT_EQ(mem.total_cycles(), 0u);
+  EXPECT_EQ(mem.total_samples(), 0u);
+  EXPECT_GT(mem.sample_access(5, 5, 5), 1u);  // banks closed again
+}
+
+TEST(VoxelMemory, CostBoundedByWorstBankPenalty) {
+  const Volume v(64, 64, 64);
+  hw::SdramConfig cfg;
+  VoxelMemory mem(v, cfg);
+  util::Rng rng(9);
+  const std::uint64_t worst =
+      static_cast<std::uint64_t>(cfg.t_rp + cfg.t_rcd + cfg.t_cas) + 1;
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t c = mem.sample_access(
+        rng.uniform(1, 62), rng.uniform(1, 62), rng.uniform(1, 62));
+    EXPECT_GE(c, 1u);
+    EXPECT_LE(c, worst);
+  }
+}
+
+}  // namespace
+}  // namespace atlantis::volren

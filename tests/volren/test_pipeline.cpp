@@ -1,0 +1,129 @@
+#include "volren/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+#include "util/status.hpp"
+
+namespace atlantis::volren {
+namespace {
+
+std::vector<std::uint32_t> uniform_rays(int rays, std::uint32_t samples) {
+  return std::vector<std::uint32_t>(static_cast<std::size_t>(rays), samples);
+}
+
+TEST(Pipeline, SingleContextStallsMoreThan90Percent) {
+  // The paper's "more than 90% of rendering time" without
+  // multi-threading: one ray issues a sample every `depth` cycles.
+  PipelineParams p;
+  p.depth = 24;
+  p.contexts = 1;
+  const PipelineResult r = simulate_pipeline(uniform_rays(100, 50), p);
+  EXPECT_GT(r.stall_fraction(), 0.9);
+  EXPECT_LT(r.efficiency(), 0.1);
+}
+
+TEST(Pipeline, EnoughContextsPushStallsBelow10Percent) {
+  // "...to less than 10%" with ray multi-threading.
+  PipelineParams p;
+  p.depth = 24;
+  p.contexts = 32;
+  const PipelineResult r = simulate_pipeline(uniform_rays(1000, 50), p);
+  EXPECT_LT(r.stall_fraction(), 0.1);
+  EXPECT_GT(r.efficiency(), 0.9);
+}
+
+TEST(Pipeline, AllSamplesAreIssuedExactlyOnce) {
+  util::Rng rng(13);
+  std::vector<std::uint32_t> rays;
+  std::uint64_t total = 0;
+  for (int i = 0; i < 500; ++i) {
+    const auto n = static_cast<std::uint32_t>(rng.next_below(40));
+    rays.push_back(n);
+    total += n;
+  }
+  for (const int contexts : {1, 4, 16, 64}) {
+    PipelineParams p;
+    p.depth = 16;
+    p.contexts = contexts;
+    const PipelineResult r = simulate_pipeline(rays, p);
+    EXPECT_EQ(r.issued, total) << contexts << " contexts";
+    EXPECT_GE(r.cycles, total);  // at most one issue per cycle
+  }
+}
+
+TEST(Pipeline, EfficiencyMonotoneInContexts) {
+  const auto rays = uniform_rays(400, 30);
+  double prev = 0.0;
+  for (const int contexts : {1, 2, 4, 8, 16, 32}) {
+    PipelineParams p;
+    p.depth = 24;
+    p.contexts = contexts;
+    const double eff = simulate_pipeline(rays, p).efficiency();
+    EXPECT_GE(eff, prev) << contexts;
+    prev = eff;
+  }
+}
+
+TEST(Pipeline, SingleContextEfficiencyIsOneOverDepth) {
+  PipelineParams p;
+  p.depth = 10;
+  p.contexts = 1;
+  const PipelineResult r = simulate_pipeline(uniform_rays(10, 100), p);
+  EXPECT_NEAR(r.efficiency(), 0.1, 0.005);
+}
+
+TEST(Pipeline, DepthOneNeverStalls) {
+  PipelineParams p;
+  p.depth = 1;
+  p.contexts = 1;
+  const PipelineResult r = simulate_pipeline(uniform_rays(10, 100), p);
+  EXPECT_EQ(r.stalls, 0u);
+  EXPECT_DOUBLE_EQ(r.efficiency(), 1.0);
+}
+
+TEST(Pipeline, ZeroSampleRaysAreSkipped) {
+  std::vector<std::uint32_t> rays = {0, 0, 5, 0, 3, 0};
+  PipelineParams p;
+  p.depth = 4;
+  p.contexts = 2;
+  const PipelineResult r = simulate_pipeline(rays, p);
+  EXPECT_EQ(r.issued, 8u);
+}
+
+TEST(Pipeline, EmptyWorkloadIsZeroCycles) {
+  const PipelineResult r = simulate_pipeline({}, PipelineParams{});
+  EXPECT_EQ(r.cycles, 0u);
+  EXPECT_EQ(r.issued, 0u);
+}
+
+TEST(Pipeline, ParamValidation) {
+  PipelineParams p;
+  p.depth = 0;
+  EXPECT_THROW(simulate_pipeline({1}, p), util::Error);
+  p.depth = 4;
+  p.contexts = 0;
+  EXPECT_THROW(simulate_pipeline({1}, p), util::Error);
+}
+
+// Parameterized: stall fraction approximates 1 - min(1, C/D).
+class ContextSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ContextSweep, MatchesAnalyticOccupancy) {
+  const int contexts = GetParam();
+  PipelineParams p;
+  p.depth = 20;
+  p.contexts = contexts;
+  const PipelineResult r = simulate_pipeline(uniform_rays(2000, 25), p);
+  const double expected =
+      1.0 - std::min(1.0, static_cast<double>(contexts) / p.depth);
+  EXPECT_NEAR(r.stall_fraction(), expected, 0.06) << contexts;
+}
+
+INSTANTIATE_TEST_SUITE_P(Contexts, ContextSweep,
+                         ::testing::Values(1, 2, 5, 10, 15, 20, 40));
+
+}  // namespace
+}  // namespace atlantis::volren

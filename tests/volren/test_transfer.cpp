@@ -1,0 +1,88 @@
+#include "volren/transfer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/status.hpp"
+
+namespace atlantis::volren {
+namespace {
+
+TEST(Transfer, AirIsTransparentEverywhere) {
+  for (const TransferFunction& tf :
+       {tf_opaque(), tf_semi_low(), tf_semi_high()}) {
+    EXPECT_EQ(tf.classify(0.0, 100.0).opacity, 0.0);
+    EXPECT_EQ(tf.classify(10.0, 0.0).opacity, 0.0);
+    EXPECT_EQ(tf.max_opacity(5.0), 0.0);
+  }
+}
+
+TEST(Transfer, OpaquePresetHasHardBone) {
+  EXPECT_GT(tf_opaque().classify(220.0, 10.0).opacity, 0.9);
+  EXPECT_GT(tf_opaque().max_opacity(220.0), 0.9);
+}
+
+TEST(Transfer, SemiPresetsMakeBoneTranslucent) {
+  // Semi-transparent CT presets let rays see into the skull: bone is
+  // still the densest material, but no longer a wall.
+  for (const TransferFunction& tf : {tf_semi_low(), tf_semi_high()}) {
+    const double bone = tf.classify(220.0, 10.0).opacity;
+    EXPECT_GT(bone, 0.05);
+    EXPECT_LT(bone, 0.5);
+    EXPECT_GT(bone, tf.classify(90.0, 10.0).opacity);
+  }
+}
+
+TEST(Transfer, TissueOpacityLadder) {
+  // The paper's "three different levels of opacity for soft tissue".
+  const double value = 90.0;
+  EXPECT_EQ(tf_opaque().classify(value, 5.0).opacity, 0.0);
+  const double low = tf_semi_low().classify(value, 5.0).opacity;
+  const double high = tf_semi_high().classify(value, 5.0).opacity;
+  EXPECT_GT(low, 0.0);
+  EXPECT_GT(high, low);
+}
+
+TEST(Transfer, GradientBrightensSurfaces) {
+  const TransferFunction tf = tf_semi_high();
+  const double flat = tf.classify(90.0, 0.0).intensity;
+  const double edge = tf.classify(90.0, 80.0).intensity;
+  EXPECT_GT(edge, flat);
+}
+
+TEST(Transfer, IntensityBounded) {
+  const TransferFunction tf = tf_semi_high();
+  for (double v = 0; v <= 255.0; v += 5.0) {
+    for (double g = 0; g <= 200.0; g += 25.0) {
+      const Classified c = tf.classify(v, g);
+      EXPECT_GE(c.opacity, 0.0);
+      EXPECT_LE(c.opacity, 1.0);
+      EXPECT_GE(c.intensity, 0.0);
+      EXPECT_LE(c.intensity, 1.0);
+    }
+  }
+}
+
+TEST(Transfer, MaxOpacityBoundsClassify) {
+  // The space-skipping data structure relies on max_opacity being a true
+  // upper bound on classify() for every gradient.
+  const TransferFunction tf = tf_semi_low();
+  for (double v = 0; v <= 255.0; v += 1.0) {
+    for (double g = 0; g <= 150.0; g += 10.0) {
+      EXPECT_LE(tf.classify(v, g).opacity, tf.max_opacity(v) + 1e-12);
+    }
+  }
+}
+
+TEST(Transfer, InvalidOpacityRejected) {
+  EXPECT_THROW(TransferFunction("bad", -0.1), util::Error);
+  EXPECT_THROW(TransferFunction("bad", 1.1), util::Error);
+}
+
+TEST(Transfer, NamesExposed) {
+  EXPECT_EQ(tf_opaque().name(), "opaque");
+  EXPECT_EQ(tf_semi_low().name(), "semi-low");
+  EXPECT_EQ(tf_semi_high().name(), "semi-high");
+}
+
+}  // namespace
+}  // namespace atlantis::volren

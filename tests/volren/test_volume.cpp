@@ -1,0 +1,137 @@
+#include "volren/volume.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace atlantis::volren {
+namespace {
+
+TEST(Volume, ConstructionAndAccess) {
+  Volume v(8, 4, 2);
+  EXPECT_EQ(v.voxel_count(), 64);
+  v.set(7, 3, 1, 200);
+  EXPECT_EQ(v.at(7, 3, 1), 200);
+  EXPECT_THROW(v.at(8, 0, 0), util::Error);
+  EXPECT_THROW(Volume(0, 1, 1), util::Error);
+}
+
+TEST(Volume, ClampedReadsNearestVoxel) {
+  Volume v(2, 2, 2);
+  v.set(0, 0, 0, 10);
+  v.set(1, 1, 1, 99);
+  EXPECT_EQ(v.clamped(-3, -3, -3), 10);
+  EXPECT_EQ(v.clamped(5, 5, 5), 99);
+}
+
+TEST(Volume, TrilinearIsExactAtVoxelCenters) {
+  Volume v(4, 4, 4);
+  util::Rng rng(3);
+  for (int z = 0; z < 4; ++z) {
+    for (int y = 0; y < 4; ++y) {
+      for (int x = 0; x < 4; ++x) {
+        v.set(x, y, z, static_cast<std::uint8_t>(rng.next_below(256)));
+      }
+    }
+  }
+  for (int z = 0; z < 4; ++z) {
+    for (int y = 0; y < 4; ++y) {
+      for (int x = 0; x < 4; ++x) {
+        EXPECT_DOUBLE_EQ(v.sample(x, y, z), v.at(x, y, z));
+      }
+    }
+  }
+}
+
+TEST(Volume, TrilinearIsLinearAlongAxes) {
+  Volume v(3, 3, 3);
+  v.set(0, 1, 1, 0);
+  v.set(1, 1, 1, 100);
+  EXPECT_DOUBLE_EQ(v.sample(0.5, 1, 1), 50.0);
+  EXPECT_DOUBLE_EQ(v.sample(0.25, 1, 1), 25.0);
+}
+
+TEST(Volume, TrilinearMidpointAveragesCube) {
+  Volume v(2, 2, 2);
+  int sum = 0;
+  int val = 0;
+  for (int z = 0; z < 2; ++z) {
+    for (int y = 0; y < 2; ++y) {
+      for (int x = 0; x < 2; ++x) {
+        val += 30;
+        v.set(x, y, z, static_cast<std::uint8_t>(val));
+        sum += val;
+      }
+    }
+  }
+  EXPECT_DOUBLE_EQ(v.sample(0.5, 0.5, 0.5), sum / 8.0);
+}
+
+TEST(Volume, GradientPointsUphill) {
+  Volume v(5, 5, 5);
+  // Ramp along x: value = 40x.
+  for (int z = 0; z < 5; ++z) {
+    for (int y = 0; y < 5; ++y) {
+      for (int x = 0; x < 5; ++x) {
+        v.set(x, y, z, static_cast<std::uint8_t>(40 * x));
+      }
+    }
+  }
+  const Vec3 g = v.gradient(2, 2, 2);
+  EXPECT_NEAR(g.x, 40.0, 1e-9);
+  EXPECT_NEAR(g.y, 0.0, 1e-9);
+  EXPECT_NEAR(g.z, 0.0, 1e-9);
+}
+
+TEST(Vec3, BasicOps) {
+  const Vec3 a{1, 2, 3};
+  const Vec3 b{4, 5, 6};
+  EXPECT_DOUBLE_EQ(a.dot(b), 32.0);
+  EXPECT_DOUBLE_EQ((a + b).x, 5.0);
+  EXPECT_DOUBLE_EQ((b - a).z, 3.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).y, 4.0);
+  EXPECT_NEAR((Vec3{3, 4, 0}).norm(), 5.0, 1e-12);
+  EXPECT_NEAR((Vec3{10, 0, 0}).normalized().x, 1.0, 1e-12);
+  const Vec3 c = Vec3{1, 0, 0}.cross(Vec3{0, 1, 0});
+  EXPECT_DOUBLE_EQ(c.z, 1.0);
+  EXPECT_DOUBLE_EQ(Vec3{}.normalized().norm(), 0.0);
+}
+
+TEST(Phantom, HasThePaperMaterialMix) {
+  // CT-like: air, soft tissue, and a hard (bone) shell must all be
+  // present in the proportions that make space-skipping worthwhile.
+  const Volume v = make_ct_phantom(64, 64, 32);
+  std::int64_t air = 0, tissue = 0, bone = 0;
+  for (const std::uint8_t val : v.data()) {
+    if (val < 20) {
+      ++air;
+    } else if (val >= 180) {
+      ++bone;
+    } else {
+      ++tissue;
+    }
+  }
+  const auto total = static_cast<double>(v.voxel_count());
+  EXPECT_GT(air / total, 0.3);     // mostly empty space around the head
+  EXPECT_GT(tissue / total, 0.2);  // brain
+  EXPECT_GT(bone / total, 0.01);   // skull shell
+  EXPECT_LT(bone / total, 0.2);
+}
+
+TEST(Phantom, DeterministicFromSeed) {
+  EXPECT_EQ(make_ct_phantom(32, 32, 16, 5).data(),
+            make_ct_phantom(32, 32, 16, 5).data());
+  EXPECT_NE(make_ct_phantom(32, 32, 16, 5).data(),
+            make_ct_phantom(32, 32, 16, 6).data());
+}
+
+TEST(Phantom, CenterIsTissueCornerIsAir) {
+  const Volume v = make_ct_phantom(64, 64, 64);
+  EXPECT_EQ(v.at(0, 0, 0), 0);
+  const std::uint8_t center = v.at(32, 32, 32);
+  EXPECT_GT(center, 20);
+  EXPECT_LT(center, 180);
+}
+
+}  // namespace
+}  // namespace atlantis::volren
