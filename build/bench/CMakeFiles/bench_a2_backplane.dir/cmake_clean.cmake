@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_backplane.dir/bench_a2_backplane.cpp.o"
+  "CMakeFiles/bench_a2_backplane.dir/bench_a2_backplane.cpp.o.d"
+  "bench_a2_backplane"
+  "bench_a2_backplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_backplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a3_aib_buffer.dir/bench_a3_aib_buffer.cpp.o"
+  "CMakeFiles/bench_a3_aib_buffer.dir/bench_a3_aib_buffer.cpp.o.d"
+  "bench_a3_aib_buffer"
+  "bench_a3_aib_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_aib_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a4_chdl.dir/bench_a4_chdl.cpp.o"
+  "CMakeFiles/bench_a4_chdl.dir/bench_a4_chdl.cpp.o.d"
+  "bench_a4_chdl"
+  "bench_a4_chdl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a4_chdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_trt.dir/bench_e2_trt.cpp.o"
+  "CMakeFiles/bench_e2_trt.dir/bench_e2_trt.cpp.o.d"
+  "bench_e2_trt"
+  "bench_e2_trt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_trt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_volren.dir/bench_e3_volren.cpp.o"
+  "CMakeFiles/bench_e3_volren.dir/bench_e3_volren.cpp.o.d"
+  "bench_e3_volren"
+  "bench_e3_volren.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_volren.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

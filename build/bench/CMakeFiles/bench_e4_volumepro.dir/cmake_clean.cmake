@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_volumepro.dir/bench_e4_volumepro.cpp.o"
+  "CMakeFiles/bench_e4_volumepro.dir/bench_e4_volumepro.cpp.o.d"
+  "bench_e4_volumepro"
+  "bench_e4_volumepro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_volumepro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

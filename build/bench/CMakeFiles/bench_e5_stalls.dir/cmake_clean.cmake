@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_stalls.dir/bench_e5_stalls.cpp.o"
+  "CMakeFiles/bench_e5_stalls.dir/bench_e5_stalls.cpp.o.d"
+  "bench_e5_stalls"
+  "bench_e5_stalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_stalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_nbody.dir/bench_e7_nbody.cpp.o"
+  "CMakeFiles/bench_e7_nbody.dir/bench_e7_nbody.cpp.o.d"
+  "bench_e7_nbody"
+  "bench_e7_nbody.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_nbody.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

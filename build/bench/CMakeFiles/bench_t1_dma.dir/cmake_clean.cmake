@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t1_dma.dir/bench_t1_dma.cpp.o"
+  "CMakeFiles/bench_t1_dma.dir/bench_t1_dma.cpp.o.d"
+  "bench_t1_dma"
+  "bench_t1_dma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t1_dma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

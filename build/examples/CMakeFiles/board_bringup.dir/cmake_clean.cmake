@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/board_bringup.dir/board_bringup.cpp.o"
+  "CMakeFiles/board_bringup.dir/board_bringup.cpp.o.d"
+  "board_bringup"
+  "board_bringup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/board_bringup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

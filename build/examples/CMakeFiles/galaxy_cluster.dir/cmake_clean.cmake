@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/galaxy_cluster.dir/galaxy_cluster.cpp.o"
+  "CMakeFiles/galaxy_cluster.dir/galaxy_cluster.cpp.o.d"
+  "galaxy_cluster"
+  "galaxy_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/galaxy_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trt_trigger.dir/trt_trigger.cpp.o"
+  "CMakeFiles/trt_trigger.dir/trt_trigger.cpp.o.d"
+  "trt_trigger"
+  "trt_trigger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trt_trigger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

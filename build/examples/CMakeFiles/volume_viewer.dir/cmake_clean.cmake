@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volume_viewer.dir/volume_viewer.cpp.o"
+  "CMakeFiles/volume_viewer.dir/volume_viewer.cpp.o.d"
+  "volume_viewer"
+  "volume_viewer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volume_viewer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

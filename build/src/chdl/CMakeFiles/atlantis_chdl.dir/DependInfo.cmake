@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chdl/bitvec.cpp" "src/chdl/CMakeFiles/atlantis_chdl.dir/bitvec.cpp.o" "gcc" "src/chdl/CMakeFiles/atlantis_chdl.dir/bitvec.cpp.o.d"
+  "/root/repo/src/chdl/builder.cpp" "src/chdl/CMakeFiles/atlantis_chdl.dir/builder.cpp.o" "gcc" "src/chdl/CMakeFiles/atlantis_chdl.dir/builder.cpp.o.d"
+  "/root/repo/src/chdl/design.cpp" "src/chdl/CMakeFiles/atlantis_chdl.dir/design.cpp.o" "gcc" "src/chdl/CMakeFiles/atlantis_chdl.dir/design.cpp.o.d"
+  "/root/repo/src/chdl/export.cpp" "src/chdl/CMakeFiles/atlantis_chdl.dir/export.cpp.o" "gcc" "src/chdl/CMakeFiles/atlantis_chdl.dir/export.cpp.o.d"
+  "/root/repo/src/chdl/fsm.cpp" "src/chdl/CMakeFiles/atlantis_chdl.dir/fsm.cpp.o" "gcc" "src/chdl/CMakeFiles/atlantis_chdl.dir/fsm.cpp.o.d"
+  "/root/repo/src/chdl/hostif.cpp" "src/chdl/CMakeFiles/atlantis_chdl.dir/hostif.cpp.o" "gcc" "src/chdl/CMakeFiles/atlantis_chdl.dir/hostif.cpp.o.d"
+  "/root/repo/src/chdl/sim.cpp" "src/chdl/CMakeFiles/atlantis_chdl.dir/sim.cpp.o" "gcc" "src/chdl/CMakeFiles/atlantis_chdl.dir/sim.cpp.o.d"
+  "/root/repo/src/chdl/stats.cpp" "src/chdl/CMakeFiles/atlantis_chdl.dir/stats.cpp.o" "gcc" "src/chdl/CMakeFiles/atlantis_chdl.dir/stats.cpp.o.d"
+  "/root/repo/src/chdl/vcd.cpp" "src/chdl/CMakeFiles/atlantis_chdl.dir/vcd.cpp.o" "gcc" "src/chdl/CMakeFiles/atlantis_chdl.dir/vcd.cpp.o.d"
+  "/root/repo/src/chdl/verify.cpp" "src/chdl/CMakeFiles/atlantis_chdl.dir/verify.cpp.o" "gcc" "src/chdl/CMakeFiles/atlantis_chdl.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/atlantis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

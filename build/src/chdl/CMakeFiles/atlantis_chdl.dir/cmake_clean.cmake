@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atlantis_chdl.dir/bitvec.cpp.o"
+  "CMakeFiles/atlantis_chdl.dir/bitvec.cpp.o.d"
+  "CMakeFiles/atlantis_chdl.dir/builder.cpp.o"
+  "CMakeFiles/atlantis_chdl.dir/builder.cpp.o.d"
+  "CMakeFiles/atlantis_chdl.dir/design.cpp.o"
+  "CMakeFiles/atlantis_chdl.dir/design.cpp.o.d"
+  "CMakeFiles/atlantis_chdl.dir/export.cpp.o"
+  "CMakeFiles/atlantis_chdl.dir/export.cpp.o.d"
+  "CMakeFiles/atlantis_chdl.dir/fsm.cpp.o"
+  "CMakeFiles/atlantis_chdl.dir/fsm.cpp.o.d"
+  "CMakeFiles/atlantis_chdl.dir/hostif.cpp.o"
+  "CMakeFiles/atlantis_chdl.dir/hostif.cpp.o.d"
+  "CMakeFiles/atlantis_chdl.dir/sim.cpp.o"
+  "CMakeFiles/atlantis_chdl.dir/sim.cpp.o.d"
+  "CMakeFiles/atlantis_chdl.dir/stats.cpp.o"
+  "CMakeFiles/atlantis_chdl.dir/stats.cpp.o.d"
+  "CMakeFiles/atlantis_chdl.dir/vcd.cpp.o"
+  "CMakeFiles/atlantis_chdl.dir/vcd.cpp.o.d"
+  "CMakeFiles/atlantis_chdl.dir/verify.cpp.o"
+  "CMakeFiles/atlantis_chdl.dir/verify.cpp.o.d"
+  "libatlantis_chdl.a"
+  "libatlantis_chdl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atlantis_chdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aab.cpp" "src/core/CMakeFiles/atlantis_core.dir/aab.cpp.o" "gcc" "src/core/CMakeFiles/atlantis_core.dir/aab.cpp.o.d"
+  "/root/repo/src/core/acb.cpp" "src/core/CMakeFiles/atlantis_core.dir/acb.cpp.o" "gcc" "src/core/CMakeFiles/atlantis_core.dir/acb.cpp.o.d"
+  "/root/repo/src/core/aib.cpp" "src/core/CMakeFiles/atlantis_core.dir/aib.cpp.o" "gcc" "src/core/CMakeFiles/atlantis_core.dir/aib.cpp.o.d"
+  "/root/repo/src/core/driver.cpp" "src/core/CMakeFiles/atlantis_core.dir/driver.cpp.o" "gcc" "src/core/CMakeFiles/atlantis_core.dir/driver.cpp.o.d"
+  "/root/repo/src/core/memmodule.cpp" "src/core/CMakeFiles/atlantis_core.dir/memmodule.cpp.o" "gcc" "src/core/CMakeFiles/atlantis_core.dir/memmodule.cpp.o.d"
+  "/root/repo/src/core/selftest.cpp" "src/core/CMakeFiles/atlantis_core.dir/selftest.cpp.o" "gcc" "src/core/CMakeFiles/atlantis_core.dir/selftest.cpp.o.d"
+  "/root/repo/src/core/system.cpp" "src/core/CMakeFiles/atlantis_core.dir/system.cpp.o" "gcc" "src/core/CMakeFiles/atlantis_core.dir/system.cpp.o.d"
+  "/root/repo/src/core/taskswitch.cpp" "src/core/CMakeFiles/atlantis_core.dir/taskswitch.cpp.o" "gcc" "src/core/CMakeFiles/atlantis_core.dir/taskswitch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/atlantis_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/chdl/CMakeFiles/atlantis_chdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/atlantis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atlantis_core.dir/aab.cpp.o"
+  "CMakeFiles/atlantis_core.dir/aab.cpp.o.d"
+  "CMakeFiles/atlantis_core.dir/acb.cpp.o"
+  "CMakeFiles/atlantis_core.dir/acb.cpp.o.d"
+  "CMakeFiles/atlantis_core.dir/aib.cpp.o"
+  "CMakeFiles/atlantis_core.dir/aib.cpp.o.d"
+  "CMakeFiles/atlantis_core.dir/driver.cpp.o"
+  "CMakeFiles/atlantis_core.dir/driver.cpp.o.d"
+  "CMakeFiles/atlantis_core.dir/memmodule.cpp.o"
+  "CMakeFiles/atlantis_core.dir/memmodule.cpp.o.d"
+  "CMakeFiles/atlantis_core.dir/selftest.cpp.o"
+  "CMakeFiles/atlantis_core.dir/selftest.cpp.o.d"
+  "CMakeFiles/atlantis_core.dir/system.cpp.o"
+  "CMakeFiles/atlantis_core.dir/system.cpp.o.d"
+  "CMakeFiles/atlantis_core.dir/taskswitch.cpp.o"
+  "CMakeFiles/atlantis_core.dir/taskswitch.cpp.o.d"
+  "libatlantis_core.a"
+  "libatlantis_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atlantis_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

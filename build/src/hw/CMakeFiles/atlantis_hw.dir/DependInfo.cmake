@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/fpga.cpp" "src/hw/CMakeFiles/atlantis_hw.dir/fpga.cpp.o" "gcc" "src/hw/CMakeFiles/atlantis_hw.dir/fpga.cpp.o.d"
+  "/root/repo/src/hw/hostcpu.cpp" "src/hw/CMakeFiles/atlantis_hw.dir/hostcpu.cpp.o" "gcc" "src/hw/CMakeFiles/atlantis_hw.dir/hostcpu.cpp.o.d"
+  "/root/repo/src/hw/pci.cpp" "src/hw/CMakeFiles/atlantis_hw.dir/pci.cpp.o" "gcc" "src/hw/CMakeFiles/atlantis_hw.dir/pci.cpp.o.d"
+  "/root/repo/src/hw/sdram.cpp" "src/hw/CMakeFiles/atlantis_hw.dir/sdram.cpp.o" "gcc" "src/hw/CMakeFiles/atlantis_hw.dir/sdram.cpp.o.d"
+  "/root/repo/src/hw/slink.cpp" "src/hw/CMakeFiles/atlantis_hw.dir/slink.cpp.o" "gcc" "src/hw/CMakeFiles/atlantis_hw.dir/slink.cpp.o.d"
+  "/root/repo/src/hw/sram.cpp" "src/hw/CMakeFiles/atlantis_hw.dir/sram.cpp.o" "gcc" "src/hw/CMakeFiles/atlantis_hw.dir/sram.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/chdl/CMakeFiles/atlantis_chdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/atlantis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

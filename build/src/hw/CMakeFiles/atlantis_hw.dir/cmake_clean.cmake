@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atlantis_hw.dir/fpga.cpp.o"
+  "CMakeFiles/atlantis_hw.dir/fpga.cpp.o.d"
+  "CMakeFiles/atlantis_hw.dir/hostcpu.cpp.o"
+  "CMakeFiles/atlantis_hw.dir/hostcpu.cpp.o.d"
+  "CMakeFiles/atlantis_hw.dir/pci.cpp.o"
+  "CMakeFiles/atlantis_hw.dir/pci.cpp.o.d"
+  "CMakeFiles/atlantis_hw.dir/sdram.cpp.o"
+  "CMakeFiles/atlantis_hw.dir/sdram.cpp.o.d"
+  "CMakeFiles/atlantis_hw.dir/slink.cpp.o"
+  "CMakeFiles/atlantis_hw.dir/slink.cpp.o.d"
+  "CMakeFiles/atlantis_hw.dir/sram.cpp.o"
+  "CMakeFiles/atlantis_hw.dir/sram.cpp.o.d"
+  "libatlantis_hw.a"
+  "libatlantis_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atlantis_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

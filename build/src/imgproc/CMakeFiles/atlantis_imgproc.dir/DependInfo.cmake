@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/imgproc/conv_core.cpp" "src/imgproc/CMakeFiles/atlantis_imgproc.dir/conv_core.cpp.o" "gcc" "src/imgproc/CMakeFiles/atlantis_imgproc.dir/conv_core.cpp.o.d"
+  "/root/repo/src/imgproc/filters.cpp" "src/imgproc/CMakeFiles/atlantis_imgproc.dir/filters.cpp.o" "gcc" "src/imgproc/CMakeFiles/atlantis_imgproc.dir/filters.cpp.o.d"
+  "/root/repo/src/imgproc/hwmodel.cpp" "src/imgproc/CMakeFiles/atlantis_imgproc.dir/hwmodel.cpp.o" "gcc" "src/imgproc/CMakeFiles/atlantis_imgproc.dir/hwmodel.cpp.o.d"
+  "/root/repo/src/imgproc/sobel_core.cpp" "src/imgproc/CMakeFiles/atlantis_imgproc.dir/sobel_core.cpp.o" "gcc" "src/imgproc/CMakeFiles/atlantis_imgproc.dir/sobel_core.cpp.o.d"
+  "/root/repo/src/imgproc/window.cpp" "src/imgproc/CMakeFiles/atlantis_imgproc.dir/window.cpp.o" "gcc" "src/imgproc/CMakeFiles/atlantis_imgproc.dir/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/atlantis_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/chdl/CMakeFiles/atlantis_chdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/atlantis_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/atlantis_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

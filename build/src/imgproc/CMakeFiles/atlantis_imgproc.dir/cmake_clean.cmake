@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atlantis_imgproc.dir/conv_core.cpp.o"
+  "CMakeFiles/atlantis_imgproc.dir/conv_core.cpp.o.d"
+  "CMakeFiles/atlantis_imgproc.dir/filters.cpp.o"
+  "CMakeFiles/atlantis_imgproc.dir/filters.cpp.o.d"
+  "CMakeFiles/atlantis_imgproc.dir/hwmodel.cpp.o"
+  "CMakeFiles/atlantis_imgproc.dir/hwmodel.cpp.o.d"
+  "CMakeFiles/atlantis_imgproc.dir/sobel_core.cpp.o"
+  "CMakeFiles/atlantis_imgproc.dir/sobel_core.cpp.o.d"
+  "CMakeFiles/atlantis_imgproc.dir/window.cpp.o"
+  "CMakeFiles/atlantis_imgproc.dir/window.cpp.o.d"
+  "libatlantis_imgproc.a"
+  "libatlantis_imgproc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atlantis_imgproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nbody/force.cpp" "src/nbody/CMakeFiles/atlantis_nbody.dir/force.cpp.o" "gcc" "src/nbody/CMakeFiles/atlantis_nbody.dir/force.cpp.o.d"
+  "/root/repo/src/nbody/integrator.cpp" "src/nbody/CMakeFiles/atlantis_nbody.dir/integrator.cpp.o" "gcc" "src/nbody/CMakeFiles/atlantis_nbody.dir/integrator.cpp.o.d"
+  "/root/repo/src/nbody/plummer.cpp" "src/nbody/CMakeFiles/atlantis_nbody.dir/plummer.cpp.o" "gcc" "src/nbody/CMakeFiles/atlantis_nbody.dir/plummer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/atlantis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

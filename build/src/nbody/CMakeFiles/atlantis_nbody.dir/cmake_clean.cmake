@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atlantis_nbody.dir/force.cpp.o"
+  "CMakeFiles/atlantis_nbody.dir/force.cpp.o.d"
+  "CMakeFiles/atlantis_nbody.dir/integrator.cpp.o"
+  "CMakeFiles/atlantis_nbody.dir/integrator.cpp.o.d"
+  "CMakeFiles/atlantis_nbody.dir/plummer.cpp.o"
+  "CMakeFiles/atlantis_nbody.dir/plummer.cpp.o.d"
+  "libatlantis_nbody.a"
+  "libatlantis_nbody.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atlantis_nbody.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

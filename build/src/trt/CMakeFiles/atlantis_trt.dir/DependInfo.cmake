@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trt/events.cpp" "src/trt/CMakeFiles/atlantis_trt.dir/events.cpp.o" "gcc" "src/trt/CMakeFiles/atlantis_trt.dir/events.cpp.o.d"
+  "/root/repo/src/trt/geometry.cpp" "src/trt/CMakeFiles/atlantis_trt.dir/geometry.cpp.o" "gcc" "src/trt/CMakeFiles/atlantis_trt.dir/geometry.cpp.o.d"
+  "/root/repo/src/trt/histogram.cpp" "src/trt/CMakeFiles/atlantis_trt.dir/histogram.cpp.o" "gcc" "src/trt/CMakeFiles/atlantis_trt.dir/histogram.cpp.o.d"
+  "/root/repo/src/trt/hwmodel.cpp" "src/trt/CMakeFiles/atlantis_trt.dir/hwmodel.cpp.o" "gcc" "src/trt/CMakeFiles/atlantis_trt.dir/hwmodel.cpp.o.d"
+  "/root/repo/src/trt/multiboard.cpp" "src/trt/CMakeFiles/atlantis_trt.dir/multiboard.cpp.o" "gcc" "src/trt/CMakeFiles/atlantis_trt.dir/multiboard.cpp.o.d"
+  "/root/repo/src/trt/patterns.cpp" "src/trt/CMakeFiles/atlantis_trt.dir/patterns.cpp.o" "gcc" "src/trt/CMakeFiles/atlantis_trt.dir/patterns.cpp.o.d"
+  "/root/repo/src/trt/slink_frontend.cpp" "src/trt/CMakeFiles/atlantis_trt.dir/slink_frontend.cpp.o" "gcc" "src/trt/CMakeFiles/atlantis_trt.dir/slink_frontend.cpp.o.d"
+  "/root/repo/src/trt/trt_core.cpp" "src/trt/CMakeFiles/atlantis_trt.dir/trt_core.cpp.o" "gcc" "src/trt/CMakeFiles/atlantis_trt.dir/trt_core.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/atlantis_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/chdl/CMakeFiles/atlantis_chdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/atlantis_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/atlantis_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

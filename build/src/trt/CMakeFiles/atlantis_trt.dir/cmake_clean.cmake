@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atlantis_trt.dir/events.cpp.o"
+  "CMakeFiles/atlantis_trt.dir/events.cpp.o.d"
+  "CMakeFiles/atlantis_trt.dir/geometry.cpp.o"
+  "CMakeFiles/atlantis_trt.dir/geometry.cpp.o.d"
+  "CMakeFiles/atlantis_trt.dir/histogram.cpp.o"
+  "CMakeFiles/atlantis_trt.dir/histogram.cpp.o.d"
+  "CMakeFiles/atlantis_trt.dir/hwmodel.cpp.o"
+  "CMakeFiles/atlantis_trt.dir/hwmodel.cpp.o.d"
+  "CMakeFiles/atlantis_trt.dir/multiboard.cpp.o"
+  "CMakeFiles/atlantis_trt.dir/multiboard.cpp.o.d"
+  "CMakeFiles/atlantis_trt.dir/patterns.cpp.o"
+  "CMakeFiles/atlantis_trt.dir/patterns.cpp.o.d"
+  "CMakeFiles/atlantis_trt.dir/slink_frontend.cpp.o"
+  "CMakeFiles/atlantis_trt.dir/slink_frontend.cpp.o.d"
+  "CMakeFiles/atlantis_trt.dir/trt_core.cpp.o"
+  "CMakeFiles/atlantis_trt.dir/trt_core.cpp.o.d"
+  "libatlantis_trt.a"
+  "libatlantis_trt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atlantis_trt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

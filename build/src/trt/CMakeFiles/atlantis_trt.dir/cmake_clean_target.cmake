@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libatlantis_trt.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atlantis_util.dir/cfloat.cpp.o"
+  "CMakeFiles/atlantis_util.dir/cfloat.cpp.o.d"
+  "CMakeFiles/atlantis_util.dir/image.cpp.o"
+  "CMakeFiles/atlantis_util.dir/image.cpp.o.d"
+  "CMakeFiles/atlantis_util.dir/log.cpp.o"
+  "CMakeFiles/atlantis_util.dir/log.cpp.o.d"
+  "CMakeFiles/atlantis_util.dir/status.cpp.o"
+  "CMakeFiles/atlantis_util.dir/status.cpp.o.d"
+  "CMakeFiles/atlantis_util.dir/table.cpp.o"
+  "CMakeFiles/atlantis_util.dir/table.cpp.o.d"
+  "libatlantis_util.a"
+  "libatlantis_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atlantis_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/volren/camera.cpp" "src/volren/CMakeFiles/atlantis_volren.dir/camera.cpp.o" "gcc" "src/volren/CMakeFiles/atlantis_volren.dir/camera.cpp.o.d"
+  "/root/repo/src/volren/interp_core.cpp" "src/volren/CMakeFiles/atlantis_volren.dir/interp_core.cpp.o" "gcc" "src/volren/CMakeFiles/atlantis_volren.dir/interp_core.cpp.o.d"
+  "/root/repo/src/volren/memsim.cpp" "src/volren/CMakeFiles/atlantis_volren.dir/memsim.cpp.o" "gcc" "src/volren/CMakeFiles/atlantis_volren.dir/memsim.cpp.o.d"
+  "/root/repo/src/volren/pipeline.cpp" "src/volren/CMakeFiles/atlantis_volren.dir/pipeline.cpp.o" "gcc" "src/volren/CMakeFiles/atlantis_volren.dir/pipeline.cpp.o.d"
+  "/root/repo/src/volren/raycast.cpp" "src/volren/CMakeFiles/atlantis_volren.dir/raycast.cpp.o" "gcc" "src/volren/CMakeFiles/atlantis_volren.dir/raycast.cpp.o.d"
+  "/root/repo/src/volren/renderer.cpp" "src/volren/CMakeFiles/atlantis_volren.dir/renderer.cpp.o" "gcc" "src/volren/CMakeFiles/atlantis_volren.dir/renderer.cpp.o.d"
+  "/root/repo/src/volren/transfer.cpp" "src/volren/CMakeFiles/atlantis_volren.dir/transfer.cpp.o" "gcc" "src/volren/CMakeFiles/atlantis_volren.dir/transfer.cpp.o.d"
+  "/root/repo/src/volren/volume.cpp" "src/volren/CMakeFiles/atlantis_volren.dir/volume.cpp.o" "gcc" "src/volren/CMakeFiles/atlantis_volren.dir/volume.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/atlantis_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/chdl/CMakeFiles/atlantis_chdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/atlantis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atlantis_volren.dir/camera.cpp.o"
+  "CMakeFiles/atlantis_volren.dir/camera.cpp.o.d"
+  "CMakeFiles/atlantis_volren.dir/interp_core.cpp.o"
+  "CMakeFiles/atlantis_volren.dir/interp_core.cpp.o.d"
+  "CMakeFiles/atlantis_volren.dir/memsim.cpp.o"
+  "CMakeFiles/atlantis_volren.dir/memsim.cpp.o.d"
+  "CMakeFiles/atlantis_volren.dir/pipeline.cpp.o"
+  "CMakeFiles/atlantis_volren.dir/pipeline.cpp.o.d"
+  "CMakeFiles/atlantis_volren.dir/raycast.cpp.o"
+  "CMakeFiles/atlantis_volren.dir/raycast.cpp.o.d"
+  "CMakeFiles/atlantis_volren.dir/renderer.cpp.o"
+  "CMakeFiles/atlantis_volren.dir/renderer.cpp.o.d"
+  "CMakeFiles/atlantis_volren.dir/transfer.cpp.o"
+  "CMakeFiles/atlantis_volren.dir/transfer.cpp.o.d"
+  "CMakeFiles/atlantis_volren.dir/volume.cpp.o"
+  "CMakeFiles/atlantis_volren.dir/volume.cpp.o.d"
+  "libatlantis_volren.a"
+  "libatlantis_volren.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atlantis_volren.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

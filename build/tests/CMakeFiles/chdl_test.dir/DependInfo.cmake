@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/chdl/test_bitvec.cpp" "tests/CMakeFiles/chdl_test.dir/chdl/test_bitvec.cpp.o" "gcc" "tests/CMakeFiles/chdl_test.dir/chdl/test_bitvec.cpp.o.d"
+  "/root/repo/tests/chdl/test_builder.cpp" "tests/CMakeFiles/chdl_test.dir/chdl/test_builder.cpp.o" "gcc" "tests/CMakeFiles/chdl_test.dir/chdl/test_builder.cpp.o.d"
+  "/root/repo/tests/chdl/test_design.cpp" "tests/CMakeFiles/chdl_test.dir/chdl/test_design.cpp.o" "gcc" "tests/CMakeFiles/chdl_test.dir/chdl/test_design.cpp.o.d"
+  "/root/repo/tests/chdl/test_export.cpp" "tests/CMakeFiles/chdl_test.dir/chdl/test_export.cpp.o" "gcc" "tests/CMakeFiles/chdl_test.dir/chdl/test_export.cpp.o.d"
+  "/root/repo/tests/chdl/test_fsm.cpp" "tests/CMakeFiles/chdl_test.dir/chdl/test_fsm.cpp.o" "gcc" "tests/CMakeFiles/chdl_test.dir/chdl/test_fsm.cpp.o.d"
+  "/root/repo/tests/chdl/test_fuzz.cpp" "tests/CMakeFiles/chdl_test.dir/chdl/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/chdl_test.dir/chdl/test_fuzz.cpp.o.d"
+  "/root/repo/tests/chdl/test_netlist_stats.cpp" "tests/CMakeFiles/chdl_test.dir/chdl/test_netlist_stats.cpp.o" "gcc" "tests/CMakeFiles/chdl_test.dir/chdl/test_netlist_stats.cpp.o.d"
+  "/root/repo/tests/chdl/test_sim.cpp" "tests/CMakeFiles/chdl_test.dir/chdl/test_sim.cpp.o" "gcc" "tests/CMakeFiles/chdl_test.dir/chdl/test_sim.cpp.o.d"
+  "/root/repo/tests/chdl/test_vcd.cpp" "tests/CMakeFiles/chdl_test.dir/chdl/test_vcd.cpp.o" "gcc" "tests/CMakeFiles/chdl_test.dir/chdl/test_vcd.cpp.o.d"
+  "/root/repo/tests/chdl/test_verify.cpp" "tests/CMakeFiles/chdl_test.dir/chdl/test_verify.cpp.o" "gcc" "tests/CMakeFiles/chdl_test.dir/chdl/test_verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trt/CMakeFiles/atlantis_trt.dir/DependInfo.cmake"
+  "/root/repo/build/src/volren/CMakeFiles/atlantis_volren.dir/DependInfo.cmake"
+  "/root/repo/build/src/nbody/CMakeFiles/atlantis_nbody.dir/DependInfo.cmake"
+  "/root/repo/build/src/imgproc/CMakeFiles/atlantis_imgproc.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/atlantis_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/atlantis_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/chdl/CMakeFiles/atlantis_chdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/atlantis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

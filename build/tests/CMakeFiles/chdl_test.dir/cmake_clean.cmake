@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chdl_test.dir/chdl/test_bitvec.cpp.o"
+  "CMakeFiles/chdl_test.dir/chdl/test_bitvec.cpp.o.d"
+  "CMakeFiles/chdl_test.dir/chdl/test_builder.cpp.o"
+  "CMakeFiles/chdl_test.dir/chdl/test_builder.cpp.o.d"
+  "CMakeFiles/chdl_test.dir/chdl/test_design.cpp.o"
+  "CMakeFiles/chdl_test.dir/chdl/test_design.cpp.o.d"
+  "CMakeFiles/chdl_test.dir/chdl/test_export.cpp.o"
+  "CMakeFiles/chdl_test.dir/chdl/test_export.cpp.o.d"
+  "CMakeFiles/chdl_test.dir/chdl/test_fsm.cpp.o"
+  "CMakeFiles/chdl_test.dir/chdl/test_fsm.cpp.o.d"
+  "CMakeFiles/chdl_test.dir/chdl/test_fuzz.cpp.o"
+  "CMakeFiles/chdl_test.dir/chdl/test_fuzz.cpp.o.d"
+  "CMakeFiles/chdl_test.dir/chdl/test_netlist_stats.cpp.o"
+  "CMakeFiles/chdl_test.dir/chdl/test_netlist_stats.cpp.o.d"
+  "CMakeFiles/chdl_test.dir/chdl/test_sim.cpp.o"
+  "CMakeFiles/chdl_test.dir/chdl/test_sim.cpp.o.d"
+  "CMakeFiles/chdl_test.dir/chdl/test_vcd.cpp.o"
+  "CMakeFiles/chdl_test.dir/chdl/test_vcd.cpp.o.d"
+  "CMakeFiles/chdl_test.dir/chdl/test_verify.cpp.o"
+  "CMakeFiles/chdl_test.dir/chdl/test_verify.cpp.o.d"
+  "chdl_test"
+  "chdl_test.pdb"
+  "chdl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chdl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_aab.cpp" "tests/CMakeFiles/core_test.dir/core/test_aab.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/test_aab.cpp.o.d"
+  "/root/repo/tests/core/test_acb.cpp" "tests/CMakeFiles/core_test.dir/core/test_acb.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/test_acb.cpp.o.d"
+  "/root/repo/tests/core/test_aib.cpp" "tests/CMakeFiles/core_test.dir/core/test_aib.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/test_aib.cpp.o.d"
+  "/root/repo/tests/core/test_driver.cpp" "tests/CMakeFiles/core_test.dir/core/test_driver.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/test_driver.cpp.o.d"
+  "/root/repo/tests/core/test_integration.cpp" "tests/CMakeFiles/core_test.dir/core/test_integration.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/test_integration.cpp.o.d"
+  "/root/repo/tests/core/test_memmodule.cpp" "tests/CMakeFiles/core_test.dir/core/test_memmodule.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/test_memmodule.cpp.o.d"
+  "/root/repo/tests/core/test_selftest.cpp" "tests/CMakeFiles/core_test.dir/core/test_selftest.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/test_selftest.cpp.o.d"
+  "/root/repo/tests/core/test_system.cpp" "tests/CMakeFiles/core_test.dir/core/test_system.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/test_system.cpp.o.d"
+  "/root/repo/tests/core/test_taskswitch.cpp" "tests/CMakeFiles/core_test.dir/core/test_taskswitch.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/test_taskswitch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trt/CMakeFiles/atlantis_trt.dir/DependInfo.cmake"
+  "/root/repo/build/src/volren/CMakeFiles/atlantis_volren.dir/DependInfo.cmake"
+  "/root/repo/build/src/nbody/CMakeFiles/atlantis_nbody.dir/DependInfo.cmake"
+  "/root/repo/build/src/imgproc/CMakeFiles/atlantis_imgproc.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/atlantis_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/atlantis_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/chdl/CMakeFiles/atlantis_chdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/atlantis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

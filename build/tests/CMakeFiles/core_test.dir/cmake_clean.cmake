@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/test_aab.cpp.o"
+  "CMakeFiles/core_test.dir/core/test_aab.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/test_acb.cpp.o"
+  "CMakeFiles/core_test.dir/core/test_acb.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/test_aib.cpp.o"
+  "CMakeFiles/core_test.dir/core/test_aib.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/test_driver.cpp.o"
+  "CMakeFiles/core_test.dir/core/test_driver.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/test_integration.cpp.o"
+  "CMakeFiles/core_test.dir/core/test_integration.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/test_memmodule.cpp.o"
+  "CMakeFiles/core_test.dir/core/test_memmodule.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/test_selftest.cpp.o"
+  "CMakeFiles/core_test.dir/core/test_selftest.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/test_system.cpp.o"
+  "CMakeFiles/core_test.dir/core/test_system.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/test_taskswitch.cpp.o"
+  "CMakeFiles/core_test.dir/core/test_taskswitch.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

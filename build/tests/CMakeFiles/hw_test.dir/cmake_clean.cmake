@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_test.dir/hw/test_clock.cpp.o"
+  "CMakeFiles/hw_test.dir/hw/test_clock.cpp.o.d"
+  "CMakeFiles/hw_test.dir/hw/test_fpga.cpp.o"
+  "CMakeFiles/hw_test.dir/hw/test_fpga.cpp.o.d"
+  "CMakeFiles/hw_test.dir/hw/test_hostcpu.cpp.o"
+  "CMakeFiles/hw_test.dir/hw/test_hostcpu.cpp.o.d"
+  "CMakeFiles/hw_test.dir/hw/test_memory.cpp.o"
+  "CMakeFiles/hw_test.dir/hw/test_memory.cpp.o.d"
+  "CMakeFiles/hw_test.dir/hw/test_pci.cpp.o"
+  "CMakeFiles/hw_test.dir/hw/test_pci.cpp.o.d"
+  "CMakeFiles/hw_test.dir/hw/test_slink.cpp.o"
+  "CMakeFiles/hw_test.dir/hw/test_slink.cpp.o.d"
+  "hw_test"
+  "hw_test.pdb"
+  "hw_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/imgproc/test_conv_core.cpp" "tests/CMakeFiles/imgproc_test.dir/imgproc/test_conv_core.cpp.o" "gcc" "tests/CMakeFiles/imgproc_test.dir/imgproc/test_conv_core.cpp.o.d"
+  "/root/repo/tests/imgproc/test_filters.cpp" "tests/CMakeFiles/imgproc_test.dir/imgproc/test_filters.cpp.o" "gcc" "tests/CMakeFiles/imgproc_test.dir/imgproc/test_filters.cpp.o.d"
+  "/root/repo/tests/imgproc/test_hwmodel.cpp" "tests/CMakeFiles/imgproc_test.dir/imgproc/test_hwmodel.cpp.o" "gcc" "tests/CMakeFiles/imgproc_test.dir/imgproc/test_hwmodel.cpp.o.d"
+  "/root/repo/tests/imgproc/test_sobel_core.cpp" "tests/CMakeFiles/imgproc_test.dir/imgproc/test_sobel_core.cpp.o" "gcc" "tests/CMakeFiles/imgproc_test.dir/imgproc/test_sobel_core.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trt/CMakeFiles/atlantis_trt.dir/DependInfo.cmake"
+  "/root/repo/build/src/volren/CMakeFiles/atlantis_volren.dir/DependInfo.cmake"
+  "/root/repo/build/src/nbody/CMakeFiles/atlantis_nbody.dir/DependInfo.cmake"
+  "/root/repo/build/src/imgproc/CMakeFiles/atlantis_imgproc.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/atlantis_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/atlantis_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/chdl/CMakeFiles/atlantis_chdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/atlantis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

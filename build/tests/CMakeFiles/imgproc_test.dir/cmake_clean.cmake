@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imgproc_test.dir/imgproc/test_conv_core.cpp.o"
+  "CMakeFiles/imgproc_test.dir/imgproc/test_conv_core.cpp.o.d"
+  "CMakeFiles/imgproc_test.dir/imgproc/test_filters.cpp.o"
+  "CMakeFiles/imgproc_test.dir/imgproc/test_filters.cpp.o.d"
+  "CMakeFiles/imgproc_test.dir/imgproc/test_hwmodel.cpp.o"
+  "CMakeFiles/imgproc_test.dir/imgproc/test_hwmodel.cpp.o.d"
+  "CMakeFiles/imgproc_test.dir/imgproc/test_sobel_core.cpp.o"
+  "CMakeFiles/imgproc_test.dir/imgproc/test_sobel_core.cpp.o.d"
+  "imgproc_test"
+  "imgproc_test.pdb"
+  "imgproc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imgproc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

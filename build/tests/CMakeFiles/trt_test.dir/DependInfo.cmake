@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trt/test_events.cpp" "tests/CMakeFiles/trt_test.dir/trt/test_events.cpp.o" "gcc" "tests/CMakeFiles/trt_test.dir/trt/test_events.cpp.o.d"
+  "/root/repo/tests/trt/test_geometry.cpp" "tests/CMakeFiles/trt_test.dir/trt/test_geometry.cpp.o" "gcc" "tests/CMakeFiles/trt_test.dir/trt/test_geometry.cpp.o.d"
+  "/root/repo/tests/trt/test_histogram.cpp" "tests/CMakeFiles/trt_test.dir/trt/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/trt_test.dir/trt/test_histogram.cpp.o.d"
+  "/root/repo/tests/trt/test_hwmodel.cpp" "tests/CMakeFiles/trt_test.dir/trt/test_hwmodel.cpp.o" "gcc" "tests/CMakeFiles/trt_test.dir/trt/test_hwmodel.cpp.o.d"
+  "/root/repo/tests/trt/test_multiboard.cpp" "tests/CMakeFiles/trt_test.dir/trt/test_multiboard.cpp.o" "gcc" "tests/CMakeFiles/trt_test.dir/trt/test_multiboard.cpp.o.d"
+  "/root/repo/tests/trt/test_patterns.cpp" "tests/CMakeFiles/trt_test.dir/trt/test_patterns.cpp.o" "gcc" "tests/CMakeFiles/trt_test.dir/trt/test_patterns.cpp.o.d"
+  "/root/repo/tests/trt/test_slink_frontend.cpp" "tests/CMakeFiles/trt_test.dir/trt/test_slink_frontend.cpp.o" "gcc" "tests/CMakeFiles/trt_test.dir/trt/test_slink_frontend.cpp.o.d"
+  "/root/repo/tests/trt/test_trt_core.cpp" "tests/CMakeFiles/trt_test.dir/trt/test_trt_core.cpp.o" "gcc" "tests/CMakeFiles/trt_test.dir/trt/test_trt_core.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trt/CMakeFiles/atlantis_trt.dir/DependInfo.cmake"
+  "/root/repo/build/src/volren/CMakeFiles/atlantis_volren.dir/DependInfo.cmake"
+  "/root/repo/build/src/nbody/CMakeFiles/atlantis_nbody.dir/DependInfo.cmake"
+  "/root/repo/build/src/imgproc/CMakeFiles/atlantis_imgproc.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/atlantis_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/atlantis_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/chdl/CMakeFiles/atlantis_chdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/atlantis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

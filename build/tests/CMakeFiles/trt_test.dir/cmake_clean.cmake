@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trt_test.dir/trt/test_events.cpp.o"
+  "CMakeFiles/trt_test.dir/trt/test_events.cpp.o.d"
+  "CMakeFiles/trt_test.dir/trt/test_geometry.cpp.o"
+  "CMakeFiles/trt_test.dir/trt/test_geometry.cpp.o.d"
+  "CMakeFiles/trt_test.dir/trt/test_histogram.cpp.o"
+  "CMakeFiles/trt_test.dir/trt/test_histogram.cpp.o.d"
+  "CMakeFiles/trt_test.dir/trt/test_hwmodel.cpp.o"
+  "CMakeFiles/trt_test.dir/trt/test_hwmodel.cpp.o.d"
+  "CMakeFiles/trt_test.dir/trt/test_multiboard.cpp.o"
+  "CMakeFiles/trt_test.dir/trt/test_multiboard.cpp.o.d"
+  "CMakeFiles/trt_test.dir/trt/test_patterns.cpp.o"
+  "CMakeFiles/trt_test.dir/trt/test_patterns.cpp.o.d"
+  "CMakeFiles/trt_test.dir/trt/test_slink_frontend.cpp.o"
+  "CMakeFiles/trt_test.dir/trt/test_slink_frontend.cpp.o.d"
+  "CMakeFiles/trt_test.dir/trt/test_trt_core.cpp.o"
+  "CMakeFiles/trt_test.dir/trt/test_trt_core.cpp.o.d"
+  "trt_test"
+  "trt_test.pdb"
+  "trt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/test_bitops.cpp" "tests/CMakeFiles/util_test.dir/util/test_bitops.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/test_bitops.cpp.o.d"
+  "/root/repo/tests/util/test_cfloat.cpp" "tests/CMakeFiles/util_test.dir/util/test_cfloat.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/test_cfloat.cpp.o.d"
+  "/root/repo/tests/util/test_cfloat_properties.cpp" "tests/CMakeFiles/util_test.dir/util/test_cfloat_properties.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/test_cfloat_properties.cpp.o.d"
+  "/root/repo/tests/util/test_fixed_point.cpp" "tests/CMakeFiles/util_test.dir/util/test_fixed_point.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/test_fixed_point.cpp.o.d"
+  "/root/repo/tests/util/test_image.cpp" "tests/CMakeFiles/util_test.dir/util/test_image.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/test_image.cpp.o.d"
+  "/root/repo/tests/util/test_log.cpp" "tests/CMakeFiles/util_test.dir/util/test_log.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/test_log.cpp.o.d"
+  "/root/repo/tests/util/test_rng.cpp" "tests/CMakeFiles/util_test.dir/util/test_rng.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/test_rng.cpp.o.d"
+  "/root/repo/tests/util/test_stats.cpp" "tests/CMakeFiles/util_test.dir/util/test_stats.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/test_stats.cpp.o.d"
+  "/root/repo/tests/util/test_table.cpp" "tests/CMakeFiles/util_test.dir/util/test_table.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/test_table.cpp.o.d"
+  "/root/repo/tests/util/test_units.cpp" "tests/CMakeFiles/util_test.dir/util/test_units.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/test_units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trt/CMakeFiles/atlantis_trt.dir/DependInfo.cmake"
+  "/root/repo/build/src/volren/CMakeFiles/atlantis_volren.dir/DependInfo.cmake"
+  "/root/repo/build/src/nbody/CMakeFiles/atlantis_nbody.dir/DependInfo.cmake"
+  "/root/repo/build/src/imgproc/CMakeFiles/atlantis_imgproc.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/atlantis_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/atlantis_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/chdl/CMakeFiles/atlantis_chdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/atlantis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_test.dir/util/test_bitops.cpp.o"
+  "CMakeFiles/util_test.dir/util/test_bitops.cpp.o.d"
+  "CMakeFiles/util_test.dir/util/test_cfloat.cpp.o"
+  "CMakeFiles/util_test.dir/util/test_cfloat.cpp.o.d"
+  "CMakeFiles/util_test.dir/util/test_cfloat_properties.cpp.o"
+  "CMakeFiles/util_test.dir/util/test_cfloat_properties.cpp.o.d"
+  "CMakeFiles/util_test.dir/util/test_fixed_point.cpp.o"
+  "CMakeFiles/util_test.dir/util/test_fixed_point.cpp.o.d"
+  "CMakeFiles/util_test.dir/util/test_image.cpp.o"
+  "CMakeFiles/util_test.dir/util/test_image.cpp.o.d"
+  "CMakeFiles/util_test.dir/util/test_log.cpp.o"
+  "CMakeFiles/util_test.dir/util/test_log.cpp.o.d"
+  "CMakeFiles/util_test.dir/util/test_rng.cpp.o"
+  "CMakeFiles/util_test.dir/util/test_rng.cpp.o.d"
+  "CMakeFiles/util_test.dir/util/test_stats.cpp.o"
+  "CMakeFiles/util_test.dir/util/test_stats.cpp.o.d"
+  "CMakeFiles/util_test.dir/util/test_table.cpp.o"
+  "CMakeFiles/util_test.dir/util/test_table.cpp.o.d"
+  "CMakeFiles/util_test.dir/util/test_units.cpp.o"
+  "CMakeFiles/util_test.dir/util/test_units.cpp.o.d"
+  "util_test"
+  "util_test.pdb"
+  "util_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/volren/test_camera.cpp" "tests/CMakeFiles/volren_test.dir/volren/test_camera.cpp.o" "gcc" "tests/CMakeFiles/volren_test.dir/volren/test_camera.cpp.o.d"
+  "/root/repo/tests/volren/test_interp_core.cpp" "tests/CMakeFiles/volren_test.dir/volren/test_interp_core.cpp.o" "gcc" "tests/CMakeFiles/volren_test.dir/volren/test_interp_core.cpp.o.d"
+  "/root/repo/tests/volren/test_memsim.cpp" "tests/CMakeFiles/volren_test.dir/volren/test_memsim.cpp.o" "gcc" "tests/CMakeFiles/volren_test.dir/volren/test_memsim.cpp.o.d"
+  "/root/repo/tests/volren/test_pipeline.cpp" "tests/CMakeFiles/volren_test.dir/volren/test_pipeline.cpp.o" "gcc" "tests/CMakeFiles/volren_test.dir/volren/test_pipeline.cpp.o.d"
+  "/root/repo/tests/volren/test_raycast.cpp" "tests/CMakeFiles/volren_test.dir/volren/test_raycast.cpp.o" "gcc" "tests/CMakeFiles/volren_test.dir/volren/test_raycast.cpp.o.d"
+  "/root/repo/tests/volren/test_renderer.cpp" "tests/CMakeFiles/volren_test.dir/volren/test_renderer.cpp.o" "gcc" "tests/CMakeFiles/volren_test.dir/volren/test_renderer.cpp.o.d"
+  "/root/repo/tests/volren/test_transfer.cpp" "tests/CMakeFiles/volren_test.dir/volren/test_transfer.cpp.o" "gcc" "tests/CMakeFiles/volren_test.dir/volren/test_transfer.cpp.o.d"
+  "/root/repo/tests/volren/test_volume.cpp" "tests/CMakeFiles/volren_test.dir/volren/test_volume.cpp.o" "gcc" "tests/CMakeFiles/volren_test.dir/volren/test_volume.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trt/CMakeFiles/atlantis_trt.dir/DependInfo.cmake"
+  "/root/repo/build/src/volren/CMakeFiles/atlantis_volren.dir/DependInfo.cmake"
+  "/root/repo/build/src/nbody/CMakeFiles/atlantis_nbody.dir/DependInfo.cmake"
+  "/root/repo/build/src/imgproc/CMakeFiles/atlantis_imgproc.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/atlantis_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/atlantis_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/chdl/CMakeFiles/atlantis_chdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/atlantis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

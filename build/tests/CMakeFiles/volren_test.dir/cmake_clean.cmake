@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volren_test.dir/volren/test_camera.cpp.o"
+  "CMakeFiles/volren_test.dir/volren/test_camera.cpp.o.d"
+  "CMakeFiles/volren_test.dir/volren/test_interp_core.cpp.o"
+  "CMakeFiles/volren_test.dir/volren/test_interp_core.cpp.o.d"
+  "CMakeFiles/volren_test.dir/volren/test_memsim.cpp.o"
+  "CMakeFiles/volren_test.dir/volren/test_memsim.cpp.o.d"
+  "CMakeFiles/volren_test.dir/volren/test_pipeline.cpp.o"
+  "CMakeFiles/volren_test.dir/volren/test_pipeline.cpp.o.d"
+  "CMakeFiles/volren_test.dir/volren/test_raycast.cpp.o"
+  "CMakeFiles/volren_test.dir/volren/test_raycast.cpp.o.d"
+  "CMakeFiles/volren_test.dir/volren/test_renderer.cpp.o"
+  "CMakeFiles/volren_test.dir/volren/test_renderer.cpp.o.d"
+  "CMakeFiles/volren_test.dir/volren/test_transfer.cpp.o"
+  "CMakeFiles/volren_test.dir/volren/test_transfer.cpp.o.d"
+  "CMakeFiles/volren_test.dir/volren/test_volume.cpp.o"
+  "CMakeFiles/volren_test.dir/volren/test_volume.cpp.o.d"
+  "volren_test"
+  "volren_test.pdb"
+  "volren_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volren_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
