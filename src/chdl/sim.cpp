@@ -11,6 +11,10 @@ namespace {
 
 int words_for(int width) { return BitVec::word_count(width); }
 
+std::uint64_t width_mask(int width) {
+  return width >= 64 ? ~std::uint64_t{0} : util::low_mask(width);
+}
+
 void mask_top_word(std::uint64_t* p, int width) {
   const int rem = width % 64;
   if (rem != 0) p[(width - 1) / 64] &= util::low_mask(rem);
@@ -38,21 +42,30 @@ void copy_bits(std::uint64_t* dst, int dst_lo, const std::uint64_t* src,
 
 }  // namespace
 
-Simulator::Simulator(const Design& design) : design_(design) {
+Simulator::Simulator(const Design& design, EvalMode mode)
+    : design_(design), mode_(mode) {
   design.check_complete();
   // Allocate one flat slot per wire.
   slots_.resize(static_cast<std::size_t>(design.wire_count()));
   std::int32_t offset = 0;
+  std::int32_t max_words = 1;
   for (std::int32_t id = 0; id < design.wire_count(); ++id) {
     const int width = design.wire_width(id);
     auto& s = slots_[static_cast<std::size_t>(id)];
     s.offset = offset;
     s.width = width;
     s.words = words_for(width);
+    max_words = std::max(max_words, s.words);
     offset += s.words;
   }
   values_.assign(static_cast<std::size_t>(offset), 0);
   stage_.assign(static_cast<std::size_t>(offset), 0);
+  scratch_.assign(static_cast<std::size_t>(max_words), 0);
+
+  is_input_.assign(slots_.size(), 0);
+  for (const auto& [name, w] : design.inputs()) {
+    is_input_[static_cast<std::size_t>(w.id)] = 1;
+  }
 
   // RAM storage.
   ram_data_.resize(design.rams().size());
@@ -66,6 +79,7 @@ Simulator::Simulator(const Design& design) : design_(design) {
 
   cycle_count_.assign(static_cast<std::size_t>(design.clock_count()), 0);
   levelize();
+  compile_tape();
   reset();
 }
 
@@ -131,6 +145,146 @@ void Simulator::levelize() {
   }
 }
 
+void Simulator::compile_tape() {
+  const auto& comps = design_.components();
+  // Topological level of each comb component's producing op.
+  std::vector<std::int32_t> level_of_wire(slots_.size(), -1);
+  tape_.clear();
+  tape_.reserve(comb_order_.size());
+  int max_level = 0;
+  for (const std::int32_t i : comb_order_) {
+    const Component& c = comps[static_cast<std::size_t>(i)];
+    const WireSlot& out = slots_[static_cast<std::size_t>(c.out.id)];
+    Op op;
+    op.kind = c.kind;
+    op.comp = i;
+    op.out_wire = c.out.id;
+    op.out_off = out.offset;
+    op.out_words = out.words;
+    op.out_mask = width_mask(out.width);
+    for (const Wire w : c.in) {
+      if (!w.valid()) continue;
+      const std::int32_t lw = level_of_wire[static_cast<std::size_t>(w.id)];
+      op.level = std::max(op.level, lw + 1);
+    }
+    level_of_wire[static_cast<std::size_t>(c.out.id)] = op.level;
+    max_level = std::max(max_level, op.level);
+
+    // Single-word fast path: output and every input fit one word and the
+    // operand layout maps onto the fixed in0/in1/in2 offsets.
+    auto all_single = [&] {
+      if (out.words != 1) return false;
+      for (const Wire w : c.in) {
+        if (slots_[static_cast<std::size_t>(w.id)].words != 1) return false;
+      }
+      return true;
+    };
+    switch (c.kind) {
+      case CompKind::kNot:
+      case CompKind::kAnd:
+      case CompKind::kOr:
+      case CompKind::kXor:
+      case CompKind::kMux:
+      case CompKind::kAdd:
+      case CompKind::kSub:
+      case CompKind::kEq:
+      case CompKind::kUlt:
+      case CompKind::kReduceAnd:
+      case CompKind::kReduceOr:
+      case CompKind::kReduceXor:
+        op.single = all_single();
+        break;
+      case CompKind::kSlice:
+      case CompKind::kShl:
+      case CompKind::kShr:
+        // c.a >= 64 would make the word shift UB; the general path
+        // handles those (they are all-zero results anyway).
+        op.single = all_single() && c.a < 64;
+        op.a = c.a;
+        break;
+      case CompKind::kConcat:
+        // Two-part {hi, lo} concat compiles to shift+or; `a` holds the
+        // low part's width.
+        op.single = all_single() && c.in.size() == 2;
+        if (op.single) op.a = c.in[1].width;
+        break;
+      default:
+        break;  // kMuxN and anything else stays on the general path
+    }
+    if (op.single) {
+      auto off = [&](std::size_t k) {
+        return slots_[static_cast<std::size_t>(c.in[k].id)].offset;
+      };
+      if (c.in.size() > 0) op.in0 = off(0);
+      if (c.in.size() > 1) op.in1 = off(1);
+      if (c.in.size() > 2) op.in2 = off(2);
+      if (c.kind == CompKind::kReduceAnd) {
+        op.in_mask = width_mask(c.in[0].width);
+      }
+    }
+    tape_.push_back(op);
+  }
+  level_queue_.assign(static_cast<std::size_t>(max_level + 1), {});
+  queued_.assign(tape_.size(), 0);
+
+  // Per-wire fanout CSR: wire id -> tape ops that consume it.
+  std::vector<std::int32_t> counts(slots_.size() + 1, 0);
+  for (const Op& op : tape_) {
+    const Component& c = comps[static_cast<std::size_t>(op.comp)];
+    for (const Wire w : c.in) {
+      if (w.valid()) ++counts[static_cast<std::size_t>(w.id)];
+    }
+  }
+  fan_begin_.assign(slots_.size() + 1, 0);
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    fan_begin_[i + 1] = fan_begin_[i] + counts[i];
+  }
+  fan_ops_.assign(static_cast<std::size_t>(fan_begin_.back()), 0);
+  std::vector<std::int32_t> cursor(fan_begin_.begin(), fan_begin_.end() - 1);
+  for (std::int32_t t = 0; t < static_cast<std::int32_t>(tape_.size()); ++t) {
+    const Component& c = comps[static_cast<std::size_t>(tape_[
+        static_cast<std::size_t>(t)].comp)];
+    for (const Wire w : c.in) {
+      if (!w.valid()) continue;
+      fan_ops_[static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(w.id)]++)] = t;
+    }
+  }
+}
+
+void Simulator::mark_wire_dirty(std::int32_t wire_id) {
+  const std::int32_t begin = fan_begin_[static_cast<std::size_t>(wire_id)];
+  const std::int32_t end = fan_begin_[static_cast<std::size_t>(wire_id) + 1];
+  for (std::int32_t i = begin; i < end; ++i) {
+    const std::int32_t t = fan_ops_[static_cast<std::size_t>(i)];
+    if (!queued_[static_cast<std::size_t>(t)]) {
+      queued_[static_cast<std::size_t>(t)] = 1;
+      level_queue_[static_cast<std::size_t>(
+          tape_[static_cast<std::size_t>(t)].level)].push_back(t);
+      ++dirty_count_;
+    }
+  }
+}
+
+void Simulator::mark_all_dirty() {
+  for (auto& q : level_queue_) q.clear();
+  std::fill(queued_.begin(), queued_.end(), 1);
+  for (std::int32_t t = 0; t < static_cast<std::int32_t>(tape_.size()); ++t) {
+    level_queue_[static_cast<std::size_t>(
+        tape_[static_cast<std::size_t>(t)].level)].push_back(t);
+  }
+  dirty_count_ = static_cast<std::int64_t>(tape_.size());
+  comb_dirty_ = true;
+}
+
+void Simulator::set_eval_mode(EvalMode mode) {
+  if (mode == mode_) return;
+  mode_ = mode;
+  // Everything is re-evaluated on the next peek/step so stale values
+  // cannot leak across the policy switch.
+  mark_all_dirty();
+}
+
 void Simulator::reset() {
   std::fill(values_.begin(), values_.end(), 0);
   const auto& comps = design_.components();
@@ -154,7 +308,7 @@ void Simulator::reset() {
     }
   }
   std::fill(cycle_count_.begin(), cycle_count_.end(), 0);
-  comb_dirty_ = true;
+  mark_all_dirty();
 }
 
 void Simulator::store(Wire w, const BitVec& v) {
@@ -172,16 +326,18 @@ BitVec Simulator::load(Wire w) const {
 }
 
 void Simulator::poke(Wire input, const BitVec& value) {
-  // The wire must be a design input.
-  bool found = false;
-  for (const auto& [name, w] : design_.inputs()) {
-    if (w.id == input.id) {
-      found = true;
-      break;
-    }
+  ATLANTIS_CHECK(input.valid() &&
+                     input.id < static_cast<std::int32_t>(is_input_.size()) &&
+                     is_input_[static_cast<std::size_t>(input.id)] != 0,
+                 "poke target is not a design input");
+  ATLANTIS_CHECK(value.width() == input.width, "value width mismatch");
+  const WireSlot& s = slots_[static_cast<std::size_t>(input.id)];
+  std::uint64_t* dst = values_.data() + s.offset;
+  if (std::equal(value.words().begin(), value.words().end(), dst)) {
+    return;  // unchanged input: nothing downstream can change
   }
-  ATLANTIS_CHECK(found, "poke target is not a design input");
-  store(input, value);
+  std::copy(value.words().begin(), value.words().end(), dst);
+  mark_wire_dirty(input.id);
   comb_dirty_ = true;
 }
 
@@ -191,7 +347,7 @@ void Simulator::poke(const std::string& port, std::uint64_t value) {
 }
 
 BitVec Simulator::peek(Wire w) {
-  if (comb_dirty_) eval_comb();
+  eval_comb();
   return load(w);
 }
 
@@ -202,16 +358,116 @@ std::uint64_t Simulator::peek_u64(const std::string& port) {
 }
 
 void Simulator::eval_comb() {
-  const auto& comps = design_.components();
-  for (const std::int32_t i : comb_order_) {
-    eval_comp(comps[static_cast<std::size_t>(i)]);
+  if (mode_ == EvalMode::kFullSweep) {
+    if (!comb_dirty_) return;
+    const auto& comps = design_.components();
+    for (const std::int32_t i : comb_order_) {
+      const Component& c = comps[static_cast<std::size_t>(i)];
+      eval_comp(c, values_.data() +
+                       slots_[static_cast<std::size_t>(c.out.id)].offset);
+    }
+    activity_.comp_evals += comb_order_.size();
+    comb_dirty_ = false;
+    // The worklist may still hold entries from pokes/commits; they are
+    // all up to date now.
+    for (auto& q : level_queue_) q.clear();
+    std::fill(queued_.begin(), queued_.end(), 0);
+    dirty_count_ = 0;
+    return;
   }
+  if (dirty_count_ == 0) return;
+  for (auto& q : level_queue_) {
+    // Dependents always live at strictly higher levels, so this queue
+    // cannot grow while it is being drained.
+    for (const std::int32_t t : q) {
+      queued_[static_cast<std::size_t>(t)] = 0;
+      const Op& op = tape_[static_cast<std::size_t>(t)];
+      if (eval_op(op)) {
+        ++activity_.comp_changes;
+        mark_wire_dirty(op.out_wire);
+      }
+    }
+    q.clear();
+  }
+  dirty_count_ = 0;
   comb_dirty_ = false;
 }
 
-void Simulator::eval_comp(const Component& c) {
+bool Simulator::eval_op(const Op& op) {
+  ++activity_.comp_evals;
+  if (op.single) {
+    const std::uint64_t* v = values_.data();
+    std::uint64_t r = 0;
+    switch (op.kind) {
+      case CompKind::kNot:
+        r = ~v[op.in0] & op.out_mask;
+        break;
+      case CompKind::kAnd:
+        r = v[op.in0] & v[op.in1];
+        break;
+      case CompKind::kOr:
+        r = v[op.in0] | v[op.in1];
+        break;
+      case CompKind::kXor:
+        r = v[op.in0] ^ v[op.in1];
+        break;
+      case CompKind::kMux:
+        r = (v[op.in0] & 1) != 0 ? v[op.in1] : v[op.in2];
+        break;
+      case CompKind::kAdd:
+        r = (v[op.in0] + v[op.in1]) & op.out_mask;
+        break;
+      case CompKind::kSub:
+        r = (v[op.in0] - v[op.in1]) & op.out_mask;
+        break;
+      case CompKind::kEq:
+        r = v[op.in0] == v[op.in1] ? 1 : 0;
+        break;
+      case CompKind::kUlt:
+        r = v[op.in0] < v[op.in1] ? 1 : 0;
+        break;
+      case CompKind::kReduceAnd:
+        r = v[op.in0] == op.in_mask ? 1 : 0;
+        break;
+      case CompKind::kReduceOr:
+        r = v[op.in0] != 0 ? 1 : 0;
+        break;
+      case CompKind::kReduceXor:
+        r = static_cast<std::uint64_t>(std::popcount(v[op.in0]) & 1);
+        break;
+      case CompKind::kSlice:
+        r = (v[op.in0] >> op.a) & op.out_mask;
+        break;
+      case CompKind::kConcat:
+        r = ((v[op.in0] << op.a) | v[op.in1]) & op.out_mask;
+        break;
+      case CompKind::kShl:
+        r = (v[op.in0] << op.a) & op.out_mask;
+        break;
+      case CompKind::kShr:
+        r = v[op.in0] >> op.a;
+        break;
+      default:
+        break;
+    }
+    std::uint64_t& out = values_[static_cast<std::size_t>(op.out_off)];
+    if (out == r) return false;
+    out = r;
+    return true;
+  }
+  // General path: evaluate into scratch, commit only on change.
+  const Component& c = design_.components()[static_cast<std::size_t>(op.comp)];
+  eval_comp(c, scratch_.data());
+  std::uint64_t* dst = values_.data() + op.out_off;
+  if (std::equal(scratch_.data(), scratch_.data() + op.out_words, dst)) {
+    return false;
+  }
+  std::copy(scratch_.data(), scratch_.data() + op.out_words, dst);
+  return true;
+}
+
+void Simulator::eval_comp(const Component& c, std::uint64_t* dst) {
   const WireSlot& out = slots_[static_cast<std::size_t>(c.out.id)];
-  std::uint64_t* dst = values_.data() + out.offset;
   auto src = [&](std::size_t k) -> const std::uint64_t* {
     return wire_ptr(c.in[k].id);
   };
@@ -377,9 +633,10 @@ void Simulator::step(ClockId clock) {
                  "unknown clock domain");
   eval_comb();
   commit_edge(clock);
-  comb_dirty_ = true;
+  if (mode_ == EvalMode::kFullSweep) comb_dirty_ = true;
   eval_comb();
   ++cycle_count_[static_cast<std::size_t>(clock.id)];
+  ++activity_.edges;
   if (edge_hook_) edge_hook_(*this, clock);
 }
 
@@ -469,11 +726,17 @@ void Simulator::commit_edge(ClockId clock) {
     const std::uint64_t* d = wire_ptr(w.src_wire);
     std::copy(d, d + stride, mem);
   }
-  // Phase 3: commit register / read-port outputs.
+  // Phase 3: commit register / read-port outputs. Only wires whose
+  // staged value differs from the pre-edge value dirty their fanout —
+  // quiescent registers (disabled enables, held resets, stable D) cost
+  // nothing downstream.
   for (const std::int32_t id : touched) {
     const WireSlot& s = slots_[static_cast<std::size_t>(id)];
-    std::copy(stage_.begin() + s.offset, stage_.begin() + s.offset + s.words,
-              values_.begin() + s.offset);
+    const std::uint64_t* st = stage_.data() + s.offset;
+    std::uint64_t* dst = values_.data() + s.offset;
+    if (std::equal(st, st + s.words, dst)) continue;
+    std::copy(st, st + s.words, dst);
+    mark_wire_dirty(id);
   }
 }
 

@@ -1,10 +1,25 @@
 // Levelized cycle simulator for CHDL designs.
 //
 // The simulator keeps every wire's value in one flat word array (no
-// allocation on the evaluation path), evaluates combinational components
-// in topological order, and latches registers and RAM ports on explicit
-// clock edges. Synchronous-read RAMs return the pre-edge memory contents
-// when an address is written on the same edge (read-before-write).
+// allocation on the evaluation path) and latches registers and RAM ports
+// on explicit clock edges. Synchronous-read RAMs return the pre-edge
+// memory contents when an address is written on the same edge
+// (read-before-write).
+//
+// Two evaluation policies are available:
+//
+//  * kEventDriven (default): during elaboration the combinational
+//    netlist is levelized and compiled into a flat "op tape" of POD
+//    records (opcode, input/output word offsets, width mask), and a
+//    per-wire fanout table is built. Pokes and edge commits mark only
+//    the fanout of wires whose value actually changed; evaluation
+//    drains a level-bucketed dirty worklist, and a component's change
+//    propagates onward only if its output changed. Quiescent logic
+//    costs nothing.
+//  * kFullSweep: the original policy — every combinational component is
+//    re-evaluated in topological order whenever anything might have
+//    changed. Kept as an independent cross-check implementation for
+//    differential testing (see tests/chdl/test_fuzz.cpp).
 //
 // The application drives the design directly — poke inputs, clock, peek
 // outputs — which is the CHDL workflow: the C++ program that will operate
@@ -20,14 +35,36 @@
 
 namespace atlantis::chdl {
 
+/// Combinational evaluation policy.
+enum class EvalMode {
+  kEventDriven,  // dirty-worklist over the compiled op tape
+  kFullSweep,    // re-evaluate everything (reference cross-check path)
+};
+
+/// Work counters for speed reporting and activity-based tuning.
+struct SimActivity {
+  std::uint64_t comp_evals = 0;    // combinational evaluations performed
+  std::uint64_t comp_changes = 0;  // evaluations whose output changed
+  std::uint64_t edges = 0;         // clock edges applied
+};
+
 class Simulator {
  public:
   /// Elaborates the design: levelizes combinational logic (throwing
-  /// util::Error on a combinational cycle), allocates flat storage and
-  /// applies power-up values.
-  explicit Simulator(const Design& design);
+  /// util::Error on a combinational cycle), compiles the op tape,
+  /// allocates flat storage and applies power-up values.
+  explicit Simulator(const Design& design,
+                     EvalMode mode = EvalMode::kEventDriven);
 
   const Design& design() const { return design_; }
+
+  EvalMode eval_mode() const { return mode_; }
+  /// Switches the evaluation policy; all combinational state is
+  /// re-evaluated on the next peek/step, so results are unaffected.
+  void set_eval_mode(EvalMode mode);
+
+  const SimActivity& activity() const { return activity_; }
+  void reset_activity() { activity_ = {}; }
 
   /// Drives an input port.
   void poke(Wire input, const BitVec& value);
@@ -67,11 +104,32 @@ class Simulator {
   /// RAM contents are preserved, ROMs reloaded).
   void reset();
 
+  /// Levelization depth of the combinational netlist (longest
+  /// comb path, in components).
+  int comb_levels() const { return static_cast<int>(level_queue_.size()); }
+
  private:
   struct WireSlot {
     std::int32_t offset = 0;  // index into values_
     std::int32_t words = 0;
     std::int32_t width = 0;
+  };
+
+  /// One compiled combinational component. `single` marks the ≤64-bit
+  /// fast path: all inputs and the output are one word, so the hot loop
+  /// is a switch over POD fields with no Component/Wire chasing.
+  struct Op {
+    CompKind kind = CompKind::kConst;
+    bool single = false;
+    std::int32_t comp = -1;      // index into design_.components()
+    std::int32_t out_wire = -1;
+    std::int32_t out_off = 0;
+    std::int32_t out_words = 0;
+    std::int32_t in0 = 0, in1 = 0, in2 = 0;  // input word offsets
+    std::int32_t a = 0;          // slice lo / shift amount / concat lo width
+    std::uint64_t out_mask = ~std::uint64_t{0};
+    std::uint64_t in_mask = ~std::uint64_t{0};  // kReduceAnd input mask
+    std::int32_t level = 0;
   };
 
   std::uint64_t* wire_ptr(std::int32_t id) {
@@ -82,13 +140,18 @@ class Simulator {
   }
 
   void eval_comb();
-  void eval_comp(const Component& c);
+  void eval_comp(const Component& c, std::uint64_t* dst);
+  bool eval_op(const Op& op);
   void commit_edge(ClockId clock);
   void levelize();
+  void compile_tape();
+  void mark_wire_dirty(std::int32_t wire_id);
+  void mark_all_dirty();
   void store(Wire w, const BitVec& v);
   BitVec load(Wire w) const;
 
   const Design& design_;
+  EvalMode mode_;
   std::vector<WireSlot> slots_;
   std::vector<std::uint64_t> values_;
   std::vector<std::int32_t> comb_order_;   // component indices, topological
@@ -98,8 +161,19 @@ class Simulator {
   std::vector<std::uint64_t> cycle_count_;
   // Staging for next register / RAM-read values (avoids ordering hazards).
   std::vector<std::uint64_t> stage_;
-  bool comb_dirty_ = true;
+  bool comb_dirty_ = true;                 // full-sweep mode only
   EdgeHook edge_hook_;
+
+  // Event-driven machinery.
+  std::vector<Op> tape_;                   // comb ops in comb_order_ order
+  std::vector<std::int32_t> fan_begin_;    // wire id -> [begin,end) CSR ...
+  std::vector<std::int32_t> fan_ops_;      // ... over dependent tape indices
+  std::vector<std::vector<std::int32_t>> level_queue_;  // dirty worklist
+  std::vector<std::uint8_t> queued_;       // per tape op
+  std::int64_t dirty_count_ = 0;
+  std::vector<std::uint64_t> scratch_;     // general-path output buffer
+  std::vector<std::uint8_t> is_input_;     // per wire: design input?
+  SimActivity activity_;
 };
 
 }  // namespace atlantis::chdl

@@ -1,6 +1,8 @@
 #include "chdl/stats.hpp"
 
+#include <algorithm>
 #include <sstream>
+#include <vector>
 
 namespace atlantis::chdl {
 
@@ -66,6 +68,50 @@ NetlistStats analyze(const Design& design) {
     s.ram_bits += r.words * static_cast<std::int64_t>(r.width);
   }
   s.lut4_estimate = (s.gate_equivalents - 8 * s.flipflops) / 4;
+
+  // Levelization / fanout summary: what the event-driven simulator's
+  // dirty worklist is shaped by. Level of a comb component = 1 + max
+  // level of its comb producers; consumers per wire feed mean_fanout.
+  std::vector<std::int64_t> level_of_wire(
+      static_cast<std::size_t>(design.wire_count()), 0);
+  std::vector<std::int64_t> consumers(
+      static_cast<std::size_t>(design.wire_count()), 0);
+  std::int64_t driven_wires = 0;
+  std::int64_t fanout_edges = 0;
+  for (const Component& c : design.components()) {
+    switch (c.kind) {
+      case CompKind::kReg:
+      case CompKind::kRamRead:
+      case CompKind::kRamWrite:
+      case CompKind::kInput:
+      case CompKind::kConst:
+      case CompKind::kOutput:
+        break;
+      default: {
+        ++s.comb_components;
+        std::int64_t lvl = 1;
+        for (const Wire w : c.in) {
+          if (!w.valid()) continue;
+          lvl = std::max(lvl,
+                         level_of_wire[static_cast<std::size_t>(w.id)] + 1);
+          ++consumers[static_cast<std::size_t>(w.id)];
+          ++fanout_edges;
+        }
+        if (c.out.valid()) {
+          level_of_wire[static_cast<std::size_t>(c.out.id)] = lvl;
+        }
+        s.comb_levels = std::max(s.comb_levels, lvl);
+        break;
+      }
+    }
+  }
+  for (const std::int64_t n : consumers) {
+    if (n > 0) ++driven_wires;
+  }
+  s.mean_fanout = driven_wires > 0
+                      ? static_cast<double>(fanout_edges) /
+                            static_cast<double>(driven_wires)
+                      : 0.0;
   return s;
 }
 
@@ -74,7 +120,8 @@ std::string NetlistStats::to_string() const {
   os << "design '" << design_name << "': " << components << " components, "
      << gate_equivalents << " gate-eq, " << flipflops << " FF, ~"
      << lut4_estimate << " LUT4, " << ram_bits << " RAM bits, " << io_pins
-     << " I/O pins, " << wires << " wires";
+     << " I/O pins, " << wires << " wires, " << comb_levels
+     << " comb levels";
   return os.str();
 }
 

@@ -1,8 +1,32 @@
 #include "core/acb.hpp"
 
 #include "util/status.hpp"
+#include "util/worker_pool.hpp"
 
 namespace atlantis::core {
+namespace {
+
+/// One wired neighbour link: peek src's out port, poke dst's in port.
+struct MatrixLink {
+  chdl::Simulator* src = nullptr;
+  chdl::Simulator* dst = nullptr;
+  chdl::Wire out{};
+  chdl::Wire in{};
+  std::int32_t from = 0;
+  std::int32_t to = 0;
+};
+
+/// Looks up a named port restricted to the design's inputs or outputs.
+chdl::Wire find_port(const chdl::Design& d, const std::string& name,
+                     bool want_input) {
+  const auto& list = want_input ? d.inputs() : d.outputs();
+  for (const auto& [n, w] : list) {
+    if (n == name) return w;
+  }
+  return chdl::Wire{};
+}
+
+}  // namespace
 
 AcbBoard::AcbBoard(std::string name)
     : name_(std::move(name)), local_clock_(name_ + "/clk_local") {
@@ -82,6 +106,78 @@ util::Picoseconds AcbBoard::configure_all(const hw::Bitstream& bs) {
   util::Picoseconds total = 0;
   for (auto& f : fpgas_) total += f->configure(bs);
   return total;
+}
+
+AcbMatrixReport AcbBoard::step_matrix(int cycles, bool parallel,
+                                      bool record_trace) {
+  ATLANTIS_CHECK(cycles >= 0, "negative cycle count");
+  AcbMatrixReport report;
+
+  std::vector<chdl::Simulator*> sims(kFpgaCount, nullptr);
+  std::vector<std::int32_t> active;  // FPGA indices carrying a design
+  for (int i = 0; i < kFpgaCount; ++i) {
+    sims[static_cast<std::size_t>(i)] = fpga(i).sim();
+    if (sims[static_cast<std::size_t>(i)] != nullptr) active.push_back(i);
+  }
+  report.sims = static_cast<int>(active.size());
+  if (active.empty() || cycles == 0) return report;
+
+  // Wire up the neighbour links declared by the loaded designs.
+  std::vector<MatrixLink> links;
+  for (const std::int32_t i : active) {
+    const int row = i / 2, col = i % 2;
+    const struct {
+      int neighbour;
+      const char* out_name;
+      const char* in_name;
+    } dirs[] = {
+        {row * 2 + (1 - col), "h_out", "h_in"},  // horizontal neighbour
+        {(1 - row) * 2 + col, "v_out", "v_in"},  // vertical neighbour
+    };
+    for (const auto& dir : dirs) {
+      chdl::Simulator* dst = sims[static_cast<std::size_t>(dir.neighbour)];
+      if (dst == nullptr) continue;
+      chdl::Simulator* src = sims[static_cast<std::size_t>(i)];
+      const chdl::Wire out = find_port(src->design(), dir.out_name, false);
+      const chdl::Wire in = find_port(dst->design(), dir.in_name, true);
+      if (!out.valid() || !in.valid()) continue;
+      ATLANTIS_CHECK(out.width == in.width,
+                     "neighbour-link width mismatch between FPGAs");
+      ATLANTIS_CHECK(out.width <= AcbPortSpec::kNeighborLines,
+                     "neighbour link exceeds the 72-line port");
+      links.push_back({src, dst, out, in, i, dir.neighbour});
+    }
+  }
+  report.links = static_cast<int>(links.size());
+
+  util::WorkerPool& pool = util::WorkerPool::shared();
+  const int n = static_cast<int>(active.size());
+  for (int c = 0; c < cycles; ++c) {
+    // Edge: each simulator advances one clock. The simulators share no
+    // mutable state, so they may run concurrently; parallel_for's return
+    // is the barrier.
+    if (parallel && n > 1) {
+      pool.parallel_for(n, [&](int k) {
+        sims[static_cast<std::size_t>(active[static_cast<std::size_t>(k)])]
+            ->step();
+      });
+    } else {
+      for (const std::int32_t i : active) {
+        sims[static_cast<std::size_t>(i)]->step();
+      }
+    }
+    // Exchange: move post-edge link outputs into the neighbours' input
+    // ports so the next edge latches them (registered-link protocol).
+    for (const MatrixLink& link : links) {
+      chdl::BitVec v = link.src->peek(link.out);
+      if (record_trace) {
+        report.trace.push_back({report.cycles, link.from, link.to, v});
+      }
+      link.dst->poke(link.in, v);
+    }
+    ++report.cycles;
+  }
+  return report;
 }
 
 hw::ClockGenerator& AcbBoard::io_clock(int fpga_index) {

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -41,6 +42,24 @@ struct AcbPortSpec {
   static constexpr int kMezzanineSlots = 4;   // per board
   static constexpr int kBackplaneBits = 64;   // per backplane port
   static constexpr double kBackplaneMhz = 66.0;
+};
+
+/// One value carried over a neighbour link after a clock edge (the
+/// traffic trace lets tests prove parallel and serial stepping are
+/// cycle-identical).
+struct AcbLinkTransfer {
+  std::uint64_t cycle = 0;
+  std::int32_t from = 0;  // source FPGA index
+  std::int32_t to = 0;    // destination FPGA index
+  chdl::BitVec value;
+};
+
+/// Result of stepping the 2x2 matrix.
+struct AcbMatrixReport {
+  std::uint64_t cycles = 0;        // edges applied per simulator
+  int sims = 0;                    // FPGAs that carried a design
+  int links = 0;                   // neighbour links wired up
+  std::vector<AcbLinkTransfer> trace;  // filled when record_trace is set
 };
 
 class AcbBoard {
@@ -75,6 +94,25 @@ class AcbBoard {
   /// Configures all four FPGAs with the same bitstream; returns the total
   /// (sequential) configuration time through the CPLD support logic.
   util::Picoseconds configure_all(const hw::Bitstream& bs);
+
+  /// Steps every configured FPGA's cycle simulator `cycles` edges in
+  /// lockstep, exchanging neighbour-link port values between edges.
+  ///
+  /// Link convention (2x2 matrix, row-major index = row*2 + col): a
+  /// design drives its horizontal neighbour (row, 1-col) by declaring an
+  /// output "h_out" which is poked into the neighbour's input "h_in";
+  /// likewise "v_out"/"v_in" for the vertical neighbour (1-row, col).
+  /// Ports are <= 72 bits (the paper's neighbour-port width) and both
+  /// ends must agree on the width. Because the links are registered at
+  /// board level (designs latch h_in/v_in into flip-flops), a per-edge
+  /// exchange preserves cycle accuracy, which is what makes the
+  /// `parallel` mode legal: the four simulators step concurrently on the
+  /// shared worker pool with a barrier at each edge, then link values are
+  /// exchanged before the next edge.
+  ///
+  /// `record_trace` captures every link transfer for cross-checking.
+  AcbMatrixReport step_matrix(int cycles, bool parallel = false,
+                              bool record_trace = false);
 
   hw::Plx9080& pci() { return pci_; }
   hw::ClockGenerator& local_clock() { return local_clock_; }

@@ -51,6 +51,18 @@ int AtlantisSystem::aib_slot(int index) const {
   return aib_slots_[static_cast<std::size_t>(index)];
 }
 
+std::uint64_t AtlantisSystem::step_acbs(int cycles, bool parallel) {
+  ATLANTIS_CHECK(cycles >= 0, "negative cycle count");
+  std::uint64_t edges = 0;
+  for (int c = 0; c < cycles; ++c) {
+    for (auto& b : acbs_) {
+      const AcbMatrixReport r = b->step_matrix(1, parallel);
+      edges += r.cycles * static_cast<std::uint64_t>(r.sims);
+    }
+  }
+  return edges;
+}
+
 std::int64_t AtlantisSystem::total_gate_capacity() const {
   std::int64_t total = 0;
   for (const auto& b : acbs_) total += b->total_gate_capacity();

@@ -2,6 +2,7 @@
 // of computing and I/O boards in the CompactPCI crate.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -46,6 +47,13 @@ class AtlantisSystem {
   /// Total gate capacity across all boards (sales-brochure number, but
   /// also the budget configure() enforces per chip).
   std::int64_t total_gate_capacity() const;
+
+  /// Steps every ACB's FPGA matrix `cycles` edges in lockstep (boards
+  /// advance one edge at a time so multi-board designs stay cycle-
+  /// synchronous). With `parallel` set, each board's per-FPGA simulators
+  /// step concurrently on the shared worker pool. Returns the total
+  /// number of simulator edges applied across the crate.
+  std::uint64_t step_acbs(int cycles, bool parallel = false);
 
  private:
   int take_slot(const std::string& what);

@@ -5,8 +5,28 @@
 
 #include "util/bitops.hpp"
 #include "util/status.hpp"
+#include "util/worker_pool.hpp"
 
 namespace atlantis::trt {
+namespace {
+
+/// One board's functional work: histogram the pattern slice [lo, hi)
+/// (the columns its memory modules hold) into counts[lo..hi). Each
+/// straw's pattern list is sorted, so the slice is a contiguous range.
+void histogram_slice(const PatternBank& bank, const Event& ev,
+                     std::int32_t lo, std::int32_t hi,
+                     std::uint16_t* counts) {
+  for (const std::int32_t s : ev.hits) {
+    const auto& list = bank.straw_patterns(s);
+    const auto begin = std::lower_bound(list.begin(), list.end(), lo);
+    const auto end = std::lower_bound(begin, list.end(), hi);
+    for (auto it = begin; it != end; ++it) {
+      ++counts[static_cast<std::size_t>(*it)];
+    }
+  }
+}
+
+}  // namespace
 
 MultiBoardResult histogram_multiboard(const PatternBank& bank,
                                       const Event& ev,
@@ -25,12 +45,20 @@ MultiBoardResult histogram_multiboard(const PatternBank& bank,
   }
 
   MultiBoardResult r;
-  // Functional result: each board histogramms its pattern slice; the
-  // concatenation is exactly the reference histogram.
-  r.histogram = histogram_reference(bank, ev).histogram;
   r.patterns_per_board = static_cast<int>(util::ceil_div(
       static_cast<std::uint64_t>(bank.pattern_count()),
       static_cast<std::uint64_t>(cfg.boards)));
+  // Functional result: each board histogramms its pattern slice on the
+  // shared worker pool (the boards really do run concurrently); the
+  // concatenation of the slices is exactly the reference histogram.
+  r.histogram.counts.assign(static_cast<std::size_t>(bank.pattern_count()),
+                            0);
+  util::WorkerPool::shared().parallel_for(cfg.boards, [&](int b) {
+    const auto lo = static_cast<std::int32_t>(b * r.patterns_per_board);
+    const auto hi = std::min<std::int32_t>(
+        lo + r.patterns_per_board, bank.pattern_count());
+    if (lo < hi) histogram_slice(bank, ev, lo, hi, r.histogram.counts.data());
+  });
 
   core::Backplane& bp = system.backplane();
   const int src_slot = system.aib_slot(0);

@@ -1,0 +1,85 @@
+#include "util/worker_pool.hpp"
+
+#include <algorithm>
+
+namespace atlantis::util {
+
+WorkerPool::WorkerPool(int threads) {
+  if (threads <= 0) {
+    const unsigned hc = std::thread::hardware_concurrency();
+    threads = static_cast<int>(std::min(4u, std::max(1u, hc)));
+  }
+  // The caller is worker 0; spawn the helpers.
+  for (int i = 1; i < threads; ++i) {
+    helpers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : helpers_) t.join();
+}
+
+void WorkerPool::parallel_for(int n, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  if (helpers_.empty() || n == 1) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    job_ = &fn;
+    job_n_ = n;
+    next_index_ = 0;
+    remaining_ = n;
+  }
+  start_cv_.notify_all();
+  work(fn);
+  std::unique_lock<std::mutex> lk(mutex_);
+  done_cv_.wait(lk, [&] { return remaining_ == 0; });
+  job_ = nullptr;  // fn's frame is about to die; helpers are idle again
+}
+
+void WorkerPool::work(const std::function<void(int)>& fn) {
+  for (;;) {
+    int i;
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      if (next_index_ >= job_n_) return;
+      i = next_index_++;
+    }
+    fn(i);
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      if (--remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void WorkerPool::worker_loop() {
+  std::unique_lock<std::mutex> lk(mutex_);
+  for (;;) {
+    start_cv_.wait(
+        lk, [&] { return stop_ || (job_ != nullptr && next_index_ < job_n_); });
+    if (stop_) return;
+    const std::function<void(int)>* fn = job_;
+    while (job_ != nullptr && next_index_ < job_n_) {
+      const int i = next_index_++;
+      lk.unlock();
+      (*fn)(i);
+      lk.lock();
+      if (--remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+WorkerPool& WorkerPool::shared() {
+  static WorkerPool pool;
+  return pool;
+}
+
+}  // namespace atlantis::util

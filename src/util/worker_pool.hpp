@@ -1,0 +1,58 @@
+// Small fixed worker pool for stepping independent simulators in
+// lockstep (per-FPGA cycle simulators on a board, per-board TRT slices).
+//
+// parallel_for(n, fn) runs fn(0..n-1) across the workers and the calling
+// thread and returns when every index has completed — the return is the
+// barrier the board-level stepping protocol relies on. The pool is
+// deliberately simple: one job at a time, indices handed out by an
+// atomic cursor, completion signalled through a condition variable, so
+// it is easy to reason about under TSan.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace atlantis::util {
+
+class WorkerPool {
+ public:
+  /// `threads` is the total worker count including the caller;
+  /// 0 picks min(hardware_concurrency, 4) — "a small worker pool".
+  explicit WorkerPool(int threads = 0);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Total workers participating in a parallel_for (helpers + caller).
+  int size() const { return static_cast<int>(helpers_.size()) + 1; }
+
+  /// Runs fn(i) for every i in [0, n); returns when all have finished.
+  /// The calling thread participates. Must not be called re-entrantly
+  /// from inside a task.
+  void parallel_for(int n, const std::function<void(int)>& fn);
+
+  /// Process-wide pool shared by board stepping and multiboard runs.
+  static WorkerPool& shared();
+
+ private:
+  void worker_loop();
+  void work(const std::function<void(int)>& fn);
+
+  std::vector<std::thread> helpers_;
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int)>* job_ = nullptr;  // guarded by mutex_
+  int job_n_ = 0;
+  int next_index_ = 0;       // guarded by mutex_
+  int remaining_ = 0;        // indices not yet completed
+  std::uint64_t job_seq_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace atlantis::util
