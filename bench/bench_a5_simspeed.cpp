@@ -1,19 +1,24 @@
-// A5 — simulator speed: event-driven incremental evaluation vs the
-// full-sweep reference, and parallel multi-FPGA stepping of an ACB
-// matrix. The headline claim is that on the quiescent-heavy TRT
-// histogrammer workload (sparse straw pushes separated by idle cycles —
-// how the core actually behaves between hits) the dirty-worklist
-// evaluator is >= 3x faster in cycles/sec, while producing bit-identical
-// results. Emits BENCH_simspeed.json for machine consumption.
+// A5 — simulator speed: event-driven incremental evaluation and the
+// netlist optimizer vs the full-sweep reference, plus parallel
+// multi-FPGA stepping of an ACB matrix. The headline claim is that on
+// the quiescent-heavy TRT histogrammer workload (sparse straw pushes
+// separated by idle cycles — how the core actually behaves between
+// hits) the dirty-worklist evaluator is >= 3x faster in cycles/sec
+// while producing bit-identical results, and the optimizer pipeline
+// (fold/dce/cse/fuse) shrinks the op tape on top of that. Emits
+// BENCH_simspeed.json for machine consumption.
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "chdl/hostif.hpp"
 #include "chdl/sim.hpp"
+#include "chdl/stats.hpp"
 #include "core/acb.hpp"
 #include "hw/fpga.hpp"
 #include "imgproc/conv_core.hpp"
@@ -27,6 +32,9 @@ namespace {
 using atlantis::chdl::Design;
 using atlantis::chdl::EvalMode;
 using atlantis::chdl::HostInterface;
+using atlantis::chdl::OptimizePassStats;
+using atlantis::chdl::OptimizeReport;
+using atlantis::chdl::SimOptions;
 using atlantis::chdl::Simulator;
 
 template <typename F>
@@ -65,14 +73,51 @@ struct ModeResult {
   double secs = 0;
   double cycles_per_sec = 0;
   std::uint64_t comp_evals = 0;
+  std::size_t tape_ops = 0;
+  OptimizeReport opt;                   // copy; empty when optimizer off
+  bool optimized = false;
   std::vector<std::uint64_t> observed;  // architectural results to compare
 };
+
+/// The three evaluation policies every workload runs under.
+SimOptions policy_full() {
+  return SimOptions{.mode = EvalMode::kFullSweep, .optimize = false};
+}
+SimOptions policy_event_raw() {
+  return SimOptions{.mode = EvalMode::kEventDriven, .optimize = false};
+}
+SimOptions policy_event_opt() {
+  return SimOptions{.mode = EvalMode::kEventDriven, .optimize = true};
+}
+
+std::int64_t pass_removed(const OptimizeReport& r, const char* name) {
+  const OptimizePassStats* p = r.pass(name);
+  return p == nullptr ? 0 : p->ops_before - p->ops_after;
+}
+
+std::int64_t pass_rewrites(const OptimizeReport& r, const char* name) {
+  const OptimizePassStats* p = r.pass(name);
+  return p == nullptr ? 0 : p->rewrites;
+}
+
+std::vector<int> worker_counts_from_env() {
+  std::vector<int> counts;
+  const char* env = std::getenv("A5_WORKERS");
+  std::stringstream ss(env != nullptr ? env : "1,2,4");
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const int v = std::atoi(item.c_str());
+    if (v >= 1) counts.push_back(v);
+  }
+  if (counts.empty()) counts = {1, 2, 4};
+  return counts;
+}
 
 }  // namespace
 
 int main() {
   using namespace atlantis;
-  bench::banner("A5", "simulator speed: event-driven + parallel stepping");
+  bench::banner("A5", "simulator speed: event-driven + optimizer + parallel");
 
   std::ofstream json("BENCH_simspeed.json");
   json << "{\n";
@@ -87,8 +132,8 @@ int main() {
 
   const int kTrtCycles = 24000;
   const int kTrtPeriod = 64;
-  auto run_trt = [&](EvalMode mode) {
-    Simulator sim(trt_design, mode);
+  auto run_trt = [&](const SimOptions& so) {
+    Simulator sim(trt_design, so);
     sim.peek_u64("host_rdata");  // settle power-up state outside the timer
     sim.reset_activity();
     ModeResult r;
@@ -97,6 +142,11 @@ int main() {
     });
     r.cycles_per_sec = kTrtCycles / r.secs;
     r.comp_evals = sim.activity().comp_evals;
+    r.tape_ops = sim.tape_ops();
+    if (sim.optimize_report() != nullptr) {
+      r.opt = *sim.optimize_report();
+      r.optimized = true;
+    }
     HostInterface host(sim);
     r.observed.push_back(host.read(0x03));  // patterns over threshold
     for (int p = 0; p < 256; p += 17) {
@@ -104,40 +154,49 @@ int main() {
     }
     return r;
   };
-  const ModeResult trt_full = run_trt(EvalMode::kFullSweep);
-  const ModeResult trt_event = run_trt(EvalMode::kEventDriven);
-  const double trt_speedup = trt_event.cycles_per_sec / trt_full.cycles_per_sec;
+  const ModeResult trt_full = run_trt(policy_full());
+  const ModeResult trt_raw = run_trt(policy_event_raw());
+  const ModeResult trt_opt = run_trt(policy_event_opt());
+  const double trt_speedup = trt_opt.cycles_per_sec / trt_full.cycles_per_sec;
 
   // --- 3x3 convolution engine, active-heavy --------------------------------
   chdl::Design conv_design("conv_bench");
   imgproc::build_conv_core(conv_design, 256, imgproc::Kernel3x3::gaussian());
   const int kConvPixels = 20000;
-  auto run_conv = [&](EvalMode mode) {
-    Simulator sim(conv_design, mode);
+  auto run_conv = [&](const SimOptions& so) {
+    Simulator sim(conv_design, so);
     sim.peek_u64("host_rdata");
     sim.reset_activity();
     ModeResult r;
     r.secs = seconds([&] { drive_conv(sim, kConvPixels); });
     r.cycles_per_sec = kConvPixels / r.secs;
     r.comp_evals = sim.activity().comp_evals;
+    r.tape_ops = sim.tape_ops();
+    if (sim.optimize_report() != nullptr) {
+      r.opt = *sim.optimize_report();
+      r.optimized = true;
+    }
     HostInterface host(sim);
     r.observed.push_back(host.read(0x02));
     r.observed.push_back(host.read(0x03));
     return r;
   };
-  const ModeResult conv_full = run_conv(EvalMode::kFullSweep);
-  const ModeResult conv_event = run_conv(EvalMode::kEventDriven);
+  const ModeResult conv_full = run_conv(policy_full());
+  const ModeResult conv_raw = run_conv(policy_event_raw());
+  const ModeResult conv_opt = run_conv(policy_event_opt());
   const double conv_speedup =
-      conv_event.cycles_per_sec / conv_full.cycles_per_sec;
+      conv_opt.cycles_per_sec / conv_full.cycles_per_sec;
 
-  // --- ACB matrix: serial vs worker-pool stepping --------------------------
+  // --- ACB matrix: worker-count sweep --------------------------------------
   // Four TRT cores on one board, all kept in full-sweep mode so every
-  // simulator has real per-edge work for the pool to overlap.
+  // simulator has real per-edge work for the pool to overlap. The sweep
+  // steps the same matrix with pools of 1/2/4 workers (override with
+  // A5_WORKERS=comma-separated counts).
   trt::PatternBank small_bank(geo, 64);
   chdl::Design node_design("trt_node");
   trt::build_trt_core(node_design, small_bank);
   const int kMatrixCycles = 2000;
-  auto run_matrix = [&](bool parallel) {
+  auto run_matrix = [&](bool parallel, util::WorkerPool* pool) {
     core::AcbBoard board(parallel ? "acb_par" : "acb_ser");
     const hw::Bitstream bs = hw::Bitstream::from_design(node_design);
     for (int i = 0; i < core::AcbBoard::kFpgaCount; ++i) {
@@ -145,68 +204,114 @@ int main() {
       board.fpga(i).sim()->set_eval_mode(EvalMode::kFullSweep);
       board.fpga(i).sim()->peek_u64("host_rdata");
     }
-    double secs = seconds([&] { board.step_matrix(kMatrixCycles, parallel); });
+    double secs = seconds(
+        [&] { board.step_matrix(kMatrixCycles, parallel, false, pool); });
     return kMatrixCycles / secs;
   };
-  const double matrix_serial_cps = run_matrix(false);
-  const double matrix_parallel_cps = run_matrix(true);
-  const double matrix_speedup = matrix_parallel_cps / matrix_serial_cps;
-  const int workers = util::WorkerPool::shared().size();
+  const double matrix_serial_cps = run_matrix(false, nullptr);
+  struct MatrixRow {
+    int workers = 0;
+    double cps = 0;
+  };
+  std::vector<MatrixRow> matrix_rows;
+  double matrix_best_cps = 0;
+  for (const int w : worker_counts_from_env()) {
+    util::WorkerPool pool(w);
+    const double cps = run_matrix(true, &pool);
+    matrix_rows.push_back({pool.size(), cps});
+    if (cps > matrix_best_cps) matrix_best_cps = cps;
+  }
+  const double matrix_speedup = matrix_best_cps / matrix_serial_cps;
 
   // --- report ---------------------------------------------------------------
   util::Table t("A5: cycles/sec by evaluation policy");
-  t.set_header({"workload", "full-sweep", "event-driven", "speedup",
-                "evals full", "evals event"});
+  t.set_header({"workload", "full-sweep", "event raw", "event+opt", "speedup",
+                "tape ops", "fold/dce/cse/fuse"});
   auto row = [&](const std::string& name, const ModeResult& f,
-                 const ModeResult& e, double s) {
+                 const ModeResult& raw, const ModeResult& opt, double s) {
+    std::string tape = std::to_string(opt.opt.ops_before) + "->" +
+                       std::to_string(opt.tape_ops);
+    std::string passes = std::to_string(pass_removed(opt.opt, "fold")) + "/" +
+                         std::to_string(pass_removed(opt.opt, "dce")) + "/" +
+                         std::to_string(pass_removed(opt.opt, "cse")) + "/" +
+                         std::to_string(pass_rewrites(opt.opt, "fuse"));
     t.add_row({name, std::to_string(static_cast<long long>(f.cycles_per_sec)),
-               std::to_string(static_cast<long long>(e.cycles_per_sec)),
-               std::to_string(s).substr(0, 5), std::to_string(f.comp_evals),
-               std::to_string(e.comp_evals)});
+               std::to_string(static_cast<long long>(raw.cycles_per_sec)),
+               std::to_string(static_cast<long long>(opt.cycles_per_sec)),
+               std::to_string(s).substr(0, 5), tape, passes});
   };
-  row("TRT histogrammer (1/64 duty)", trt_full, trt_event, trt_speedup);
-  row("3x3 conv (pixel every clock)", conv_full, conv_event, conv_speedup);
-  t.add_row({"ACB 2x2 matrix (4 sims)",
-             std::to_string(static_cast<long long>(matrix_serial_cps)),
-             std::to_string(static_cast<long long>(matrix_parallel_cps)),
-             std::to_string(matrix_speedup).substr(0, 5),
-             "serial", "pool x" + std::to_string(workers)});
-  t.add_note("matrix row compares serial vs worker-pool stepping "
-             "(full-sweep sims; speedup tracks available cores)");
+  row("TRT histogrammer (1/64 duty)", trt_full, trt_raw, trt_opt, trt_speedup);
+  row("3x3 conv (pixel every clock)", conv_full, conv_raw, conv_opt,
+      conv_speedup);
+  for (const MatrixRow& mr : matrix_rows) {
+    t.add_row({"ACB 2x2 matrix, pool x" + std::to_string(mr.workers),
+               std::to_string(static_cast<long long>(matrix_serial_cps)),
+               "-", std::to_string(static_cast<long long>(mr.cps)),
+               std::to_string(mr.cps / matrix_serial_cps).substr(0, 5),
+               "-", "-"});
+  }
+  t.add_note("tape ops column: comb ops as elaborated -> ops compiled after "
+             "fold/dce/cse/fuse; pass column counts ops removed (fuse: "
+             "rewrites)");
+  t.add_note("matrix rows compare serial stepping vs a worker pool of the "
+             "given size (full-sweep sims; speedup tracks available cores)");
   t.print();
 
-  json << "  \"trt\": {\"cycles\": " << kTrtCycles
-       << ", \"duty_period\": " << kTrtPeriod
-       << ", \"full_sweep_cps\": " << trt_full.cycles_per_sec
-       << ", \"event_cps\": " << trt_event.cycles_per_sec
-       << ", \"speedup\": " << trt_speedup
-       << ", \"full_evals\": " << trt_full.comp_evals
-       << ", \"event_evals\": " << trt_event.comp_evals << "},\n";
-  json << "  \"conv\": {\"cycles\": " << kConvPixels
-       << ", \"full_sweep_cps\": " << conv_full.cycles_per_sec
-       << ", \"event_cps\": " << conv_event.cycles_per_sec
-       << ", \"speedup\": " << conv_speedup
-       << ", \"full_evals\": " << conv_full.comp_evals
-       << ", \"event_evals\": " << conv_event.comp_evals << "},\n";
+  auto emit_workload = [&](const char* key, int cycles, const ModeResult& f,
+                           const ModeResult& raw, const ModeResult& opt,
+                           double speedup, bool trailing_comma) {
+    json << "  \"" << key << "\": {\"cycles\": " << cycles
+         << ", \"full_sweep_cps\": " << f.cycles_per_sec
+         << ", \"event_raw_cps\": " << raw.cycles_per_sec
+         << ", \"event_cps\": " << opt.cycles_per_sec
+         << ", \"speedup\": " << speedup
+         << ", \"full_evals\": " << f.comp_evals
+         << ", \"event_evals\": " << opt.comp_evals
+         << ", \"tape_ops_before\": " << opt.opt.ops_before
+         << ", \"tape_ops_after\": " << opt.tape_ops
+         << ", \"fold_removed\": " << pass_removed(opt.opt, "fold")
+         << ", \"dce_removed\": " << pass_removed(opt.opt, "dce")
+         << ", \"cse_removed\": " << pass_removed(opt.opt, "cse")
+         << ", \"fuse_rewrites\": " << pass_rewrites(opt.opt, "fuse") << "}"
+         << (trailing_comma ? ",\n" : "\n");
+  };
+  emit_workload("trt", kTrtCycles, trt_full, trt_raw, trt_opt, trt_speedup,
+                true);
+  emit_workload("conv", kConvPixels, conv_full, conv_raw, conv_opt,
+                conv_speedup, true);
   json << "  \"acb_matrix\": {\"cycles\": " << kMatrixCycles
        << ", \"sims\": " << core::AcbBoard::kFpgaCount
-       << ", \"workers\": " << workers
        << ", \"serial_cps\": " << matrix_serial_cps
-       << ", \"parallel_cps\": " << matrix_parallel_cps
-       << ", \"speedup\": " << matrix_speedup << "}\n";
+       << ", \"parallel_cps\": " << matrix_best_cps
+       << ", \"speedup\": " << matrix_speedup << ", \"sweep\": [";
+  for (std::size_t i = 0; i < matrix_rows.size(); ++i) {
+    json << (i != 0 ? ", " : "") << "{\"workers\": " << matrix_rows[i].workers
+         << ", \"parallel_cps\": " << matrix_rows[i].cps << "}";
+  }
+  json << "]}\n";
   json << "}\n";
   json.close();
   std::printf("\nwrote BENCH_simspeed.json\n");
 
-  bench::expect(trt_event.observed == trt_full.observed,
+  bench::expect(trt_raw.observed == trt_full.observed,
                 "event-driven TRT results are bit-identical to full sweep");
-  bench::expect(conv_event.observed == conv_full.observed,
+  bench::expect(trt_opt.observed == trt_full.observed,
+                "optimized TRT results are bit-identical to full sweep");
+  bench::expect(conv_raw.observed == conv_full.observed,
                 "event-driven conv results are bit-identical to full sweep");
+  bench::expect(conv_opt.observed == conv_full.observed,
+                "optimized conv results are bit-identical to full sweep");
   bench::expect(trt_speedup >= 3.0,
-                "event-driven >= 3x on the quiescent-heavy TRT workload");
-  bench::expect(trt_event.comp_evals * 5 < trt_full.comp_evals,
+                "event+optimizer >= 3x on the quiescent-heavy TRT workload");
+  bench::expect(trt_opt.comp_evals * 5 < trt_full.comp_evals,
                 "dirty worklist skips most evaluations on sparse input");
-  bench::expect(matrix_parallel_cps > 0 && matrix_serial_cps > 0,
+  bench::expect(trt_opt.tape_ops <
+                    static_cast<std::size_t>(trt_opt.opt.ops_before),
+                "optimizer shrinks the TRT op tape");
+  bench::expect(conv_opt.tape_ops <
+                    static_cast<std::size_t>(conv_opt.opt.ops_before),
+                "optimizer shrinks the conv op tape");
+  bench::expect(matrix_best_cps > 0 && matrix_serial_cps > 0,
                 "parallel ACB stepping reported");
   return bench::finish();
 }

@@ -85,11 +85,18 @@ bool Design::has_port(const std::string& name) const {
 
 Wire Design::constant(const BitVec& value) {
   ATLANTIS_CHECK(!value.empty(), "constant must have a width");
+  // Constants are interned by (width, value): builders call
+  // constant()/resize() per site, and without the pool every call would
+  // materialize another identical component.
+  const auto key = std::make_pair(value.width(), value.words());
+  const auto it = const_pool_.find(key);
+  if (it != const_pool_.end()) return Wire{it->second, value.width()};
   Component c;
   c.kind = CompKind::kConst;
   c.out = new_wire(value.width());
   c.init = value;
   comps_.push_back(std::move(c));
+  const_pool_.emplace(key, comps_.back().out.id);
   return comps_.back().out;
 }
 

@@ -15,7 +15,9 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "chdl/bitvec.hpp"
@@ -210,6 +212,9 @@ class Design {
 
   std::string name_;
   std::vector<Component> comps_;
+  // Interning pool: (width, value words) -> existing kConst wire id.
+  std::map<std::pair<int, std::vector<std::uint64_t>>, std::int32_t>
+      const_pool_;
   std::vector<RamBlock> rams_;
   std::vector<int> wire_widths_;
   std::vector<std::pair<std::string, Wire>> inputs_;

@@ -42,16 +42,27 @@ void copy_bits(std::uint64_t* dst, int dst_lo, const std::uint64_t* src,
 
 }  // namespace
 
-Simulator::Simulator(const Design& design, EvalMode mode)
-    : design_(design), mode_(mode) {
+Simulator::Simulator(const Design& design, const SimOptions& options)
+    : design_(design), mode_(options.mode) {
   design.check_complete();
-  // Allocate one flat slot per wire.
+  if (options.optimize) opt_.emplace(optimize(design, options.opt));
+  // Allocate one flat slot per wire. A wire the optimizer forwarded
+  // shares its representative's slot (the representative always has a
+  // smaller id, so its slot is already assigned); pokes, peeks and VCD
+  // dumps then observe optimized-away wires with zero extra machinery.
   slots_.resize(static_cast<std::size_t>(design.wire_count()));
   std::int32_t offset = 0;
   std::int32_t max_words = 1;
   for (std::int32_t id = 0; id < design.wire_count(); ++id) {
-    const int width = design.wire_width(id);
     auto& s = slots_[static_cast<std::size_t>(id)];
+    if (opt_) {
+      const std::int32_t rep = opt_->forward[static_cast<std::size_t>(id)];
+      if (rep != id) {
+        s = slots_[static_cast<std::size_t>(rep)];
+        continue;
+      }
+    }
+    const int width = design.wire_width(id);
     s.offset = offset;
     s.width = width;
     s.words = words_for(width);
@@ -79,7 +90,43 @@ Simulator::Simulator(const Design& design, EvalMode mode)
 
   cycle_count_.assign(static_cast<std::size_t>(design.clock_count()), 0);
   levelize();
+  if (opt_) {
+    // An aliased component's output shares its representative's storage
+    // slot, so the full sweep must never evaluate it: kinds that
+    // zero-fill the destination before reading (shift, slice, concat)
+    // would wipe their own input when the alias points at it. The
+    // representative keeps the shared slot up to date.
+    std::erase_if(comb_order_, [&](std::int32_t i) {
+      const Wire w = design.components()[static_cast<std::size_t>(i)].out;
+      return opt_->forward[static_cast<std::size_t>(w.id)] != w.id;
+    });
+    // CSE can alias a wire to a representative that is *not* among its
+    // transitive dependencies (two independent duplicate computations),
+    // so the Kahn order of the original graph no longer sequences the
+    // representative's producer before the alias's consumers. Creation
+    // order does: every input wire id precedes its consumer's output id,
+    // and the optimizer only ever rewrites inputs to earlier wires.
+    std::sort(comb_order_.begin(), comb_order_.end());
+  }
   compile_tape();
+
+  // Dead-but-observable logic: comb components the optimizer dropped
+  // from the tape without replacing their output (not aliased, not
+  // folded to a constant). They are re-evaluated lazily so peeks of
+  // their wires stay bit-identical to the unoptimized engine.
+  wire_lazy_.assign(slots_.size(), 0);
+  if (opt_) {
+    const auto& comps = design.components();
+    for (const std::int32_t i : comb_order_) {
+      if (opt_->comp_alive[static_cast<std::size_t>(i)]) continue;
+      const Component& c = comps[static_cast<std::size_t>(i)];
+      const std::int32_t id = c.out.id;
+      if (opt_->forward[static_cast<std::size_t>(id)] != id) continue;
+      if (opt_->folded(id)) continue;
+      lazy_comps_.push_back(i);
+      wire_lazy_[static_cast<std::size_t>(id)] = 1;
+    }
+  }
   reset();
 }
 
@@ -151,8 +198,24 @@ void Simulator::compile_tape() {
   std::vector<std::int32_t> level_of_wire(slots_.size(), -1);
   tape_.clear();
   tape_.reserve(comb_order_.size());
+  // Effective inputs per tape op: the component's inputs resolved
+  // through the optimizer's forwarding map, or the fused operands when
+  // the peephole pass rewrote the op. Used for levels, word offsets and
+  // the fanout table so dirtiness propagates along the optimized graph.
+  std::vector<std::vector<Wire>> tape_ins;
+  tape_ins.reserve(comb_order_.size());
   int max_level = 0;
-  for (const std::int32_t i : comb_order_) {
+  // The tape is laid down in component-creation order, NOT comb_order_:
+  // creation order is topological for the elaborated graph (a
+  // component's inputs always exist before it), and it stays topological
+  // after optimization because every rewrite (alias, CSE representative,
+  // fused operand) points at an earlier-created wire. comb_order_ is
+  // only a topological order of the *original* graph — a CSE
+  // representative need not precede its merged twin's consumers there.
+  std::vector<std::int32_t> creation_order(comb_order_);
+  std::sort(creation_order.begin(), creation_order.end());
+  for (const std::int32_t i : creation_order) {
+    if (opt_ && !opt_->comp_alive[static_cast<std::size_t>(i)]) continue;
     const Component& c = comps[static_cast<std::size_t>(i)];
     const WireSlot& out = slots_[static_cast<std::size_t>(c.out.id)];
     Op op;
@@ -162,8 +225,24 @@ void Simulator::compile_tape() {
     op.out_off = out.offset;
     op.out_words = out.words;
     op.out_mask = width_mask(out.width);
-    for (const Wire w : c.in) {
-      if (!w.valid()) continue;
+
+    const FusedComp* fc = nullptr;
+    if (opt_) {
+      const auto it = opt_->fused.find(i);
+      if (it != opt_->fused.end()) fc = &it->second;
+    }
+    std::vector<Wire> ins;
+    if (fc != nullptr) {
+      ins.push_back(fc->in0);
+      if (fc->in1.valid()) ins.push_back(fc->in1);
+    } else {
+      ins.reserve(c.in.size());
+      for (const Wire w : c.in) {
+        if (!w.valid()) continue;
+        ins.push_back(opt_ ? opt_->rep(w) : w);
+      }
+    }
+    for (const Wire w : ins) {
       const std::int32_t lw = level_of_wire[static_cast<std::size_t>(w.id)];
       op.level = std::max(op.level, lw + 1);
     }
@@ -174,66 +253,71 @@ void Simulator::compile_tape() {
     // operand layout maps onto the fixed in0/in1/in2 offsets.
     auto all_single = [&] {
       if (out.words != 1) return false;
-      for (const Wire w : c.in) {
+      for (const Wire w : ins) {
         if (slots_[static_cast<std::size_t>(w.id)].words != 1) return false;
       }
       return true;
     };
-    switch (c.kind) {
-      case CompKind::kNot:
-      case CompKind::kAnd:
-      case CompKind::kOr:
-      case CompKind::kXor:
-      case CompKind::kMux:
-      case CompKind::kAdd:
-      case CompKind::kSub:
-      case CompKind::kEq:
-      case CompKind::kUlt:
-      case CompKind::kReduceAnd:
-      case CompKind::kReduceOr:
-      case CompKind::kReduceXor:
-        op.single = all_single();
-        break;
-      case CompKind::kSlice:
-      case CompKind::kShl:
-      case CompKind::kShr:
-        // c.a >= 64 would make the word shift UB; the general path
-        // handles those (they are all-zero results anyway).
-        op.single = all_single() && c.a < 64;
-        op.a = c.a;
-        break;
-      case CompKind::kConcat:
-        // Two-part {hi, lo} concat compiles to shift+or; `a` holds the
-        // low part's width.
-        op.single = all_single() && c.in.size() == 2;
-        if (op.single) op.a = c.in[1].width;
-        break;
-      default:
-        break;  // kMuxN and anything else stays on the general path
+    if (fc != nullptr) {
+      // Fused opcodes are produced only for single-word operands.
+      op.fused = fc->op;
+      op.imm = fc->imm;
+      op.single = true;
+    } else {
+      switch (c.kind) {
+        case CompKind::kNot:
+        case CompKind::kAnd:
+        case CompKind::kOr:
+        case CompKind::kXor:
+        case CompKind::kMux:
+        case CompKind::kAdd:
+        case CompKind::kSub:
+        case CompKind::kEq:
+        case CompKind::kUlt:
+        case CompKind::kReduceAnd:
+        case CompKind::kReduceOr:
+        case CompKind::kReduceXor:
+          op.single = all_single();
+          break;
+        case CompKind::kSlice:
+        case CompKind::kShl:
+        case CompKind::kShr:
+          // c.a >= 64 would make the word shift UB; the general path
+          // handles those (they are all-zero results anyway).
+          op.single = all_single() && c.a < 64;
+          op.a = c.a;
+          break;
+        case CompKind::kConcat:
+          // Two-part {hi, lo} concat compiles to shift+or; `a` holds the
+          // low part's width.
+          op.single = all_single() && ins.size() == 2;
+          if (op.single) op.a = ins[1].width;
+          break;
+        default:
+          break;  // kMuxN and anything else stays on the general path
+      }
     }
     if (op.single) {
       auto off = [&](std::size_t k) {
-        return slots_[static_cast<std::size_t>(c.in[k].id)].offset;
+        return slots_[static_cast<std::size_t>(ins[k].id)].offset;
       };
-      if (c.in.size() > 0) op.in0 = off(0);
-      if (c.in.size() > 1) op.in1 = off(1);
-      if (c.in.size() > 2) op.in2 = off(2);
-      if (c.kind == CompKind::kReduceAnd) {
-        op.in_mask = width_mask(c.in[0].width);
+      if (ins.size() > 0) op.in0 = off(0);
+      if (ins.size() > 1) op.in1 = off(1);
+      if (ins.size() > 2) op.in2 = off(2);
+      if (fc == nullptr && c.kind == CompKind::kReduceAnd) {
+        op.in_mask = width_mask(ins[0].width);
       }
     }
     tape_.push_back(op);
+    tape_ins.push_back(std::move(ins));
   }
   level_queue_.assign(static_cast<std::size_t>(max_level + 1), {});
   queued_.assign(tape_.size(), 0);
 
   // Per-wire fanout CSR: wire id -> tape ops that consume it.
   std::vector<std::int32_t> counts(slots_.size() + 1, 0);
-  for (const Op& op : tape_) {
-    const Component& c = comps[static_cast<std::size_t>(op.comp)];
-    for (const Wire w : c.in) {
-      if (w.valid()) ++counts[static_cast<std::size_t>(w.id)];
-    }
+  for (const auto& ins : tape_ins) {
+    for (const Wire w : ins) ++counts[static_cast<std::size_t>(w.id)];
   }
   fan_begin_.assign(slots_.size() + 1, 0);
   for (std::size_t i = 0; i < slots_.size(); ++i) {
@@ -242,10 +326,7 @@ void Simulator::compile_tape() {
   fan_ops_.assign(static_cast<std::size_t>(fan_begin_.back()), 0);
   std::vector<std::int32_t> cursor(fan_begin_.begin(), fan_begin_.end() - 1);
   for (std::int32_t t = 0; t < static_cast<std::int32_t>(tape_.size()); ++t) {
-    const Component& c = comps[static_cast<std::size_t>(tape_[
-        static_cast<std::size_t>(t)].comp)];
-    for (const Wire w : c.in) {
-      if (!w.valid()) continue;
+    for (const Wire w : tape_ins[static_cast<std::size_t>(t)]) {
       fan_ops_[static_cast<std::size_t>(
           cursor[static_cast<std::size_t>(w.id)]++)] = t;
     }
@@ -275,6 +356,7 @@ void Simulator::mark_all_dirty() {
   }
   dirty_count_ = static_cast<std::int64_t>(tape_.size());
   comb_dirty_ = true;
+  lazy_stale_ = true;
 }
 
 void Simulator::set_eval_mode(EvalMode mode) {
@@ -291,6 +373,14 @@ void Simulator::reset() {
   for (const Component& c : comps) {
     if (c.kind == CompKind::kConst || c.kind == CompKind::kReg) {
       store(c.out, c.init);
+    }
+  }
+  // Wires the optimizer proved constant: written once here, their
+  // producers never appear on the tape again.
+  if (opt_) {
+    for (std::int32_t id = 0; id < design_.wire_count(); ++id) {
+      const BitVec& v = opt_->fold_value[static_cast<std::size_t>(id)];
+      if (!v.empty()) store(Wire{id, v.width()}, v);
     }
   }
   // ROM contents (and zero for RAMs).
@@ -339,6 +429,7 @@ void Simulator::poke(Wire input, const BitVec& value) {
   std::copy(value.words().begin(), value.words().end(), dst);
   mark_wire_dirty(input.id);
   comb_dirty_ = true;
+  lazy_stale_ = true;
 }
 
 void Simulator::poke(const std::string& port, std::uint64_t value) {
@@ -348,7 +439,23 @@ void Simulator::poke(const std::string& port, std::uint64_t value) {
 
 BitVec Simulator::peek(Wire w) {
   eval_comb();
+  if (lazy_stale_ && w.valid() &&
+      wire_lazy_[static_cast<std::size_t>(w.id)] != 0) {
+    refresh_lazy();
+  }
   return load(w);
+}
+
+void Simulator::refresh_lazy() {
+  // Observability path only: brings DCE'd logic up to date for a peek.
+  // Deliberately not counted in activity_ — the op tape never ran these.
+  const auto& comps = design_.components();
+  for (const std::int32_t i : lazy_comps_) {
+    const Component& c = comps[static_cast<std::size_t>(i)];
+    eval_comp(c, values_.data() +
+                     slots_[static_cast<std::size_t>(c.out.id)].offset);
+  }
+  lazy_stale_ = false;
 }
 
 std::uint64_t Simulator::peek_u64(Wire w) { return peek(w).to_u64(); }
@@ -368,6 +475,7 @@ void Simulator::eval_comb() {
     }
     activity_.comp_evals += comb_order_.size();
     comb_dirty_ = false;
+    lazy_stale_ = false;  // the sweep covers DCE'd components too
     // The worklist may still hold entries from pokes/commits; they are
     // all up to date now.
     for (auto& q : level_queue_) q.clear();
@@ -395,6 +503,55 @@ void Simulator::eval_comb() {
 
 bool Simulator::eval_op(const Op& op) {
   ++activity_.comp_evals;
+  if (op.fused != FusedOp::kNone) {
+    // Peephole-fused single-word opcodes (see chdl/optimize.hpp).
+    const std::uint64_t* v = values_.data();
+    std::uint64_t r = 0;
+    switch (op.fused) {
+      case FusedOp::kAndNot:
+        r = v[op.in0] & ~v[op.in1] & op.out_mask;
+        break;
+      case FusedOp::kOrNot:
+        r = (v[op.in0] | ~v[op.in1]) & op.out_mask;
+        break;
+      case FusedOp::kEqImm:
+        r = v[op.in0] == op.imm ? 1 : 0;
+        break;
+      case FusedOp::kNeImm:
+        r = v[op.in0] != op.imm ? 1 : 0;
+        break;
+      case FusedOp::kUltImm:
+        r = v[op.in0] < op.imm ? 1 : 0;
+        break;
+      case FusedOp::kImmUlt:
+        r = op.imm < v[op.in0] ? 1 : 0;
+        break;
+      case FusedOp::kAddImm:
+        r = (v[op.in0] + op.imm) & op.out_mask;
+        break;
+      case FusedOp::kSubImm:
+        r = (v[op.in0] - op.imm) & op.out_mask;
+        break;
+      case FusedOp::kAndImm:
+        r = v[op.in0] & op.imm;
+        break;
+      case FusedOp::kOrImm:
+        r = v[op.in0] | op.imm;
+        break;
+      case FusedOp::kXorImm:
+        r = v[op.in0] ^ op.imm;
+        break;
+      case FusedOp::kSliceImm:
+        r = (v[op.in0] >> op.imm) & op.out_mask;
+        break;
+      case FusedOp::kNone:
+        break;
+    }
+    std::uint64_t& out = values_[static_cast<std::size_t>(op.out_off)];
+    if (out == r) return false;
+    out = r;
+    return true;
+  }
   if (op.single) {
     const std::uint64_t* v = values_.data();
     std::uint64_t r = 0;
@@ -737,6 +894,7 @@ void Simulator::commit_edge(ClockId clock) {
     if (std::equal(st, st + s.words, dst)) continue;
     std::copy(st, st + s.words, dst);
     mark_wire_dirty(id);
+    lazy_stale_ = true;
   }
 }
 

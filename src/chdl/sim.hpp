@@ -28,10 +28,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "chdl/design.hpp"
+#include "chdl/optimize.hpp"
 
 namespace atlantis::chdl {
 
@@ -39,6 +41,15 @@ namespace atlantis::chdl {
 enum class EvalMode {
   kEventDriven,  // dirty-worklist over the compiled op tape
   kFullSweep,    // re-evaluate everything (reference cross-check path)
+};
+
+/// Simulator construction options. The netlist optimizer
+/// (chdl/optimize.hpp) is on by default; `optimize = false` is the
+/// escape hatch that compiles the tape 1:1 from the elaborated design.
+struct SimOptions {
+  EvalMode mode = EvalMode::kEventDriven;
+  bool optimize = true;
+  OptimizeOptions opt{};
 };
 
 /// Work counters for speed reporting and activity-based tuning.
@@ -50,11 +61,14 @@ struct SimActivity {
 
 class Simulator {
  public:
-  /// Elaborates the design: levelizes combinational logic (throwing
-  /// util::Error on a combinational cycle), compiles the op tape,
-  /// allocates flat storage and applies power-up values.
+  /// Elaborates the design: runs the netlist optimizer (unless
+  /// disabled), levelizes combinational logic (throwing util::Error on
+  /// a combinational cycle), compiles the op tape, allocates flat
+  /// storage and applies power-up values.
+  Simulator(const Design& design, const SimOptions& options);
   explicit Simulator(const Design& design,
-                     EvalMode mode = EvalMode::kEventDriven);
+                     EvalMode mode = EvalMode::kEventDriven)
+      : Simulator(design, SimOptions{.mode = mode}) {}
 
   const Design& design() const { return design_; }
 
@@ -108,6 +122,16 @@ class Simulator {
   /// comb path, in components).
   int comb_levels() const { return static_cast<int>(level_queue_.size()); }
 
+  /// Number of ops compiled onto the event-driven tape (after the
+  /// optimizer, when enabled).
+  std::size_t tape_ops() const { return tape_.size(); }
+  /// True when the netlist optimizer ran at construction.
+  bool optimized() const { return opt_.has_value(); }
+  /// Per-pass optimizer accounting; nullptr when the optimizer is off.
+  const OptimizeReport* optimize_report() const {
+    return opt_ ? &opt_->report : nullptr;
+  }
+
  private:
   struct WireSlot {
     std::int32_t offset = 0;  // index into values_
@@ -120,6 +144,7 @@ class Simulator {
   /// is a switch over POD fields with no Component/Wire chasing.
   struct Op {
     CompKind kind = CompKind::kConst;
+    FusedOp fused = FusedOp::kNone;  // != kNone: fused fast-path opcode
     bool single = false;
     std::int32_t comp = -1;      // index into design_.components()
     std::int32_t out_wire = -1;
@@ -129,6 +154,7 @@ class Simulator {
     std::int32_t a = 0;          // slice lo / shift amount / concat lo width
     std::uint64_t out_mask = ~std::uint64_t{0};
     std::uint64_t in_mask = ~std::uint64_t{0};  // kReduceAnd input mask
+    std::uint64_t imm = 0;                      // fused immediate / shift
     std::int32_t level = 0;
   };
 
@@ -142,6 +168,7 @@ class Simulator {
   void eval_comb();
   void eval_comp(const Component& c, std::uint64_t* dst);
   bool eval_op(const Op& op);
+  void refresh_lazy();
   void commit_edge(ClockId clock);
   void levelize();
   void compile_tape();
@@ -152,6 +179,7 @@ class Simulator {
 
   const Design& design_;
   EvalMode mode_;
+  std::optional<OptimizedNetlist> opt_;  // engaged iff optimizer enabled
   std::vector<WireSlot> slots_;
   std::vector<std::uint64_t> values_;
   std::vector<std::int32_t> comb_order_;   // component indices, topological
@@ -173,6 +201,11 @@ class Simulator {
   std::int64_t dirty_count_ = 0;
   std::vector<std::uint64_t> scratch_;     // general-path output buffer
   std::vector<std::uint8_t> is_input_;     // per wire: design input?
+  // DCE'd-but-observable logic: kept off the tape, re-evaluated only
+  // when a peek asks for one of its wires (keeps peeks bit-identical).
+  std::vector<std::int32_t> lazy_comps_;   // dead comb comps, topo order
+  std::vector<std::uint8_t> wire_lazy_;    // per wire: driven by a dead comp
+  bool lazy_stale_ = true;
   SimActivity activity_;
 };
 

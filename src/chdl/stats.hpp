@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "chdl/design.hpp"
 
@@ -37,6 +38,36 @@ struct NetlistStats {
 ///   reductions: 1-3 gates/bit     register: 8 gates/bit (counted as FF too)
 ///   slice/concat/const shifts: 0 (wiring only)
 ///   RAM ports: width gates of addressing/steering; contents in ram_bits
+///
+/// analyze() always sees the netlist as elaborated — the simulator-side
+/// optimizer (chdl/optimize.hpp) never mutates the Design, so gate/fit
+/// budget checks (bench_a4) are unaffected by simulation options.
 NetlistStats analyze(const Design& design);
+
+/// Live-op accounting for one optimizer pass (see chdl/optimize.hpp).
+/// `ops_before`/`ops_after` count combinational ops still bound for the
+/// simulator's op tape when the pass starts/finishes (a pass's "after"
+/// includes the dead-logic sweep that cleans up its orphans);
+/// `rewrites` counts the pass's own transformations (folds + identity
+/// aliases, removals, merges, fusions respectively).
+struct OptimizePassStats {
+  std::string name;
+  std::int64_t ops_before = 0;
+  std::int64_t ops_after = 0;
+  std::int64_t rewrites = 0;
+};
+
+/// Per-pass op counts for one optimizer run, reported in pipeline order
+/// (fold, dce, cse, fuse).
+struct OptimizeReport {
+  std::vector<OptimizePassStats> passes;
+  std::int64_t ops_before = 0;      // comb ops entering the pipeline
+  std::int64_t ops_after = 0;       // comb ops compiled onto the tape
+  std::int64_t wires_aliased = 0;   // wires forwarded to a representative
+  std::int64_t wires_folded = 0;    // wires pinned to a constant
+
+  const OptimizePassStats* pass(const std::string& name) const;
+  std::string to_string() const;
+};
 
 }  // namespace atlantis::chdl

@@ -33,8 +33,8 @@ EquivalenceReport check_equivalence(const Design& a, const Design& b,
   }
   ATLANTIS_CHECK(!compared.empty(), "no common outputs to compare");
 
-  Simulator sim_a(a);
-  Simulator sim_b(b);
+  Simulator sim_a(a, opts.sim_a);
+  Simulator sim_b(b, opts.sim_b);
   util::Rng rng(opts.seed);
 
   EquivalenceReport report;

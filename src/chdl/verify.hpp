@@ -13,6 +13,7 @@
 #include <string>
 
 #include "chdl/design.hpp"
+#include "chdl/sim.hpp"
 
 namespace atlantis::chdl {
 
@@ -30,6 +31,11 @@ struct EquivalenceOptions {
   /// Skip this many initial cycles before comparing (lets pipelines of
   /// equal latency fill; designs must still agree cycle-by-cycle after).
   int warmup = 0;
+  /// Evaluation policy per side. Passing the same design twice with
+  /// different policies (e.g. optimizer on vs off) turns the checker
+  /// into a randomized test for a netlist transformation.
+  SimOptions sim_a{};
+  SimOptions sim_b{};
 };
 
 /// Both designs must have identical input port names/widths and at least

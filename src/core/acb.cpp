@@ -109,7 +109,8 @@ util::Picoseconds AcbBoard::configure_all(const hw::Bitstream& bs) {
 }
 
 AcbMatrixReport AcbBoard::step_matrix(int cycles, bool parallel,
-                                      bool record_trace) {
+                                      bool record_trace,
+                                      util::WorkerPool* pool_override) {
   ATLANTIS_CHECK(cycles >= 0, "negative cycle count");
   AcbMatrixReport report;
 
@@ -150,7 +151,8 @@ AcbMatrixReport AcbBoard::step_matrix(int cycles, bool parallel,
   }
   report.links = static_cast<int>(links.size());
 
-  util::WorkerPool& pool = util::WorkerPool::shared();
+  util::WorkerPool& pool =
+      pool_override != nullptr ? *pool_override : util::WorkerPool::shared();
   const int n = static_cast<int>(active.size());
   for (int c = 0; c < cycles; ++c) {
     // Edge: each simulator advances one clock. The simulators share no

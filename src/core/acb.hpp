@@ -23,6 +23,10 @@
 #include "hw/pci.hpp"
 #include "util/units.hpp"
 
+namespace atlantis::util {
+class WorkerPool;
+}
+
 namespace atlantis::core {
 
 /// Role of an FPGA's logical I/O port, fixed by board position.
@@ -111,8 +115,11 @@ class AcbBoard {
   /// exchanged before the next edge.
   ///
   /// `record_trace` captures every link transfer for cross-checking.
+  /// `pool` selects the worker pool used in parallel mode (benchmarks
+  /// sweep pools of different sizes); nullptr uses the shared pool.
   AcbMatrixReport step_matrix(int cycles, bool parallel = false,
-                              bool record_trace = false);
+                              bool record_trace = false,
+                              util::WorkerPool* pool = nullptr);
 
   hw::Plx9080& pci() { return pci_; }
   hw::ClockGenerator& local_clock() { return local_clock_; }

@@ -355,47 +355,74 @@ TEST_P(SequentialFuzz, EventDrivenMatchesFullSweep) {
   util::Rng rng(GetParam() * 7919 + 13);
   const Design d = random_seq_design(rng, 140);
 
-  Simulator full(d, EvalMode::kFullSweep);
-  Simulator event(d, EvalMode::kEventDriven);
+  // Three evaluation policies against one reference: the unoptimized
+  // full sweep. "event" exercises the dirty worklist alone; "opted"
+  // additionally runs the fold/dce/cse/fuse netlist optimizer, so this
+  // test is the bit-exactness proof for every optimizer rewrite.
+  SimOptions ref_opts;
+  ref_opts.mode = EvalMode::kFullSweep;
+  ref_opts.optimize = false;
+  SimOptions raw_opts;
+  raw_opts.mode = EvalMode::kEventDriven;
+  raw_opts.optimize = false;
+  SimOptions opt_opts;
+  opt_opts.mode = EvalMode::kEventDriven;
+  opt_opts.optimize = true;
+  Simulator full(d, ref_opts);
+  Simulator event(d, raw_opts);
+  Simulator opted(d, opt_opts);
   const std::string tag = std::to_string(GetParam());
   const std::string full_vcd =
       ::testing::TempDir() + "/fuzz_full_" + tag + ".vcd";
   const std::string event_vcd =
       ::testing::TempDir() + "/fuzz_event_" + tag + ".vcd";
+  const std::string opted_vcd =
+      ::testing::TempDir() + "/fuzz_opted_" + tag + ".vcd";
   {
     VcdWriter wf(full, full_vcd);
     VcdWriter we(event, event_vcd);
+    VcdWriter wo(opted, opted_vcd);
     for (int cycle = 0; cycle < 50; ++cycle) {
-      // Random pokes, identical on both sides; skipping inputs some
+      // Random pokes, identical on all sides; skipping inputs some
       // cycles leaves quiescent islands for the worklist to skip.
       for (const auto& [name, w] : d.inputs()) {
         if (rng.next_below(2) == 0) continue;
         const BitVec v = random_bits(rng, w.width);
         full.poke(w, v);
         event.poke(w, v);
+        opted.poke(w, v);
       }
-      // Every wire in the design, not just the ports.
+      // Every wire in the design, not just the ports — including wires
+      // the optimizer aliased, folded or dead-code-eliminated.
       for (std::int32_t id = 0; id < d.wire_count(); ++id) {
         const Wire w{id, d.wire_width(id)};
         ASSERT_EQ(full.peek(w), event.peek(w))
             << "wire " << id << ", cycle " << cycle << ", seed "
             << GetParam();
+        ASSERT_EQ(full.peek(w), opted.peek(w))
+            << "optimized wire " << id << ", cycle " << cycle << ", seed "
+            << GetParam();
       }
       full.step();
       event.step();
+      opted.step();
     }
   }
   // Memory images must agree word for word.
   for (std::int64_t a = 0; a < 32; ++a) {
     EXPECT_EQ(full.read_ram(0, a), event.read_ram(0, a))
         << "RAM word " << a << ", seed " << GetParam();
+    EXPECT_EQ(full.read_ram(0, a), opted.read_ram(0, a))
+        << "optimized RAM word " << a << ", seed " << GetParam();
   }
   // Identical samples => byte-identical waveforms.
   const std::string full_bytes = slurp(full_vcd);
   ASSERT_FALSE(full_bytes.empty());
   EXPECT_EQ(full_bytes, slurp(event_vcd)) << "seed " << GetParam();
+  EXPECT_EQ(full_bytes, slurp(opted_vcd)) << "optimized seed " << GetParam();
   std::remove(full_vcd.c_str());
   std::remove(event_vcd.c_str());
+  std::remove(opted_vcd.c_str());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SequentialFuzz,
