@@ -5,6 +5,9 @@
 #include <cstdlib>
 #include <string>
 
+#include "sim/timeline.hpp"
+#include "util/table.hpp"
+
 namespace atlantis::bench {
 
 inline int g_failures = 0;
@@ -20,6 +23,33 @@ inline void banner(const std::string& id, const std::string& title) {
   std::printf("\n================================================================\n");
   std::printf("%s — %s\n", id.c_str(), title.c_str());
   std::printf("================================================================\n");
+}
+
+/// True when BENCH_SMOKE is set (and not "0"): benches shrink their
+/// workloads and skip wall-clock speed expectations, so CI can run them
+/// on every PR without flaking on loaded runners.
+inline bool smoke() {
+  const char* env = std::getenv("BENCH_SMOKE");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+/// Per-resource view of a crate timeline: what was busy, for how long,
+/// and how much of the wait was queuing behind other actors.
+inline void timeline_stats(const sim::Timeline& tl, const std::string& title) {
+  util::Table t(title);
+  t.set_header({"resource", "ch", "txns", "bytes", "busy (us)", "queue (us)",
+                "util"});
+  const util::Picoseconds horizon = tl.horizon();
+  for (const sim::ResourceStats& s : tl.all_stats()) {
+    if (s.transactions == 0) continue;
+    t.add_row({s.name, std::to_string(s.channels),
+               std::to_string(s.transactions), std::to_string(s.bytes),
+               util::Table::fmt(static_cast<double>(s.busy) * 1e-6, 1),
+               util::Table::fmt(static_cast<double>(s.queue_delay) * 1e-6, 1),
+               util::Table::fmt(
+                   100.0 * s.utilization(horizon) / s.channels, 1) + "%"});
+  }
+  t.print();
 }
 
 inline int finish() {

@@ -26,6 +26,38 @@ void Backplane::configure_channels(const std::vector<int>& widths) {
   ATLANTIS_CHECK(total <= AabSpec::kDataLines,
                  "channel widths exceed the 128 data lines");
   widths_ = widths;
+  if (timeline_ != nullptr) bind(*timeline_);  // re-register channels
+}
+
+void Backplane::bind(sim::Timeline& timeline) {
+  timeline_ = &timeline;
+  channel_resources_.clear();
+  for (int c = 0; c < channel_count(); ++c) {
+    channel_resources_.push_back(timeline.add_resource(
+        name_ + "/ch" + std::to_string(c) + "x" +
+        std::to_string(widths_[static_cast<std::size_t>(c)])));
+  }
+}
+
+sim::ResourceId Backplane::channel_resource(int channel) const {
+  ATLANTIS_CHECK(bound(), "backplane is not bound to a timeline");
+  ATLANTIS_CHECK(channel >= 0 && channel < channel_count(),
+                 "channel index out of range");
+  return channel_resources_[static_cast<std::size_t>(channel)];
+}
+
+const sim::Transaction& Backplane::post_transfer(
+    sim::TrackId track, int from_slot, int to_slot, int channel,
+    std::uint64_t bytes, util::Picoseconds not_before, std::string label) {
+  const util::Picoseconds service = transfer(from_slot, to_slot, channel,
+                                             bytes);
+  if (label.empty()) {
+    label = "aab " + std::to_string(from_slot) + "->" +
+            std::to_string(to_slot);
+  }
+  return timeline_->post(track, sim::TxnKind::kAabChannel, std::move(label),
+                         channel_resource(channel), not_before, service,
+                         bytes);
 }
 
 double Backplane::channel_mbps(int channel) const {

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/timeline.hpp"
 #include "util/status.hpp"
 #include "util/units.hpp"
 
@@ -57,11 +58,30 @@ class Backplane {
   /// concurrently (the "2 GB/s for a single ATLANTIS system" example).
   double paired_mbps(int pairs) const;
 
+  // --- timeline binding ------------------------------------------------
+  /// Registers one timeline resource per channel; transfers posted on a
+  /// channel arbitrate FIFO against every other board's bursts on it.
+  /// configure_channels() re-registers (the old resources keep their
+  /// recorded history).
+  void bind(sim::Timeline& timeline);
+  bool bound() const { return timeline_ != nullptr; }
+  sim::ResourceId channel_resource(int channel) const;
+
+  /// Posts a point-to-point block transfer onto the bound channel no
+  /// earlier than `not_before`; service time is exactly transfer().
+  const sim::Transaction& post_transfer(sim::TrackId track, int from_slot,
+                                        int to_slot, int channel,
+                                        std::uint64_t bytes,
+                                        util::Picoseconds not_before,
+                                        std::string label = {});
+
  private:
   std::string name_;
   int slots_;
   bool passive_;
   std::vector<int> widths_;
+  sim::Timeline* timeline_ = nullptr;
+  std::vector<sim::ResourceId> channel_resources_;
 };
 
 }  // namespace atlantis::core

@@ -29,13 +29,22 @@ chdl::Wire find_port(const chdl::Design& d, const std::string& name,
 }  // namespace
 
 AcbBoard::AcbBoard(std::string name)
-    : name_(std::move(name)), local_clock_(name_ + "/clk_local") {
+    : name_(std::move(name)), slink_(name_ + "/lvds"),
+      local_clock_(name_ + "/clk_local") {
   for (int i = 0; i < kFpgaCount; ++i) {
     fpgas_.push_back(std::make_unique<hw::FpgaDevice>(
         name_ + "/fpga" + std::to_string(i), hw::orca_3t125()));
     io_clocks_.emplace_back(name_ + "/clk_io" + std::to_string(i));
     module_of_fpga_.emplace_back(std::nullopt);
   }
+}
+
+void AcbBoard::bind_timeline(sim::Timeline& timeline,
+                             sim::ResourceId segment) {
+  timeline_ = &timeline;
+  pci_.bind(&timeline, segment);
+  compute_resource_ = timeline.add_resource(name_ + "/design");
+  slink_.bind(timeline);
 }
 
 hw::FpgaDevice& AcbBoard::fpga(int index) {

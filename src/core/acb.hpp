@@ -21,6 +21,8 @@
 #include "hw/clock.hpp"
 #include "hw/fpga.hpp"
 #include "hw/pci.hpp"
+#include "hw/slink.hpp"
+#include "sim/timeline.hpp"
 #include "util/units.hpp"
 
 namespace atlantis::util {
@@ -125,6 +127,19 @@ class AcbBoard {
   hw::ClockGenerator& local_clock() { return local_clock_; }
   hw::ClockGenerator& io_clock(int fpga_index);
 
+  /// The S-Link carried by the external-LVDS FPGA (detector feed for a
+  /// downscaled or test system).
+  hw::SlinkChannel& slink() { return slink_; }
+
+  /// Binds the board into a crate timeline: the PLX joins the shared
+  /// CompactPCI `segment`, the design clock gets a compute resource and
+  /// the LVDS S-Link its own stream resource. Called by AtlantisSystem;
+  /// standalone boards (unit benches) stay unbound and keep the pure
+  /// calculator behaviour.
+  void bind_timeline(sim::Timeline& timeline, sim::ResourceId segment);
+  sim::Timeline* timeline() const { return timeline_; }
+  sim::ResourceId compute_resource() const { return compute_resource_; }
+
   /// Peak backplane bandwidth of this board (2 ports x 64 bit x 66 MHz).
   double backplane_mbps() const {
     return 2.0 * AcbPortSpec::kBackplaneBits / 8.0 * AcbPortSpec::kBackplaneMhz;
@@ -137,8 +152,11 @@ class AcbBoard {
   std::vector<MemModule> modules_;
   int free_slots_ = AcbPortSpec::kMezzanineSlots;
   hw::Plx9080 pci_;
+  hw::SlinkChannel slink_;
   hw::ClockGenerator local_clock_;
   std::vector<hw::ClockGenerator> io_clocks_;
+  sim::Timeline* timeline_ = nullptr;
+  sim::ResourceId compute_resource_;
 };
 
 }  // namespace atlantis::core

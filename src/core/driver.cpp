@@ -1,25 +1,55 @@
 #include "core/driver.hpp"
 
+#include <algorithm>
+
 #include "util/status.hpp"
 
 namespace atlantis::core {
 
 AtlantisDriver::AtlantisDriver(AtlantisSystem& system, int acb_index)
     : system_(system), board_(system.acb(acb_index)) {
+  ATLANTIS_CHECK(board_.timeline() != nullptr,
+                 "board is not bound to the crate timeline");
+  track_ = board_.timeline()->add_track("drv/" + board_.name());
   host_ifs_.resize(AcbBoard::kFpgaCount);
 }
 
+void AtlantisDriver::post_compute(util::Picoseconds t, const char* label) {
+  const sim::Transaction& txn =
+      timeline().post(track_, sim::TxnKind::kCompute, label,
+                      board_.compute_resource(), now_, t);
+  now_ = txn.end;
+}
+
+void AtlantisDriver::reset_stats() {
+  reset_time();
+  board_.pci().reset_counters();
+}
+
+void AtlantisDriver::advance(util::Picoseconds t) {
+  post_compute(t, "compute");
+}
+
 void AtlantisDriver::advance_cycles(std::uint64_t cycles) {
-  elapsed_ += board_.local_clock().cycles(cycles);
+  post_compute(board_.local_clock().cycles(cycles), "compute");
 }
 
 void AtlantisDriver::configure(int fpga, const hw::Bitstream& bs) {
-  elapsed_ += board_.fpga(fpga).configure(bs);
+  const util::Picoseconds t = board_.fpga(fpga).configure(bs);
+  const sim::Transaction& txn = timeline().post(
+      track_, sim::TxnKind::kReconfig, "configure " + bs.name,
+      sim::ResourceId{}, now_, t, static_cast<std::uint64_t>(
+          board_.fpga(fpga).family().config_bits / 8));
+  now_ = txn.end;
   host_ifs_[static_cast<std::size_t>(fpga)].reset();
 }
 
 void AtlantisDriver::partial_reconfigure(int fpga, const hw::Bitstream& bs) {
-  elapsed_ += board_.fpga(fpga).partial_reconfigure(bs);
+  const util::Picoseconds t = board_.fpga(fpga).partial_reconfigure(bs);
+  const sim::Transaction& txn = timeline().post(
+      track_, sim::TxnKind::kReconfig, "partial " + bs.name,
+      sim::ResourceId{}, now_, t);
+  now_ = txn.end;
   host_ifs_[static_cast<std::size_t>(fpga)].reset();
 }
 
@@ -40,15 +70,15 @@ chdl::HostInterface* AtlantisDriver::host_if(int fpga) {
 
 void AtlantisDriver::reg_write(int fpga, std::uint32_t addr,
                                std::uint64_t data) {
-  elapsed_ += board_.pci().target_access();
+  now_ = board_.pci().post_target_access(track_, now_, "reg_write").end;
   if (chdl::HostInterface* hif = host_if(fpga)) {
     hif->write(addr, data);
-    elapsed_ += board_.local_clock().cycles(1);
+    post_compute(board_.local_clock().cycles(1), "reg_write drain");
   }
 }
 
 std::uint64_t AtlantisDriver::reg_read(int fpga, std::uint32_t addr) {
-  elapsed_ += board_.pci().target_access();
+  now_ = board_.pci().post_target_access(track_, now_, "reg_read").end;
   if (chdl::HostInterface* hif = host_if(fpga)) {
     return hif->read(addr);
   }
@@ -56,19 +86,37 @@ std::uint64_t AtlantisDriver::reg_read(int fpga, std::uint32_t addr) {
 }
 
 hw::DmaTransfer AtlantisDriver::dma_write(std::uint64_t bytes) {
-  const hw::DmaTransfer t =
-      board_.pci().transfer(hw::DmaDirection::kWrite, bytes);
-  board_.pci().record(t);
-  elapsed_ += t.duration;
-  return t;
+  const sim::Transaction& txn = board_.pci().post_transfer(
+      track_, hw::DmaDirection::kWrite, bytes, now_);
+  now_ = txn.end;
+  return hw::DmaTransfer{bytes, txn.duration()};
 }
 
 hw::DmaTransfer AtlantisDriver::dma_read(std::uint64_t bytes) {
-  const hw::DmaTransfer t =
-      board_.pci().transfer(hw::DmaDirection::kRead, bytes);
-  board_.pci().record(t);
-  elapsed_ += t.duration;
-  return t;
+  const sim::Transaction& txn = board_.pci().post_transfer(
+      track_, hw::DmaDirection::kRead, bytes, now_);
+  now_ = txn.end;
+  return hw::DmaTransfer{bytes, txn.duration()};
+}
+
+std::uint64_t AtlantisDriver::dma_write_async(std::uint64_t bytes) {
+  const sim::Transaction& txn = board_.pci().post_transfer(
+      track_, hw::DmaDirection::kWrite, bytes, now_, "dma_write async");
+  pending_.push_back(txn.end);
+  return txn.id;
+}
+
+std::uint64_t AtlantisDriver::dma_read_async(std::uint64_t bytes) {
+  const sim::Transaction& txn = board_.pci().post_transfer(
+      track_, hw::DmaDirection::kRead, bytes, now_, "dma_read async");
+  pending_.push_back(txn.end);
+  return txn.id;
+}
+
+util::Picoseconds AtlantisDriver::wait() {
+  for (const util::Picoseconds end : pending_) now_ = std::max(now_, end);
+  pending_.clear();
+  return elapsed();
 }
 
 hw::DmaTransfer AtlantisDriver::dma_write_to_sim(
@@ -83,11 +131,12 @@ hw::DmaTransfer AtlantisDriver::dma_write_to_sim(
   const hw::DmaTransfer bus =
       board_.pci().transfer(hw::DmaDirection::kWrite, bytes);
   const util::Picoseconds drain = board_.local_clock().cycles(words.size());
-  hw::DmaTransfer t = bus;
-  t.duration = std::max(bus.duration, drain);
-  board_.pci().record(t);
-  elapsed_ += t.duration;
-  return t;
+  const util::Picoseconds service = std::max(bus.duration, drain);
+  const sim::Transaction& txn = board_.pci().post_transfer(
+      track_, hw::DmaDirection::kWrite, bytes, now_, "dma_write to sim",
+      service);
+  now_ = txn.end;
+  return hw::DmaTransfer{bytes, txn.duration()};
 }
 
 }  // namespace atlantis::core

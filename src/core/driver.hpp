@@ -8,9 +8,17 @@
 // target FPGA carries a cycle-simulated CHDL design (the CHDL workflow)
 // or only a timing model.
 //
-// The driver keeps a time ledger: every call advances `elapsed()` by the
-// modelled hardware cost, which is how the experiment harnesses obtain
-// end-to-end execution times ("algorithm plus I/O").
+// Timing: every call posts a typed transaction onto the crate's
+// sim::Timeline and advances this driver's cursor to the transaction's
+// end. elapsed() — the legacy scalar ledger — is the compatibility view
+// over that cursor: with a single driver and no concurrency it is
+// bit-identical to the old sum-of-durations ledger, because nothing
+// queues; with several boards sharing the CompactPCI segment it
+// additionally contains the queuing delay the bus arbiter imposed.
+// Overlap is expressed with dma_*_async() + wait(): asynchronous
+// transfers occupy the bus without advancing the cursor, so design-clock
+// compute posted meanwhile runs concurrently and wait() joins at the
+// maximum, not the sum.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +30,7 @@
 #include "core/system.hpp"
 #include "hw/fpga.hpp"
 #include "hw/pci.hpp"
+#include "sim/timeline.hpp"
 #include "util/units.hpp"
 
 namespace atlantis::core {
@@ -32,16 +41,33 @@ class AtlantisDriver {
   AtlantisDriver(AtlantisSystem& system, int acb_index);
 
   AcbBoard& board() { return board_; }
+  AtlantisSystem& system() { return system_; }
 
-  // --- time ledger ---------------------------------------------------
-  util::Picoseconds elapsed() const { return elapsed_; }
-  void reset_time() { elapsed_ = 0; }
-  /// Adds externally-computed hardware time (e.g. N design clocks).
-  void advance(util::Picoseconds t) { elapsed_ += t; }
+  // --- time ledger -----------------------------------------------------
+  /// Elapsed hardware time since construction (or the last reset_time):
+  /// the timeline horizon of this driver's transactions, as a scalar.
+  util::Picoseconds elapsed() const { return now_ - epoch_; }
+  /// This driver's cursor on the crate timeline (absolute).
+  util::Picoseconds now() const { return now_; }
+  /// Resets ONLY the elapsed() ledger (moves the epoch to the cursor).
+  /// The PLX DMA lifetime counters (board().pci().total_bytes()/
+  /// total_time()) keep accumulating — use reset_stats() when a bench
+  /// phase must not double-count them.
+  void reset_time() { epoch_ = now_; }
+  /// Resets the ledger AND the PLX 9080 lifetime DMA counters, so
+  /// per-phase accounting starts from a clean slate.
+  void reset_stats();
+  /// Adds externally-computed hardware time (e.g. N design clocks),
+  /// posted as a design-clock compute transaction.
+  void advance(util::Picoseconds t);
   /// Adds `cycles` of the board's design clock.
   void advance_cycles(std::uint64_t cycles);
 
-  // --- configuration --------------------------------------------------
+  /// The crate timeline and this driver's track on it.
+  sim::Timeline& timeline() { return *board_.timeline(); }
+  sim::TrackId track() const { return track_; }
+
+  // --- configuration ---------------------------------------------------
   /// Full configuration of one FPGA.
   void configure(int fpga, const hw::Bitstream& bs);
   /// Partial reconfiguration (hardware task switch on the ORCA parts).
@@ -58,11 +84,23 @@ class AtlantisDriver {
   void reg_write(int fpga, std::uint32_t addr, std::uint64_t data);
   std::uint64_t reg_read(int fpga, std::uint32_t addr);
 
-  // --- DMA --------------------------------------------------------------
-  /// Block DMA host->board / board->host; advances the ledger and
-  /// returns the modelled transfer.
+  // --- DMA -------------------------------------------------------------
+  /// Block DMA host->board / board->host; posts the transfer on the
+  /// shared CompactPCI segment, advances the cursor past it (queuing
+  /// included) and returns the modelled transfer (service time only, so
+  /// mbps() stays the device rate).
   hw::DmaTransfer dma_write(std::uint64_t bytes);
   hw::DmaTransfer dma_read(std::uint64_t bytes);
+
+  /// Asynchronous DMA: occupies the bus from the current cursor but does
+  /// NOT advance it, so compute posted afterwards overlaps the transfer.
+  /// Returns the scheduled transaction id; wait() joins all outstanding
+  /// asynchronous transfers (cursor = max of their ends).
+  std::uint64_t dma_write_async(std::uint64_t bytes);
+  std::uint64_t dma_read_async(std::uint64_t bytes);
+  /// Joins every outstanding asynchronous DMA; returns elapsed().
+  util::Picoseconds wait();
+  int pending_dma() const { return static_cast<int>(pending_.size()); }
 
   /// DMA that also delivers payload words into the simulated design,
   /// one word per design clock through the host port at `addr`
@@ -75,9 +113,16 @@ class AtlantisDriver {
   chdl::Simulator* sim(int fpga) { return board_.fpga(fpga).sim(); }
 
  private:
+  /// Posts design-clock compute on the board's compute resource and
+  /// moves the cursor past it.
+  void post_compute(util::Picoseconds t, const char* label);
+
   AtlantisSystem& system_;
   AcbBoard& board_;
-  util::Picoseconds elapsed_ = 0;
+  sim::TrackId track_;
+  util::Picoseconds now_ = 0;
+  util::Picoseconds epoch_ = 0;
+  std::vector<util::Picoseconds> pending_;  // ends of async transfers
   std::vector<std::unique_ptr<chdl::HostInterface>> host_ifs_;
 };
 

@@ -7,8 +7,12 @@ namespace atlantis::core {
 AtlantisSystem::AtlantisSystem(std::string name, hw::HostCpuModel host,
                                int slots, bool passive_backplane)
     : name_(std::move(name)), host_(std::move(host)),
+      timeline_(std::make_unique<sim::Timeline>()),
       backplane_(name_ + "/aab", slots, passive_backplane),
-      main_clock_(name_ + "/clk_main") {}
+      main_clock_(name_ + "/clk_main") {
+  pci_segment_ = timeline_->add_resource(name_ + "/cpci");
+  backplane_.bind(*timeline_);
+}
 
 int AtlantisSystem::take_slot(const std::string& what) {
   if (next_slot_ >= backplane_.slots()) {
@@ -20,6 +24,7 @@ int AtlantisSystem::take_slot(const std::string& what) {
 int AtlantisSystem::add_acb(const std::string& name) {
   const int slot = take_slot(name);
   acbs_.push_back(std::make_unique<AcbBoard>(name));
+  acbs_.back()->bind_timeline(*timeline_, pci_segment_);
   acb_slots_.push_back(slot);
   return static_cast<int>(acbs_.size() - 1);
 }
@@ -27,6 +32,7 @@ int AtlantisSystem::add_acb(const std::string& name) {
 int AtlantisSystem::add_aib(const std::string& name) {
   const int slot = take_slot(name);
   aibs_.push_back(std::make_unique<AibBoard>(name));
+  aibs_.back()->bind_timeline(*timeline_, pci_segment_);
   aib_slots_.push_back(slot);
   return static_cast<int>(aibs_.size() - 1);
 }

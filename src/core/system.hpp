@@ -12,6 +12,7 @@
 #include "core/aib.hpp"
 #include "hw/clock.hpp"
 #include "hw/hostcpu.hpp"
+#include "sim/timeline.hpp"
 
 namespace atlantis::core {
 
@@ -40,6 +41,15 @@ class AtlantisSystem {
   Backplane& backplane() { return backplane_; }
   const hw::HostCpuModel& host() const { return host_; }
 
+  /// The crate-wide discrete-event timeline every board's timing model
+  /// posts onto. Heap-owned so bound component pointers survive moves of
+  /// the system object.
+  sim::Timeline& timeline() { return *timeline_; }
+  const sim::Timeline& timeline() const { return *timeline_; }
+  /// The one shared CompactPCI segment (the 125 MB/s bottleneck every
+  /// board's PLX 9080 contends for).
+  sim::ResourceId pci_segment() const { return pci_segment_; }
+
   /// The central clock distributed from the AAB; boards may fall back to
   /// their local generators when it is absent.
   hw::ClockGenerator& main_clock() { return main_clock_; }
@@ -60,6 +70,8 @@ class AtlantisSystem {
 
   std::string name_;
   hw::HostCpuModel host_;
+  std::unique_ptr<sim::Timeline> timeline_;
+  sim::ResourceId pci_segment_;
   Backplane backplane_;
   hw::ClockGenerator main_clock_;
   std::vector<std::unique_ptr<AcbBoard>> acbs_;

@@ -30,6 +30,12 @@ util::Picoseconds TaskSwitcher::switch_to(const std::string& name) {
   ++switches_;
   total_time_ += t;
   last_time_ = t;
+  if (bound()) {
+    cursor_ = timeline_
+                  ->post(track_, sim::TxnKind::kReconfig,
+                         "switch to " + name, sim::ResourceId{}, cursor_, t)
+                  .end;
+  }
   return t;
 }
 

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "hw/fpga.hpp"
+#include "sim/timeline.hpp"
 #include "util/units.hpp"
 
 namespace atlantis::core {
@@ -32,6 +33,15 @@ class TaskSwitcher {
   util::Picoseconds total_switch_time() const { return total_time_; }
   util::Picoseconds last_switch_time() const { return last_time_; }
 
+  /// Binds the switcher to a timeline: every switch_to() additionally
+  /// posts a kReconfig transaction at the switcher's cursor (sequential
+  /// switches chain end to start).
+  void bind(sim::Timeline& timeline, sim::TrackId track) {
+    timeline_ = &timeline;
+    track_ = track;
+  }
+  bool bound() const { return timeline_ != nullptr; }
+
  private:
   hw::FpgaDevice& device_;
   std::map<std::string, hw::Bitstream> tasks_;
@@ -39,6 +49,9 @@ class TaskSwitcher {
   std::uint64_t switches_ = 0;
   util::Picoseconds total_time_ = 0;
   util::Picoseconds last_time_ = 0;
+  sim::Timeline* timeline_ = nullptr;
+  sim::TrackId track_;
+  util::Picoseconds cursor_ = 0;
 };
 
 }  // namespace atlantis::core

@@ -25,4 +25,31 @@ DmaTransfer Plx9080::transfer(DmaDirection dir, std::uint64_t bytes) const {
   return t;
 }
 
+const sim::Transaction& Plx9080::post_transfer(
+    sim::TrackId track, DmaDirection dir, std::uint64_t bytes,
+    util::Picoseconds not_before, std::string label,
+    util::Picoseconds service_override) {
+  ATLANTIS_CHECK(bound(), "Plx9080 is not bound to a timeline");
+  const DmaTransfer t = transfer(dir, bytes);
+  const util::Picoseconds service =
+      service_override >= 0 ? service_override : t.duration;
+  DmaTransfer recorded = t;
+  recorded.duration = service;
+  record(recorded);
+  if (label.empty()) {
+    label = dir == DmaDirection::kWrite ? "dma_write" : "dma_read";
+  }
+  return timeline_->post(track, sim::TxnKind::kPciDma, std::move(label),
+                         segment_, not_before, service, bytes);
+}
+
+const sim::Transaction& Plx9080::post_target_access(
+    sim::TrackId track, util::Picoseconds not_before, std::string label) {
+  ATLANTIS_CHECK(bound(), "Plx9080 is not bound to a timeline");
+  if (label.empty()) label = "target_access";
+  return timeline_->post(track, sim::TxnKind::kTargetAccess,
+                         std::move(label), segment_, not_before,
+                         target_access(), /*bytes=*/4);
+}
+
 }  // namespace atlantis::hw

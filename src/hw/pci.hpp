@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <string>
 
+#include "sim/timeline.hpp"
 #include "util/status.hpp"
 #include "util/units.hpp"
 
@@ -80,11 +81,46 @@ class Plx9080 {
     total_bytes_ += t.bytes;
     total_time_ += t.duration;
   }
+  /// Clears the lifetime DMA counters (the chip-reset path reset_stats()
+  /// on the driver goes through).
+  void reset_counters() {
+    total_bytes_ = 0;
+    total_time_ = 0;
+  }
+
+  // --- timeline binding ------------------------------------------------
+  /// Binds the bridge to the crate timeline. `segment` is the shared
+  /// CompactPCI bus resource every board in the crate contends for.
+  void bind(sim::Timeline* timeline, sim::ResourceId segment) {
+    timeline_ = timeline;
+    segment_ = segment;
+  }
+  bool bound() const { return timeline_ != nullptr; }
+  sim::Timeline* timeline() const { return timeline_; }
+  sim::ResourceId segment() const { return segment_; }
+
+  /// Posts one block DMA onto the bound timeline no earlier than
+  /// `not_before`; arbitration against other boards on the shared
+  /// segment happens there. Records the transfer in the lifetime
+  /// counters. The posted service time is transfer()'s duration unless
+  /// `service_override` >= 0 (used when bus burst and design-side drain
+  /// overlap and the modelled occupancy is their max).
+  const sim::Transaction& post_transfer(
+      sim::TrackId track, DmaDirection dir, std::uint64_t bytes,
+      util::Picoseconds not_before, std::string label = {},
+      util::Picoseconds service_override = -1);
+
+  /// Posts one target-mode access (register read/write) onto the bus.
+  const sim::Transaction& post_target_access(sim::TrackId track,
+                                             util::Picoseconds not_before,
+                                             std::string label = {});
 
  private:
   PciParams params_;
   std::uint64_t total_bytes_ = 0;
   util::Picoseconds total_time_ = 0;
+  sim::Timeline* timeline_ = nullptr;
+  sim::ResourceId segment_;
 };
 
 }  // namespace atlantis::hw

@@ -28,6 +28,18 @@ std::uint64_t Sdram::access(std::uint64_t byte_addr) {
   return static_cast<std::uint64_t>(penalty) + 1;
 }
 
+const sim::Transaction& Sdram::post_burst(sim::TrackId track,
+                                          std::uint64_t cycles,
+                                          std::uint64_t bytes,
+                                          util::Picoseconds not_before,
+                                          std::string label) {
+  ATLANTIS_CHECK(bound(), "SDRAM is not bound to a timeline");
+  if (label.empty()) label = name_ + " burst";
+  return timeline_->post(track, sim::TxnKind::kSdramBurst, std::move(label),
+                         resource_, not_before, cycles_to_time(cycles),
+                         bytes);
+}
+
 void Sdram::reset_counters() {
   accesses_ = 0;
   hits_ = 0;

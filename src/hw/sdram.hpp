@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/timeline.hpp"
 #include "util/status.hpp"
 #include "util/units.hpp"
 
@@ -57,12 +58,32 @@ class Sdram {
   }
   void reset_counters();
 
+  // --- timeline binding ------------------------------------------------
+  /// Registers the device as a timeline resource with one channel per
+  /// bank ("8 simultaneously accessible banks").
+  void bind(sim::Timeline& timeline) {
+    timeline_ = &timeline;
+    resource_ = timeline.add_resource("sdram/" + name_, cfg_.banks);
+  }
+  bool bound() const { return timeline_ != nullptr; }
+  sim::ResourceId resource() const { return resource_; }
+
+  /// Posts a burst of `cycles` device cycles moving `bytes` onto one
+  /// bank channel no earlier than `not_before`.
+  const sim::Transaction& post_burst(sim::TrackId track,
+                                     std::uint64_t cycles,
+                                     std::uint64_t bytes,
+                                     util::Picoseconds not_before,
+                                     std::string label = {});
+
  private:
   std::string name_;
   SdramConfig cfg_;
   std::vector<std::int64_t> open_row_;  // -1 = closed
   std::uint64_t accesses_ = 0;
   std::uint64_t hits_ = 0;
+  sim::Timeline* timeline_ = nullptr;
+  sim::ResourceId resource_;
 };
 
 }  // namespace atlantis::hw

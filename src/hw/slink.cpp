@@ -45,6 +45,17 @@ std::optional<SlinkWord> SlinkChannel::receive() {
   return w;
 }
 
+const sim::Transaction& SlinkChannel::post_stream(sim::TrackId track,
+                                                  std::uint64_t words,
+                                                  util::Picoseconds not_before,
+                                                  std::string label) {
+  ATLANTIS_CHECK(bound(), "S-Link channel is not bound to a timeline");
+  if (label.empty()) label = name_ + " stream";
+  return timeline_->post(track, sim::TxnKind::kSlinkStream, std::move(label),
+                         resource_, not_before, transfer_time(words),
+                         words * 4);
+}
+
 bool SlinkChannel::self_test(int words) {
   util::Rng rng(0x51'1A'CB);
   std::vector<std::uint32_t> pattern;

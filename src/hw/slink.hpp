@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/timeline.hpp"
 #include "util/status.hpp"
 #include "util/units.hpp"
 
@@ -69,6 +70,24 @@ class SlinkChannel {
   /// survives.
   bool self_test(int words = 256);
 
+  // --- timeline binding ------------------------------------------------
+  /// Registers this link as its own timeline resource (a point-to-point
+  /// link is never shared, but streams still occupy it and show up as a
+  /// trace track).
+  void bind(sim::Timeline& timeline) {
+    timeline_ = &timeline;
+    resource_ = timeline.add_resource("slink/" + name_);
+  }
+  bool bound() const { return timeline_ != nullptr; }
+  sim::ResourceId resource() const { return resource_; }
+
+  /// Posts a `words`-long stream (one word per link clock) onto the
+  /// bound timeline no earlier than `not_before`.
+  const sim::Transaction& post_stream(sim::TrackId track,
+                                      std::uint64_t words,
+                                      util::Picoseconds not_before,
+                                      std::string label = {});
+
   /// Control-word markers.
   static constexpr std::uint32_t kBeginFragment = 0xB0F00000;
   static constexpr std::uint32_t kEndFragment = 0xE0F00000;
@@ -81,6 +100,8 @@ class SlinkChannel {
   std::size_t head_ = 0;
   std::uint64_t sent_ = 0;
   std::uint64_t refused_ = 0;
+  sim::Timeline* timeline_ = nullptr;
+  sim::ResourceId resource_;
 };
 
 }  // namespace atlantis::hw

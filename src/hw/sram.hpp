@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "chdl/bitvec.hpp"
+#include "sim/timeline.hpp"
 #include "util/bitops.hpp"
 #include "util/status.hpp"
 #include "util/units.hpp"
@@ -58,6 +59,22 @@ class SyncSram {
            (static_cast<double>(cfg_.width_bits) / 8.0) * cfg_.banks / 1e6;
   }
 
+  // --- timeline binding ------------------------------------------------
+  /// Registers the module as a timeline resource, one channel per bank.
+  void bind(sim::Timeline& timeline) {
+    timeline_ = &timeline;
+    resource_ = timeline.add_resource("sram/" + name_, cfg_.banks);
+  }
+  bool bound() const { return timeline_ != nullptr; }
+  sim::ResourceId resource() const { return resource_; }
+
+  /// Posts `accesses` single-word transactions (spread over the banks,
+  /// fully pipelined) no earlier than `not_before`.
+  const sim::Transaction& post_burst(sim::TrackId track,
+                                     std::uint64_t accesses,
+                                     util::Picoseconds not_before,
+                                     std::string label = {});
+
  private:
   std::size_t index(int bank, std::int64_t addr) const;
 
@@ -65,6 +82,8 @@ class SyncSram {
   SramConfig cfg_;
   int stride_;                        // words per entry
   std::vector<std::uint64_t> data_;  // banks * words * stride
+  sim::Timeline* timeline_ = nullptr;
+  sim::ResourceId resource_;
 };
 
 }  // namespace atlantis::hw

@@ -1,0 +1,210 @@
+#include "sim/timeline.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+
+#include "util/status.hpp"
+
+namespace atlantis::sim {
+
+const char* txn_kind_name(TxnKind kind) {
+  switch (kind) {
+    case TxnKind::kPciDma: return "pci_dma";
+    case TxnKind::kTargetAccess: return "target_access";
+    case TxnKind::kAabChannel: return "aab_channel";
+    case TxnKind::kSlinkStream: return "slink_stream";
+    case TxnKind::kSdramBurst: return "sdram_burst";
+    case TxnKind::kSramBurst: return "sram_burst";
+    case TxnKind::kReconfig: return "reconfig";
+    case TxnKind::kCompute: return "compute";
+    case TxnKind::kHost: return "host";
+    case TxnKind::kOther: return "other";
+  }
+  return "other";
+}
+
+ResourceId Timeline::add_resource(std::string name, int channels) {
+  ATLANTIS_CHECK(channels >= 1, "resource needs at least one channel");
+  Resource r;
+  r.name = std::move(name);
+  r.free_at.assign(static_cast<std::size_t>(channels), 0);
+  r.stats.name = r.name;
+  r.stats.channels = channels;
+  resources_.push_back(std::move(r));
+  return ResourceId{static_cast<int>(resources_.size() - 1)};
+}
+
+TrackId Timeline::add_track(std::string name) {
+  tracks_.push_back(Track{std::move(name), 0});
+  return TrackId{static_cast<int>(tracks_.size() - 1)};
+}
+
+const Transaction& Timeline::post(TrackId track, TxnKind kind,
+                                  std::string label, ResourceId resource,
+                                  util::Picoseconds not_before,
+                                  util::Picoseconds service,
+                                  std::uint64_t bytes) {
+  ATLANTIS_CHECK(track.valid() && track.value < track_count(),
+                 "post() needs a registered track");
+  ATLANTIS_CHECK(not_before >= 0 && service >= 0,
+                 "transaction times must be non-negative");
+  Transaction t;
+  t.id = txns_.size();
+  t.kind = kind;
+  t.label = std::move(label);
+  t.track = track;
+  t.resource = resource;
+  t.post = not_before;
+  t.bytes = bytes;
+  if (resource.valid()) {
+    ATLANTIS_CHECK(resource.value < resource_count(),
+                   "post() on an unregistered resource");
+    Resource& r = resources_[static_cast<std::size_t>(resource.value)];
+    // FIFO grant on the earliest-free channel.
+    auto ch = std::min_element(r.free_at.begin(), r.free_at.end());
+    t.start = std::max(not_before, *ch);
+    t.end = t.start + service;
+    *ch = t.end;
+    ResourceStats& s = r.stats;
+    if (s.transactions == 0) s.first_start = t.start;
+    s.first_start = std::min(s.first_start, t.start);
+    s.last_end = std::max(s.last_end, t.end);
+    s.busy += service;
+    s.queue_delay += t.queue_delay();
+    s.bytes += bytes;
+    ++s.transactions;
+  } else {
+    t.start = not_before;
+    t.end = t.start + service;
+  }
+  horizon_ = std::max(horizon_, t.end);
+  Track& tr = tracks_[static_cast<std::size_t>(track.value)];
+  tr.horizon = std::max(tr.horizon, t.end);
+  txns_.push_back(std::move(t));
+  return txns_.back();
+}
+
+util::Picoseconds Timeline::track_horizon(TrackId track) const {
+  ATLANTIS_CHECK(track.valid() && track.value < track_count(),
+                 "unknown track");
+  return tracks_[static_cast<std::size_t>(track.value)].horizon;
+}
+
+const Transaction& Timeline::txn(std::uint64_t id) const {
+  ATLANTIS_CHECK(id < txns_.size(), "unknown transaction id");
+  return txns_[static_cast<std::size_t>(id)];
+}
+
+const std::string& Timeline::resource_name(ResourceId id) const {
+  ATLANTIS_CHECK(id.valid() && id.value < resource_count(),
+                 "unknown resource");
+  return resources_[static_cast<std::size_t>(id.value)].name;
+}
+
+const std::string& Timeline::track_name(TrackId id) const {
+  ATLANTIS_CHECK(id.valid() && id.value < track_count(), "unknown track");
+  return tracks_[static_cast<std::size_t>(id.value)].name;
+}
+
+ResourceStats Timeline::stats(ResourceId id) const {
+  ATLANTIS_CHECK(id.valid() && id.value < resource_count(),
+                 "unknown resource");
+  return resources_[static_cast<std::size_t>(id.value)].stats;
+}
+
+std::vector<ResourceStats> Timeline::all_stats() const {
+  std::vector<ResourceStats> out;
+  out.reserve(resources_.size());
+  for (const Resource& r : resources_) out.push_back(r.stats);
+  return out;
+}
+
+namespace {
+
+void write_json_string(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out << ' ';  // control characters never appear in our labels
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+double ps_to_trace_us(util::Picoseconds t) {
+  return static_cast<double>(t) / 1.0e6;
+}
+
+}  // namespace
+
+void Timeline::export_chrome_trace(std::ostream& out) const {
+  // Track layout: tid 0..R-1 are resources, tid R..R+T-1 are actor
+  // tracks. Stable across runs of the same system construction order.
+  const int resource_base = 0;
+  const int track_base = resource_count();
+  out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out << ",\n";
+    first = false;
+  };
+  for (int r = 0; r < resource_count(); ++r) {
+    sep();
+    out << "  {\"ph\": \"M\", \"pid\": 1, \"tid\": " << (resource_base + r)
+        << ", \"name\": \"thread_name\", \"args\": {\"name\": ";
+    write_json_string(out, "res:" + resources_[static_cast<std::size_t>(r)].name);
+    out << "}}";
+  }
+  for (int t = 0; t < track_count(); ++t) {
+    sep();
+    out << "  {\"ph\": \"M\", \"pid\": 1, \"tid\": " << (track_base + t)
+        << ", \"name\": \"thread_name\", \"args\": {\"name\": ";
+    write_json_string(out, "actor:" + tracks_[static_cast<std::size_t>(t)].name);
+    out << "}}";
+  }
+  // Complete events, sorted by start so every track is monotonic.
+  std::vector<const Transaction*> order;
+  order.reserve(txns_.size());
+  for (const Transaction& t : txns_) order.push_back(&t);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const Transaction* a, const Transaction* b) {
+                     return a->start < b->start;
+                   });
+  for (const Transaction* t : order) {
+    const int tid = t->resource.valid() ? resource_base + t->resource.value
+                                        : track_base + t->track.value;
+    sep();
+    out << "  {\"ph\": \"X\", \"pid\": 1, \"tid\": " << tid << ", \"name\": ";
+    write_json_string(out, t->label.empty() ? txn_kind_name(t->kind)
+                                            : t->label);
+    out << ", \"cat\": ";
+    write_json_string(out, txn_kind_name(t->kind));
+    out << ", \"ts\": " << ps_to_trace_us(t->start)
+        << ", \"dur\": " << ps_to_trace_us(t->duration())
+        << ", \"args\": {\"bytes\": " << t->bytes
+        << ", \"queue_delay_us\": " << ps_to_trace_us(t->queue_delay())
+        << ", \"actor\": ";
+    write_json_string(out, track_name(t->track));
+    out << "}}";
+  }
+  out << "\n]}\n";
+}
+
+bool Timeline::export_chrome_trace_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  export_chrome_trace(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace atlantis::sim

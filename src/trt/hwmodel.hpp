@@ -31,6 +31,11 @@ struct TrtHwConfig {
   int pipeline_depth = 8;
   /// Histogram read-back: counters drained one per clock.
   bool include_readout = true;
+  /// Streams the event image with an asynchronous DMA that overlaps the
+  /// LUT scan (the hardware consumes straws as they arrive), instead of
+  /// paying image-in and compute back to back. Needs a driver; the
+  /// sequential default reproduces the pre-timeline ledger exactly.
+  bool overlap_io = false;
 };
 
 struct TrtHwResult {

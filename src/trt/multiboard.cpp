@@ -63,23 +63,45 @@ MultiBoardResult histogram_multiboard(const PatternBank& bank,
   core::Backplane& bp = system.backplane();
   const int src_slot = system.aib_slot(0);
 
-  // Phase 1: image broadcast. Each board gets the full bit image over
-  // its own backplane channel; with the default 4x32-bit configuration
-  // up to four boards stream in parallel, so the phase costs the
-  // slowest (furthest) transfer.
-  const std::uint64_t image_bytes = util::ceil_div(
-      static_cast<std::uint64_t>(bank.geometry().straw_count()), 8);
-  if (!cfg.detector_fed) {
-    for (int b = 0; b < cfg.boards; ++b) {
-      const int channel = b % bp.channel_count();
-      r.broadcast_time =
-          std::max(r.broadcast_time,
-                   bp.transfer(src_slot, system.acb_slot(b), channel,
-                               image_bytes));
-    }
+  // The run is scheduled on the crate timeline: one track per board, the
+  // backplane channels and each board's design clock as shared resources.
+  // Re-running on the same system appends after everything already
+  // recorded, so the epoch is the current horizon.
+  sim::Timeline& tl = system.timeline();
+  const util::Picoseconds epoch = tl.horizon();
+  std::vector<sim::TrackId> tracks;
+  tracks.reserve(static_cast<std::size_t>(cfg.boards));
+  for (int b = 0; b < cfg.boards; ++b) {
+    tracks.push_back(tl.add_track("trt/" + system.acb(b).name()));
   }
 
-  // Phase 2: parallel histogramming of the slices.
+  // Phase 1: image delivery. Host-fed boards get the full bit image over
+  // their own backplane channel; with the default 4x32-bit configuration
+  // up to four boards stream in parallel (more boards than channels
+  // arbitrate FIFO on the shared channel). Detector-fed boards receive
+  // the event over their own S-Links, overlapped with the scan.
+  const std::uint64_t image_bytes = util::ceil_div(
+      static_cast<std::uint64_t>(bank.geometry().straw_count()), 8);
+  std::vector<util::Picoseconds> ready(
+      static_cast<std::size_t>(cfg.boards), epoch);
+  if (!cfg.detector_fed) {
+    util::Picoseconds last_arrival = epoch;
+    for (int b = 0; b < cfg.boards; ++b) {
+      const int channel = b % bp.channel_count();
+      const sim::Transaction& txn =
+          bp.post_transfer(tracks[static_cast<std::size_t>(b)], src_slot,
+                           system.acb_slot(b), channel, image_bytes, epoch,
+                           "image broadcast");
+      ready[static_cast<std::size_t>(b)] = txn.end;
+      last_arrival = std::max(last_arrival, txn.end);
+    }
+    r.broadcast_time = last_arrival - epoch;
+  }
+
+  // Phase 2: parallel histogramming of the slices, each board starting
+  // as soon as its image arrived.
+  std::vector<util::Picoseconds> done(
+      static_cast<std::size_t>(cfg.boards), epoch);
   for (int b = 0; b < cfg.boards; ++b) {
     TrtHwConfig board_cfg;
     board_cfg.clock_mhz = cfg.clock_mhz;
@@ -96,18 +118,45 @@ MultiBoardResult histogram_multiboard(const PatternBank& bank,
         static_cast<util::Picoseconds>(cycles) *
         util::period_from_mhz(cfg.clock_mhz);
     r.compute_time = std::max(r.compute_time, t);
+    const sim::Transaction& scan = tl.post(
+        tracks[static_cast<std::size_t>(b)], sim::TxnKind::kCompute,
+        "scan slice " + std::to_string(b),
+        system.acb(b).compute_resource(),
+        ready[static_cast<std::size_t>(b)], t);
+    done[static_cast<std::size_t>(b)] = scan.end;
+    if (cfg.detector_fed) {
+      // The S-Link stream (begin marker, hit words, end marker) occupies
+      // the board's link while the scan consumes it; the board is done
+      // when the slower of the two finishes. The link clock matches the
+      // design clock, so with full-image streaming the scan dominates.
+      const sim::Transaction& stream =
+          system.acb(b).slink().post_stream(
+              tracks[static_cast<std::size_t>(b)],
+              static_cast<std::uint64_t>(ev.hits.size()) + 2, epoch,
+              "detector feed");
+      done[static_cast<std::size_t>(b)] =
+          std::max(done[static_cast<std::size_t>(b)], stream.end);
+    }
   }
 
   // Phase 3: collect the partial histograms (16-bit counters) back over
-  // the backplane, serialized onto one channel at the collector.
+  // the backplane, serialized onto one channel at the collector — the
+  // timeline's FIFO arbitration on channel 0 is that serialization.
   const std::uint64_t hist_bytes =
       static_cast<std::uint64_t>(r.patterns_per_board) * 2;
+  util::Picoseconds finish = epoch;
   for (int b = 0; b < cfg.boards; ++b) {
-    r.collect_time +=
-        bp.transfer(system.acb_slot(b), src_slot, 0, hist_bytes);
+    const sim::Transaction& txn = bp.post_transfer(
+        tracks[static_cast<std::size_t>(b)], system.acb_slot(b), src_slot, 0,
+        hist_bytes, done[static_cast<std::size_t>(b)],
+        "collect slice " + std::to_string(b));
+    r.collect_time += txn.duration();
+    finish = std::max(finish, txn.end);
   }
 
-  r.total_time = r.broadcast_time + r.compute_time + r.collect_time;
+  // End-to-end span of the whole schedule, including any pipelining of
+  // early collections under late scans the phase sums cannot see.
+  r.total_time = finish - epoch;
   return r;
 }
 

@@ -1,0 +1,73 @@
+// Minimal JSON reader.
+//
+// Just enough of RFC 8259 to validate the machine-readable artifacts the
+// benches emit (BENCH_*.json, Chrome traces): objects, arrays, strings
+// with the common escapes, numbers as double, true/false/null. Parsing
+// throws util::Error with a character offset on malformed input. This is
+// a validator's parser, not a serializer — emission stays with the
+// component that owns the format.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace atlantis::util {
+
+class JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::map<std::string, JsonValue>;
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+  explicit JsonValue(bool b) : type_(Type::kBool), bool_(b) {}
+  explicit JsonValue(double d) : type_(Type::kNumber), number_(d) {}
+  explicit JsonValue(std::string s)
+      : type_(Type::kString), string_(std::move(s)) {}
+  explicit JsonValue(JsonArray a)
+      : type_(Type::kArray),
+        array_(std::make_shared<JsonArray>(std::move(a))) {}
+  explicit JsonValue(JsonObject o)
+      : type_(Type::kObject),
+        object_(std::make_shared<JsonObject>(std::move(o))) {}
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw util::Error on type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const JsonArray& as_array() const;
+  const JsonObject& as_object() const;
+
+  /// Object member lookup; returns nullptr when absent or not an object.
+  const JsonValue* find(const std::string& key) const;
+  /// Object member lookup; throws util::Error when absent.
+  const JsonValue& at(const std::string& key) const;
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::shared_ptr<JsonArray> array_;
+  std::shared_ptr<JsonObject> object_;
+};
+
+/// Parses one JSON document (trailing whitespace allowed, nothing else).
+JsonValue json_parse(const std::string& text);
+
+}  // namespace atlantis::util

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <sstream>
+
 #include "chdl/builder.hpp"
+#include "util/json.hpp"
 
 namespace atlantis::core {
 namespace {
@@ -102,6 +106,122 @@ TEST(Driver, PartialReconfigureFasterThanFull) {
   bs.fraction = 0.1;
   drv.partial_reconfigure(0, bs);
   EXPECT_LT(drv.elapsed() - after_full, after_full / 2);
+}
+
+TEST(Driver, LedgerBitIdenticalToScalarSum) {
+  // The compatibility contract of the timeline refactor: a single driver
+  // with no contention produces exactly the pre-refactor ledger — the
+  // picosecond-for-picosecond sum of the pure calculator durations.
+  AtlantisSystem sys("crate");
+  AtlantisDriver drv(sys, sys.add_acb("acb0"));
+  hw::Plx9080 reference;  // pure calculator, identical default params
+  util::Picoseconds expected = 0;
+  for (const std::uint64_t kb : {1, 7, 64, 300}) {
+    drv.dma_write(kb * util::kKiB);
+    drv.dma_read(kb * util::kKiB);
+    expected +=
+        reference.transfer(hw::DmaDirection::kWrite, kb * util::kKiB).duration;
+    expected +=
+        reference.transfer(hw::DmaDirection::kRead, kb * util::kKiB).duration;
+  }
+  drv.reg_read(0, 0);
+  expected += reference.target_access();
+  drv.advance_cycles(12345);
+  expected += drv.board().local_clock().cycles(12345);
+  EXPECT_EQ(drv.elapsed(), expected);
+  // Nothing queued anywhere on the crate.
+  EXPECT_EQ(sys.timeline().stats(sys.pci_segment()).queue_delay, 0);
+}
+
+TEST(Driver, TwoBoardsContendOnPciSegment) {
+  AtlantisSystem sys("crate");
+  AtlantisDriver d0(sys, sys.add_acb("acb0"));
+  AtlantisDriver d1(sys, sys.add_acb("acb1"));
+  // Alone, a transfer takes its service time (pure calculator, so the
+  // baseline itself does not occupy the shared segment)...
+  const util::Picoseconds solo =
+      d0.board().pci().transfer(hw::DmaDirection::kWrite, util::kMiB).duration;
+  // ...but when both boards post at the same instant, the segment
+  // serializes them: one of the two waits a full transfer.
+  d0.dma_write_async(util::kMiB);
+  d1.dma_write_async(util::kMiB);
+  const util::Picoseconds e0 = d0.wait();
+  const util::Picoseconds e1 = d1.wait();
+  EXPECT_EQ(std::min(e0, e1), solo);
+  EXPECT_EQ(std::max(e0, e1), 2 * solo);
+  EXPECT_EQ(sys.timeline().stats(sys.pci_segment()).queue_delay, solo);
+}
+
+TEST(Driver, AsyncDmaOverlapsCompute) {
+  AtlantisSystem sys("crate");
+  AtlantisDriver drv(sys, sys.add_acb("acb0"));
+  drv.set_design_clock(40.0);
+  // Serial: transfer then compute.
+  const util::Picoseconds io = drv.dma_write(256 * util::kKiB).duration;
+  const util::Picoseconds serial_extra = drv.elapsed();
+  EXPECT_EQ(serial_extra, io);
+  drv.advance_cycles(1'000'000);
+  const util::Picoseconds serial = drv.elapsed();
+  drv.reset_time();
+  // Overlapped: the async transfer occupies the bus while the design
+  // clock runs; the join is the max, strictly less than the sum.
+  drv.dma_write_async(256 * util::kKiB);
+  EXPECT_EQ(drv.pending_dma(), 1);
+  drv.advance_cycles(1'000'000);
+  drv.wait();
+  EXPECT_EQ(drv.pending_dma(), 0);
+  const util::Picoseconds overlapped = drv.elapsed();
+  EXPECT_LT(overlapped, serial);
+  EXPECT_EQ(overlapped,
+            std::max(io, drv.board().local_clock().cycles(1'000'000)));
+}
+
+TEST(Driver, ResetTimeKeepsPciLifetimeCounters) {
+  // Regression: reset_time() resets ONLY the elapsed() ledger. The PLX
+  // 9080 lifetime DMA counters keep accumulating (they model the
+  // device's statistics registers) — reset_stats() is the call that
+  // clears both.
+  AtlantisSystem sys("crate");
+  AtlantisDriver drv(sys, sys.add_acb("acb0"));
+  drv.dma_write(64 * util::kKiB);
+  const std::uint64_t bytes_before = drv.board().pci().total_bytes();
+  EXPECT_EQ(bytes_before, 64 * util::kKiB);
+  drv.reset_time();
+  EXPECT_EQ(drv.elapsed(), 0);
+  EXPECT_EQ(drv.board().pci().total_bytes(), bytes_before)
+      << "reset_time() must not clear PLX lifetime counters";
+  EXPECT_GT(drv.board().pci().total_time(), 0);
+
+  drv.dma_read(32 * util::kKiB);
+  EXPECT_EQ(drv.board().pci().total_bytes(), 96 * util::kKiB);
+
+  drv.reset_stats();
+  EXPECT_EQ(drv.elapsed(), 0);
+  EXPECT_EQ(drv.board().pci().total_bytes(), 0u);
+  EXPECT_EQ(drv.board().pci().total_time(), 0);
+}
+
+TEST(Driver, CrateTraceExportsValidJson) {
+  // A real crate schedule (configure + DMA + compute on two boards)
+  // exports a parseable Chrome trace with one complete event per
+  // transaction.
+  AtlantisSystem sys("crate");
+  AtlantisDriver d0(sys, sys.add_acb("acb0"));
+  AtlantisDriver d1(sys, sys.add_acb("acb1"));
+  d0.configure(0, hw::Bitstream::from_design(echo_design()));
+  d0.dma_write(16 * util::kKiB);
+  d1.dma_write_async(16 * util::kKiB);
+  d1.advance_cycles(1000);
+  d1.wait();
+  std::ostringstream out;
+  sys.timeline().export_chrome_trace(out);
+  const util::JsonValue doc = util::json_parse(out.str());
+  int complete = 0;
+  for (const util::JsonValue& e : doc.at("traceEvents").as_array()) {
+    if (e.at("ph").as_string() == "X") ++complete;
+  }
+  EXPECT_EQ(complete, static_cast<int>(sys.timeline().transactions().size()));
+  EXPECT_GE(complete, 4);
 }
 
 }  // namespace

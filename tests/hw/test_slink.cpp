@@ -85,6 +85,61 @@ TEST(Slink, LongStreamCompactsInternally) {
   EXPECT_EQ(link.buffered(), 0u);
 }
 
+TEST(Slink, CompactionPastHeadThresholdPreservesStream) {
+  // The receive path erases the consumed prefix only once the head index
+  // passes 4096 AND more than half the vector is dead; this drives the
+  // stream well past that threshold with live words still buffered and
+  // checks nothing is lost, reordered or double-counted across the
+  // compactions.
+  SlinkChannel link("sl0", /*fifo_words=*/8192);
+  std::uint32_t next_send = 0, next_recv = 0;
+  // Keep ~1500 words in flight while pushing 20k words through: head_
+  // repeatedly crosses 4096 with a non-empty tail to move.
+  for (int round = 0; round < 20'000; ++round) {
+    ASSERT_TRUE(link.send({next_send++, false}));
+    if (link.buffered() > 1500) {
+      const auto w = link.receive();
+      ASSERT_TRUE(w.has_value());
+      ASSERT_EQ(w->payload, next_recv++);
+    }
+  }
+  while (const auto w = link.receive()) {
+    ASSERT_EQ(w->payload, next_recv++);
+  }
+  EXPECT_EQ(next_recv, next_send);
+  EXPECT_EQ(link.buffered(), 0u);
+  EXPECT_EQ(link.words_sent(), 20'000u);
+  EXPECT_EQ(link.words_refused(), 0u);
+}
+
+TEST(Slink, XoffRetryAccounting) {
+  // The S-Link sender card retries words refused under XOFF; every
+  // attempt during back-pressure counts in words_refused, every accepted
+  // word (including the successful retry) in words_sent.
+  SlinkChannel link("sl0", /*fifo_words=*/8);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(link.send({i, false}));
+  }
+  ASSERT_TRUE(link.xoff());
+  // Three retries of the same word while the receiver stalls.
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    EXPECT_FALSE(link.send({100, false}));
+  }
+  EXPECT_EQ(link.words_refused(), 3u);
+  EXPECT_EQ(link.words_sent(), 8u);
+  // Receiver frees one slot; the retry goes through, the stream stays
+  // in order and no refused attempt left a duplicate behind.
+  EXPECT_EQ(link.receive()->payload, 0u);
+  EXPECT_FALSE(link.xoff());
+  EXPECT_TRUE(link.send({100, false}));
+  EXPECT_EQ(link.words_sent(), 9u);
+  EXPECT_EQ(link.words_refused(), 3u);
+  std::vector<std::uint32_t> drained;
+  while (const auto w = link.receive()) drained.push_back(w->payload);
+  EXPECT_EQ(drained,
+            (std::vector<std::uint32_t>{1, 2, 3, 4, 5, 6, 7, 100}));
+}
+
 TEST(Slink, Validation) {
   EXPECT_THROW(SlinkChannel("x", 0), util::Error);
   EXPECT_THROW(SlinkChannel("x", 16, 0.0), util::Error);
