@@ -47,6 +47,26 @@ void AcbBoard::bind_timeline(sim::Timeline& timeline,
   slink_.bind(timeline);
 }
 
+void AcbBoard::set_fault_injector(sim::FaultInjector* injector) {
+  injector_ = injector;
+  pci_.set_fault_injector(injector, "pci/" + name_);
+  slink_.set_fault_injector(injector);
+  for (auto& f : fpgas_) f->set_fault_injector(injector);
+  for (auto& m : modules_) {
+    if (m.sram() != nullptr) m.sram()->set_fault_injector(injector);
+    if (m.sdram() != nullptr) m.sdram()->set_fault_injector(injector);
+  }
+}
+
+bool AcbBoard::draw_dropout() {
+  if (injector_ == nullptr || !alive_) return false;
+  if (!injector_->draw(sim::FaultKind::kBoardDropout, "board/" + name_)) {
+    return false;
+  }
+  alive_ = false;
+  return true;
+}
+
 hw::FpgaDevice& AcbBoard::fpga(int index) {
   ATLANTIS_CHECK(index >= 0 && index < kFpgaCount, "FPGA index out of range");
   return *fpgas_[static_cast<std::size_t>(index)];
@@ -95,6 +115,11 @@ void AcbBoard::attach_memory(int fpga_index, MemModule module) {
   modules_.push_back(std::move(module));
   module_of_fpga_[static_cast<std::size_t>(fpga_index)] =
       static_cast<int>(modules_.size() - 1);
+  if (injector_ != nullptr) {
+    MemModule& m = modules_.back();
+    if (m.sram() != nullptr) m.sram()->set_fault_injector(injector_);
+    if (m.sdram() != nullptr) m.sdram()->set_fault_injector(injector_);
+  }
 }
 
 MemModule* AcbBoard::memory_at(int fpga_index) {

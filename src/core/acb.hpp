@@ -22,6 +22,7 @@
 #include "hw/fpga.hpp"
 #include "hw/pci.hpp"
 #include "hw/slink.hpp"
+#include "sim/fault.hpp"
 #include "sim/timeline.hpp"
 #include "util/units.hpp"
 
@@ -145,6 +146,23 @@ class AcbBoard {
     return 2.0 * AcbPortSpec::kBackplaneBits / 8.0 * AcbPortSpec::kBackplaneMhz;
   }
 
+  // --- fault injection --------------------------------------------------
+  /// Wires a fault injector through every component on the board (PLX,
+  /// S-Link, FPGAs, attached memory modules); modules attached later are
+  /// wired on attach. nullptr detaches everything.
+  void set_fault_injector(sim::FaultInjector* injector);
+  sim::FaultInjector* fault_injector() const { return injector_; }
+
+  /// Whole-board health. A drop-out (power/clock/configuration loss)
+  /// clears alive(); multi-board applications mask dead boards and
+  /// redistribute their share of the work.
+  bool alive() const { return alive_; }
+  void set_alive(bool alive) { alive_ = alive; }
+
+  /// One board-drop-out opportunity at site "board/<name>". Returns true
+  /// when a drop-out fired now (the board also goes !alive()).
+  bool draw_dropout();
+
  private:
   std::string name_;
   std::vector<std::unique_ptr<hw::FpgaDevice>> fpgas_;
@@ -157,6 +175,8 @@ class AcbBoard {
   std::vector<hw::ClockGenerator> io_clocks_;
   sim::Timeline* timeline_ = nullptr;
   sim::ResourceId compute_resource_;
+  sim::FaultInjector* injector_ = nullptr;
+  bool alive_ = true;
 };
 
 }  // namespace atlantis::core

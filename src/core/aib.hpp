@@ -110,6 +110,12 @@ class AibBoard {
   void bind_timeline(sim::Timeline& timeline, sim::ResourceId segment);
   sim::Timeline* timeline() const { return timeline_; }
 
+  /// Wires a fault injector through the PLX and the control FPGAs.
+  void set_fault_injector(sim::FaultInjector* injector) {
+    pci_.set_fault_injector(injector, "pci/" + name_);
+    for (auto& f : fpgas_) f->set_fault_injector(injector);
+  }
+
  private:
   std::string name_;
   std::vector<std::unique_ptr<hw::FpgaDevice>> fpgas_;

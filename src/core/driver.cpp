@@ -24,6 +24,10 @@ void AtlantisDriver::post_compute(util::Picoseconds t, const char* label) {
 void AtlantisDriver::reset_stats() {
   reset_time();
   board_.pci().reset_counters();
+  dma_faults_ = 0;
+  dma_retries_ = 0;
+  config_retries_ = 0;
+  recovery_time_ = 0;
 }
 
 void AtlantisDriver::advance(util::Picoseconds t) {
@@ -35,12 +39,25 @@ void AtlantisDriver::advance_cycles(std::uint64_t cycles) {
 }
 
 void AtlantisDriver::configure(int fpga, const hw::Bitstream& bs) {
-  const util::Picoseconds t = board_.fpga(fpga).configure(bs);
-  const sim::Transaction& txn = timeline().post(
-      track_, sim::TxnKind::kReconfig, "configure " + bs.name,
-      sim::ResourceId{}, now_, t, static_cast<std::uint64_t>(
-          board_.fpga(fpga).family().config_bits / 8));
-  now_ = txn.end;
+  hw::FpgaDevice& dev = board_.fpga(fpga);
+  for (int attempt = 1;; ++attempt) {
+    const util::Picoseconds t = dev.configure(bs);
+    const bool ok = dev.config_crc_ok();
+    const sim::Transaction& txn = timeline().post(
+        track_, sim::TxnKind::kReconfig,
+        ok ? "configure " + bs.name : "configure " + bs.name + " (crc fail)",
+        sim::ResourceId{}, now_, t,
+        static_cast<std::uint64_t>(dev.family().config_bits / 8));
+    now_ = txn.end;
+    if (ok) break;
+    recovery_time_ += t;
+    if (attempt >= policy_.max_attempts) {
+      throw util::Error("configuration of " + dev.name() +
+                        " failed CRC after " + std::to_string(attempt) +
+                        " attempts");
+    }
+    ++config_retries_;
+  }
   host_ifs_[static_cast<std::size_t>(fpga)].reset();
 }
 
@@ -85,18 +102,77 @@ std::uint64_t AtlantisDriver::reg_read(int fpga, std::uint32_t addr) {
   return 0;
 }
 
+util::Result<hw::DmaTransfer> AtlantisDriver::try_dma(hw::DmaDirection dir,
+                                                      std::uint64_t bytes) {
+  hw::Plx9080& pci = board_.pci();
+  const char* base =
+      dir == hw::DmaDirection::kWrite ? "dma_write" : "dma_read";
+  const util::Picoseconds deadline = now_ + policy_.timeout_budget;
+  for (int attempt = 1;; ++attempt) {
+    const auto fault = pci.draw_dma_fault();
+    if (!fault) {
+      const sim::Transaction& txn = pci.post_transfer(track_, dir, bytes,
+                                                      now_);
+      now_ = txn.end;
+      return hw::DmaTransfer{bytes, txn.duration()};
+    }
+    // The faulted attempt occupies the bus without moving data: a stall
+    // holds it until the watchdog fires, an abort dies during setup.
+    const bool stall = *fault == sim::FaultKind::kDmaStall;
+    const util::Picoseconds wasted =
+        stall ? policy_.stall_watchdog : pci.params().setup_latency;
+    const sim::Transaction& bad = timeline().post(
+        track_, sim::TxnKind::kPciDma,
+        std::string(base) + (stall ? " (stall)" : " (abort)"), pci.segment(),
+        now_, wasted, /*bytes=*/0);
+    now_ = bad.end;
+    ++dma_faults_;
+    timeline().record_fault(pci.segment());
+    if (attempt >= policy_.max_attempts) {
+      recovery_time_ += wasted;
+      return util::Result<hw::DmaTransfer>::failure(
+          util::ErrorCode::kRetriesExhausted,
+          std::string(base) + " on " + board_.name() + " failed after " +
+              std::to_string(attempt) + " attempts");
+    }
+    const util::Picoseconds wait = policy_.backoff(attempt);
+    if (now_ + wait > deadline) {
+      recovery_time_ += wasted;
+      return util::Result<hw::DmaTransfer>::failure(
+          util::ErrorCode::kTimeout,
+          std::string(base) + " on " + board_.name() +
+              " exceeded its recovery time budget");
+    }
+    const sim::Transaction& backoff = timeline().post(
+        track_, sim::TxnKind::kBackoff, std::string(base) + " backoff",
+        sim::ResourceId{}, now_, wait);
+    now_ = backoff.end;
+    ++dma_retries_;
+    recovery_time_ += wasted + wait;
+    timeline().record_retry(pci.segment(), wasted + wait);
+  }
+}
+
+util::Result<hw::DmaTransfer> AtlantisDriver::try_dma_write(
+    std::uint64_t bytes) {
+  return try_dma(hw::DmaDirection::kWrite, bytes);
+}
+
+util::Result<hw::DmaTransfer> AtlantisDriver::try_dma_read(
+    std::uint64_t bytes) {
+  return try_dma(hw::DmaDirection::kRead, bytes);
+}
+
 hw::DmaTransfer AtlantisDriver::dma_write(std::uint64_t bytes) {
-  const sim::Transaction& txn = board_.pci().post_transfer(
-      track_, hw::DmaDirection::kWrite, bytes, now_);
-  now_ = txn.end;
-  return hw::DmaTransfer{bytes, txn.duration()};
+  util::Result<hw::DmaTransfer> r = try_dma(hw::DmaDirection::kWrite, bytes);
+  if (!r.ok()) throw util::Error(r.message());
+  return r.value();
 }
 
 hw::DmaTransfer AtlantisDriver::dma_read(std::uint64_t bytes) {
-  const sim::Transaction& txn = board_.pci().post_transfer(
-      track_, hw::DmaDirection::kRead, bytes, now_);
-  now_ = txn.end;
-  return hw::DmaTransfer{bytes, txn.duration()};
+  util::Result<hw::DmaTransfer> r = try_dma(hw::DmaDirection::kRead, bytes);
+  if (!r.ok()) throw util::Error(r.message());
+  return r.value();
 }
 
 std::uint64_t AtlantisDriver::dma_write_async(std::uint64_t bytes) {

@@ -30,7 +30,9 @@
 #include "core/system.hpp"
 #include "hw/fpga.hpp"
 #include "hw/pci.hpp"
+#include "sim/fault.hpp"
 #include "sim/timeline.hpp"
+#include "util/status.hpp"
 #include "util/units.hpp"
 
 namespace atlantis::core {
@@ -88,9 +90,29 @@ class AtlantisDriver {
   /// Block DMA host->board / board->host; posts the transfer on the
   /// shared CompactPCI segment, advances the cursor past it (queuing
   /// included) and returns the modelled transfer (service time only, so
-  /// mbps() stays the device rate).
+  /// mbps() stays the device rate). Throws util::Error when the transfer
+  /// cannot be completed within the retry policy.
   hw::DmaTransfer dma_write(std::uint64_t bytes);
   hw::DmaTransfer dma_read(std::uint64_t bytes);
+
+  /// Recoverable DMA: same semantics, but injected faults surface as a
+  /// Result instead of an exception. A faulted attempt occupies the bus
+  /// (a stall until the watchdog, an abort for the setup time), then the
+  /// driver backs off exponentially and retries, up to the policy's
+  /// attempt and time budgets. Every faulted attempt and every backoff
+  /// is posted on the timeline.
+  util::Result<hw::DmaTransfer> try_dma_write(std::uint64_t bytes);
+  util::Result<hw::DmaTransfer> try_dma_read(std::uint64_t bytes);
+
+  /// Retry/backoff policy shared by DMA and configuration retries.
+  void set_retry_policy(const sim::RetryPolicy& policy) { policy_ = policy; }
+  const sim::RetryPolicy& retry_policy() const { return policy_; }
+
+  /// Recovery statistics since construction (or the last reset_stats()).
+  std::uint64_t dma_faults() const { return dma_faults_; }
+  std::uint64_t dma_retries() const { return dma_retries_; }
+  std::uint64_t config_retries() const { return config_retries_; }
+  util::Picoseconds recovery_time() const { return recovery_time_; }
 
   /// Asynchronous DMA: occupies the bus from the current cursor but does
   /// NOT advance it, so compute posted afterwards overlaps the transfer.
@@ -116,6 +138,8 @@ class AtlantisDriver {
   /// Posts design-clock compute on the board's compute resource and
   /// moves the cursor past it.
   void post_compute(util::Picoseconds t, const char* label);
+  util::Result<hw::DmaTransfer> try_dma(hw::DmaDirection dir,
+                                        std::uint64_t bytes);
 
   AtlantisSystem& system_;
   AcbBoard& board_;
@@ -124,6 +148,11 @@ class AtlantisDriver {
   util::Picoseconds epoch_ = 0;
   std::vector<util::Picoseconds> pending_;  // ends of async transfers
   std::vector<std::unique_ptr<chdl::HostInterface>> host_ifs_;
+  sim::RetryPolicy policy_;
+  std::uint64_t dma_faults_ = 0;
+  std::uint64_t dma_retries_ = 0;
+  std::uint64_t config_retries_ = 0;
+  util::Picoseconds recovery_time_ = 0;
 };
 
 }  // namespace atlantis::core

@@ -59,8 +59,31 @@ SelfTestStep slink_test(hw::SlinkChannel& link) {
   return step;
 }
 
+SelfTestHealth collect_health(AcbBoard& board) {
+  SelfTestHealth h;
+  h.dma_stalls = board.pci().dma_stalls();
+  h.dma_aborts = board.pci().dma_aborts();
+  h.slink_errors = board.slink().link_errors();
+  h.truncated_frames = board.slink().truncated_frames();
+  h.retransmissions = board.slink().retransmissions();
+  for (int i = 0; i < AcbBoard::kFpgaCount; ++i) {
+    h.config_upsets += board.fpga(i).config_upsets();
+    h.crc_failures += board.fpga(i).crc_failures();
+  }
+  for (int i = 0; i < AcbBoard::kFpgaCount; ++i) {
+    MemModule* module = board.memory_at(i);
+    if (module == nullptr) continue;
+    if (module->sram() != nullptr) h.seu_flips += module->sram()->seu_flips();
+    if (module->sdram() != nullptr) {
+      h.ecc_corrections += module->sdram()->ecc_corrections();
+    }
+  }
+  return h;
+}
+
 SelfTestReport self_test_acb(AcbBoard& board) {
   SelfTestReport report;
+  const bool injected = board.fault_injector() != nullptr;
 
   // 1. Configure + readback every FPGA with the LFSR test design and
   //    run it a few cycles.
@@ -78,7 +101,23 @@ SelfTestReport self_test_acb(AcbBoard& board) {
       sim->run(16);
       pattern_ok = sim->peek_u64("pattern") != first;  // LFSR must advance
     }
-    step.duration += dev.readback();
+    // 1b. SEU scrub window while the device is configured: an upset in
+    //     the configuration SRAM shows up in readback and is repaired by
+    //     reloading. Only runs when an injector is wired, so fault-free
+    //     reports are unchanged.
+    if (injected && dev.configured()) {
+      SelfTestStep scrub;
+      scrub.name = "fpga" + std::to_string(i) + " seu scrub";
+      const bool upset = dev.draw_config_upset();
+      scrub.duration += dev.readback();
+      if (dev.upset_pending()) scrub.duration += dev.configure(bs);
+      scrub.passed = !dev.upset_pending();
+      scrub.detail = upset ? (scrub.passed ? "upset found, repaired"
+                                           : "upset persists")
+                           : "configuration clean";
+      report.steps.push_back(std::move(scrub));
+    }
+    if (dev.configured()) step.duration += dev.readback();
     dev.deconfigure();
     step.passed = pattern_ok;
     step.detail = pattern_ok ? "LFSR runs, readback clean" : "LFSR stuck";
@@ -101,6 +140,23 @@ SelfTestReport self_test_acb(AcbBoard& board) {
       step.detail = step.passed ? "0/1/checker patterns ok" : "miscompare";
       report.steps.push_back(std::move(step));
     }
+    // 2b. Memory scrub window: one SEU opportunity per module; a hit is
+    //     repaired by flipping the bit back (the ECC scrubber).
+    if (injected) {
+      SelfTestStep scrub;
+      scrub.name = module->name() + " seu scrub";
+      scrub.duration = sram.time_for(4096);  // one scrubber pass
+      if (const auto upset = sram.draw_seu()) {
+        sram.flip_bit(upset->bank, upset->addr, upset->bit);
+        scrub.detail = "upset bank " + std::to_string(upset->bank) +
+                       " addr " + std::to_string(upset->addr) + " bit " +
+                       std::to_string(upset->bit) + ", repaired";
+      } else {
+        scrub.detail = "memory clean";
+      }
+      scrub.passed = true;
+      report.steps.push_back(std::move(scrub));
+    }
   }
 
   // 3. PCI DMA loopback: write a block down, read it back; the model
@@ -120,6 +176,8 @@ SelfTestReport self_test_acb(AcbBoard& board) {
     step.detail = os.str();
     report.steps.push_back(std::move(step));
   }
+
+  report.health = collect_health(board);
   return report;
 }
 
@@ -131,6 +189,16 @@ std::string SelfTestReport::to_string() const {
   }
   os << (all_passed() ? "board self-test PASSED" : "board self-test FAILED")
      << ", total " << util::ps_to_ms(total_time()) << " ms\n";
+  if (health.total() > 0) {
+    os << "health: " << health.dma_stalls << " dma stalls, "
+       << health.dma_aborts << " dma aborts, " << health.slink_errors
+       << " link errors, " << health.truncated_frames
+       << " truncated frames, " << health.retransmissions
+       << " retransmissions, " << health.seu_flips << " memory upsets, "
+       << health.config_upsets << " config upsets, " << health.crc_failures
+       << " crc failures, " << health.ecc_corrections
+       << " ecc corrections\n";
+  }
   return os.str();
 }
 

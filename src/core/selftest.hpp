@@ -8,6 +8,7 @@
 // pass/fail report with the time each step took.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -24,8 +25,31 @@ struct SelfTestStep {
   std::string detail;
 };
 
+/// Fault/recovery counters gathered from every component on the board —
+/// the health page of the self-test report. All zero on a fault-free run.
+struct SelfTestHealth {
+  std::uint64_t dma_stalls = 0;
+  std::uint64_t dma_aborts = 0;
+  std::uint64_t slink_errors = 0;
+  std::uint64_t truncated_frames = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t seu_flips = 0;        // memory-module data upsets
+  std::uint64_t config_upsets = 0;    // FPGA configuration upsets
+  std::uint64_t crc_failures = 0;     // configuration CRC failures
+  std::uint64_t ecc_corrections = 0;  // SDRAM ECC events
+  std::uint64_t total() const {
+    return dma_stalls + dma_aborts + slink_errors + truncated_frames +
+           retransmissions + seu_flips + config_upsets + crc_failures +
+           ecc_corrections;
+  }
+};
+
+/// Reads the health counters off a board's components.
+SelfTestHealth collect_health(AcbBoard& board);
+
 struct SelfTestReport {
   std::vector<SelfTestStep> steps;
+  SelfTestHealth health;
   bool all_passed() const {
     for (const auto& s : steps) {
       if (!s.passed) return false;
@@ -42,7 +66,10 @@ struct SelfTestReport {
 
 /// Runs the full board check: per-FPGA configure+readback, a march-C-
 /// style test over every attached memory module, and a DMA loopback
-/// through the PLX bridge. Leaves the FPGAs deconfigured.
+/// through the PLX bridge. Leaves the FPGAs deconfigured. When a fault
+/// injector is wired to the board the run additionally performs SEU
+/// scrub steps (configuration and memory) and the report's health page
+/// carries the fault counters.
 SelfTestReport self_test_acb(AcbBoard& board);
 
 /// March test over one SRAM module bank (write/verify two complementary

@@ -25,6 +25,7 @@ int AtlantisSystem::add_acb(const std::string& name) {
   const int slot = take_slot(name);
   acbs_.push_back(std::make_unique<AcbBoard>(name));
   acbs_.back()->bind_timeline(*timeline_, pci_segment_);
+  if (injector_ != nullptr) acbs_.back()->set_fault_injector(injector_);
   acb_slots_.push_back(slot);
   return static_cast<int>(acbs_.size() - 1);
 }
@@ -33,8 +34,15 @@ int AtlantisSystem::add_aib(const std::string& name) {
   const int slot = take_slot(name);
   aibs_.push_back(std::make_unique<AibBoard>(name));
   aibs_.back()->bind_timeline(*timeline_, pci_segment_);
+  if (injector_ != nullptr) aibs_.back()->set_fault_injector(injector_);
   aib_slots_.push_back(slot);
   return static_cast<int>(aibs_.size() - 1);
+}
+
+void AtlantisSystem::set_fault_injector(sim::FaultInjector* injector) {
+  injector_ = injector;
+  for (auto& b : acbs_) b->set_fault_injector(injector);
+  for (auto& b : aibs_) b->set_fault_injector(injector);
 }
 
 AcbBoard& AtlantisSystem::acb(int index) {

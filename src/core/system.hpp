@@ -12,6 +12,7 @@
 #include "core/aib.hpp"
 #include "hw/clock.hpp"
 #include "hw/hostcpu.hpp"
+#include "sim/fault.hpp"
 #include "sim/timeline.hpp"
 
 namespace atlantis::core {
@@ -65,6 +66,13 @@ class AtlantisSystem {
   /// number of simulator edges applied across the crate.
   std::uint64_t step_acbs(int cycles, bool parallel = false);
 
+  // --- fault injection --------------------------------------------------
+  /// Wires a fault injector through every board in the crate; boards
+  /// added later are wired on add. The injector is not owned and must
+  /// outlive the system (or be detached with nullptr).
+  void set_fault_injector(sim::FaultInjector* injector);
+  sim::FaultInjector* fault_injector() const { return injector_; }
+
  private:
   int take_slot(const std::string& what);
 
@@ -79,6 +87,7 @@ class AtlantisSystem {
   std::vector<int> acb_slots_;
   std::vector<int> aib_slots_;
   int next_slot_ = 1;  // slot 0 is the CPU module
+  sim::FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace atlantis::core

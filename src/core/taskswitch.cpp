@@ -11,32 +11,92 @@ void TaskSwitcher::add_task(const hw::Bitstream& bs) {
   tasks_.emplace(bs.name, bs);
 }
 
+util::Picoseconds TaskSwitcher::post_reconfig(const std::string& label,
+                                              util::Picoseconds t) {
+  if (bound()) {
+    cursor_ = timeline_
+                  ->post(track_, sim::TxnKind::kReconfig, label,
+                         sim::ResourceId{}, cursor_, t)
+                  .end;
+  }
+  return t;
+}
+
 util::Picoseconds TaskSwitcher::switch_to(const std::string& name) {
+  util::Result<util::Picoseconds> r = try_switch_to(name);
+  if (!r.ok()) throw util::Error(r.message());
+  return r.value();
+}
+
+util::Result<util::Picoseconds> TaskSwitcher::try_switch_to(
+    const std::string& name) {
   const auto it = tasks_.find(name);
   if (it == tasks_.end()) {
     throw util::StateError("unknown task '" + name + "'");
   }
-  if (current_ == name) {
+  if (current_ == name && device_.configured()) {
     last_time_ = 0;
-    return 0;  // already resident
+    return util::Picoseconds{0};  // already resident
   }
-  util::Picoseconds t = 0;
-  if (device_.configured() && device_.family().partial_reconfig) {
-    t = device_.partial_reconfigure(it->second);
-  } else {
-    t = device_.configure(it->second);
+  util::Picoseconds total = 0;
+  for (int attempt = 1;; ++attempt) {
+    util::Picoseconds t = 0;
+    if (device_.configured() && device_.family().partial_reconfig) {
+      t = device_.partial_reconfigure(it->second);
+    } else {
+      t = device_.configure(it->second);
+    }
+    total += t;
+    const bool ok = device_.config_crc_ok();
+    post_reconfig(ok ? "switch to " + name
+                     : "switch to " + name + " (crc fail)",
+                  t);
+    if (ok) break;
+    // The CRC failure left the device unconfigured: the next attempt is
+    // a full configuration, not a partial one.
+    if (attempt >= policy_.max_attempts) {
+      current_.clear();
+      return util::Result<util::Picoseconds>::failure(
+          util::ErrorCode::kConfigCrc,
+          "task switch to '" + name + "' on " + device_.name() +
+              " failed CRC after " + std::to_string(attempt) + " attempts");
+    }
+    ++reconfig_retries_;
   }
   current_ = name;
   ++switches_;
-  total_time_ += t;
-  last_time_ = t;
-  if (bound()) {
-    cursor_ = timeline_
-                  ->post(track_, sim::TxnKind::kReconfig,
-                         "switch to " + name, sim::ResourceId{}, cursor_, t)
-                  .end;
+  total_time_ += total;
+  last_time_ = total;
+  return total;
+}
+
+bool TaskSwitcher::scrub() {
+  if (!device_.configured()) return false;
+  ++scrubs_;
+  device_.draw_config_upset();  // one SEU opportunity per scrub window
+  util::Picoseconds t = device_.readback();
+  bool repaired = false;
+  if (device_.upset_pending()) {
+    // Readback shows a bitstream mismatch: reload the current task. The
+    // reload is itself a CRC opportunity; a failure there surfaces via
+    // the next try_switch_to(), which sees an unconfigured device.
+    const auto it = tasks_.find(current_);
+    if (it != tasks_.end()) {
+      if (device_.family().partial_reconfig) {
+        t += device_.partial_reconfigure(it->second);
+      } else {
+        t += device_.configure(it->second);
+      }
+      if (device_.config_crc_ok()) {
+        repaired = true;
+        ++upsets_corrected_;
+      } else {
+        current_.clear();
+      }
+    }
   }
-  return t;
+  post_reconfig(repaired ? "scrub (repair)" : "scrub", t);
+  return repaired;
 }
 
 }  // namespace atlantis::core

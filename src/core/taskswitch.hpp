@@ -11,7 +11,9 @@
 #include <string>
 
 #include "hw/fpga.hpp"
+#include "sim/fault.hpp"
 #include "sim/timeline.hpp"
+#include "util/status.hpp"
 #include "util/units.hpp"
 
 namespace atlantis::core {
@@ -25,13 +27,33 @@ class TaskSwitcher {
 
   /// Switches to `name`. The first activation is always a full
   /// configuration; later switches are partial when the device allows it.
-  /// Returns the reconfiguration time.
+  /// Returns the reconfiguration time. Throws util::Error when the switch
+  /// cannot complete within the retry policy.
   util::Picoseconds switch_to(const std::string& name);
+
+  /// Recoverable switch: a configuration-CRC failure drops the device to
+  /// the unconfigured state and the switcher retries with a full
+  /// configuration, up to the policy's attempt budget. The returned time
+  /// includes every failed attempt. Unknown task names still throw — that
+  /// is caller misuse, not a hardware fault.
+  util::Result<util::Picoseconds> try_switch_to(const std::string& name);
+
+  /// One configuration-SRAM scrub window: gives the injector an SEU
+  /// opportunity, reads the configuration back, and reloads the current
+  /// task when the readback shows an upset. Returns true when an upset
+  /// was found and repaired. No-op on an unconfigured device.
+  bool scrub();
+
+  void set_retry_policy(const sim::RetryPolicy& policy) { policy_ = policy; }
+  const sim::RetryPolicy& retry_policy() const { return policy_; }
 
   const std::string& current() const { return current_; }
   std::uint64_t switch_count() const { return switches_; }
   util::Picoseconds total_switch_time() const { return total_time_; }
   util::Picoseconds last_switch_time() const { return last_time_; }
+  std::uint64_t reconfig_retries() const { return reconfig_retries_; }
+  std::uint64_t scrub_count() const { return scrubs_; }
+  std::uint64_t upsets_corrected() const { return upsets_corrected_; }
 
   /// Binds the switcher to a timeline: every switch_to() additionally
   /// posts a kReconfig transaction at the switcher's cursor (sequential
@@ -43,12 +65,19 @@ class TaskSwitcher {
   bool bound() const { return timeline_ != nullptr; }
 
  private:
+  util::Picoseconds post_reconfig(const std::string& label,
+                                  util::Picoseconds t);
+
   hw::FpgaDevice& device_;
   std::map<std::string, hw::Bitstream> tasks_;
   std::string current_;
   std::uint64_t switches_ = 0;
   util::Picoseconds total_time_ = 0;
   util::Picoseconds last_time_ = 0;
+  std::uint64_t reconfig_retries_ = 0;
+  std::uint64_t scrubs_ = 0;
+  std::uint64_t upsets_corrected_ = 0;
+  sim::RetryPolicy policy_;
   sim::Timeline* timeline_ = nullptr;
   sim::TrackId track_;
   util::Picoseconds cursor_ = 0;

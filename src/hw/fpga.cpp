@@ -67,8 +67,36 @@ util::Picoseconds FpgaDevice::config_time(std::int64_t bits) const {
          util::period_from_mhz(family_->config_clock_mhz);
 }
 
+bool FpgaDevice::draw_crc_failure() {
+  if (injector_ == nullptr) return false;
+  if (!injector_->draw(sim::FaultKind::kConfigCrc, fault_site_)) return false;
+  // The loaded bitstream failed its CRC: the device asserts INIT and
+  // drops to the unconfigured state; whatever ran before is gone.
+  ++crc_failures_;
+  crc_ok_ = false;
+  configured_ = false;
+  design_name_.clear();
+  sim_.reset();
+  upset_pending_ = false;
+  return true;
+}
+
+bool FpgaDevice::draw_config_upset() {
+  if (injector_ == nullptr || !configured_) return false;
+  if (!injector_->draw(sim::FaultKind::kSeuConfig, fault_site_)) return false;
+  ++config_upsets_;
+  upset_pending_ = true;
+  return true;
+}
+
 util::Picoseconds FpgaDevice::configure(const Bitstream& bs) {
   check_fit(bs.stats);
+  if (draw_crc_failure()) {
+    // The configuration time was spent even though the load failed.
+    return config_time(family_->config_bits);
+  }
+  crc_ok_ = true;
+  upset_pending_ = false;
   configured_ = true;
   design_name_ = bs.name;
   sim_.reset();
@@ -88,13 +116,17 @@ util::Picoseconds FpgaDevice::partial_reconfigure(const Bitstream& bs) {
   ATLANTIS_CHECK(bs.fraction > 0.0 && bs.fraction <= 1.0,
                  "bitstream fraction out of range");
   check_fit(bs.stats);
+  const util::Picoseconds spent = config_time(static_cast<std::int64_t>(
+      static_cast<double>(family_->config_bits) * bs.fraction));
+  if (draw_crc_failure()) return spent;
+  crc_ok_ = true;
+  upset_pending_ = false;
   design_name_ = bs.name;
   sim_.reset();
   if (bs.design != nullptr) {
     sim_ = std::make_unique<chdl::Simulator>(*bs.design);
   }
-  return config_time(static_cast<std::int64_t>(
-      static_cast<double>(family_->config_bits) * bs.fraction));
+  return spent;
 }
 
 util::Picoseconds FpgaDevice::readback() const {
@@ -110,6 +142,7 @@ void FpgaDevice::deconfigure() {
   configured_ = false;
   design_name_.clear();
   sim_.reset();
+  upset_pending_ = false;
 }
 
 }  // namespace atlantis::hw

@@ -8,12 +8,14 @@
 // in which case it owns a cycle simulator for it.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
 
 #include "chdl/sim.hpp"
 #include "chdl/stats.hpp"
+#include "sim/fault.hpp"
 #include "util/units.hpp"
 
 namespace atlantis::hw {
@@ -82,14 +84,45 @@ class FpgaDevice {
   /// Time to shift `bits` of configuration data.
   util::Picoseconds config_time(std::int64_t bits) const;
 
+  // --- fault injection --------------------------------------------------
+  /// Attaches a fault injector; the injection site is "fpga/<name>".
+  /// configure()/partial_reconfigure() are configuration-CRC
+  /// opportunities; draw_config_upset() is a configuration-SRAM SEU
+  /// opportunity (one per scrub window).
+  void set_fault_injector(sim::FaultInjector* injector) {
+    injector_ = injector;
+    fault_site_ = "fpga/" + name_;
+  }
+  sim::FaultInjector* fault_injector() const { return injector_; }
+
+  /// True when the last (re)configuration verified. A CRC failure leaves
+  /// the device deconfigured; the caller retries with a full configure.
+  bool config_crc_ok() const { return crc_ok_; }
+
+  /// One configuration-SRAM SEU opportunity. On a hit the loaded design
+  /// is marked upset (readback would show a bitstream mismatch) until a
+  /// reconfiguration repairs it.
+  bool draw_config_upset();
+  bool upset_pending() const { return upset_pending_; }
+
+  std::uint64_t crc_failures() const { return crc_failures_; }
+  std::uint64_t config_upsets() const { return config_upsets_; }
+
  private:
   void check_fit(const chdl::NetlistStats& stats) const;
+  bool draw_crc_failure();
 
   std::string name_;
   const FpgaFamily* family_;
   bool configured_ = false;
   std::string design_name_;
   std::unique_ptr<chdl::Simulator> sim_;
+  bool crc_ok_ = true;
+  bool upset_pending_ = false;
+  std::uint64_t crc_failures_ = 0;
+  std::uint64_t config_upsets_ = 0;
+  sim::FaultInjector* injector_ = nullptr;
+  std::string fault_site_;
 };
 
 }  // namespace atlantis::hw

@@ -43,6 +43,23 @@ const sim::Transaction& Plx9080::post_transfer(
                          segment_, not_before, service, bytes);
 }
 
+std::optional<sim::FaultKind> Plx9080::draw_dma_fault() {
+  if (injector_ == nullptr) return std::nullopt;
+  const bool stall =
+      injector_->draw(sim::FaultKind::kDmaStall, fault_site_).has_value();
+  const bool abort =
+      injector_->draw(sim::FaultKind::kDmaAbort, fault_site_).has_value();
+  if (stall) {
+    ++dma_stalls_;
+    return sim::FaultKind::kDmaStall;
+  }
+  if (abort) {
+    ++dma_aborts_;
+    return sim::FaultKind::kDmaAbort;
+  }
+  return std::nullopt;
+}
+
 const sim::Transaction& Plx9080::post_target_access(
     sim::TrackId track, util::Picoseconds not_before, std::string label) {
   ATLANTIS_CHECK(bound(), "Plx9080 is not bound to a timeline");

@@ -12,8 +12,10 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
+#include "sim/fault.hpp"
 #include "sim/timeline.hpp"
 #include "util/status.hpp"
 #include "util/units.hpp"
@@ -86,7 +88,28 @@ class Plx9080 {
   void reset_counters() {
     total_bytes_ = 0;
     total_time_ = 0;
+    dma_stalls_ = 0;
+    dma_aborts_ = 0;
   }
+
+  // --- fault injection --------------------------------------------------
+  /// Attaches a fault injector. `site` names this bridge's injection
+  /// point ("pci/<board>"); the chip has no name of its own.
+  void set_fault_injector(sim::FaultInjector* injector, std::string site) {
+    injector_ = injector;
+    fault_site_ = std::move(site);
+  }
+  sim::FaultInjector* fault_injector() const { return injector_; }
+
+  /// One DMA fault opportunity: draws stall and abort (both streams
+  /// advance every transfer; a stall takes precedence when both fire).
+  /// Returns the fault kind that fired, nullopt on a clean transfer or
+  /// when no injector is attached.
+  std::optional<sim::FaultKind> draw_dma_fault();
+
+  /// DMA fault status counters, mirroring the chip's DMA status bits.
+  std::uint64_t dma_stalls() const { return dma_stalls_; }
+  std::uint64_t dma_aborts() const { return dma_aborts_; }
 
   // --- timeline binding ------------------------------------------------
   /// Binds the bridge to the crate timeline. `segment` is the shared
@@ -119,8 +142,12 @@ class Plx9080 {
   PciParams params_;
   std::uint64_t total_bytes_ = 0;
   util::Picoseconds total_time_ = 0;
+  std::uint64_t dma_stalls_ = 0;
+  std::uint64_t dma_aborts_ = 0;
   sim::Timeline* timeline_ = nullptr;
   sim::ResourceId segment_;
+  sim::FaultInjector* injector_ = nullptr;
+  std::string fault_site_;
 };
 
 }  // namespace atlantis::hw

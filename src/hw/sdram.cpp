@@ -35,6 +35,25 @@ const sim::Transaction& Sdram::post_burst(sim::TrackId track,
                                           std::string label) {
   ATLANTIS_CHECK(bound(), "SDRAM is not bound to a timeline");
   if (label.empty()) label = name_ + " burst";
+  if (injector_ != nullptr &&
+      injector_->draw(sim::FaultKind::kSeuMemory, fault_site_)) {
+    // A word in the burst was upset; the ECC path re-reads the row and
+    // writes the corrected word back (row cycle + one word per bank).
+    const sim::Transaction& main_burst = timeline_->post(
+        track, sim::TxnKind::kSdramBurst, label, resource_, not_before,
+        cycles_to_time(cycles), bytes);
+    const util::Picoseconds main_end = main_burst.end;
+    const std::uint64_t fix_cycles = static_cast<std::uint64_t>(
+        cfg_.t_rp + cfg_.t_rcd + cfg_.t_cas + cfg_.banks);
+    timeline_->record_fault(resource_);
+    timeline_->record_retry(resource_, cycles_to_time(fix_cycles));
+    ++ecc_corrections_;
+    // post() invalidated `main_burst`; only main_end is used below.
+    return timeline_->post(track, sim::TxnKind::kSdramBurst,
+                           label + " (ecc fix)", resource_, main_end,
+                           cycles_to_time(fix_cycles),
+                           static_cast<std::uint64_t>(cfg_.width_bits) / 8);
+  }
   return timeline_->post(track, sim::TxnKind::kSdramBurst, std::move(label),
                          resource_, not_before, cycles_to_time(cycles),
                          bytes);

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/fault.hpp"
 #include "sim/timeline.hpp"
 #include "util/status.hpp"
 #include "util/units.hpp"
@@ -58,6 +59,17 @@ class Sdram {
   }
   void reset_counters();
 
+  // --- fault injection --------------------------------------------------
+  /// Attaches a fault injector; the injection site is "sdram/<name>".
+  /// Each post_burst() is one SEU opportunity; a hit appends an ECC
+  /// correction burst to the posted transaction.
+  void set_fault_injector(sim::FaultInjector* injector) {
+    injector_ = injector;
+    fault_site_ = "sdram/" + name_;
+  }
+  sim::FaultInjector* fault_injector() const { return injector_; }
+  std::uint64_t ecc_corrections() const { return ecc_corrections_; }
+
   // --- timeline binding ------------------------------------------------
   /// Registers the device as a timeline resource with one channel per
   /// bank ("8 simultaneously accessible banks").
@@ -82,8 +94,11 @@ class Sdram {
   std::vector<std::int64_t> open_row_;  // -1 = closed
   std::uint64_t accesses_ = 0;
   std::uint64_t hits_ = 0;
+  std::uint64_t ecc_corrections_ = 0;
   sim::Timeline* timeline_ = nullptr;
   sim::ResourceId resource_;
+  sim::FaultInjector* injector_ = nullptr;
+  std::string fault_site_;
 };
 
 }  // namespace atlantis::hw

@@ -12,11 +12,37 @@ SlinkChannel::SlinkChannel(std::string name, std::size_t fifo_words,
 }
 
 bool SlinkChannel::send(const SlinkWord& word) {
+  if (injector_ != nullptr) {
+    if (forced_xoff_ == 0) {
+      if (const auto hit =
+              injector_->draw(sim::FaultKind::kSlinkXoff, fault_site_)) {
+        // Persistent XOFF: the link refuses this word and the next few,
+        // as if the receive card's buffer logic wedged.
+        forced_xoff_ = 1 + hit->param % 16;
+      }
+    }
+    if (forced_xoff_ > 0) {
+      --forced_xoff_;
+      ++refused_;
+      return false;
+    }
+  }
   if (xoff()) {
     ++refused_;
     return false;
   }
-  fifo_.push_back(word);
+  SlinkWord delivered = word;
+  if (injector_ != nullptr) {
+    if (const auto hit =
+            injector_->draw(sim::FaultKind::kSlinkError, fault_site_)) {
+      // LDERR: the word arrives flagged, its payload corrupted by a
+      // non-zero mask drawn from the site stream.
+      delivered.payload ^= static_cast<std::uint32_t>(hit->param) | 1u;
+      delivered.lderr = true;
+      ++link_errors_;
+    }
+  }
+  fifo_.push_back(delivered);
   ++sent_;
   return true;
 }
@@ -29,6 +55,13 @@ std::size_t SlinkChannel::send_fragment(
   for (const std::uint32_t w : payload) {
     if (!send({w, false})) return accepted;
     ++accepted;
+  }
+  if (injector_ != nullptr &&
+      injector_->draw(sim::FaultKind::kSlinkTruncation, fault_site_)) {
+    // Truncated frame: the end marker is lost in transit; the receiver
+    // only notices when the next begin marker shows up.
+    ++truncated_frames_;
+    return accepted;
   }
   if (send({kEndFragment | (event_id & 0xFFFFF), true})) ++accepted;
   return accepted;
@@ -51,6 +84,26 @@ const sim::Transaction& SlinkChannel::post_stream(sim::TrackId track,
                                                   std::string label) {
   ATLANTIS_CHECK(bound(), "S-Link channel is not bound to a timeline");
   if (label.empty()) label = name_ + " stream";
+  if (injector_ != nullptr &&
+      injector_->draw(sim::FaultKind::kSlinkError, fault_site_)) {
+    // A transmission error somewhere in the stream: the whole block is
+    // retransmitted (S-Link has no partial-retry granularity). The wasted
+    // first pass shows up as retry time on the link resource.
+    const sim::Transaction& bad =
+        timeline_->post(track, sim::TxnKind::kSlinkStream, label + " (lderr)",
+                        resource_, not_before, transfer_time(words),
+                        words * 4);
+    const util::Picoseconds bad_end = bad.end;
+    const util::Picoseconds wasted = bad.duration();
+    timeline_->record_fault(resource_);
+    timeline_->record_retry(resource_, wasted);
+    ++link_errors_;
+    ++retransmissions_;
+    // post() invalidates `bad`; only the captured times are used below.
+    return timeline_->post(track, sim::TxnKind::kSlinkStream,
+                           label + " (retransmit)", resource_, bad_end,
+                           transfer_time(words), words * 4);
+  }
   return timeline_->post(track, sim::TxnKind::kSlinkStream, std::move(label),
                          resource_, not_before, transfer_time(words),
                          words * 4);

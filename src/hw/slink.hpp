@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/fault.hpp"
 #include "sim/timeline.hpp"
 #include "util/status.hpp"
 #include "util/units.hpp"
@@ -24,6 +25,9 @@ namespace atlantis::hw {
 struct SlinkWord {
   std::uint32_t payload = 0;
   bool control = false;
+  /// Transmission-error flag (the S-Link LDERR line): the word arrived,
+  /// but its payload is corrupted and the receiver must discard it.
+  bool lderr = false;
   bool operator==(const SlinkWord&) const = default;
 };
 
@@ -55,6 +59,20 @@ class SlinkChannel {
   /// Link-level statistics.
   std::uint64_t words_sent() const { return sent_; }
   std::uint64_t words_refused() const { return refused_; }
+  std::uint64_t link_errors() const { return link_errors_; }
+  std::uint64_t truncated_frames() const { return truncated_frames_; }
+  std::uint64_t retransmissions() const { return retransmissions_; }
+
+  // --- fault injection --------------------------------------------------
+  /// Attaches a fault injector; the injection site is "slink/<name>".
+  /// Word-level faults (LDERR corruption, truncation, forced XOFF) fire
+  /// in send()/send_fragment(); stream-level LDERR bursts fire in
+  /// post_stream() and cost a full retransmission on the timeline.
+  void set_fault_injector(sim::FaultInjector* injector) {
+    injector_ = injector;
+    fault_site_ = "slink/" + name_;
+  }
+  sim::FaultInjector* fault_injector() const { return injector_; }
 
   /// Time to clock `words` across the link (one word per link clock).
   util::Picoseconds transfer_time(std::uint64_t words) const {
@@ -100,8 +118,14 @@ class SlinkChannel {
   std::size_t head_ = 0;
   std::uint64_t sent_ = 0;
   std::uint64_t refused_ = 0;
+  std::uint64_t link_errors_ = 0;
+  std::uint64_t truncated_frames_ = 0;
+  std::uint64_t retransmissions_ = 0;
+  std::uint64_t forced_xoff_ = 0;  // words left in an injected XOFF burst
   sim::Timeline* timeline_ = nullptr;
   sim::ResourceId resource_;
+  sim::FaultInjector* injector_ = nullptr;
+  std::string fault_site_;
 };
 
 }  // namespace atlantis::hw

@@ -37,6 +37,31 @@ chdl::BitVec SyncSram::read(int bank, std::int64_t addr) const {
   return v;
 }
 
+void SyncSram::flip_bit(int bank, std::int64_t addr, int bit) {
+  ATLANTIS_CHECK(bit >= 0 && bit < cfg_.width_bits,
+                 "SRAM bit index out of range");
+  const std::size_t i = index(bank, addr);
+  data_[i + static_cast<std::size_t>(bit / 64)] ^= 1ull
+                                                   << (bit % 64);
+}
+
+std::optional<SramUpset> SyncSram::draw_seu() {
+  if (injector_ == nullptr) return std::nullopt;
+  const auto hit = injector_->draw(sim::FaultKind::kSeuMemory, fault_site_);
+  if (!hit) return std::nullopt;
+  SramUpset u;
+  std::uint64_t p = hit->param;
+  u.bank = static_cast<int>(p % static_cast<std::uint64_t>(cfg_.banks));
+  p /= static_cast<std::uint64_t>(cfg_.banks);
+  u.addr =
+      static_cast<std::int64_t>(p % static_cast<std::uint64_t>(cfg_.words));
+  p /= static_cast<std::uint64_t>(cfg_.words);
+  u.bit = static_cast<int>(p % static_cast<std::uint64_t>(cfg_.width_bits));
+  flip_bit(u.bank, u.addr, u.bit);
+  ++seu_flips_;
+  return u;
+}
+
 const sim::Transaction& SyncSram::post_burst(sim::TrackId track,
                                              std::uint64_t accesses,
                                              util::Picoseconds not_before,

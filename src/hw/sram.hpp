@@ -9,10 +9,12 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "chdl/bitvec.hpp"
+#include "sim/fault.hpp"
 #include "sim/timeline.hpp"
 #include "util/bitops.hpp"
 #include "util/status.hpp"
@@ -32,6 +34,13 @@ struct SramConfig {
   std::int64_t total_bytes() const { return total_bits() / 8; }
 };
 
+/// Location of a single-event upset in a memory module.
+struct SramUpset {
+  int bank = 0;
+  std::int64_t addr = 0;
+  int bit = 0;
+};
+
 class SyncSram {
  public:
   explicit SyncSram(std::string name, const SramConfig& cfg);
@@ -42,6 +51,25 @@ class SyncSram {
   /// Functional access; each bank has `words` entries of `width_bits`.
   void write(int bank, std::int64_t addr, const chdl::BitVec& value);
   chdl::BitVec read(int bank, std::int64_t addr) const;
+
+  /// Flips one stored bit in place (the SEU mechanism; also the repair
+  /// mechanism, since flipping twice restores the word).
+  void flip_bit(int bank, std::int64_t addr, int bit);
+
+  // --- fault injection --------------------------------------------------
+  /// Attaches a fault injector; the injection site is "sram/<name>".
+  void set_fault_injector(sim::FaultInjector* injector) {
+    injector_ = injector;
+    fault_site_ = "sram/" + name_;
+  }
+  sim::FaultInjector* fault_injector() const { return injector_; }
+
+  /// One SEU opportunity (a scrub window). On a hit the upset location is
+  /// decoded from the draw parameter, the bit is flipped, and the
+  /// location returned so the scrubber can repair it.
+  std::optional<SramUpset> draw_seu();
+
+  std::uint64_t seu_flips() const { return seu_flips_; }
 
   /// Timing: `accesses` single-word transactions spread over the banks.
   /// Synchronous SRAM is fully pipelined — one access per bank per cycle.
@@ -82,8 +110,11 @@ class SyncSram {
   SramConfig cfg_;
   int stride_;                        // words per entry
   std::vector<std::uint64_t> data_;  // banks * words * stride
+  std::uint64_t seu_flips_ = 0;
   sim::Timeline* timeline_ = nullptr;
   sim::ResourceId resource_;
+  sim::FaultInjector* injector_ = nullptr;
+  std::string fault_site_;
 };
 
 }  // namespace atlantis::hw

@@ -1,0 +1,133 @@
+#include "sim/fault.hpp"
+
+#include <algorithm>
+
+#include "util/status.hpp"
+
+namespace atlantis::sim {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDmaStall: return "dma_stall";
+    case FaultKind::kDmaAbort: return "dma_abort";
+    case FaultKind::kSlinkError: return "slink_error";
+    case FaultKind::kSlinkTruncation: return "slink_truncation";
+    case FaultKind::kSlinkXoff: return "slink_xoff";
+    case FaultKind::kSeuConfig: return "seu_config";
+    case FaultKind::kSeuMemory: return "seu_memory";
+    case FaultKind::kConfigCrc: return "config_crc";
+    case FaultKind::kBoardDropout: return "board_dropout";
+  }
+  return "unknown";
+}
+
+FaultPlan& FaultPlan::with_rate(FaultKind kind, double probability) {
+  ATLANTIS_CHECK(probability >= 0.0 && probability <= 1.0,
+                 "fault rate must be a probability");
+  rates[static_cast<std::size_t>(kind)] = probability;
+  return *this;
+}
+
+FaultPlan& FaultPlan::inject(FaultKind kind, std::string site,
+                             std::uint64_t nth, std::uint64_t param) {
+  ATLANTIS_CHECK(nth >= 1, "scheduled faults fire on a 1-based opportunity");
+  scheduled.push_back(ScheduledFault{kind, std::move(site), nth, param});
+  return *this;
+}
+
+bool FaultPlan::empty() const {
+  if (!scheduled.empty()) return false;
+  return std::all_of(rates.begin(), rates.end(),
+                     [](double r) { return r == 0.0; });
+}
+
+util::Picoseconds RetryPolicy::backoff(int retry) const {
+  ATLANTIS_CHECK(retry >= 1, "backoff is indexed from the first retry");
+  util::Picoseconds wait = initial_backoff;
+  for (int i = 1; i < retry; ++i) {
+    const auto next = static_cast<util::Picoseconds>(
+        static_cast<double>(wait) * multiplier);
+    if (next >= max_backoff || next <= wait) return max_backoff;
+    wait = next;
+  }
+  return std::min(wait, max_backoff);
+}
+
+namespace {
+
+/// FNV-1a over the site name; mixed with the seed and kind so every
+/// (kind, site) stream is independent of every other.
+std::uint64_t site_hash(std::uint64_t seed, int kind,
+                        const std::string& site) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : site) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  h ^= seed + 0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(kind + 1);
+  return h;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+FaultInjector::SiteState& FaultInjector::site_state(FaultKind kind,
+                                                    const std::string& site) {
+  const SiteKey key{static_cast<int>(kind), site};
+  auto it = sites_.find(key);
+  if (it == sites_.end()) {
+    SiteState st;
+    st.rng.reseed(site_hash(plan_.seed, static_cast<int>(kind), site));
+    it = sites_.emplace(key, std::move(st)).first;
+  }
+  return it->second;
+}
+
+std::optional<FaultHit> FaultInjector::draw(FaultKind kind,
+                                            const std::string& site) {
+  SiteState& st = site_state(kind, site);
+  ++st.opportunities;
+  // Rate draw first (and always, so the stream position is a pure
+  // function of the opportunity count), then the scheduled list.
+  const double rate = plan_.rate(kind);
+  bool fire = rate > 0.0 && st.rng.bernoulli(rate);
+  std::uint64_t param = 0;
+  if (fire) param = st.rng.next_u64();
+  for (const ScheduledFault& sf : plan_.scheduled) {
+    if (sf.kind == kind && sf.nth == st.opportunities && sf.site == site) {
+      fire = true;
+      if (sf.param != 0) param = sf.param;
+      if (param == 0) param = st.rng.next_u64();
+      break;
+    }
+  }
+  if (!fire) return std::nullopt;
+  ++injected_[static_cast<std::size_t>(kind)];
+  log_.push_back(FaultRecord{kind, site, st.opportunities, param});
+  return FaultHit{param};
+}
+
+std::uint64_t FaultInjector::opportunities(FaultKind kind,
+                                           const std::string& site) const {
+  const auto it = sites_.find(SiteKey{static_cast<int>(kind), site});
+  return it == sites_.end() ? 0 : it->second.opportunities;
+}
+
+std::uint64_t FaultInjector::injected(FaultKind kind) const {
+  return injected_[static_cast<std::size_t>(kind)];
+}
+
+std::uint64_t FaultInjector::injected_total() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t n : injected_) total += n;
+  return total;
+}
+
+void FaultInjector::reset() {
+  sites_.clear();
+  injected_.fill(0);
+  log_.clear();
+}
+
+}  // namespace atlantis::sim

@@ -19,6 +19,7 @@ const char* txn_kind_name(TxnKind kind) {
     case TxnKind::kReconfig: return "reconfig";
     case TxnKind::kCompute: return "compute";
     case TxnKind::kHost: return "host";
+    case TxnKind::kBackoff: return "backoff";
     case TxnKind::kOther: return "other";
   }
   return "other";
@@ -111,6 +112,21 @@ ResourceStats Timeline::stats(ResourceId id) const {
   ATLANTIS_CHECK(id.valid() && id.value < resource_count(),
                  "unknown resource");
   return resources_[static_cast<std::size_t>(id.value)].stats;
+}
+
+void Timeline::record_fault(ResourceId id) {
+  ATLANTIS_CHECK(id.valid() && id.value < resource_count(),
+                 "unknown resource");
+  ++resources_[static_cast<std::size_t>(id.value)].stats.faults;
+}
+
+void Timeline::record_retry(ResourceId id, util::Picoseconds recovery) {
+  ATLANTIS_CHECK(id.valid() && id.value < resource_count(),
+                 "unknown resource");
+  ATLANTIS_CHECK(recovery >= 0, "recovery time must be non-negative");
+  ResourceStats& s = resources_[static_cast<std::size_t>(id.value)].stats;
+  ++s.retries;
+  s.retry_time += recovery;
 }
 
 std::vector<ResourceStats> Timeline::all_stats() const {

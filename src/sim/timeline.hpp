@@ -45,6 +45,7 @@ enum class TxnKind {
   kReconfig,      // FPGA (partial) reconfiguration
   kCompute,       // design-clock compute on a board
   kHost,          // host-CPU work
+  kBackoff,       // recovery wait between retry attempts
   kOther,
 };
 
@@ -92,6 +93,14 @@ struct ResourceStats {
   util::Picoseconds first_start = 0;
   util::Picoseconds last_end = 0;
 
+  // Fault/recovery accounting (populated by record_fault/record_retry):
+  // how often transactions on this resource faulted, how many retries the
+  // recovery layer issued, and the time those retries waited in backoff
+  // plus retransmission.
+  std::uint64_t faults = 0;
+  std::uint64_t retries = 0;
+  util::Picoseconds retry_time = 0;
+
   /// Busy fraction of one channel over [0, horizon] (can exceed 1 for
   /// multi-channel resources; divide by `channels` for the mean).
   double utilization(util::Picoseconds horizon) const {
@@ -135,6 +144,14 @@ class Timeline {
 
   ResourceStats stats(ResourceId id) const;
   std::vector<ResourceStats> all_stats() const;
+
+  /// Fault/recovery bookkeeping: a transaction on `id` faulted, or a
+  /// retry was issued and spent `recovery` (backoff + retransmission)
+  /// recovering. The recovery layer calls these next to the transactions
+  /// it posts, so a fault sweep's stats() table shows where the recovery
+  /// time went per resource.
+  void record_fault(ResourceId id);
+  void record_retry(ResourceId id, util::Picoseconds recovery);
 
   /// Chrome-trace/Perfetto JSON: complete events ("ph":"X") with
   /// microsecond timestamps, one named thread per resource and one per

@@ -45,16 +45,44 @@ MultiBoardResult histogram_multiboard(const PatternBank& bank,
   }
 
   MultiBoardResult r;
+
+  // Board health: each configured board gets one drop-out opportunity per
+  // run (drawn here, on the scheduling thread — never in pool workers, so
+  // the outcome is independent of the worker-pool size). A board that
+  // dropped out in an earlier run stays masked. Survivors absorb the dead
+  // boards' pattern slices: the histogram stays complete, the run is
+  // flagged degraded.
+  std::vector<int> alive;
+  alive.reserve(static_cast<std::size_t>(cfg.boards));
+  for (int b = 0; b < cfg.boards; ++b) {
+    core::AcbBoard& board = system.acb(b);
+    board.draw_dropout();
+    if (board.alive()) {
+      alive.push_back(b);
+    } else {
+      r.degraded = true;
+      r.masked_boards.push_back(board.name());
+    }
+  }
+  if (alive.empty()) {
+    throw util::Error("every configured ACB has dropped out; the TRT scan "
+                      "has no surviving board");
+  }
+  const int active = static_cast<int>(alive.size());
+  r.active_boards = active;
+
   r.patterns_per_board = static_cast<int>(util::ceil_div(
       static_cast<std::uint64_t>(bank.pattern_count()),
-      static_cast<std::uint64_t>(cfg.boards)));
-  // Functional result: each board histogramms its pattern slice on the
-  // shared worker pool (the boards really do run concurrently); the
+      static_cast<std::uint64_t>(active)));
+  // Functional result: each surviving board histogramms its pattern slice
+  // on the worker pool (the boards really do run concurrently); the
   // concatenation of the slices is exactly the reference histogram.
   r.histogram.counts.assign(static_cast<std::size_t>(bank.pattern_count()),
                             0);
-  util::WorkerPool::shared().parallel_for(cfg.boards, [&](int b) {
-    const auto lo = static_cast<std::int32_t>(b * r.patterns_per_board);
+  util::WorkerPool& pool =
+      cfg.pool != nullptr ? *cfg.pool : util::WorkerPool::shared();
+  pool.parallel_for(active, [&](int k) {
+    const auto lo = static_cast<std::int32_t>(k * r.patterns_per_board);
     const auto hi = std::min<std::int32_t>(
         lo + r.patterns_per_board, bank.pattern_count());
     if (lo < hi) histogram_slice(bank, ev, lo, hi, r.histogram.counts.data());
@@ -63,16 +91,28 @@ MultiBoardResult histogram_multiboard(const PatternBank& bank,
   core::Backplane& bp = system.backplane();
   const int src_slot = system.aib_slot(0);
 
-  // The run is scheduled on the crate timeline: one track per board, the
-  // backplane channels and each board's design clock as shared resources.
-  // Re-running on the same system appends after everything already
-  // recorded, so the epoch is the current horizon.
+  // The run is scheduled on the crate timeline: one track per surviving
+  // board, the backplane channels and each board's design clock as shared
+  // resources. Re-running on the same system appends after everything
+  // already recorded, so the epoch is the current horizon.
   sim::Timeline& tl = system.timeline();
   const util::Picoseconds epoch = tl.horizon();
   std::vector<sim::TrackId> tracks;
-  tracks.reserve(static_cast<std::size_t>(cfg.boards));
-  for (int b = 0; b < cfg.boards; ++b) {
+  tracks.reserve(static_cast<std::size_t>(active));
+  for (const int b : alive) {
     tracks.push_back(tl.add_track("trt/" + system.acb(b).name()));
+  }
+
+  // Per-run S-Link recovery accounting: the counters are lifetime, so
+  // capture them before the streams are posted and report the delta.
+  std::vector<std::uint64_t> retrans_before;
+  std::vector<util::Picoseconds> retry_time_before;
+  if (cfg.detector_fed) {
+    for (const int b : alive) {
+      hw::SlinkChannel& link = system.acb(b).slink();
+      retrans_before.push_back(link.retransmissions());
+      retry_time_before.push_back(tl.stats(link.resource()).retry_time);
+    }
   }
 
   // Phase 1: image delivery. Host-fed boards get the full bit image over
@@ -82,17 +122,18 @@ MultiBoardResult histogram_multiboard(const PatternBank& bank,
   // the event over their own S-Links, overlapped with the scan.
   const std::uint64_t image_bytes = util::ceil_div(
       static_cast<std::uint64_t>(bank.geometry().straw_count()), 8);
-  std::vector<util::Picoseconds> ready(
-      static_cast<std::size_t>(cfg.boards), epoch);
+  std::vector<util::Picoseconds> ready(static_cast<std::size_t>(active),
+                                       epoch);
   if (!cfg.detector_fed) {
     util::Picoseconds last_arrival = epoch;
-    for (int b = 0; b < cfg.boards; ++b) {
-      const int channel = b % bp.channel_count();
+    for (int k = 0; k < active; ++k) {
+      const int b = alive[static_cast<std::size_t>(k)];
+      const int channel = k % bp.channel_count();
       const sim::Transaction& txn =
-          bp.post_transfer(tracks[static_cast<std::size_t>(b)], src_slot,
+          bp.post_transfer(tracks[static_cast<std::size_t>(k)], src_slot,
                            system.acb_slot(b), channel, image_bytes, epoch,
                            "image broadcast");
-      ready[static_cast<std::size_t>(b)] = txn.end;
+      ready[static_cast<std::size_t>(k)] = txn.end;
       last_arrival = std::max(last_arrival, txn.end);
     }
     r.broadcast_time = last_arrival - epoch;
@@ -100,9 +141,10 @@ MultiBoardResult histogram_multiboard(const PatternBank& bank,
 
   // Phase 2: parallel histogramming of the slices, each board starting
   // as soon as its image arrived.
-  std::vector<util::Picoseconds> done(
-      static_cast<std::size_t>(cfg.boards), epoch);
-  for (int b = 0; b < cfg.boards; ++b) {
+  std::vector<util::Picoseconds> done(static_cast<std::size_t>(active),
+                                      epoch);
+  for (int k = 0; k < active; ++k) {
+    const int b = alive[static_cast<std::size_t>(k)];
     TrtHwConfig board_cfg;
     board_cfg.clock_mhz = cfg.clock_mhz;
     board_cfg.ram_width_bits = 176 * cfg.modules_per_board;
@@ -119,23 +161,26 @@ MultiBoardResult histogram_multiboard(const PatternBank& bank,
         util::period_from_mhz(cfg.clock_mhz);
     r.compute_time = std::max(r.compute_time, t);
     const sim::Transaction& scan = tl.post(
-        tracks[static_cast<std::size_t>(b)], sim::TxnKind::kCompute,
-        "scan slice " + std::to_string(b),
+        tracks[static_cast<std::size_t>(k)], sim::TxnKind::kCompute,
+        "scan slice " + std::to_string(k),
         system.acb(b).compute_resource(),
-        ready[static_cast<std::size_t>(b)], t);
-    done[static_cast<std::size_t>(b)] = scan.end;
+        ready[static_cast<std::size_t>(k)], t);
+    done[static_cast<std::size_t>(k)] = scan.end;
     if (cfg.detector_fed) {
       // The S-Link stream (begin marker, hit words, end marker) occupies
       // the board's link while the scan consumes it; the board is done
       // when the slower of the two finishes. The link clock matches the
       // design clock, so with full-image streaming the scan dominates.
+      // An injected LDERR burst turns the stream into two posts (the
+      // corrupted pass and its retransmission), pushing the board's
+      // completion out by the wasted link time.
       const sim::Transaction& stream =
           system.acb(b).slink().post_stream(
-              tracks[static_cast<std::size_t>(b)],
+              tracks[static_cast<std::size_t>(k)],
               static_cast<std::uint64_t>(ev.hits.size()) + 2, epoch,
               "detector feed");
-      done[static_cast<std::size_t>(b)] =
-          std::max(done[static_cast<std::size_t>(b)], stream.end);
+      done[static_cast<std::size_t>(k)] =
+          std::max(done[static_cast<std::size_t>(k)], stream.end);
     }
   }
 
@@ -145,13 +190,25 @@ MultiBoardResult histogram_multiboard(const PatternBank& bank,
   const std::uint64_t hist_bytes =
       static_cast<std::uint64_t>(r.patterns_per_board) * 2;
   util::Picoseconds finish = epoch;
-  for (int b = 0; b < cfg.boards; ++b) {
+  for (int k = 0; k < active; ++k) {
+    const int b = alive[static_cast<std::size_t>(k)];
     const sim::Transaction& txn = bp.post_transfer(
-        tracks[static_cast<std::size_t>(b)], system.acb_slot(b), src_slot, 0,
-        hist_bytes, done[static_cast<std::size_t>(b)],
-        "collect slice " + std::to_string(b));
+        tracks[static_cast<std::size_t>(k)], system.acb_slot(b), src_slot, 0,
+        hist_bytes, done[static_cast<std::size_t>(k)],
+        "collect slice " + std::to_string(k));
     r.collect_time += txn.duration();
     finish = std::max(finish, txn.end);
+  }
+
+  if (cfg.detector_fed) {
+    for (int k = 0; k < active; ++k) {
+      hw::SlinkChannel& link =
+          system.acb(alive[static_cast<std::size_t>(k)]).slink();
+      r.slink_retransmits += link.retransmissions() -
+                             retrans_before[static_cast<std::size_t>(k)];
+      r.recovery_time += tl.stats(link.resource()).retry_time -
+                         retry_time_before[static_cast<std::size_t>(k)];
+    }
   }
 
   // End-to-end span of the whole schedule, including any pipelining of

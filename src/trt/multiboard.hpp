@@ -12,8 +12,15 @@
 // collection do not shrink with more boards.
 #pragma once
 
+#include <string>
+#include <vector>
+
 #include "core/system.hpp"
 #include "trt/hwmodel.hpp"
+
+namespace atlantis::util {
+class WorkerPool;
+}
 
 namespace atlantis::trt {
 
@@ -25,6 +32,10 @@ struct MultiBoardConfig {
   /// own links in parallel with processing; host-fed boards pay the
   /// backplane broadcast up front.
   bool detector_fed = false;
+  /// Worker pool for the functional histogramming; nullptr uses the
+  /// shared pool. The result is pool-size invariant: fault draws happen
+  /// on the scheduling thread only, never inside pool workers.
+  util::WorkerPool* pool = nullptr;
 };
 
 struct MultiBoardResult {
@@ -34,11 +45,26 @@ struct MultiBoardResult {
   util::Picoseconds collect_time = 0;   // partial-histogram merge
   util::Picoseconds total_time = 0;
   int patterns_per_board = 0;
+
+  // --- graceful degradation --------------------------------------------
+  /// True when at least one configured board was masked out: the
+  /// surviving boards absorbed its pattern slice, so the histogram is
+  /// still complete, but with less parallelism than configured.
+  bool degraded = false;
+  int active_boards = 0;              // boards that actually scanned
+  std::vector<std::string> masked_boards;
+  /// Per-run S-Link recovery (detector-fed): streams retransmitted after
+  /// an injected LDERR, and the link time those retransmissions wasted.
+  std::uint64_t slink_retransmits = 0;
+  util::Picoseconds recovery_time = 0;
 };
 
 /// Runs the distributed trigger on `system`, which must contain at least
 /// `cfg.boards` ACBs and one AIB (the event source feeding the
-/// backplane). Throws util::Error otherwise.
+/// backplane). Throws util::Error otherwise — including when every
+/// configured board has dropped out. Boards that suffer an injected
+/// drop-out (now or in an earlier run) are masked and their slice is
+/// redistributed over the survivors; the result is flagged degraded.
 MultiBoardResult histogram_multiboard(const PatternBank& bank,
                                       const Event& ev,
                                       const MultiBoardConfig& cfg,

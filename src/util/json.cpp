@@ -193,24 +193,51 @@ class Parser {
     }
   }
 
+  bool digit_at(std::size_t p) const {
+    return p < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[p])) != 0;
+  }
+
   JsonValue parse_number() {
+    // RFC 8259 grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?.
+    // strtod alone is too permissive ("1.", "01", ".5", "+1", "0x10",
+    // "inf" all parse), so the token is validated before conversion.
     const std::size_t begin = pos_;
-    if (peek() == '-') ++pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '+' || text_[pos_] == '-')) {
-      ++pos_;
-    }
-    if (pos_ == begin) fail("expected a value");
-    const std::string tok = text_.substr(begin, pos_ - begin);
-    char* end = nullptr;
-    const double v = std::strtod(tok.c_str(), &end);
-    if (end == nullptr || *end != '\0') {
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (!digit_at(pos_)) {
       pos_ = begin;
-      fail("malformed number");
+      fail("expected a value");
     }
-    return JsonValue(v);
+    if (text_[pos_] == '0') {
+      ++pos_;  // a leading zero must stand alone ("01" is malformed)
+    } else {
+      while (digit_at(pos_)) ++pos_;
+    }
+    if (digit_at(pos_)) {
+      pos_ = begin;
+      fail("malformed number: leading zero");
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (!digit_at(pos_)) {
+        pos_ = begin;
+        fail("malformed number: fraction needs digits");
+      }
+      while (digit_at(pos_)) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (!digit_at(pos_)) {
+        pos_ = begin;
+        fail("malformed number: exponent needs digits");
+      }
+      while (digit_at(pos_)) ++pos_;
+    }
+    const std::string tok = text_.substr(begin, pos_ - begin);
+    return JsonValue(std::strtod(tok.c_str(), nullptr));
   }
 
   const std::string& text_;

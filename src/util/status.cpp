@@ -2,6 +2,27 @@
 
 #include <sstream>
 
+namespace atlantis::util {
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kDmaStall: return "dma_stall";
+    case ErrorCode::kDmaAbort: return "dma_abort";
+    case ErrorCode::kLinkError: return "link_error";
+    case ErrorCode::kTruncatedFrame: return "truncated_frame";
+    case ErrorCode::kXoff: return "xoff";
+    case ErrorCode::kSeu: return "seu";
+    case ErrorCode::kConfigCrc: return "config_crc";
+    case ErrorCode::kBoardDead: return "board_dead";
+    case ErrorCode::kTimeout: return "timeout";
+    case ErrorCode::kRetriesExhausted: return "retries_exhausted";
+  }
+  return "unknown";
+}
+
+}  // namespace atlantis::util
+
 namespace atlantis::util::detail {
 
 void throw_check_failure(const char* expr, const char* file, int line,

@@ -6,6 +6,7 @@
 // exceptions for errors that cannot be handled locally, types for the rest.
 #pragma once
 
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -30,6 +31,76 @@ class CapacityError : public Error {
 class StateError : public Error {
  public:
   using Error::Error;
+};
+
+/// Recoverable failure classification for the fault/recovery layer.
+/// These travel by value through Result<T>; unrecoverable misuse keeps
+/// throwing the exception types above.
+enum class ErrorCode {
+  kOk = 0,
+  kDmaStall,          // DMA hung until the watchdog fired
+  kDmaAbort,          // PCI master/target abort
+  kLinkError,         // S-Link transmission error (LDERR)
+  kTruncatedFrame,    // event fragment lost its end marker
+  kXoff,              // link stuck in flow control
+  kSeu,               // single-event upset in memory or configuration
+  kConfigCrc,         // configuration CRC failure
+  kBoardDead,         // whole-board drop-out
+  kTimeout,           // recovery exceeded its time budget
+  kRetriesExhausted,  // all retry attempts failed
+};
+
+/// Stable lowercase name ("dma_stall", "config_crc", ...).
+const char* error_code_name(ErrorCode code);
+
+/// Value-or-error return for recoverable outcomes (E.2/E.14: types for
+/// errors a caller can handle locally). A Result is either ok() and
+/// carries a T, or carries an ErrorCode plus a human-readable message.
+/// value() on a failed Result throws util::Error — reaching for a value
+/// without checking is misuse, not a recoverable condition.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Implicit success wrapper, so `return transfer;` just works.
+  Result(T value) : value_(std::move(value)) {}
+
+  static Result failure(ErrorCode code, std::string message = {}) {
+    Result r;
+    r.code_ = code;
+    r.message_ = std::move(message);
+    return r;
+  }
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  /// kOk when ok(); the failure classification otherwise.
+  ErrorCode error() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  T& value() {
+    require_ok();
+    return *value_;
+  }
+  const T& value() const {
+    require_ok();
+    return *value_;
+  }
+  T value_or(T fallback) const { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Result() = default;
+  void require_ok() const {
+    if (!ok()) {
+      throw Error(std::string("Result::value() on failure (") +
+                  error_code_name(code_) +
+                  (message_.empty() ? ")" : "): " + message_));
+    }
+  }
+
+  std::optional<T> value_;
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
 };
 
 namespace detail {

@@ -137,7 +137,8 @@ TEST(ChromeTrace, ParsesAndHasCataloguedPhases) {
   // from the transaction-kind catalogue.
   const std::set<std::string> catalogue{
       "pci_dma", "target_access", "aab_channel", "slink_stream",
-      "sdram_burst", "sram_burst", "reconfig", "compute", "host", "other"};
+      "sdram_burst", "sram_burst", "reconfig", "compute", "host", "backoff",
+      "other"};
   int complete = 0, meta = 0;
   for (const util::JsonValue& e : events) {
     const std::string& ph = e.at("ph").as_string();

@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
+#include "sim/fault.hpp"
+#include "util/worker_pool.hpp"
+
 namespace atlantis::trt {
 namespace {
 
@@ -79,6 +85,107 @@ TEST(MultiBoard, DetectorFedSkipsBroadcast) {
   const auto rh = histogram_multiboard(bank, ev, host, sys);
   EXPECT_GT(rh.broadcast_time, 0);
   EXPECT_LT(r.total_time, rh.total_time);
+}
+
+TEST(MultiBoard, BoardDropoutDegradesButStaysCorrect) {
+  PatternBank bank(small_geo(), 120);
+  const Event ev = EventGenerator(bank, EventParams{}).generate();
+  auto sys = make_system(2);
+  sim::FaultPlan plan;
+  plan.inject(sim::FaultKind::kBoardDropout, "board/acb1", 1);
+  sim::FaultInjector inj(plan);
+  sys.set_fault_injector(&inj);
+  const MultiBoardResult r =
+      histogram_multiboard(bank, ev, MultiBoardConfig{}, sys);
+  EXPECT_TRUE(r.degraded);
+  EXPECT_EQ(r.active_boards, 1);
+  ASSERT_EQ(r.masked_boards.size(), 1u);
+  EXPECT_EQ(r.masked_boards[0], "acb1");
+  // The survivor absorbed the dead board's slice: the histogram is still
+  // the full reference result, just with single-board parallelism.
+  EXPECT_EQ(r.histogram.counts,
+            histogram_reference(bank, ev).histogram.counts);
+  EXPECT_EQ(r.patterns_per_board, 120);
+  // A dead board stays masked on the next run too.
+  const MultiBoardResult r2 =
+      histogram_multiboard(bank, ev, MultiBoardConfig{}, sys);
+  EXPECT_TRUE(r2.degraded);
+  EXPECT_EQ(r2.active_boards, 1);
+}
+
+TEST(MultiBoard, AllBoardsDeadThrows) {
+  PatternBank bank(small_geo(), 120);
+  const Event ev = EventGenerator(bank, EventParams{}).generate();
+  auto sys = make_system(2);
+  sim::FaultPlan plan;
+  plan.with_rate(sim::FaultKind::kBoardDropout, 1.0);
+  sim::FaultInjector inj(plan);
+  sys.set_fault_injector(&inj);
+  EXPECT_THROW(histogram_multiboard(bank, ev, MultiBoardConfig{}, sys),
+               util::Error);
+}
+
+TEST(MultiBoard, LderrBurstRetransmitsVisibleInResult) {
+  PatternBank bank(small_geo(), 120);
+  const Event ev = EventGenerator(bank, EventParams{}).generate();
+  auto sys = make_system(2);
+  sim::FaultPlan plan;
+  plan.inject(sim::FaultKind::kSlinkError, "slink/acb0/lvds", 1);
+  sim::FaultInjector inj(plan);
+  sys.set_fault_injector(&inj);
+  MultiBoardConfig fed;
+  fed.detector_fed = true;
+  const MultiBoardResult r = histogram_multiboard(bank, ev, fed, sys);
+  EXPECT_FALSE(r.degraded);  // a link error is recovered, not fatal
+  EXPECT_EQ(r.slink_retransmits, 1u);
+  EXPECT_GT(r.recovery_time, 0);
+  EXPECT_EQ(r.histogram.counts,
+            histogram_reference(bank, ev).histogram.counts);
+  // Clean boards report no recovery.
+  auto clean_sys = make_system(2);
+  const MultiBoardResult rc = histogram_multiboard(bank, ev, fed, clean_sys);
+  EXPECT_EQ(rc.slink_retransmits, 0u);
+  EXPECT_EQ(rc.recovery_time, 0);
+}
+
+TEST(MultiBoard, FaultReplayInvariantAcrossPoolSizes) {
+  // The determinism contract: fault draws happen on the scheduling
+  // thread, so the same seeded plan gives bit-identical results no
+  // matter how many workers histogram the slices.
+  PatternBank bank(small_geo(), 120);
+  const Event ev = EventGenerator(bank, EventParams{}).generate();
+  auto run = [&](int threads) {
+    auto sys = make_system(3);
+    sim::FaultPlan plan;
+    plan.seed = 77;
+    plan.with_rate(sim::FaultKind::kSlinkError, 0.5);
+    plan.inject(sim::FaultKind::kBoardDropout, "board/acb2", 2);
+    sim::FaultInjector inj(plan);
+    sys.set_fault_injector(&inj);
+    util::WorkerPool pool(threads);
+    MultiBoardConfig cfg;
+    cfg.boards = 3;
+    cfg.detector_fed = true;
+    cfg.pool = &pool;
+    std::vector<MultiBoardResult> runs;
+    for (int i = 0; i < 3; ++i) {
+      runs.push_back(histogram_multiboard(bank, ev, cfg, sys));
+    }
+    return std::make_pair(std::move(runs), inj.log());
+  };
+  const auto a = run(1);
+  const auto b = run(4);
+  ASSERT_EQ(a.first.size(), b.first.size());
+  for (std::size_t i = 0; i < a.first.size(); ++i) {
+    EXPECT_EQ(a.first[i].histogram.counts, b.first[i].histogram.counts);
+    EXPECT_EQ(a.first[i].degraded, b.first[i].degraded);
+    EXPECT_EQ(a.first[i].active_boards, b.first[i].active_boards);
+    EXPECT_EQ(a.first[i].masked_boards, b.first[i].masked_boards);
+    EXPECT_EQ(a.first[i].slink_retransmits, b.first[i].slink_retransmits);
+    EXPECT_EQ(a.first[i].recovery_time, b.first[i].recovery_time);
+    EXPECT_EQ(a.first[i].total_time, b.first[i].total_time);
+  }
+  EXPECT_EQ(a.second, b.second);  // identical fault logs, run for run
 }
 
 TEST(MultiBoard, SystemRequirementsChecked) {

@@ -1,0 +1,79 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace atlantis::util {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(json_parse("null").is_null());
+  EXPECT_TRUE(json_parse("true").as_bool());
+  EXPECT_FALSE(json_parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(json_parse("42").as_number(), 42.0);
+  EXPECT_EQ(json_parse("\"hi\\n\"").as_string(), "hi\n");
+}
+
+TEST(Json, ParsesNestedContainers) {
+  const JsonValue v = json_parse(
+      R"({"a": [1, 2, {"b": "c"}], "d": {"e": null}})");
+  const JsonArray& a = v.at("a").as_array();
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_DOUBLE_EQ(a[1].as_number(), 2.0);
+  EXPECT_EQ(a[2].at("b").as_string(), "c");
+  EXPECT_TRUE(v.at("d").at("e").is_null());
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(Json, RejectsTrailingGarbage) {
+  // Regression: a valid document followed by anything non-whitespace is
+  // malformed, not a successful parse of the prefix.
+  EXPECT_THROW(json_parse("{} {}"), Error);
+  EXPECT_THROW(json_parse("[1,2] x"), Error);
+  EXPECT_THROW(json_parse("1 2"), Error);
+  EXPECT_THROW(json_parse("null,"), Error);
+  EXPECT_THROW(json_parse("\"s\"\"t\""), Error);
+  // Trailing whitespace stays legal.
+  EXPECT_DOUBLE_EQ(json_parse(" 7 \n\t").as_number(), 7.0);
+}
+
+TEST(Json, AcceptsRfc8259Numbers) {
+  EXPECT_DOUBLE_EQ(json_parse("0").as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(json_parse("-0").as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(json_parse("-0.5").as_number(), -0.5);
+  EXPECT_DOUBLE_EQ(json_parse("0.5").as_number(), 0.5);
+  EXPECT_DOUBLE_EQ(json_parse("10.25").as_number(), 10.25);
+  EXPECT_DOUBLE_EQ(json_parse("1e3").as_number(), 1000.0);
+  EXPECT_DOUBLE_EQ(json_parse("1.5E+2").as_number(), 150.0);
+  EXPECT_DOUBLE_EQ(json_parse("2e-2").as_number(), 0.02);
+  EXPECT_DOUBLE_EQ(json_parse("0e0").as_number(), 0.0);
+}
+
+TEST(Json, RejectsNonRfc8259Numbers) {
+  // strtod would happily take most of these; the grammar must not.
+  EXPECT_THROW(json_parse("1."), Error);       // fraction needs digits
+  EXPECT_THROW(json_parse("1.e5"), Error);
+  EXPECT_THROW(json_parse(".5"), Error);       // integer part required
+  EXPECT_THROW(json_parse("01"), Error);       // no leading zeros
+  EXPECT_THROW(json_parse("-01"), Error);
+  EXPECT_THROW(json_parse("+1"), Error);       // no leading plus
+  EXPECT_THROW(json_parse("1e"), Error);       // exponent needs digits
+  EXPECT_THROW(json_parse("1e+"), Error);
+  EXPECT_THROW(json_parse("-"), Error);
+  EXPECT_THROW(json_parse("0x10"), Error);
+  EXPECT_THROW(json_parse("inf"), Error);
+  EXPECT_THROW(json_parse("NaN"), Error);
+  EXPECT_THROW(json_parse("[01]"), Error);     // inside containers too
+  EXPECT_THROW(json_parse(R"({"k": 1.})"), Error);
+}
+
+TEST(Json, ReportsOffsets) {
+  try {
+    json_parse("[1, 01]");
+    FAIL() << "expected parse error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace atlantis::util

@@ -1,0 +1,55 @@
+#include "util/status.hpp"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace atlantis::util {
+namespace {
+
+TEST(ErrorCode, NamesAreStable) {
+  EXPECT_STREQ(error_code_name(ErrorCode::kOk), "ok");
+  EXPECT_STREQ(error_code_name(ErrorCode::kDmaStall), "dma_stall");
+  EXPECT_STREQ(error_code_name(ErrorCode::kDmaAbort), "dma_abort");
+  EXPECT_STREQ(error_code_name(ErrorCode::kLinkError), "link_error");
+  EXPECT_STREQ(error_code_name(ErrorCode::kTruncatedFrame),
+               "truncated_frame");
+  EXPECT_STREQ(error_code_name(ErrorCode::kXoff), "xoff");
+  EXPECT_STREQ(error_code_name(ErrorCode::kSeu), "seu");
+  EXPECT_STREQ(error_code_name(ErrorCode::kConfigCrc), "config_crc");
+  EXPECT_STREQ(error_code_name(ErrorCode::kBoardDead), "board_dead");
+  EXPECT_STREQ(error_code_name(ErrorCode::kTimeout), "timeout");
+  EXPECT_STREQ(error_code_name(ErrorCode::kRetriesExhausted),
+               "retries_exhausted");
+}
+
+TEST(Result, SuccessCarriesValue) {
+  const Result<int> r = 7;
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.error(), ErrorCode::kOk);
+  EXPECT_EQ(r.value(), 7);
+  EXPECT_EQ(r.value_or(-1), 7);
+  EXPECT_TRUE(r.message().empty());
+}
+
+TEST(Result, FailureCarriesCodeAndMessage) {
+  const auto r = Result<int>::failure(ErrorCode::kTimeout, "budget spent");
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(static_cast<bool>(r));
+  EXPECT_EQ(r.error(), ErrorCode::kTimeout);
+  EXPECT_EQ(r.message(), "budget spent");
+  EXPECT_EQ(r.value_or(-1), -1);
+  EXPECT_THROW(r.value(), Error);
+}
+
+TEST(Result, WorksWithMoveOnlyishPayloads) {
+  Result<std::string> r = std::string("payload");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "payload");
+  const auto f = Result<std::string>::failure(ErrorCode::kLinkError);
+  EXPECT_EQ(f.value_or("fallback"), "fallback");
+}
+
+}  // namespace
+}  // namespace atlantis::util
