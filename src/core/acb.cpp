@@ -142,6 +142,25 @@ util::Picoseconds AcbBoard::configure_all(const hw::Bitstream& bs) {
   return total;
 }
 
+util::Result<util::Picoseconds> AcbBoard::try_configure_all(
+    const hw::Bitstream& bs) {
+  if (!alive_) {
+    return util::Result<util::Picoseconds>::failure(
+        util::ErrorCode::kBoardDead,
+        "configure_all on " + name_ + ": board is not alive");
+  }
+  util::Picoseconds total = 0;
+  for (auto& f : fpgas_) {
+    total += f->configure(bs);
+    if (!f->config_crc_ok()) {
+      return util::Result<util::Picoseconds>::failure(
+          util::ErrorCode::kConfigCrc,
+          "configure_all on " + name_ + ": " + f->name() + " failed CRC");
+    }
+  }
+  return total;
+}
+
 AcbMatrixReport AcbBoard::step_matrix(int cycles, bool parallel,
                                       bool record_trace,
                                       util::WorkerPool* pool_override) {

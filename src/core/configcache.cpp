@@ -1,0 +1,50 @@
+#include "core/configcache.hpp"
+
+namespace atlantis::core {
+
+bool ConfigCache::touch(const std::string& name) {
+  if (!enabled()) return false;  // inert: no lookup, no stats
+  const auto it = index_.find(name);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++stats_.hits;
+  return true;
+}
+
+void ConfigCache::insert(const std::string& name) {
+  if (!enabled()) return;
+  const auto it = index_.find(name);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    index_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(name);
+  index_[name] = lru_.begin();
+  ++stats_.insertions;
+}
+
+void ConfigCache::erase(const std::string& name) {
+  const auto it = index_.find(name);
+  if (it == index_.end()) return;
+  lru_.erase(it->second);
+  index_.erase(it);
+}
+
+void ConfigCache::clear() {
+  lru_.clear();
+  index_.clear();
+}
+
+std::vector<std::string> ConfigCache::contents() const {
+  return {lru_.begin(), lru_.end()};
+}
+
+}  // namespace atlantis::core

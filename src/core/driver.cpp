@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/taskswitch.hpp"
 #include "util/status.hpp"
 
 namespace atlantis::core {
@@ -21,17 +22,41 @@ void AtlantisDriver::post_compute(util::Picoseconds t, const char* label) {
   now_ = txn.end;
 }
 
-void AtlantisDriver::reset_stats() {
-  reset_time();
-  board_.pci().reset_counters();
-  dma_faults_ = 0;
-  dma_retries_ = 0;
-  config_retries_ = 0;
-  recovery_time_ = 0;
+void AtlantisDriver::reset(ResetScope scope) {
+  if (scope == ResetScope::kTime || scope == ResetScope::kStats ||
+      scope == ResetScope::kAll) {
+    epoch_ = now_;
+  }
+  if (scope == ResetScope::kStats || scope == ResetScope::kAll) {
+    board_.pci().reset_counters();
+    dma_faults_ = 0;
+    dma_retries_ = 0;
+    config_retries_ = 0;
+    recovery_time_ = 0;
+  }
+  if (scope == ResetScope::kFaults || scope == ResetScope::kAll) {
+    if (sim::FaultInjector* inj = system_.fault_injector()) inj->reset();
+  }
 }
 
-void AtlantisDriver::advance(util::Picoseconds t) {
-  post_compute(t, "compute");
+util::Result<util::Picoseconds> AtlantisDriver::try_switch_task(
+    TaskSwitcher& switcher, const std::string& name) {
+  ATLANTIS_CHECK(!switcher.bound(),
+                 "try_switch_task needs an unbound switcher (a bound one "
+                 "would post the reconfiguration twice)");
+  util::Result<util::Picoseconds> r = switcher.try_switch_to(name);
+  if (!r.ok()) return r;
+  if (r.value() > 0) {
+    const sim::Transaction& txn =
+        timeline().post(track_, sim::TxnKind::kReconfig, "switch to " + name,
+                        sim::ResourceId{}, now_, r.value());
+    now_ = txn.end;
+  }
+  return r;
+}
+
+void AtlantisDriver::advance(util::Picoseconds t, const char* label) {
+  post_compute(t, label);
 }
 
 void AtlantisDriver::advance_cycles(std::uint64_t cycles) {

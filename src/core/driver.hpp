@@ -37,6 +37,19 @@
 
 namespace atlantis::core {
 
+class TaskSwitcher;
+
+/// What AtlantisDriver::reset() clears. The scopes nest upward: kStats
+/// implies kTime (per-phase accounting always restarts the ledger, the
+/// behaviour the deprecated reset_stats() always had); kAll is every
+/// scope including the crate's fault-injector replay state.
+enum class ResetScope {
+  kTime,    // elapsed() ledger only (epoch moves to the cursor)
+  kStats,   // ledger + PLX lifetime counters + driver recovery counters
+  kFaults,  // fault-injector site streams and replay log (crate-wide)
+  kAll,     // everything above
+};
+
 class AtlantisDriver {
  public:
   /// Opens the ACB with the given index, like the driver's open() call.
@@ -51,17 +64,23 @@ class AtlantisDriver {
   util::Picoseconds elapsed() const { return now_ - epoch_; }
   /// This driver's cursor on the crate timeline (absolute).
   util::Picoseconds now() const { return now_; }
-  /// Resets ONLY the elapsed() ledger (moves the epoch to the cursor).
-  /// The PLX DMA lifetime counters (board().pci().total_bytes()/
-  /// total_time()) keep accumulating — use reset_stats() when a bench
-  /// phase must not double-count them.
-  void reset_time() { epoch_ = now_; }
-  /// Resets the ledger AND the PLX 9080 lifetime DMA counters, so
-  /// per-phase accounting starts from a clean slate.
-  void reset_stats();
+  /// The one reset entry point. reset(kTime) moves the elapsed() epoch
+  /// to the cursor; reset(kStats) additionally clears the PLX 9080
+  /// lifetime DMA counters and the driver's recovery counters;
+  /// reset(kFaults) rewinds the crate's fault injector for bit-identical
+  /// replay; reset(kAll) does all of the above.
+  void reset(ResetScope scope);
+
+  /// Deprecated: use reset(ResetScope::kTime). Thin forwarder kept so
+  /// existing call sites compile and behave identically.
+  void reset_time() { reset(ResetScope::kTime); }
+  /// Deprecated: use reset(ResetScope::kStats). Thin forwarder kept so
+  /// existing call sites compile and behave identically.
+  void reset_stats() { reset(ResetScope::kStats); }
   /// Adds externally-computed hardware time (e.g. N design clocks),
-  /// posted as a design-clock compute transaction.
-  void advance(util::Picoseconds t);
+  /// posted as a design-clock compute transaction. `label` names the
+  /// transaction in traces (the serve layer labels jobs).
+  void advance(util::Picoseconds t, const char* label = "compute");
   /// Adds `cycles` of the board's design clock.
   void advance_cycles(std::uint64_t cycles);
 
@@ -74,6 +93,15 @@ class AtlantisDriver {
   void configure(int fpga, const hw::Bitstream& bs);
   /// Partial reconfiguration (hardware task switch on the ORCA parts).
   void partial_reconfigure(int fpga, const hw::Bitstream& bs);
+
+  /// Hardware task switch through a TaskSwitcher: runs the switch (with
+  /// its configuration cache and CRC-retry semantics), posts the
+  /// kReconfig transaction at THIS driver's cursor and advances past it
+  /// — so a serving layer keeps one cursor per board instead of two.
+  /// The switcher must wrap one of this board's devices and must not be
+  /// bound to the timeline itself (it would double-post).
+  util::Result<util::Picoseconds> try_switch_task(TaskSwitcher& switcher,
+                                                  const std::string& name);
 
   /// Programs the board's design clock (the "design speed 40 MHz" knob
   /// from the Table 1 measurements).

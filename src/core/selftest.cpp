@@ -82,6 +82,17 @@ SelfTestHealth collect_health(AcbBoard& board) {
 }
 
 SelfTestReport self_test_acb(AcbBoard& board) {
+  util::Result<SelfTestReport> r = try_self_test_acb(board);
+  if (!r.ok()) throw util::Error(r.message());
+  return r.value();
+}
+
+util::Result<SelfTestReport> try_self_test_acb(AcbBoard& board) {
+  if (!board.alive()) {
+    return util::Result<SelfTestReport>::failure(
+        util::ErrorCode::kBoardDead,
+        "self test of " + board.name() + ": board is not alive");
+  }
   SelfTestReport report;
   const bool injected = board.fault_injector() != nullptr;
 

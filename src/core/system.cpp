@@ -65,6 +65,14 @@ int AtlantisSystem::aib_slot(int index) const {
   return aib_slots_[static_cast<std::size_t>(index)];
 }
 
+std::vector<int> AtlantisSystem::alive_acbs() const {
+  std::vector<int> out;
+  for (int i = 0; i < acb_count(); ++i) {
+    if (acbs_[static_cast<std::size_t>(i)]->alive()) out.push_back(i);
+  }
+  return out;
+}
+
 std::uint64_t AtlantisSystem::step_acbs(int cycles, bool parallel) {
   ATLANTIS_CHECK(cycles >= 0, "negative cycle count");
   std::uint64_t edges = 0;

@@ -39,6 +39,10 @@ class AtlantisSystem {
   int acb_slot(int index) const;
   int aib_slot(int index) const;
 
+  /// Indices of computing boards still alive (drop-outs excluded) —
+  /// the rotation a serving layer schedules over.
+  std::vector<int> alive_acbs() const;
+
   Backplane& backplane() { return backplane_; }
   const hw::HostCpuModel& host() const { return host_; }
 

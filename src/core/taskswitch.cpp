@@ -22,6 +22,13 @@ util::Picoseconds TaskSwitcher::post_reconfig(const std::string& label,
   return t;
 }
 
+void TaskSwitcher::enable_cache(std::size_t capacity, double hit_fraction) {
+  ATLANTIS_CHECK(hit_fraction > 0.0 && hit_fraction <= 1.0,
+                 "cache hit fraction out of range");
+  cache_ = ConfigCache(capacity);
+  cache_hit_fraction_ = hit_fraction;
+}
+
 util::Picoseconds TaskSwitcher::switch_to(const std::string& name) {
   util::Result<util::Picoseconds> r = try_switch_to(name);
   if (!r.ok()) throw util::Error(r.message());
@@ -37,6 +44,24 @@ util::Result<util::Picoseconds> TaskSwitcher::try_switch_to(
   if (current_ == name && device_.configured()) {
     last_time_ = 0;
     return util::Picoseconds{0};  // already resident
+  }
+  // Bitstream-cache hit: the configuration data is staged in the local
+  // configuration store, so the context is activated (a small fraction
+  // of the full load) without moving the bitstream — and therefore
+  // without a CRC opportunity. An upset or unconfigured device must take
+  // the full reload path below, which repairs it.
+  if (cache_.enabled()) {
+    const bool staged = cache_.touch(name);
+    if (staged && device_.configured() && !device_.upset_pending()) {
+      const util::Picoseconds t =
+          device_.activate(it->second, cache_hit_fraction_);
+      post_reconfig("switch to " + name + " (cached)", t);
+      current_ = name;
+      ++switches_;
+      total_time_ += t;
+      last_time_ = t;
+      return t;
+    }
   }
   util::Picoseconds total = 0;
   for (int attempt = 1;; ++attempt) {
@@ -67,6 +92,7 @@ util::Result<util::Picoseconds> TaskSwitcher::try_switch_to(
   ++switches_;
   total_time_ += total;
   last_time_ = total;
+  cache_.insert(name);  // the full load staged a fresh local copy
   return total;
 }
 

@@ -10,6 +10,7 @@
 #include <map>
 #include <string>
 
+#include "core/configcache.hpp"
 #include "hw/fpga.hpp"
 #include "sim/fault.hpp"
 #include "sim/timeline.hpp"
@@ -47,6 +48,22 @@ class TaskSwitcher {
   void set_retry_policy(const sim::RetryPolicy& policy) { policy_ = policy; }
   const sim::RetryPolicy& retry_policy() const { return policy_; }
 
+  // --- bitstream/configuration cache ------------------------------------
+  /// Enables the LRU bitstream cache: up to `capacity` recently used
+  /// configurations stay staged in the board's local configuration
+  /// store. A switch to a staged task activates the context (paying
+  /// `hit_fraction` of the full configuration time) instead of reloading
+  /// the bitstream — and skips the CRC check, since no configuration
+  /// data moved. Capacity 0 (the default) disables the cache; behaviour
+  /// is then bit-identical to the pre-cache switcher.
+  void enable_cache(std::size_t capacity, double hit_fraction = 1.0 / 64.0);
+  const ConfigCache& cache() const { return cache_; }
+  const ConfigCacheStats& cache_stats() const { return cache_.stats(); }
+  /// Drops every staged configuration (board power loss / drop-out).
+  void invalidate_cache() { cache_.clear(); }
+  std::uint64_t cache_hits() const { return cache_.stats().hits; }
+  std::uint64_t cache_misses() const { return cache_.stats().misses; }
+
   const std::string& current() const { return current_; }
   std::uint64_t switch_count() const { return switches_; }
   util::Picoseconds total_switch_time() const { return total_time_; }
@@ -77,6 +94,8 @@ class TaskSwitcher {
   std::uint64_t reconfig_retries_ = 0;
   std::uint64_t scrubs_ = 0;
   std::uint64_t upsets_corrected_ = 0;
+  ConfigCache cache_;
+  double cache_hit_fraction_ = 1.0 / 64.0;
   sim::RetryPolicy policy_;
   sim::Timeline* timeline_ = nullptr;
   sim::TrackId track_;

@@ -129,6 +129,26 @@ util::Picoseconds FpgaDevice::partial_reconfigure(const Bitstream& bs) {
   return spent;
 }
 
+util::Picoseconds FpgaDevice::activate(const Bitstream& bs,
+                                       double fraction_of_full) {
+  ATLANTIS_CHECK(fraction_of_full > 0.0 && fraction_of_full <= 1.0,
+                 "activation fraction out of range");
+  if (upset_pending_) {
+    throw util::StateError("activation of upset device " + name_ +
+                           " — reconfigure to repair first");
+  }
+  check_fit(bs.stats);
+  crc_ok_ = true;
+  configured_ = true;
+  design_name_ = bs.name;
+  sim_.reset();
+  if (bs.design != nullptr) {
+    sim_ = std::make_unique<chdl::Simulator>(*bs.design);
+  }
+  return config_time(static_cast<std::int64_t>(
+      static_cast<double>(family_->config_bits) * fraction_of_full));
+}
+
 util::Picoseconds FpgaDevice::readback() const {
   ATLANTIS_CHECK(family_->readback,
                  family_->name + " does not support readback");

@@ -71,6 +71,15 @@ class FpgaDevice {
   /// must already be configured.
   util::Picoseconds partial_reconfigure(const Bitstream& bs);
 
+  /// Activates a configuration context whose data is already staged in
+  /// the local configuration store (a bitstream-cache hit): only
+  /// `fraction_of_full` of the full configuration data moves — the
+  /// context-switch registers, not the whole bitstream — and because no
+  /// data is reloaded through the serial port there is no CRC check and
+  /// no CRC fault opportunity. The device must not carry a pending
+  /// configuration upset (the staged copy cannot repair live state).
+  util::Picoseconds activate(const Bitstream& bs, double fraction_of_full);
+
   /// Configuration readback (test/verify path). Returns the time to read
   /// the full bitstream back out.
   util::Picoseconds readback() const;

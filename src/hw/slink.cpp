@@ -67,6 +67,35 @@ std::size_t SlinkChannel::send_fragment(
   return accepted;
 }
 
+util::Result<std::size_t> SlinkChannel::try_send_fragment(
+    std::uint32_t event_id, const std::vector<std::uint32_t>& payload) {
+  const std::uint64_t errors_before = link_errors_;
+  const std::uint64_t truncated_before = truncated_frames_;
+  const std::size_t accepted = send_fragment(event_id, payload);
+  if (accepted < payload.size() + 2 &&
+      truncated_frames_ == truncated_before) {
+    return util::Result<std::size_t>::failure(
+        util::ErrorCode::kXoff, "slink " + name_ + ": fragment " +
+                                    std::to_string(event_id) +
+                                    " refused by flow control after " +
+                                    std::to_string(accepted) + " words");
+  }
+  if (truncated_frames_ > truncated_before) {
+    return util::Result<std::size_t>::failure(
+        util::ErrorCode::kTruncatedFrame,
+        "slink " + name_ + ": fragment " + std::to_string(event_id) +
+            " lost its end marker");
+  }
+  if (link_errors_ > errors_before) {
+    return util::Result<std::size_t>::failure(
+        util::ErrorCode::kLinkError,
+        "slink " + name_ + ": fragment " + std::to_string(event_id) +
+            " carried " + std::to_string(link_errors_ - errors_before) +
+            " corrupted word(s)");
+  }
+  return accepted;
+}
+
 std::optional<SlinkWord> SlinkChannel::receive() {
   if (head_ >= fifo_.size()) return std::nullopt;
   const SlinkWord w = fifo_[head_++];

@@ -50,6 +50,15 @@ class SlinkChannel {
   std::size_t send_fragment(std::uint32_t event_id,
                             const std::vector<std::uint32_t>& payload);
 
+  /// Recoverable dual (the try_dma_* convention): the fault outcome of
+  /// one fragment send comes back as an ErrorCode instead of having to
+  /// be reverse-engineered from the counters — kXoff when flow control
+  /// refused words (fragment incomplete), kTruncatedFrame when the end
+  /// marker was lost, kLinkError when a payload word arrived with LDERR
+  /// set. Success carries the words accepted.
+  util::Result<std::size_t> try_send_fragment(
+      std::uint32_t event_id, const std::vector<std::uint32_t>& payload);
+
   /// Receiver side: pops the next word if available.
   std::optional<SlinkWord> receive();
 

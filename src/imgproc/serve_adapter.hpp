@@ -1,0 +1,20 @@
+// JobService adapter for 2-D filtering: one image tile per job.
+#pragma once
+
+#include <string>
+
+#include "imgproc/filters.hpp"
+#include "imgproc/hwmodel.hpp"
+#include "serve/job.hpp"
+
+namespace atlantis::imgproc {
+
+/// Builds a serving-layer job that filters one tile. The tile and the
+/// kernel are captured by value, so the job owns its data. The checksum
+/// digests the filtered pixels (the integer kernels make hardware and
+/// software bit-identical); timing comes from filter_atlantis.
+serve::JobSpec make_filter_job(Gray8 tile, Kernel3x3 kernel, ImgHwConfig cfg,
+                               std::string tenant, std::string config,
+                               util::Picoseconds arrival = 0);
+
+}  // namespace atlantis::imgproc

@@ -1,0 +1,51 @@
+#include "nbody/serve_adapter.hpp"
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace atlantis::nbody {
+
+serve::JobSpec make_integrate_job(ParticleSet particles, double dt, int steps,
+                                  ForcePipelineConfig cfg, std::string tenant,
+                                  std::string config,
+                                  util::Picoseconds arrival) {
+  serve::JobSpec spec;
+  spec.tenant = std::move(tenant);
+  spec.kind = serve::JobKind::kNbodyStep;
+  spec.config = std::move(config);
+  spec.arrival = arrival;
+  spec.work = [particles = std::move(particles), dt, steps, cfg]() {
+    serve::JobOutcome out;
+    ParticleSet local = particles;  // keep the functor re-invocable
+    util::Picoseconds pipeline_time = 0;
+    const ForceEngine engine = [&cfg,
+                                &pipeline_time](const ParticleSet& ps) {
+      ForcePipelineResult fr = accel_pipeline(ps, cfg);
+      pipeline_time += fr.time;
+      return fr.accel;
+    };
+    const double drift =
+        integrate(local, dt, steps, engine, cfg.softening);
+    std::vector<std::uint64_t> bits;
+    bits.reserve(local.size() * 3);
+    for (const Particle& p : local) {
+      bits.push_back(std::bit_cast<std::uint64_t>(p.pos.x));
+      bits.push_back(std::bit_cast<std::uint64_t>(p.pos.y));
+      bits.push_back(std::bit_cast<std::uint64_t>(p.pos.z));
+    }
+    out.checksum = serve::digest(bits);
+    out.value = drift;
+    out.detail = std::to_string(local.size()) + " particles, " +
+                 std::to_string(steps) + " steps";
+    out.compute_time = pipeline_time;
+    // Phase space in, phase space out: pos + vel + mass as doubles.
+    const std::uint64_t bytes = local.size() * 7 * sizeof(double);
+    out.dma_in_bytes = bytes;
+    out.dma_out_bytes = bytes;
+    return out;
+  };
+  return spec;
+}
+
+}  // namespace atlantis::nbody

@@ -1,0 +1,23 @@
+// JobService adapter for N-body: one integration chunk per job.
+#pragma once
+
+#include <string>
+
+#include "nbody/force.hpp"
+#include "nbody/integrator.hpp"
+#include "serve/job.hpp"
+
+namespace atlantis::nbody {
+
+/// Builds a serving-layer job that advances one particle set `steps`
+/// leapfrog steps through the reduced-precision force pipeline. The
+/// particles are captured by value (the job owns its chunk), so many
+/// independent systems — or disjoint chunks of a big one — serve
+/// concurrently. The value is the relative energy drift; the checksum
+/// digests the final positions bit for bit.
+serve::JobSpec make_integrate_job(ParticleSet particles, double dt, int steps,
+                                  ForcePipelineConfig cfg, std::string tenant,
+                                  std::string config,
+                                  util::Picoseconds arrival = 0);
+
+}  // namespace atlantis::nbody

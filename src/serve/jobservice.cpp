@@ -1,0 +1,315 @@
+#include "serve/jobservice.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/stats.hpp"
+#include "util/status.hpp"
+#include "util/worker_pool.hpp"
+
+namespace atlantis::serve {
+
+JobService::JobService(core::AtlantisSystem& system, ServeOptions options)
+    : system_(system), options_(std::move(options)) {
+  ATLANTIS_CHECK(system_.acb_count() > 0,
+                 "a JobService needs at least one computing board");
+  boards_.reserve(static_cast<std::size_t>(system_.acb_count()));
+  for (int i = 0; i < system_.acb_count(); ++i) {
+    BoardState state;
+    state.index = i;
+    state.dead = !system_.acb(i).alive();
+    state.driver = std::make_unique<core::AtlantisDriver>(system_, i);
+    // The switcher wraps the board's host-PCI FPGA and stays UNBOUND:
+    // reconfigurations are posted through the driver's cursor
+    // (try_switch_task), so each board has exactly one notion of "now".
+    state.switcher =
+        std::make_unique<core::TaskSwitcher>(system_.acb(i).fpga(0));
+    state.switcher->enable_cache(options_.cache_capacity,
+                                 options_.cache_hit_fraction);
+    boards_.push_back(std::move(state));
+  }
+}
+
+void JobService::register_config(const hw::Bitstream& bs) {
+  configs_[bs.name] = bs;
+  for (BoardState& board : boards_) board.switcher->add_task(bs);
+}
+
+util::Result<JobId> JobService::submit(JobSpec spec) {
+  ATLANTIS_CHECK(configs_.count(spec.config) != 0,
+                 "configuration '" + spec.config +
+                     "' was never registered with the service");
+  ATLANTIS_CHECK(static_cast<bool>(spec.work),
+                 "a job needs a work functor");
+  std::uint64_t& pending = pending_by_tenant_[spec.tenant];
+  if (pending >= options_.max_queued_per_tenant) {
+    return util::Result<JobId>::failure(
+        util::ErrorCode::kOverloaded,
+        "tenant '" + spec.tenant + "' already holds " +
+            std::to_string(pending) + " queued jobs");
+  }
+  const JobId id = static_cast<JobId>(records_.size());
+  JobRecord rec;
+  rec.id = id;
+  rec.tenant = spec.tenant;
+  rec.kind = spec.kind;
+  rec.config = spec.config;
+  rec.arrival = spec.arrival;
+  records_.push_back(std::move(rec));
+  queues_.push_back(spec.config, id);
+  specs_.push_back(std::move(spec));
+  ++pending;
+  return id;
+}
+
+const core::TaskSwitcher& JobService::switcher(int board_index) const {
+  return *boards_.at(static_cast<std::size_t>(board_index)).switcher;
+}
+
+sim::TrackId JobService::tenant_track(const std::string& tenant) {
+  const auto it = tenant_tracks_.find(tenant);
+  if (it != tenant_tracks_.end()) return it->second;
+  const sim::TrackId track =
+      system_.timeline().add_track("tenant/" + tenant);
+  tenant_tracks_.emplace(tenant, track);
+  return track;
+}
+
+JobService::BoardState* JobService::pick_board() {
+  BoardState* best = nullptr;
+  for (BoardState& board : boards_) {
+    if (board.dead) continue;
+    if (!system_.acb(board.index).alive()) {  // killed from outside
+      board.dead = true;
+      board.switcher->invalidate_cache();
+      continue;
+    }
+    if (best == nullptr || board.driver->now() < best->driver->now()) {
+      best = &board;  // ties keep the lowest index (iteration order)
+    }
+  }
+  return best;
+}
+
+const ServiceReport& JobService::run(util::WorkerPool* pool) {
+  util::WorkerPool& workers =
+      pool != nullptr ? *pool : util::WorkerPool::shared();
+  report_ = ServiceReport{};
+  run_ids_.clear();
+
+  // Delta baselines, so repeated run() calls report only their own work.
+  struct Baseline {
+    std::uint64_t switches, hits, misses, evictions, insertions;
+    util::Picoseconds switch_time;
+  };
+  std::vector<Baseline> base;
+  base.reserve(boards_.size());
+  for (const BoardState& b : boards_) {
+    base.push_back({b.switcher->switch_count(), b.switcher->cache_hits(),
+                    b.switcher->cache_misses(),
+                    b.switcher->cache_stats().evictions,
+                    b.switcher->cache_stats().insertions,
+                    b.switcher->total_switch_time()});
+  }
+
+  while (!queues_.empty()) {
+    BoardState* board = pick_board();
+    if (board == nullptr) {
+      fail_remaining(util::ErrorCode::kBoardDead);
+      break;
+    }
+    core::AcbBoard& acb = system_.acb(board->index);
+
+    const std::string config = options_.fifo_order
+                                   ? queues_.pick_fifo()
+                                   : queues_.pick(board->switcher->current());
+    std::deque<JobId> batch;
+    while (static_cast<int>(batch.size()) < options_.max_batch &&
+           queues_.depth(config) > 0) {
+      batch.push_back(queues_.pop_front(config));
+    }
+
+    // One drop-out opportunity per dispatch, drawn on the scheduling
+    // thread BEFORE any state changes, so the draw order — and the
+    // schedule — is pool-size invariant.
+    if (acb.draw_dropout()) {
+      board->dead = true;
+      board->switcher->invalidate_cache();
+      report_.dead_boards.push_back(board->index);
+      queues_.push_front(config, batch);
+      continue;
+    }
+
+    // Make the configuration resident (full load, partial reconfig, or a
+    // cache-hit activation). A switch that cannot complete within the
+    // retry policy means the board lost its configuration path: drain it.
+    const util::Result<util::Picoseconds> sw =
+        board->driver->try_switch_task(*board->switcher, config);
+    if (!sw.ok()) {
+      board->dead = true;
+      board->switcher->invalidate_cache();
+      report_.dead_boards.push_back(board->index);
+      queues_.push_front(config, batch);
+      continue;
+    }
+
+    serve_batch(*board, config, batch, workers);
+    ++report_.batches;
+  }
+
+  // Cache / reconfiguration accounting (deltas over this run).
+  for (std::size_t i = 0; i < boards_.size(); ++i) {
+    const core::TaskSwitcher& sw = *boards_[i].switcher;
+    const std::uint64_t switches = sw.switch_count() - base[i].switches;
+    const std::uint64_t hits = sw.cache_hits() - base[i].hits;
+    report_.task_switches += switches;
+    report_.cache_hits += hits;
+    report_.cache_misses += sw.cache_misses() - base[i].misses;
+    report_.cache_evictions += sw.cache_stats().evictions - base[i].evictions;
+    report_.full_reconfigs += switches - hits;
+    report_.reconfig_time += sw.total_switch_time() - base[i].switch_time;
+  }
+  const std::uint64_t lookups = report_.cache_hits + report_.cache_misses;
+  report_.cache_hit_rate =
+      lookups == 0 ? 0.0
+                   : static_cast<double>(report_.cache_hits) /
+                         static_cast<double>(lookups);
+
+  finalize_report();
+  return report_;
+}
+
+void JobService::serve_batch(BoardState& board, const std::string& config,
+                             const std::deque<JobId>& batch,
+                             util::WorkerPool& pool) {
+  // Functional evaluation: pure job functors, results addressed by
+  // index. This is the ONLY thing the pool size touches.
+  std::vector<JobOutcome> outcomes(batch.size());
+  pool.parallel_for(static_cast<int>(batch.size()), [&](int i) {
+    outcomes[static_cast<std::size_t>(i)] =
+        specs_[batch[static_cast<std::size_t>(i)]].work();
+  });
+
+  core::AtlantisDriver& drv = *board.driver;
+  sim::Timeline& timeline = drv.timeline();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const JobId id = batch[i];
+    JobRecord& rec = records_[id];
+    const JobOutcome& out = outcomes[i];
+    rec.board = board.index;
+    rec.start = drv.now();
+    rec.queue_wait = std::max<util::Picoseconds>(0, rec.start - rec.arrival);
+    // The wait lands on the tenant's own track, so per-tenant latency is
+    // readable straight off the timeline (track_stats).
+    timeline.post(tenant_track(rec.tenant), sim::TxnKind::kQueueWait,
+                  std::string(job_kind_name(rec.kind)) + " wait [" + config +
+                      "]",
+                  sim::ResourceId{}, rec.arrival, rec.queue_wait);
+
+    const std::string label =
+        std::string(job_kind_name(rec.kind)) + " " + rec.tenant + "#" +
+        std::to_string(id);
+    bool io_ok = true;
+    if (out.dma_in_bytes > 0 && options_.overlap_io) {
+      // Input streams in while the board computes; join at the max.
+      drv.dma_write_async(out.dma_in_bytes);
+      if (out.compute_time > 0) drv.advance(out.compute_time, label.c_str());
+      drv.wait();
+    } else {
+      if (out.dma_in_bytes > 0) {
+        const util::Result<hw::DmaTransfer> w =
+            drv.try_dma_write(out.dma_in_bytes);
+        if (!w.ok()) {
+          rec.error = w.error();
+          io_ok = false;
+        }
+      }
+      if (io_ok && out.compute_time > 0) {
+        drv.advance(out.compute_time, label.c_str());
+      }
+    }
+    if (io_ok && out.dma_out_bytes > 0) {
+      const util::Result<hw::DmaTransfer> r =
+          drv.try_dma_read(out.dma_out_bytes);
+      if (!r.ok()) {
+        rec.error = r.error();
+        io_ok = false;
+      }
+    }
+    rec.finish = drv.now();
+    rec.outcome = out;
+    if (io_ok) {
+      ++report_.served;
+    } else {
+      ++report_.failed;
+    }
+    --pending_by_tenant_[rec.tenant];
+    run_ids_.push_back(id);
+  }
+}
+
+void JobService::fail_remaining(util::ErrorCode code) {
+  while (!queues_.empty()) {
+    const std::string config = queues_.pick("");
+    const JobId id = queues_.pop_front(config);
+    JobRecord& rec = records_[id];
+    rec.error = code;
+    rec.outcome.ok = false;
+    rec.outcome.detail = "no alive board to serve the job";
+    ++report_.failed;
+    --pending_by_tenant_[rec.tenant];
+    run_ids_.push_back(id);
+  }
+}
+
+void JobService::finalize_report() {
+  // Per-tenant quality, from this run's records only.
+  std::map<std::string, std::vector<double>> waits;
+  std::map<std::string, std::vector<double>> services;
+  std::map<std::string, std::uint64_t> failures;
+  for (const JobId id : run_ids_) {
+    const JobRecord& rec = records_[id];
+    if (rec.error != util::ErrorCode::kOk || !rec.outcome.ok) {
+      ++failures[rec.tenant];
+      if (rec.board < 0) continue;  // never dispatched: no timing sample
+    }
+    waits[rec.tenant].push_back(static_cast<double>(rec.queue_wait));
+    services[rec.tenant].push_back(
+        static_cast<double>(rec.finish - rec.start));
+    report_.makespan = std::max(report_.makespan, rec.finish);
+  }
+  for (const auto& [tenant, w] : waits) {
+    TenantStats t;
+    t.tenant = tenant;
+    t.jobs = w.size();
+    t.failed = failures.count(tenant) ? failures[tenant] : 0;
+    t.p50_wait = static_cast<util::Picoseconds>(util::percentile(w, 0.50));
+    t.p99_wait = static_cast<util::Picoseconds>(util::percentile(w, 0.99));
+    t.max_wait = static_cast<util::Picoseconds>(
+        *std::max_element(w.begin(), w.end()));
+    const std::vector<double>& s = services.at(tenant);
+    double sum = 0.0;
+    for (const double v : s) sum += v;
+    t.mean_service = static_cast<util::Picoseconds>(
+        sum / static_cast<double>(s.size()));
+    report_.tenants.push_back(std::move(t));
+  }
+  // Tenants that only ever failed undispatched still deserve a row.
+  for (const auto& [tenant, failed] : failures) {
+    if (waits.count(tenant)) continue;
+    TenantStats t;
+    t.tenant = tenant;
+    t.failed = failed;
+    report_.tenants.push_back(std::move(t));
+  }
+  std::sort(report_.tenants.begin(), report_.tenants.end(),
+            [](const TenantStats& a, const TenantStats& b) {
+              return a.tenant < b.tenant;
+            });
+  if (report_.makespan > 0) {
+    report_.jobs_per_second = static_cast<double>(report_.served) /
+                              (static_cast<double>(report_.makespan) / 1e12);
+  }
+}
+
+}  // namespace atlantis::serve

@@ -1,0 +1,141 @@
+// JobService: the multi-tenant batch scheduler over an AtlantisSystem.
+//
+// This is the one documented front door for running work on the crate:
+// clients submit jobs (serve/job.hpp), the service admission-controls
+// them into per-configuration queues (serve/queue.hpp) and schedules
+// them across every computing board — batching same-configuration jobs
+// to amortize FPGA reconfiguration, activating recently used bitstreams
+// from each board's LRU configuration cache (core/configcache.hpp), and
+// posting every reconfiguration, DMA, compute and queue wait onto the
+// crate timeline so per-tenant latency percentiles and board
+// utilization fall out of the existing tooling.
+//
+// Determinism contract (tested): the schedule — every transaction on
+// the timeline — and every job result are bit-identical across worker-
+// pool sizes, and replay-identical for a fixed fault seed, including
+// when a fault plan drops a board mid-stream. The mechanism is the same
+// as the fault injector's: all scheduling decisions, fault draws and
+// timeline posts happen on the calling thread in a fixed order; the
+// worker pool only evaluates the pure job functors.
+//
+// Degradation: a board drop-out (PR 4 fault model) at dispatch time
+// marks the board dead, invalidates its staged configurations, and
+// re-queues the assembled batch at the front of its configuration
+// queue, so the surviving boards absorb the work. With no boards left,
+// remaining jobs complete with kBoardDead.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/driver.hpp"
+#include "core/system.hpp"
+#include "core/taskswitch.hpp"
+#include "serve/job.hpp"
+#include "serve/queue.hpp"
+#include "util/status.hpp"
+#include "util/units.hpp"
+
+namespace atlantis::util {
+class WorkerPool;
+}
+
+namespace atlantis::serve {
+
+/// Per-tenant service quality over one run() — the numbers a
+/// "millions of users" operator actually watches.
+struct TenantStats {
+  std::string tenant;
+  std::uint64_t jobs = 0;
+  std::uint64_t failed = 0;
+  util::Picoseconds p50_wait = 0;
+  util::Picoseconds p99_wait = 0;
+  util::Picoseconds max_wait = 0;
+  util::Picoseconds mean_service = 0;  // start -> finish
+};
+
+/// Everything one run() did, in aggregate.
+struct ServiceReport {
+  std::uint64_t served = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t task_switches = 0;   // switches that moved context or data
+  std::uint64_t full_reconfigs = 0;  // full bitstream loads (cache misses)
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  double cache_hit_rate = 0.0;
+  util::Picoseconds reconfig_time = 0;
+  util::Picoseconds makespan = 0;  // latest job finish (modelled)
+  double jobs_per_second = 0.0;    // served / makespan
+  std::vector<TenantStats> tenants;       // sorted by tenant name
+  std::vector<int> dead_boards;           // ACB indices lost to drop-outs
+};
+
+class JobService {
+ public:
+  /// Builds the service over every computing board currently in the
+  /// crate. Each board gets a driver (its cursor on the timeline) and a
+  /// task switcher over its host-PCI FPGA with the configuration cache
+  /// from `options`.
+  explicit JobService(core::AtlantisSystem& system, ServeOptions options = {});
+
+  const ServeOptions& options() const { return options_; }
+  core::AtlantisSystem& system() { return system_; }
+
+  /// Registers a configuration every job referencing `bs.name` needs.
+  /// Must precede the first submit() of that configuration.
+  void register_config(const hw::Bitstream& bs);
+
+  /// Admits one job. Fails with kOverloaded when the tenant already
+  /// holds max_queued_per_tenant pending jobs, with a StateError throw
+  /// when the configuration was never registered (caller misuse).
+  util::Result<JobId> submit(JobSpec spec);
+
+  /// Drains every queue across the alive boards and returns the run's
+  /// report. `pool` sizes the functional evaluation only — the schedule
+  /// and the results are bit-identical for any pool (nullptr = shared).
+  const ServiceReport& run(util::WorkerPool* pool = nullptr);
+
+  /// Ledger of every job ever submitted, indexed by JobId.
+  const std::vector<JobRecord>& jobs() const { return records_; }
+  const JobRecord& job(JobId id) const { return records_.at(id); }
+  const ServiceReport& report() const { return report_; }
+
+  std::size_t pending() const { return queues_.total(); }
+  /// Per-board switcher (cache stats, current task) for inspection.
+  const core::TaskSwitcher& switcher(int board_index) const;
+
+ private:
+  struct BoardState {
+    int index = -1;
+    bool dead = false;
+    std::unique_ptr<core::AtlantisDriver> driver;
+    std::unique_ptr<core::TaskSwitcher> switcher;
+  };
+
+  sim::TrackId tenant_track(const std::string& tenant);
+  BoardState* pick_board();
+  void serve_batch(BoardState& board, const std::string& config,
+                   const std::deque<JobId>& batch,
+                   util::WorkerPool& pool);
+  void fail_remaining(util::ErrorCode code);
+  void finalize_report();
+
+  core::AtlantisSystem& system_;
+  ServeOptions options_;
+  std::vector<BoardState> boards_;
+  std::map<std::string, hw::Bitstream> configs_;
+  ConfigQueues queues_;
+  std::map<std::string, std::uint64_t> pending_by_tenant_;
+  std::map<std::string, sim::TrackId> tenant_tracks_;
+  std::vector<JobSpec> specs_;      // by JobId
+  std::vector<JobRecord> records_;  // by JobId
+  std::vector<JobId> run_ids_;      // jobs resolved by the current run()
+  ServiceReport report_;
+};
+
+}  // namespace atlantis::serve

@@ -1,0 +1,110 @@
+// Admission control and per-configuration queues of the serving layer.
+//
+// Jobs are admitted against a per-tenant backlog quota (the crate must
+// not let one tenant starve the rest of queue memory), then parked in
+// the FIFO queue of the configuration they need. The scheduler drains
+// whole batches from one queue at a time — that is what amortizes the
+// FPGA reconfiguration a queue switch costs.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+
+#include "serve/job.hpp"
+#include "util/units.hpp"
+
+namespace atlantis::serve {
+
+/// Tuning knobs of the JobService.
+struct ServeOptions {
+  /// Jobs of one configuration dispatched per board visit. 1 disables
+  /// batching (every alternating job pays a reconfiguration).
+  int max_batch = 8;
+  /// Admission control: pending (queued, not yet dispatched) jobs one
+  /// tenant may hold; submit() past it fails with kOverloaded.
+  std::uint64_t max_queued_per_tenant = 1'000'000;
+  /// Per-board bitstream cache capacity (0 disables the cache).
+  std::size_t cache_capacity = 4;
+  /// Fraction of a full configuration a cache-hit activation costs.
+  double cache_hit_fraction = 1.0 / 64.0;
+  /// Stream each job's input DMA asynchronously so it overlaps the
+  /// previous compute (the driver's dma_*_async path).
+  bool overlap_io = true;
+  /// Serve strictly in submission order instead of draining one
+  /// configuration's queue at a time — the reconfigure-per-job baseline
+  /// the serving benchmark compares batching against.
+  bool fifo_order = false;
+};
+
+/// FIFO queues keyed by configuration name, plus per-tenant backlog
+/// counters. Deterministic by construction: std::map keeps the
+/// configuration iteration order stable, and every queue preserves
+/// submission order.
+class ConfigQueues {
+ public:
+  void push_back(const std::string& config, JobId id) {
+    queues_[config].push_back(id);
+  }
+  /// Re-queues at the FRONT, preserving original order of `ids` — used
+  /// when a board dies with a batch assembled but not served.
+  void push_front(const std::string& config, const std::deque<JobId>& ids) {
+    auto& q = queues_[config];
+    q.insert(q.begin(), ids.begin(), ids.end());
+  }
+  JobId pop_front(const std::string& config) {
+    auto& q = queues_.at(config);
+    const JobId id = q.front();
+    q.pop_front();
+    if (q.empty()) queues_.erase(config);
+    return id;
+  }
+
+  bool empty() const { return queues_.empty(); }
+  std::size_t depth(const std::string& config) const {
+    const auto it = queues_.find(config);
+    return it == queues_.end() ? 0 : it->second.size();
+  }
+  std::size_t total() const {
+    std::size_t n = 0;
+    for (const auto& [_, q] : queues_) n += q.size();
+    return n;
+  }
+
+  /// The configuration whose queue head is the oldest job overall —
+  /// strict submission order (the fifo_order baseline).
+  std::string pick_fifo() const {
+    std::string best;
+    JobId best_id = ~JobId{0};
+    for (const auto& [config, q] : queues_) {
+      if (q.front() < best_id) {
+        best_id = q.front();
+        best = config;
+      }
+    }
+    return best;
+  }
+
+  /// The non-empty queue the scheduler should serve next: the resident
+  /// configuration when it still has work (switch-free), otherwise the
+  /// deepest queue, ties broken by configuration name — all
+  /// deterministic regardless of submission interleaving.
+  std::string pick(const std::string& resident) const {
+    if (depth(resident) > 0) return resident;
+    std::string best;
+    std::size_t best_depth = 0;
+    for (const auto& [config, q] : queues_) {
+      if (q.size() > best_depth) {
+        best = config;
+        best_depth = q.size();
+      }
+    }
+    return best;
+  }
+
+ private:
+  std::map<std::string, std::deque<JobId>> queues_;
+};
+
+}  // namespace atlantis::serve

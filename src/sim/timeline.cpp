@@ -20,6 +20,7 @@ const char* txn_kind_name(TxnKind kind) {
     case TxnKind::kCompute: return "compute";
     case TxnKind::kHost: return "host";
     case TxnKind::kBackoff: return "backoff";
+    case TxnKind::kQueueWait: return "queue_wait";
     case TxnKind::kOther: return "other";
   }
   return "other";
@@ -127,6 +128,24 @@ void Timeline::record_retry(ResourceId id, util::Picoseconds recovery) {
   ResourceStats& s = resources_[static_cast<std::size_t>(id.value)].stats;
   ++s.retries;
   s.retry_time += recovery;
+}
+
+Timeline::TrackStats Timeline::track_stats(TrackId id) const {
+  ATLANTIS_CHECK(id.valid() && id.value < track_count(), "unknown track");
+  TrackStats s;
+  s.name = tracks_[static_cast<std::size_t>(id.value)].name;
+  bool first = true;
+  for (const Transaction& t : txns_) {
+    if (!(t.track == id)) continue;
+    ++s.transactions;
+    s.bytes += t.bytes;
+    s.busy += t.duration();
+    if (t.kind == TxnKind::kQueueWait) s.queue_wait += t.duration();
+    s.first_post = first ? t.post : std::min(s.first_post, t.post);
+    s.last_end = std::max(s.last_end, t.end);
+    first = false;
+  }
+  return s;
 }
 
 std::vector<ResourceStats> Timeline::all_stats() const {

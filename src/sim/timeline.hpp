@@ -46,6 +46,7 @@ enum class TxnKind {
   kCompute,       // design-clock compute on a board
   kHost,          // host-CPU work
   kBackoff,       // recovery wait between retry attempts
+  kQueueWait,     // job waiting in a service queue (serve layer)
   kOther,
 };
 
@@ -144,6 +145,21 @@ class Timeline {
 
   ResourceStats stats(ResourceId id) const;
   std::vector<ResourceStats> all_stats() const;
+
+  /// Aggregate view of one actor track over the whole run — the
+  /// per-tenant accounting hook: a serving layer that posts each
+  /// tenant's queue waits on a dedicated track reads latency totals and
+  /// transaction counts straight off the timeline.
+  struct TrackStats {
+    std::string name;
+    std::uint64_t transactions = 0;
+    std::uint64_t bytes = 0;
+    util::Picoseconds busy = 0;        // sum of service durations
+    util::Picoseconds queue_wait = 0;  // sum of kQueueWait durations
+    util::Picoseconds first_post = 0;
+    util::Picoseconds last_end = 0;
+  };
+  TrackStats track_stats(TrackId id) const;
 
   /// Fault/recovery bookkeeping: a transaction on `id` faulted, or a
   /// retry was issued and spent `recovery` (backoff + retransmission)

@@ -64,6 +64,18 @@ class Accumulator {
   double max_ = -std::numeric_limits<double>::infinity();
 };
 
+/// Exact nearest-rank percentile (q in [0,1]) over an unsorted sample
+/// set; sorts a copy. Deterministic — the serving layer's p50/p99 queue
+/// latencies come from here, so they must not depend on sample order.
+inline double percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(samples.size() - 1) + 0.5);
+  return samples[rank];
+}
+
 /// Fixed-bin histogram over [lo, hi); out-of-range samples land in the
 /// first/last bin. Used for track histograms and latency distributions.
 class Histogram {

@@ -17,6 +17,7 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::kBoardDead: return "board_dead";
     case ErrorCode::kTimeout: return "timeout";
     case ErrorCode::kRetriesExhausted: return "retries_exhausted";
+    case ErrorCode::kOverloaded: return "overloaded";
   }
   return "unknown";
 }

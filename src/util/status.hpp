@@ -48,6 +48,7 @@ enum class ErrorCode {
   kBoardDead,         // whole-board drop-out
   kTimeout,           // recovery exceeded its time budget
   kRetriesExhausted,  // all retry attempts failed
+  kOverloaded,        // admission control refused the request
 };
 
 /// Stable lowercase name ("dma_stall", "config_crc", ...).

@@ -1,0 +1,37 @@
+#include "volren/serve_adapter.hpp"
+
+#include <cmath>
+
+namespace atlantis::volren {
+
+serve::JobSpec make_frame_job(const Volume& volume, FpgaRendererConfig cfg,
+                              TransferFunction tf, ViewDirection view,
+                              std::string tenant, std::string config,
+                              util::Picoseconds arrival) {
+  serve::JobSpec spec;
+  spec.tenant = std::move(tenant);
+  spec.kind = serve::JobKind::kVolrenFrame;
+  spec.config = std::move(config);
+  spec.arrival = arrival;
+  spec.work = [&volume, cfg, tf = std::move(tf), view]() {
+    serve::JobOutcome out;
+    FpgaVolumeRenderer renderer(volume, cfg);
+    const FrameReport frame = renderer.render_frame(tf, view);
+    out.checksum = serve::digest(frame.image.data());
+    out.value = frame.fps_fpga;
+    out.detail = std::string(view_name(view)) + " frame, " + tf.name();
+    // The frame time at the achieved FPGA clock is the job's compute.
+    out.compute_time =
+        frame.fps_fpga > 0.0
+            ? static_cast<util::Picoseconds>(std::llround(1e12 /
+                                                          frame.fps_fpga))
+            : 0;
+    out.dma_in_bytes = 0;  // volume already resident on the mezzanine
+    out.dma_out_bytes = static_cast<std::uint64_t>(frame.image.width()) *
+                        static_cast<std::uint64_t>(frame.image.height());
+    return out;
+  };
+  return spec;
+}
+
+}  // namespace atlantis::volren

@@ -1,0 +1,22 @@
+// JobService adapter for volume rendering: one frame per job.
+#pragma once
+
+#include <string>
+
+#include "serve/job.hpp"
+#include "volren/renderer.hpp"
+
+namespace atlantis::volren {
+
+/// Builds a serving-layer job that renders one frame. The volume is
+/// captured by reference and must outlive the service run; the transfer
+/// function and view are captured by value. Each invocation constructs
+/// its own (unbound) FpgaVolumeRenderer, so concurrent evaluation on the
+/// worker pool shares no mutable state. The volume is board-resident, so
+/// only the finished image crosses PCI.
+serve::JobSpec make_frame_job(const Volume& volume, FpgaRendererConfig cfg,
+                              TransferFunction tf, ViewDirection view,
+                              std::string tenant, std::string config,
+                              util::Picoseconds arrival = 0);
+
+}  // namespace atlantis::volren

@@ -1,0 +1,140 @@
+// The unified API surface of this PR: reset(ResetScope) and its
+// deprecated forwarders, the Result<T> duals (self test, board
+// configure, S-Link fragment), try_switch_task, and the kOverloaded
+// error code.
+#include <gtest/gtest.h>
+
+#include "core/driver.hpp"
+#include "core/selftest.hpp"
+#include "core/system.hpp"
+#include "core/taskswitch.hpp"
+#include "hw/slink.hpp"
+#include "sim/fault.hpp"
+#include "util/status.hpp"
+
+namespace atlantis {
+namespace {
+
+TEST(ResetScope, KTimeMatchesDeprecatedResetTime) {
+  core::AtlantisSystem sys_a("a"), sys_b("b");
+  core::AtlantisDriver a(sys_a, sys_a.add_acb("acb0"));
+  core::AtlantisDriver b(sys_b, sys_b.add_acb("acb0"));
+  a.dma_write(4096);
+  b.dma_write(4096);
+  a.reset(core::ResetScope::kTime);
+  b.reset_time();  // deprecated forwarder must behave identically
+  EXPECT_EQ(a.elapsed(), b.elapsed());
+  EXPECT_EQ(a.elapsed(), 0);
+  // kTime does not touch the PLX lifetime counters.
+  EXPECT_EQ(a.board().pci().total_bytes(), 4096u);
+}
+
+TEST(ResetScope, KStatsMatchesDeprecatedResetStats) {
+  core::AtlantisSystem sys_a("a"), sys_b("b");
+  core::AtlantisDriver a(sys_a, sys_a.add_acb("acb0"));
+  core::AtlantisDriver b(sys_b, sys_b.add_acb("acb0"));
+  a.dma_write(4096);
+  b.dma_write(4096);
+  a.reset(core::ResetScope::kStats);
+  b.reset_stats();
+  EXPECT_EQ(a.elapsed(), 0);  // kStats implies kTime (legacy behaviour)
+  EXPECT_EQ(b.elapsed(), 0);
+  EXPECT_EQ(a.board().pci().total_bytes(), 0u);
+  EXPECT_EQ(b.board().pci().total_bytes(), 0u);
+  EXPECT_EQ(a.dma_faults(), 0u);
+}
+
+TEST(ResetScope, KFaultsRewindsTheInjector) {
+  sim::FaultPlan plan;
+  plan.inject(sim::FaultKind::kBoardDropout, "board/acb0", /*nth=*/1);
+  sim::FaultInjector inj(plan);
+  core::AtlantisSystem sys("crate");
+  core::AtlantisDriver drv(sys, sys.add_acb("acb0"));
+  sys.set_fault_injector(&inj);
+  EXPECT_TRUE(sys.acb(0).draw_dropout());
+  EXPECT_EQ(inj.injected_total(), 1u);
+  drv.reset(core::ResetScope::kFaults);
+  EXPECT_EQ(inj.injected_total(), 0u);  // rewound for replay
+  sys.acb(0).set_alive(true);
+  EXPECT_TRUE(sys.acb(0).draw_dropout());  // same draw fires again
+  sys.set_fault_injector(nullptr);
+}
+
+TEST(ApiDuals, TrySelfTestMatchesThrowingVersion) {
+  core::AcbBoard board("acb0");
+  const util::Result<core::SelfTestReport> r = core::try_self_test_acb(board);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().all_passed());
+
+  core::AcbBoard dead("acb1");
+  dead.set_alive(false);
+  const util::Result<core::SelfTestReport> d = core::try_self_test_acb(dead);
+  ASSERT_FALSE(d.ok());
+  EXPECT_EQ(d.error(), util::ErrorCode::kBoardDead);
+  EXPECT_THROW((void)core::self_test_acb(dead), util::Error);
+}
+
+TEST(ApiDuals, TryConfigureAllMatchesThrowingVersion) {
+  const hw::Bitstream bs{"blank", {}, nullptr, 1.0};
+  core::AcbBoard board("acb0");
+  const util::Result<util::Picoseconds> r = board.try_configure_all(bs);
+  ASSERT_TRUE(r.ok());
+  core::AcbBoard twin("acb0");  // same name -> same timing model
+  EXPECT_EQ(r.value(), twin.configure_all(bs));
+
+  core::AcbBoard dead("acb2");
+  dead.set_alive(false);
+  const util::Result<util::Picoseconds> d = dead.try_configure_all(bs);
+  ASSERT_FALSE(d.ok());
+  EXPECT_EQ(d.error(), util::ErrorCode::kBoardDead);
+}
+
+TEST(ApiDuals, TrySendFragmentReportsOutcomeAsCode) {
+  hw::SlinkChannel link("lvds");
+  const std::vector<std::uint32_t> payload{1, 2, 3, 4};
+  const util::Result<std::size_t> ok = link.try_send_fragment(7, payload);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), payload.size() + 2);  // begin + payload + end
+
+  sim::FaultPlan plan;
+  plan.inject(sim::FaultKind::kSlinkTruncation, "slink/lvds", /*nth=*/1);
+  sim::FaultInjector inj(plan);
+  link.set_fault_injector(&inj);
+  const util::Result<std::size_t> bad = link.try_send_fragment(8, payload);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error(), util::ErrorCode::kTruncatedFrame);
+  link.set_fault_injector(nullptr);
+}
+
+TEST(ApiDuals, TrySwitchTaskPostsAtTheDriverCursor) {
+  core::AtlantisSystem sys("crate");
+  core::AtlantisDriver drv(sys, sys.add_acb("acb0"));
+  core::TaskSwitcher sw(sys.acb(0).fpga(0));
+  sw.add_task(hw::Bitstream{"alpha", {}, nullptr, 1.0});
+
+  const util::Picoseconds before = drv.now();
+  const util::Result<util::Picoseconds> r = drv.try_switch_task(sw, "alpha");
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r.value(), 0);
+  EXPECT_EQ(drv.now(), before + r.value());
+  bool posted = false;
+  for (const sim::Transaction& t : sys.timeline().transactions()) {
+    posted = posted || (t.kind == sim::TxnKind::kReconfig &&
+                        t.label == "switch to alpha");
+  }
+  EXPECT_TRUE(posted);
+
+  // A bound switcher would double-post; that is caller misuse.
+  core::TaskSwitcher bound_sw(sys.acb(0).fpga(1));
+  bound_sw.add_task(hw::Bitstream{"alpha", {}, nullptr, 1.0});
+  bound_sw.bind(sys.timeline(), sys.timeline().add_track("sw"));
+  EXPECT_THROW((void)drv.try_switch_task(bound_sw, "alpha"), util::Error);
+}
+
+TEST(ErrorCodes, OverloadedHasStableName) {
+  EXPECT_STREQ(util::error_code_name(util::ErrorCode::kOverloaded),
+               "overloaded");
+}
+
+}  // namespace
+}  // namespace atlantis

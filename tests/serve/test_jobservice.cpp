@@ -1,0 +1,220 @@
+// The serving layer's contracts: scheduler determinism across worker
+// pools, replay-identical fault runs, batching economics, admission
+// control and graceful degradation.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/system.hpp"
+#include "serve/jobservice.hpp"
+#include "sim/fault.hpp"
+#include "sim/timeline.hpp"
+#include "util/units.hpp"
+#include "util/worker_pool.hpp"
+
+namespace atlantis {
+namespace {
+
+// Full serialization of a timeline: if two runs produce the same string,
+// they produced the same schedule, transaction for transaction.
+std::string serialize(const sim::Timeline& tl) {
+  std::ostringstream os;
+  for (const sim::Transaction& t : tl.transactions()) {
+    os << sim::txn_kind_name(t.kind) << '|' << t.label << '|'
+       << tl.track_name(t.track) << '|' << t.post << '|' << t.start << '|'
+       << t.end << '|' << t.bytes << '\n';
+  }
+  return os.str();
+}
+
+std::string serialize(const std::vector<serve::JobRecord>& records) {
+  std::ostringstream os;
+  for (const serve::JobRecord& r : records) {
+    os << r.id << '|' << r.tenant << '|' << r.config << '|' << r.board << '|'
+       << r.arrival << '|' << r.start << '|' << r.finish << '|'
+       << r.queue_wait << '|' << util::error_code_name(r.error) << '|'
+       << r.outcome.checksum << '\n';
+  }
+  return os.str();
+}
+
+struct RunResult {
+  std::string schedule;
+  std::string records;
+  std::vector<int> boards;  // per job, the board it ran on
+  serve::ServiceReport report;
+};
+
+serve::JobSpec custom_job(const std::string& tenant,
+                          const std::string& config, int index,
+                          util::Picoseconds arrival) {
+  serve::JobSpec job;
+  job.tenant = tenant;
+  job.kind = serve::JobKind::kCustom;
+  job.config = config;
+  job.arrival = arrival;
+  job.work = [index] {
+    serve::JobOutcome out;
+    out.checksum = 0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(index + 1);
+    out.compute_time = (index % 5 + 1) * util::kMicrosecond;
+    out.dma_in_bytes = 1024u * static_cast<std::uint64_t>(index % 3 + 1);
+    out.dma_out_bytes = 256;
+    return out;
+  };
+  return job;
+}
+
+RunResult run_workload(int pool_threads, const sim::FaultPlan* plan = nullptr,
+                       serve::ServeOptions options = {}, int board_count = 2) {
+  std::unique_ptr<sim::FaultInjector> injector;
+  core::AtlantisSystem sys("crate");
+  for (int i = 0; i < board_count; ++i) {
+    sys.add_acb("acb" + std::to_string(i));
+  }
+  if (plan != nullptr) {
+    injector = std::make_unique<sim::FaultInjector>(*plan);
+    sys.set_fault_injector(injector.get());
+  }
+  serve::JobService service(sys, options);
+  service.register_config(hw::Bitstream{"alpha", {}, nullptr, 1.0});
+  service.register_config(hw::Bitstream{"beta", {}, nullptr, 1.0});
+  for (int i = 0; i < 24; ++i) {
+    const std::string tenant =
+        i % 3 == 0 ? "atlas" : (i % 3 == 1 ? "cms" : "lhcb");
+    const std::string config = (i % 2 == 0) ? "alpha" : "beta";
+    (void)service
+        .submit(custom_job(tenant, config, i, i * util::kMicrosecond))
+        .value();
+  }
+  util::WorkerPool pool(pool_threads);
+  service.run(&pool);
+  RunResult rr;
+  rr.schedule = serialize(sys.timeline());
+  rr.records = serialize(service.jobs());
+  for (const serve::JobRecord& rec : service.jobs()) {
+    rr.boards.push_back(rec.board);
+  }
+  rr.report = service.report();
+  sys.set_fault_injector(nullptr);
+  return rr;
+}
+
+TEST(JobService, ScheduleBitIdenticalAcrossPoolSizes) {
+  const RunResult one = run_workload(1);
+  const RunResult two = run_workload(2);
+  const RunResult eight = run_workload(8);
+  EXPECT_EQ(one.schedule, two.schedule);
+  EXPECT_EQ(one.schedule, eight.schedule);
+  EXPECT_EQ(one.records, two.records);
+  EXPECT_EQ(one.records, eight.records);
+  EXPECT_EQ(one.report.served, 24u);
+  EXPECT_EQ(one.report.failed, 0u);
+  EXPECT_GT(one.report.batches, 0u);
+}
+
+TEST(JobService, DropoutRunIsReplayIdenticalAndDrainsTheBoard) {
+  sim::FaultPlan plan;
+  plan.inject(sim::FaultKind::kBoardDropout, "board/acb1", /*nth=*/1);
+  const RunResult a = run_workload(1, &plan);
+  const RunResult b = run_workload(8, &plan);  // fresh injector, replay
+  EXPECT_EQ(a.schedule, b.schedule);
+  EXPECT_EQ(a.records, b.records);
+  // The dead board was drained: every job still served, all on acb0.
+  EXPECT_EQ(a.report.served, 24u);
+  EXPECT_EQ(a.report.failed, 0u);
+  ASSERT_EQ(a.report.dead_boards.size(), 1u);
+  EXPECT_EQ(a.report.dead_boards[0], 1);
+  for (const int board : a.boards) EXPECT_EQ(board, 0);
+}
+
+TEST(JobService, BatchingAndCacheBeatReconfigurePerJob) {
+  serve::ServeOptions naive;
+  naive.max_batch = 1;
+  naive.cache_capacity = 0;
+  naive.fifo_order = true;  // alternating configs -> reconfig per job
+  serve::ServeOptions batched;
+  batched.max_batch = 8;
+  batched.cache_capacity = 4;
+  // One board: with two boards the alternating alpha/beta stream lands
+  // even jobs on one board and odd jobs on the other, which is perfect
+  // accidental affinity and hides the reconfiguration cost.
+  const RunResult n = run_workload(1, nullptr, naive, /*board_count=*/1);
+  const RunResult b = run_workload(1, nullptr, batched, /*board_count=*/1);
+  EXPECT_EQ(n.report.served, 24u);
+  EXPECT_EQ(b.report.served, 24u);
+  EXPECT_LT(b.report.full_reconfigs, n.report.full_reconfigs);
+  EXPECT_LT(b.report.reconfig_time, n.report.reconfig_time);
+  EXPECT_LT(b.report.makespan, n.report.makespan);
+  EXPECT_GT(b.report.jobs_per_second, n.report.jobs_per_second);
+  EXPECT_GT(b.report.cache_hits + b.report.cache_misses, 0u);
+}
+
+TEST(JobService, AdmissionControlRefusesOverload) {
+  core::AtlantisSystem sys("crate");
+  sys.add_acb("acb0");
+  serve::ServeOptions opt;
+  opt.max_queued_per_tenant = 2;
+  serve::JobService service(sys, opt);
+  service.register_config(hw::Bitstream{"alpha", {}, nullptr, 1.0});
+  EXPECT_TRUE(service.submit(custom_job("greedy", "alpha", 0, 0)).ok());
+  EXPECT_TRUE(service.submit(custom_job("greedy", "alpha", 1, 0)).ok());
+  const util::Result<serve::JobId> refused =
+      service.submit(custom_job("greedy", "alpha", 2, 0));
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.error(), util::ErrorCode::kOverloaded);
+  // Other tenants are unaffected, and serving frees the quota.
+  EXPECT_TRUE(service.submit(custom_job("modest", "alpha", 3, 0)).ok());
+  service.run();
+  EXPECT_TRUE(service.submit(custom_job("greedy", "alpha", 4, 0)).ok());
+}
+
+TEST(JobService, AllBoardsDeadFailsRemainingJobs) {
+  core::AtlantisSystem sys("crate");
+  sys.add_acb("acb0");
+  serve::JobService service(sys);
+  service.register_config(hw::Bitstream{"alpha", {}, nullptr, 1.0});
+  for (int i = 0; i < 3; ++i) {
+    (void)service.submit(custom_job("t", "alpha", i, 0)).value();
+  }
+  sys.acb(0).set_alive(false);
+  const serve::ServiceReport& rep = service.run();
+  EXPECT_EQ(rep.served, 0u);
+  EXPECT_EQ(rep.failed, 3u);
+  for (const serve::JobRecord& rec : service.jobs()) {
+    EXPECT_EQ(rec.error, util::ErrorCode::kBoardDead);
+    EXPECT_EQ(rec.board, -1);
+  }
+}
+
+TEST(JobService, TenantStatsAndQueueWaitTracks) {
+  const RunResult rr = run_workload(2);
+  ASSERT_EQ(rr.report.tenants.size(), 3u);
+  EXPECT_EQ(rr.report.tenants[0].tenant, "atlas");  // sorted by name
+  EXPECT_EQ(rr.report.tenants[1].tenant, "cms");
+  EXPECT_EQ(rr.report.tenants[2].tenant, "lhcb");
+  std::uint64_t jobs = 0;
+  for (const serve::TenantStats& t : rr.report.tenants) {
+    jobs += t.jobs;
+    EXPECT_LE(t.p50_wait, t.p99_wait);
+    EXPECT_LE(t.p99_wait, t.max_wait);
+    EXPECT_GT(t.mean_service, 0);
+  }
+  EXPECT_EQ(jobs, 24u);
+  // Queue waits were posted on per-tenant tracks.
+  EXPECT_NE(rr.schedule.find("queue_wait"), std::string::npos);
+  EXPECT_NE(rr.schedule.find("tenant/atlas"), std::string::npos);
+}
+
+TEST(JobService, SubmitUnknownConfigIsMisuse) {
+  core::AtlantisSystem sys("crate");
+  sys.add_acb("acb0");
+  serve::JobService service(sys);
+  EXPECT_THROW((void)service.submit(custom_job("t", "nope", 0, 0)),
+               util::Error);
+}
+
+}  // namespace
+}  // namespace atlantis

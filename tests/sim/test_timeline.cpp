@@ -138,7 +138,7 @@ TEST(ChromeTrace, ParsesAndHasCataloguedPhases) {
   const std::set<std::string> catalogue{
       "pci_dma", "target_access", "aab_channel", "slink_stream",
       "sdram_burst", "sram_burst", "reconfig", "compute", "host", "backoff",
-      "other"};
+      "queue_wait", "other"};
   int complete = 0, meta = 0;
   for (const util::JsonValue& e : events) {
     const std::string& ph = e.at("ph").as_string();
