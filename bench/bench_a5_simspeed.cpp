@@ -1,12 +1,13 @@
-// A5 — simulator speed: event-driven incremental evaluation and the
-// netlist optimizer vs the full-sweep reference, plus parallel
-// multi-FPGA stepping of an ACB matrix. The headline claim is that on
-// the quiescent-heavy TRT histogrammer workload (sparse straw pushes
-// separated by idle cycles — how the core actually behaves between
-// hits) the dirty-worklist evaluator is >= 3x faster in cycles/sec
-// while producing bit-identical results, and the optimizer pipeline
-// (fold/dce/cse/fuse) shrinks the op tape on top of that. Emits
-// BENCH_simspeed.json for machine consumption.
+// A5 — simulator speed: the evaluation backends (full-sweep reference,
+// event-driven dirty worklist, threaded region superops) and the
+// netlist optimizer, plus parallel multi-FPGA stepping of an ACB
+// matrix. The headline claims: on the quiescent-heavy TRT histogrammer
+// workload (sparse straw pushes separated by idle cycles — how the core
+// actually behaves between hits) the dirty-worklist evaluator is >= 3x
+// faster in cycles/sec than full sweep, the threaded backend is >= 3x
+// faster again than event-driven, all bit-identical; and the optimizer
+// pipeline (fold/dce/cse/fuse) shrinks the op tape on top of that.
+// Emits BENCH_simspeed.json with one row per backend per workload.
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
@@ -19,6 +20,7 @@
 #include "chdl/hostif.hpp"
 #include "chdl/sim.hpp"
 #include "chdl/stats.hpp"
+#include "chdl/threaded.hpp"
 #include "core/acb.hpp"
 #include "hw/fpga.hpp"
 #include "imgproc/conv_core.hpp"
@@ -79,7 +81,7 @@ struct ModeResult {
   std::vector<std::uint64_t> observed;  // architectural results to compare
 };
 
-/// The three evaluation policies every workload runs under.
+/// The four evaluation policies every workload runs under.
 SimOptions policy_full() {
   return SimOptions{.mode = EvalMode::kFullSweep, .optimize = false};
 }
@@ -88,6 +90,9 @@ SimOptions policy_event_raw() {
 }
 SimOptions policy_event_opt() {
   return SimOptions{.mode = EvalMode::kEventDriven, .optimize = true};
+}
+SimOptions policy_threaded() {
+  return SimOptions{.mode = EvalMode::kThreaded, .optimize = true};
 }
 
 std::int64_t pass_removed(const OptimizeReport& r, const char* name) {
@@ -161,7 +166,10 @@ int main() {
   const ModeResult trt_full = run_trt(policy_full());
   const ModeResult trt_raw = run_trt(policy_event_raw());
   const ModeResult trt_opt = run_trt(policy_event_opt());
+  const ModeResult trt_thr = run_trt(policy_threaded());
   const double trt_speedup = trt_opt.cycles_per_sec / trt_full.cycles_per_sec;
+  const double trt_thr_speedup =
+      trt_thr.cycles_per_sec / trt_opt.cycles_per_sec;
 
   // --- 3x3 convolution engine, active-heavy --------------------------------
   chdl::Design conv_design("conv_bench");
@@ -188,8 +196,11 @@ int main() {
   const ModeResult conv_full = run_conv(policy_full());
   const ModeResult conv_raw = run_conv(policy_event_raw());
   const ModeResult conv_opt = run_conv(policy_event_opt());
+  const ModeResult conv_thr = run_conv(policy_threaded());
   const double conv_speedup =
       conv_opt.cycles_per_sec / conv_full.cycles_per_sec;
+  const double conv_thr_speedup =
+      conv_thr.cycles_per_sec / conv_opt.cycles_per_sec;
 
   // --- ACB matrix: worker-count sweep --------------------------------------
   // Four TRT cores on one board, all kept in full-sweep mode so every
@@ -229,10 +240,11 @@ int main() {
 
   // --- report ---------------------------------------------------------------
   util::Table t("A5: cycles/sec by evaluation policy");
-  t.set_header({"workload", "full-sweep", "event raw", "event+opt", "speedup",
-                "tape ops", "fold/dce/cse/fuse"});
+  t.set_header({"workload", "full-sweep", "event raw", "event+opt", "threaded",
+                "thr/event", "tape ops", "fold/dce/cse/fuse"});
   auto row = [&](const std::string& name, const ModeResult& f,
-                 const ModeResult& raw, const ModeResult& opt, double s) {
+                 const ModeResult& raw, const ModeResult& opt,
+                 const ModeResult& thr, double thr_s) {
     std::string tape = std::to_string(opt.opt.ops_before) + "->" +
                        std::to_string(opt.tape_ops);
     std::string passes = std::to_string(pass_removed(opt.opt, "fold")) + "/" +
@@ -242,18 +254,25 @@ int main() {
     t.add_row({name, std::to_string(static_cast<long long>(f.cycles_per_sec)),
                std::to_string(static_cast<long long>(raw.cycles_per_sec)),
                std::to_string(static_cast<long long>(opt.cycles_per_sec)),
-               std::to_string(s).substr(0, 5), tape, passes});
+               std::to_string(static_cast<long long>(thr.cycles_per_sec)),
+               std::to_string(thr_s).substr(0, 5), tape, passes});
   };
-  row("TRT histogrammer (1/64 duty)", trt_full, trt_raw, trt_opt, trt_speedup);
-  row("3x3 conv (pixel every clock)", conv_full, conv_raw, conv_opt,
-      conv_speedup);
+  row("TRT histogrammer (1/64 duty)", trt_full, trt_raw, trt_opt, trt_thr,
+      trt_thr_speedup);
+  row("3x3 conv (pixel every clock)", conv_full, conv_raw, conv_opt, conv_thr,
+      conv_thr_speedup);
   for (const MatrixRow& mr : matrix_rows) {
     t.add_row({"ACB 2x2 matrix, pool x" + std::to_string(mr.workers),
                std::to_string(static_cast<long long>(matrix_serial_cps)),
-               "-", std::to_string(static_cast<long long>(mr.cps)),
+               "-", std::to_string(static_cast<long long>(mr.cps)), "-",
                std::to_string(mr.cps / matrix_serial_cps).substr(0, 5),
                "-", "-"});
   }
+  t.add_note("threaded = region-superop backend (" +
+             std::string(chdl::threaded_uses_computed_goto()
+                             ? "computed-goto"
+                             : "switch") +
+             " dispatch); thr/event = threaded vs event+opt cycles/sec");
   t.add_note("tape ops column: comb ops as elaborated -> ops compiled after "
              "fold/dce/cse/fuse; pass column counts ops removed (fuse: "
              "rewrites)");
@@ -261,28 +280,51 @@ int main() {
              "given size (full-sweep sims; speedup tracks available cores)");
   t.print();
 
+  const char* dispatch =
+      chdl::threaded_uses_computed_goto() ? "computed_goto" : "switch";
   auto emit_workload = [&](const char* key, int cycles, const ModeResult& f,
                            const ModeResult& raw, const ModeResult& opt,
-                           double speedup, bool trailing_comma) {
+                           const ModeResult& thr, double speedup,
+                           double thr_speedup, bool trailing_comma) {
+    // One row per backend, tagged with a "backend" field, plus the flat
+    // keys older consumers of this file already read.
+    const auto backend_row = [&](const char* backend, const ModeResult& r,
+                                 bool last) {
+      json << "    {\"backend\": \"" << backend
+           << "\", \"cps\": " << r.cycles_per_sec
+           << ", \"evals\": " << r.comp_evals
+           << ", \"tape_ops\": " << r.tape_ops
+           << ", \"optimized\": " << (r.optimized ? "true" : "false") << "}"
+           << (last ? "\n" : ",\n");
+    };
     json << "  \"" << key << "\": {\"cycles\": " << cycles
          << ", \"full_sweep_cps\": " << f.cycles_per_sec
          << ", \"event_raw_cps\": " << raw.cycles_per_sec
          << ", \"event_cps\": " << opt.cycles_per_sec
+         << ", \"threaded_cps\": " << thr.cycles_per_sec
          << ", \"speedup\": " << speedup
+         << ", \"threaded_speedup\": " << thr_speedup
+         << ", \"dispatch\": \"" << dispatch << "\""
          << ", \"full_evals\": " << f.comp_evals
          << ", \"event_evals\": " << opt.comp_evals
+         << ", \"threaded_evals\": " << thr.comp_evals
          << ", \"tape_ops_before\": " << opt.opt.ops_before
          << ", \"tape_ops_after\": " << opt.tape_ops
          << ", \"fold_removed\": " << pass_removed(opt.opt, "fold")
          << ", \"dce_removed\": " << pass_removed(opt.opt, "dce")
          << ", \"cse_removed\": " << pass_removed(opt.opt, "cse")
-         << ", \"fuse_rewrites\": " << pass_rewrites(opt.opt, "fuse") << "}"
-         << (trailing_comma ? ",\n" : "\n");
+         << ", \"fuse_rewrites\": " << pass_rewrites(opt.opt, "fuse")
+         << ", \"backends\": [\n";
+    backend_row("full_sweep", f, false);
+    backend_row("event_raw", raw, false);
+    backend_row("event_opt", opt, false);
+    backend_row("threaded", thr, true);
+    json << "  ]}" << (trailing_comma ? ",\n" : "\n");
   };
-  emit_workload("trt", kTrtCycles, trt_full, trt_raw, trt_opt, trt_speedup,
-                true);
-  emit_workload("conv", kConvPixels, conv_full, conv_raw, conv_opt,
-                conv_speedup, true);
+  emit_workload("trt", kTrtCycles, trt_full, trt_raw, trt_opt, trt_thr,
+                trt_speedup, trt_thr_speedup, true);
+  emit_workload("conv", kConvPixels, conv_full, conv_raw, conv_opt, conv_thr,
+                conv_speedup, conv_thr_speedup, true);
   json << "  \"acb_matrix\": {\"cycles\": " << kMatrixCycles
        << ", \"sims\": " << core::AcbBoard::kFpgaCount
        << ", \"serial_cps\": " << matrix_serial_cps
@@ -305,12 +347,19 @@ int main() {
                 "event-driven conv results are bit-identical to full sweep");
   bench::expect(conv_opt.observed == conv_full.observed,
                 "optimized conv results are bit-identical to full sweep");
+  bench::expect(trt_thr.observed == trt_full.observed,
+                "threaded TRT results are bit-identical to full sweep");
+  bench::expect(conv_thr.observed == conv_full.observed,
+                "threaded conv results are bit-identical to full sweep");
   if (smoke) {
     std::printf("  [smoke   ] wall-clock speed expectations skipped "
                 "(BENCH_SMOKE set)\n");
   } else {
     bench::expect(trt_speedup >= 3.0,
                   "event+optimizer >= 3x on the quiescent-heavy TRT workload");
+    bench::expect(trt_thr_speedup >= 3.0,
+                  "threaded backend >= 3x over event-driven on the "
+                  "quiescent-heavy TRT workload");
   }
   bench::expect(trt_opt.comp_evals * 5 < trt_full.comp_evals,
                 "dirty worklist skips most evaluations on sparse input");

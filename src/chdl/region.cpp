@@ -1,0 +1,152 @@
+#include "chdl/region.hpp"
+
+#include <algorithm>
+
+#include "util/status.hpp"
+
+namespace atlantis::chdl {
+
+RegionPlan build_region_plan(const RegionGraph& graph,
+                             const RegionBuildOptions& opts) {
+  const std::int32_t n_ops = graph.op_count();
+  const std::size_t n_wires = static_cast<std::size_t>(graph.wire_count);
+  ATLANTIS_CHECK(opts.max_region_ops >= 1, "max_region_ops must be >= 1");
+  ATLANTIS_CHECK(graph.in_begin.size() == static_cast<std::size_t>(n_ops) + 1,
+                 "RegionGraph CSR size mismatch");
+
+  // Producer op and distinct-consumer summary per wire. sole_consumer is
+  // the consuming op when there is exactly one, -1 for none, -2 for many.
+  std::vector<std::int32_t> producer(n_wires, -1);
+  std::vector<std::int32_t> sole_consumer(n_wires, -1);
+  for (std::int32_t t = 0; t < n_ops; ++t) {
+    producer[static_cast<std::size_t>(graph.out_wire[
+        static_cast<std::size_t>(t)])] = t;
+    for (std::int32_t i = graph.in_begin[static_cast<std::size_t>(t)];
+         i < graph.in_begin[static_cast<std::size_t>(t) + 1]; ++i) {
+      auto& c = sole_consumer[static_cast<std::size_t>(
+          graph.in_wires[static_cast<std::size_t>(i)])];
+      if (c == -1) {
+        c = t;
+      } else if (c != t) {
+        c = -2;
+      }
+    }
+  }
+
+  RegionPlan plan;
+  plan.op_region.assign(static_cast<std::size_t>(n_ops), -1);
+  // Per region (during construction): member ops, current tail, level.
+  std::vector<std::vector<std::int32_t>> members;
+  std::vector<std::int32_t> tail;
+  std::vector<std::int32_t> level;
+
+  for (std::int32_t t = 0; t < n_ops; ++t) {
+    // Chain rule: join the producer's region if that producer is still
+    // the region tail and this op is its only tape consumer.
+    std::int32_t target = -1;
+    for (std::int32_t i = graph.in_begin[static_cast<std::size_t>(t)];
+         target < 0 && i < graph.in_begin[static_cast<std::size_t>(t) + 1];
+         ++i) {
+      const std::int32_t w = graph.in_wires[static_cast<std::size_t>(i)];
+      const std::int32_t p = producer[static_cast<std::size_t>(w)];
+      if (p < 0) continue;
+      if (sole_consumer[static_cast<std::size_t>(w)] != t) continue;
+      const std::int32_t r = plan.op_region[static_cast<std::size_t>(p)];
+      if (tail[static_cast<std::size_t>(r)] != p) continue;
+      if (static_cast<int>(members[static_cast<std::size_t>(r)].size()) >=
+          opts.max_region_ops) {
+        continue;
+      }
+      target = r;
+    }
+    if (target < 0) {
+      target = static_cast<std::int32_t>(members.size());
+      members.emplace_back();
+      tail.push_back(-1);
+      level.push_back(0);
+    }
+    members[static_cast<std::size_t>(target)].push_back(t);
+    tail[static_cast<std::size_t>(target)] = t;
+    plan.op_region[static_cast<std::size_t>(t)] = target;
+    // Region level: one past every producing region. Producing regions
+    // are closed by construction (their tail's output already has an
+    // external consumer), so their levels are final here.
+    for (std::int32_t i = graph.in_begin[static_cast<std::size_t>(t)];
+         i < graph.in_begin[static_cast<std::size_t>(t) + 1]; ++i) {
+      const std::int32_t p = producer[static_cast<std::size_t>(
+          graph.in_wires[static_cast<std::size_t>(i)])];
+      if (p < 0) continue;
+      const std::int32_t pr = plan.op_region[static_cast<std::size_t>(p)];
+      if (pr == target) continue;
+      level[static_cast<std::size_t>(target)] =
+          std::max(level[static_cast<std::size_t>(target)],
+                   level[static_cast<std::size_t>(pr)] + 1);
+    }
+  }
+
+  // Assemble regions: op order per region and the diffed output set
+  // (wires leaving the region for another region or a sequential
+  // element).
+  plan.regions.resize(members.size());
+  plan.op_order.reserve(static_cast<std::size_t>(n_ops));
+  for (std::size_t r = 0; r < members.size(); ++r) {
+    Region& region = plan.regions[r];
+    region.level = level[r];
+    plan.max_level = std::max(plan.max_level, region.level);
+    region.ops_begin = static_cast<std::int32_t>(plan.op_order.size());
+    for (const std::int32_t t : members[r]) plan.op_order.push_back(t);
+    region.ops_end = static_cast<std::int32_t>(plan.op_order.size());
+    region.outs_begin = static_cast<std::int32_t>(plan.out_wires.size());
+    for (const std::int32_t t : members[r]) {
+      const std::int32_t w = graph.out_wire[static_cast<std::size_t>(t)];
+      const std::int32_t c = sole_consumer[static_cast<std::size_t>(w)];
+      const bool external_tape_consumer =
+          c == -2 ||
+          (c >= 0 &&
+           plan.op_region[static_cast<std::size_t>(c)] !=
+               static_cast<std::int32_t>(r));
+      if (external_tape_consumer ||
+          graph.wire_seq_consumed[static_cast<std::size_t>(w)] != 0) {
+        plan.out_wires.push_back(w);
+      }
+    }
+    region.outs_end = static_cast<std::int32_t>(plan.out_wires.size());
+  }
+
+  // Wire -> consuming regions CSR, deduplicated per wire. The producing
+  // region is excluded (its interior consumers already saw the value
+  // while the block executed), which also guarantees every mark issued
+  // while the level queue drains targets a strictly higher level. Graph
+  // inputs (ports, register outputs) list every reading region.
+  std::vector<std::vector<std::int32_t>> per_wire(n_wires);
+  for (std::int32_t t = 0; t < n_ops; ++t) {
+    const std::int32_t r = plan.op_region[static_cast<std::size_t>(t)];
+    for (std::int32_t i = graph.in_begin[static_cast<std::size_t>(t)];
+         i < graph.in_begin[static_cast<std::size_t>(t) + 1]; ++i) {
+      const std::int32_t w = graph.in_wires[static_cast<std::size_t>(i)];
+      const std::int32_t p = producer[static_cast<std::size_t>(w)];
+      if (p >= 0 && plan.op_region[static_cast<std::size_t>(p)] == r) {
+        continue;  // intra-region edge
+      }
+      per_wire[static_cast<std::size_t>(w)].push_back(r);
+    }
+  }
+  plan.fan_begin.assign(n_wires + 1, 0);
+  std::vector<std::int32_t> counts(n_wires, 0);
+  for (std::size_t w = 0; w < n_wires; ++w) {
+    auto& v = per_wire[w];
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+    counts[w] = static_cast<std::int32_t>(v.size());
+  }
+  for (std::size_t w = 0; w < n_wires; ++w) {
+    plan.fan_begin[w + 1] = plan.fan_begin[w] + counts[w];
+  }
+  plan.fan_regions.reserve(static_cast<std::size_t>(plan.fan_begin.back()));
+  for (std::size_t w = 0; w < n_wires; ++w) {
+    for (const std::int32_t r : per_wire[w]) plan.fan_regions.push_back(r);
+  }
+  return plan;
+}
+
+}  // namespace atlantis::chdl

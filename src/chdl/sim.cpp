@@ -4,6 +4,7 @@
 #include <bit>
 #include <cstring>
 
+#include "chdl/threaded.hpp"
 #include "util/bitops.hpp"
 
 namespace atlantis::chdl {
@@ -43,7 +44,7 @@ void copy_bits(std::uint64_t* dst, int dst_lo, const std::uint64_t* src,
 }  // namespace
 
 Simulator::Simulator(const Design& design, const SimOptions& options)
-    : design_(design), mode_(options.mode) {
+    : design_(design), mode_(options.mode), region_opts_(options.region) {
   design.check_complete();
   if (options.optimize) opt_.emplace(optimize(design, options.opt));
   // Allocate one flat slot per wire. A wire the optimizer forwarded
@@ -127,7 +128,39 @@ Simulator::Simulator(const Design& design, const SimOptions& options)
       wire_lazy_[static_cast<std::size_t>(id)] = 1;
     }
   }
+  if (mode_ == EvalMode::kThreaded) ensure_threaded();
   reset();
+}
+
+Simulator::~Simulator() = default;
+
+void Simulator::ensure_threaded() {
+  if (!threaded_) {
+    threaded_ = std::make_unique<ThreadedBackend>(*this, region_opts_);
+  }
+}
+
+RegionGraph Simulator::region_graph() const {
+  RegionGraph g;
+  g.wire_count = design_.wire_count();
+  g.in_begin = tape_in_begin_;
+  g.in_wires = tape_in_wires_;
+  g.out_wire.reserve(tape_.size());
+  for (const Op& op : tape_) g.out_wire.push_back(op.out_wire);
+  g.wire_seq_consumed.assign(slots_.size(), 0);
+  const auto& comps = design_.components();
+  for (const std::int32_t i : seq_comps_) {
+    for (const Wire w : comps[static_cast<std::size_t>(i)].in) {
+      if (!w.valid()) continue;
+      const Wire r = opt_ ? opt_->rep(w) : w;
+      g.wire_seq_consumed[static_cast<std::size_t>(r.id)] = 1;
+    }
+  }
+  return g;
+}
+
+const RegionPlan* Simulator::region_plan() const {
+  return threaded_ ? &threaded_->plan() : nullptr;
 }
 
 void Simulator::levelize() {
@@ -314,6 +347,15 @@ void Simulator::compile_tape() {
   level_queue_.assign(static_cast<std::size_t>(max_level + 1), {});
   queued_.assign(tape_.size(), 0);
 
+  // Retain the per-op input wires as a CSR: the threaded backend's
+  // region compiler consumes them (Simulator::region_graph).
+  tape_in_begin_.assign(tape_.size() + 1, 0);
+  tape_in_wires_.clear();
+  for (std::size_t t = 0; t < tape_ins.size(); ++t) {
+    for (const Wire w : tape_ins[t]) tape_in_wires_.push_back(w.id);
+    tape_in_begin_[t + 1] = static_cast<std::int32_t>(tape_in_wires_.size());
+  }
+
   // Per-wire fanout CSR: wire id -> tape ops that consume it.
   std::vector<std::int32_t> counts(slots_.size() + 1, 0);
   for (const auto& ins : tape_ins) {
@@ -357,17 +399,24 @@ void Simulator::mark_all_dirty() {
   dirty_count_ = static_cast<std::int64_t>(tape_.size());
   comb_dirty_ = true;
   lazy_stale_ = true;
+  if (threaded_) threaded_->mark_all();
 }
 
 void Simulator::set_eval_mode(EvalMode mode) {
   if (mode == mode_) return;
   mode_ = mode;
+  if (mode == EvalMode::kThreaded) ensure_threaded();
   // Everything is re-evaluated on the next peek/step so stale values
-  // cannot leak across the policy switch.
+  // cannot leak across the policy switch: marks only land on the active
+  // backend's worklists while a mode runs, so the rebuild here is what
+  // makes a mid-run switch sound.
   mark_all_dirty();
 }
 
 void Simulator::reset() {
+  // Fresh measurement epoch (see header): pre-reset work must not be
+  // double-counted by speed reports that reset + drive + read activity.
+  activity_ = {};
   std::fill(values_.begin(), values_.end(), 0);
   const auto& comps = design_.components();
   for (const Component& c : comps) {
@@ -427,7 +476,11 @@ void Simulator::poke(Wire input, const BitVec& value) {
     return;  // unchanged input: nothing downstream can change
   }
   std::copy(value.words().begin(), value.words().end(), dst);
-  mark_wire_dirty(input.id);
+  if (mode_ == EvalMode::kThreaded) {
+    threaded_->mark_wire(input.id);
+  } else {
+    mark_wire_dirty(input.id);
+  }
   comb_dirty_ = true;
   lazy_stale_ = true;
 }
@@ -465,6 +518,11 @@ std::uint64_t Simulator::peek_u64(const std::string& port) {
 }
 
 void Simulator::eval_comb() {
+  if (mode_ == EvalMode::kThreaded) {
+    threaded_->eval();
+    comb_dirty_ = false;
+    return;
+  }
   if (mode_ == EvalMode::kFullSweep) {
     if (!comb_dirty_) return;
     const auto& comps = design_.components();
@@ -789,7 +847,11 @@ void Simulator::step(ClockId clock) {
   ATLANTIS_CHECK(clock.id >= 0 && clock.id < design_.clock_count(),
                  "unknown clock domain");
   eval_comb();
-  commit_edge(clock);
+  if (mode_ == EvalMode::kThreaded) {
+    threaded_->commit_edge(clock);
+  } else {
+    commit_edge(clock);
+  }
   if (mode_ == EvalMode::kFullSweep) comb_dirty_ = true;
   eval_comb();
   ++cycle_count_[static_cast<std::size_t>(clock.id)];
@@ -908,6 +970,9 @@ void Simulator::write_ram(int ram, std::int64_t addr, const BitVec& value) {
             ram_data_[static_cast<std::size_t>(ram)].begin() +
                 static_cast<std::ptrdiff_t>(addr) *
                     ram_stride_[static_cast<std::size_t>(ram)]);
+  // The change is visible through the RAM's synchronous read ports on
+  // their next edge; arm them so the event-driven edge tape re-reads.
+  if (mode_ == EvalMode::kThreaded) threaded_->note_ram_written(ram);
 }
 
 BitVec Simulator::read_ram(int ram, std::int64_t addr) const {

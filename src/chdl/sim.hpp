@@ -6,7 +6,7 @@
 // memory contents when an address is written on the same edge
 // (read-before-write).
 //
-// Two evaluation policies are available:
+// Three evaluation policies are available:
 //
 //  * kEventDriven (default): during elaboration the combinational
 //    netlist is levelized and compiled into a flat "op tape" of POD
@@ -16,6 +16,11 @@
 //    drains a level-bucketed dirty worklist, and a component's change
 //    propagates onward only if its output changed. Quiescent logic
 //    costs nothing.
+//  * kThreaded: the op tape is re-compiled into region superops
+//    executed by a computed-goto threaded dispatcher, and sequential
+//    commits become event-driven too (see chdl/threaded.hpp). Fastest
+//    backend; bit-identical to the other two by construction and by
+//    the differential fuzzers.
 //  * kFullSweep: the original policy — every combinational component is
 //    re-evaluated in topological order whenever anything might have
 //    changed. Kept as an independent cross-check implementation for
@@ -28,18 +33,23 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "chdl/design.hpp"
 #include "chdl/optimize.hpp"
+#include "chdl/region.hpp"
 
 namespace atlantis::chdl {
+
+class ThreadedBackend;
 
 /// Combinational evaluation policy.
 enum class EvalMode {
   kEventDriven,  // dirty-worklist over the compiled op tape
+  kThreaded,     // region superops + computed-goto dispatch
   kFullSweep,    // re-evaluate everything (reference cross-check path)
 };
 
@@ -50,6 +60,8 @@ struct SimOptions {
   EvalMode mode = EvalMode::kEventDriven;
   bool optimize = true;
   OptimizeOptions opt{};
+  /// Region partitioning knobs for EvalMode::kThreaded.
+  RegionBuildOptions region{};
 };
 
 /// Work counters for speed reporting and activity-based tuning.
@@ -69,6 +81,7 @@ class Simulator {
   explicit Simulator(const Design& design,
                      EvalMode mode = EvalMode::kEventDriven)
       : Simulator(design, SimOptions{.mode = mode}) {}
+  ~Simulator();
 
   const Design& design() const { return design_; }
 
@@ -115,7 +128,9 @@ class Simulator {
   void set_edge_hook(EdgeHook hook) { edge_hook_ = std::move(hook); }
 
   /// Re-applies power-up values (registers to init, RAM reads to zero;
-  /// RAM contents are preserved, ROMs reloaded).
+  /// RAM contents are preserved, ROMs reloaded). Also clears the
+  /// activity counters: a reset starts a fresh measurement epoch, so
+  /// work done before it is never double-counted against work after.
   void reset();
 
   /// Levelization depth of the combinational netlist (longest
@@ -131,6 +146,15 @@ class Simulator {
   const OptimizeReport* optimize_report() const {
     return opt_ ? &opt_->report : nullptr;
   }
+
+  /// The combinational dependency graph of the compiled tape (inputs
+  /// resolved through the optimizer), as consumed by the threaded
+  /// backend's region compiler. Exposed so tests can check the region
+  /// partitioning invariants against the real tape.
+  RegionGraph region_graph() const;
+  /// The threaded backend's region plan; nullptr until kThreaded has
+  /// been selected at construction or via set_eval_mode.
+  const RegionPlan* region_plan() const;
 
  private:
   struct WireSlot {
@@ -165,6 +189,8 @@ class Simulator {
     return values_.data() + slots_[static_cast<std::size_t>(id)].offset;
   }
 
+  friend class ThreadedBackend;
+
   void eval_comb();
   void eval_comp(const Component& c, std::uint64_t* dst);
   bool eval_op(const Op& op);
@@ -174,6 +200,7 @@ class Simulator {
   void compile_tape();
   void mark_wire_dirty(std::int32_t wire_id);
   void mark_all_dirty();
+  void ensure_threaded();
   void store(Wire w, const BitVec& v);
   BitVec load(Wire w) const;
 
@@ -196,6 +223,8 @@ class Simulator {
   std::vector<Op> tape_;                   // comb ops in comb_order_ order
   std::vector<std::int32_t> fan_begin_;    // wire id -> [begin,end) CSR ...
   std::vector<std::int32_t> fan_ops_;      // ... over dependent tape indices
+  std::vector<std::int32_t> tape_in_begin_;  // tape op -> input wires CSR ...
+  std::vector<std::int32_t> tape_in_wires_;  // ... (optimizer-resolved ids)
   std::vector<std::vector<std::int32_t>> level_queue_;  // dirty worklist
   std::vector<std::uint8_t> queued_;       // per tape op
   std::int64_t dirty_count_ = 0;
@@ -207,6 +236,11 @@ class Simulator {
   std::vector<std::uint8_t> wire_lazy_;    // per wire: driven by a dead comp
   bool lazy_stale_ = true;
   SimActivity activity_;
+
+  // Threaded backend (chdl/threaded.hpp); built lazily on first use of
+  // EvalMode::kThreaded and kept across mode switches.
+  RegionBuildOptions region_opts_{};
+  std::unique_ptr<ThreadedBackend> threaded_;
 };
 
 }  // namespace atlantis::chdl

@@ -70,4 +70,106 @@ EquivalenceReport check_equivalence(const Design& a, const Design& b,
   return report;
 }
 
+std::string wire_name(const Design& d, std::int32_t wire_id) {
+  for (const auto& [name, w] : d.inputs()) {
+    if (w.id == wire_id) return "input '" + name + "'";
+  }
+  for (const auto& [name, w] : d.outputs()) {
+    if (w.id == wire_id) return "output '" + name + "'";
+  }
+  for (const Component& c : d.components()) {
+    if (c.out.valid() && c.out.id == wire_id && !c.name.empty()) {
+      return "'" + c.name + "'";
+    }
+  }
+  return "#" + std::to_string(wire_id);
+}
+
+namespace {
+
+std::string side_label(const SimOptions& so) {
+  std::string s;
+  switch (so.mode) {
+    case EvalMode::kEventDriven: s = "event"; break;
+    case EvalMode::kThreaded:    s = "threaded"; break;
+    case EvalMode::kFullSweep:   s = "full-sweep"; break;
+  }
+  return s + (so.optimize ? "+opt" : "");
+}
+
+}  // namespace
+
+BackendCheckReport check_backends(const Design& d,
+                                  const BackendCheckOptions& opts) {
+  std::vector<SimOptions> sides = opts.sides;
+  if (sides.empty()) {
+    SimOptions threaded;
+    threaded.mode = EvalMode::kThreaded;
+    SimOptions event;
+    event.mode = EvalMode::kEventDriven;
+    event.optimize = false;
+    SimOptions full;
+    full.mode = EvalMode::kFullSweep;
+    full.optimize = false;
+    sides = {threaded, event, full};
+  }
+  ATLANTIS_CHECK(sides.size() >= 2, "check_backends needs at least 2 sides");
+
+  std::vector<std::unique_ptr<Simulator>> sims;
+  sims.reserve(sides.size());
+  for (const SimOptions& so : sides) {
+    sims.push_back(std::make_unique<Simulator>(d, so));
+  }
+  util::Rng rng(opts.seed);
+
+  BackendCheckReport report;
+  const auto diverged = [&](int cycle, const std::string& what,
+                            std::size_t side, const BitVec& ref,
+                            const BitVec& got) {
+    std::ostringstream os;
+    os << "cycle " << cycle << ", " << what << ": " << side_label(sides[0])
+       << "=0b" << ref.to_binary() << " vs " << side_label(sides[side])
+       << "=0b" << got.to_binary();
+    report.identical = false;
+    report.mismatch = os.str();
+    report.cycles_run = static_cast<std::uint64_t>(cycle) + 1;
+  };
+  for (int cycle = 0; cycle < opts.cycles; ++cycle) {
+    for (const auto& [name, w] : d.inputs()) {
+      BitVec v(w.width);
+      for (auto& word : v.words()) word = rng.next_u64();
+      v = v & BitVec::ones(w.width);
+      for (auto& sim : sims) sim->poke(w, v);
+    }
+    for (std::int32_t id = 0; id < d.wire_count(); ++id) {
+      const Wire w{id, d.wire_width(id)};
+      const BitVec ref = sims[0]->peek(w);
+      for (std::size_t s = 1; s < sims.size(); ++s) {
+        const BitVec got = sims[s]->peek(w);
+        if (!(got == ref)) {
+          diverged(cycle, "wire " + wire_name(d, id), s, ref, got);
+          return report;
+        }
+      }
+    }
+    for (auto& sim : sims) sim->step();
+  }
+  for (std::size_t r = 0; r < d.rams().size(); ++r) {
+    for (std::int64_t a = 0; a < d.rams()[r].words; ++a) {
+      const BitVec ref = sims[0]->read_ram(static_cast<int>(r), a);
+      for (std::size_t s = 1; s < sims.size(); ++s) {
+        const BitVec got = sims[s]->read_ram(static_cast<int>(r), a);
+        if (!(got == ref)) {
+          diverged(opts.cycles - 1,
+                   "RAM '" + d.rams()[r].name + "' word " + std::to_string(a),
+                   s, ref, got);
+          return report;
+        }
+      }
+    }
+  }
+  report.cycles_run = static_cast<std::uint64_t>(opts.cycles);
+  return report;
+}
+
 }  // namespace atlantis::chdl

@@ -44,4 +44,35 @@ struct EquivalenceOptions {
 EquivalenceReport check_equivalence(const Design& a, const Design& b,
                                     const EquivalenceOptions& opts = {});
 
+/// Human-readable name for a wire: its port name when it is a named
+/// input/output, else the producing component's hierarchical instance
+/// name, else "#<id>". Used by check_backends to report divergences by
+/// name instead of raw wire index.
+std::string wire_name(const Design& d, std::int32_t wire_id);
+
+/// N-way backend cross-check over ONE design: every side simulates the
+/// same netlist under its own SimOptions (different EvalMode and/or
+/// optimizer setting) with identical random stimulus, and EVERY wire
+/// plus every RAM word is compared each cycle — much stronger than the
+/// output-only comparison of check_equivalence.
+struct BackendCheckOptions {
+  int cycles = 500;
+  std::uint64_t seed = 0xA11CE;
+  /// Simulators to pit against each other; side 0 is the reference.
+  /// Empty selects the default three-way check: threaded+optimizer vs
+  /// event-driven vs unoptimized full sweep.
+  std::vector<SimOptions> sides;
+};
+
+struct BackendCheckReport {
+  bool identical = true;
+  std::uint64_t cycles_run = 0;
+  std::string mismatch;  // first divergent wire, by name
+
+  explicit operator bool() const { return identical; }
+};
+
+BackendCheckReport check_backends(const Design& d,
+                                  const BackendCheckOptions& opts = {});
+
 }  // namespace atlantis::chdl

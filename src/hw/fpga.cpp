@@ -35,6 +35,15 @@ const FpgaFamily& virtex_xcv600() {
   return f;
 }
 
+chdl::SimOptions& FpgaDevice::default_sim_options() {
+  static chdl::SimOptions options = [] {
+    chdl::SimOptions o;
+    o.mode = chdl::EvalMode::kThreaded;
+    return o;
+  }();
+  return options;
+}
+
 Bitstream Bitstream::from_design(const chdl::Design& design) {
   Bitstream bs;
   bs.name = design.name();
@@ -101,7 +110,7 @@ util::Picoseconds FpgaDevice::configure(const Bitstream& bs) {
   design_name_ = bs.name;
   sim_.reset();
   if (bs.design != nullptr) {
-    sim_ = std::make_unique<chdl::Simulator>(*bs.design);
+    sim_ = std::make_unique<chdl::Simulator>(*bs.design, sim_options_);
   }
   return config_time(family_->config_bits);
 }
@@ -124,7 +133,7 @@ util::Picoseconds FpgaDevice::partial_reconfigure(const Bitstream& bs) {
   design_name_ = bs.name;
   sim_.reset();
   if (bs.design != nullptr) {
-    sim_ = std::make_unique<chdl::Simulator>(*bs.design);
+    sim_ = std::make_unique<chdl::Simulator>(*bs.design, sim_options_);
   }
   return spent;
 }
@@ -143,7 +152,7 @@ util::Picoseconds FpgaDevice::activate(const Bitstream& bs,
   design_name_ = bs.name;
   sim_.reset();
   if (bs.design != nullptr) {
-    sim_ = std::make_unique<chdl::Simulator>(*bs.design);
+    sim_ = std::make_unique<chdl::Simulator>(*bs.design, sim_options_);
   }
   return config_time(static_cast<std::int64_t>(
       static_cast<double>(family_->config_bits) * fraction_of_full));

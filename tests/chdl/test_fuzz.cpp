@@ -191,6 +191,7 @@ TEST_P(NetlistFuzz, SimulatorMatchesInterpreter) {
   util::Rng rng(GetParam());
   const Design d = random_design(rng, 120);
   Simulator sim(d);
+  Simulator threaded(d, EvalMode::kThreaded);
   for (int vector = 0; vector < 25; ++vector) {
     std::map<std::string, BitVec> inputs;
     for (const auto& [name, w] : d.inputs()) {
@@ -199,12 +200,16 @@ TEST_P(NetlistFuzz, SimulatorMatchesInterpreter) {
       v = v & BitVec::ones(w.width);
       inputs[name] = v;
       sim.poke(w, v);
+      threaded.poke(w, v);
     }
     Interpreter ref(d, inputs);
     for (const auto& [name, w] : d.outputs()) {
       EXPECT_EQ(sim.peek(w), ref.eval(w))
           << "output '" << name << "', vector " << vector << ", seed "
           << GetParam();
+      EXPECT_EQ(threaded.peek(w), ref.eval(w))
+          << "threaded output '" << name << "', vector " << vector
+          << ", seed " << GetParam();
     }
   }
 }
@@ -355,10 +360,12 @@ TEST_P(SequentialFuzz, EventDrivenMatchesFullSweep) {
   util::Rng rng(GetParam() * 7919 + 13);
   const Design d = random_seq_design(rng, 140);
 
-  // Three evaluation policies against one reference: the unoptimized
+  // Five evaluation policies against one reference: the unoptimized
   // full sweep. "event" exercises the dirty worklist alone; "opted"
   // additionally runs the fold/dce/cse/fuse netlist optimizer, so this
-  // test is the bit-exactness proof for every optimizer rewrite.
+  // test is the bit-exactness proof for every optimizer rewrite; the
+  // two threaded sides cover the region superop compiler and the
+  // event-driven edge tape, with and without the optimizer underneath.
   SimOptions ref_opts;
   ref_opts.mode = EvalMode::kFullSweep;
   ref_opts.optimize = false;
@@ -368,9 +375,17 @@ TEST_P(SequentialFuzz, EventDrivenMatchesFullSweep) {
   SimOptions opt_opts;
   opt_opts.mode = EvalMode::kEventDriven;
   opt_opts.optimize = true;
+  SimOptions thr_raw_opts;
+  thr_raw_opts.mode = EvalMode::kThreaded;
+  thr_raw_opts.optimize = false;
+  SimOptions thr_opt_opts;
+  thr_opt_opts.mode = EvalMode::kThreaded;
+  thr_opt_opts.optimize = true;
   Simulator full(d, ref_opts);
   Simulator event(d, raw_opts);
   Simulator opted(d, opt_opts);
+  Simulator thr_raw(d, thr_raw_opts);
+  Simulator thr_opt(d, thr_opt_opts);
   const std::string tag = std::to_string(GetParam());
   const std::string full_vcd =
       ::testing::TempDir() + "/fuzz_full_" + tag + ".vcd";
@@ -378,10 +393,16 @@ TEST_P(SequentialFuzz, EventDrivenMatchesFullSweep) {
       ::testing::TempDir() + "/fuzz_event_" + tag + ".vcd";
   const std::string opted_vcd =
       ::testing::TempDir() + "/fuzz_opted_" + tag + ".vcd";
+  const std::string thr_raw_vcd =
+      ::testing::TempDir() + "/fuzz_thr_raw_" + tag + ".vcd";
+  const std::string thr_opt_vcd =
+      ::testing::TempDir() + "/fuzz_thr_opt_" + tag + ".vcd";
   {
     VcdWriter wf(full, full_vcd);
     VcdWriter we(event, event_vcd);
     VcdWriter wo(opted, opted_vcd);
+    VcdWriter wtr(thr_raw, thr_raw_vcd);
+    VcdWriter wto(thr_opt, thr_opt_vcd);
     for (int cycle = 0; cycle < 50; ++cycle) {
       // Random pokes, identical on all sides; skipping inputs some
       // cycles leaves quiescent islands for the worklist to skip.
@@ -391,6 +412,8 @@ TEST_P(SequentialFuzz, EventDrivenMatchesFullSweep) {
         full.poke(w, v);
         event.poke(w, v);
         opted.poke(w, v);
+        thr_raw.poke(w, v);
+        thr_opt.poke(w, v);
       }
       // Every wire in the design, not just the ports — including wires
       // the optimizer aliased, folded or dead-code-eliminated.
@@ -402,10 +425,18 @@ TEST_P(SequentialFuzz, EventDrivenMatchesFullSweep) {
         ASSERT_EQ(full.peek(w), opted.peek(w))
             << "optimized wire " << id << ", cycle " << cycle << ", seed "
             << GetParam();
+        ASSERT_EQ(full.peek(w), thr_raw.peek(w))
+            << "threaded wire " << id << ", cycle " << cycle << ", seed "
+            << GetParam();
+        ASSERT_EQ(full.peek(w), thr_opt.peek(w))
+            << "threaded+opt wire " << id << ", cycle " << cycle
+            << ", seed " << GetParam();
       }
       full.step();
       event.step();
       opted.step();
+      thr_raw.step();
+      thr_opt.step();
     }
   }
   // Memory images must agree word for word.
@@ -414,15 +445,24 @@ TEST_P(SequentialFuzz, EventDrivenMatchesFullSweep) {
         << "RAM word " << a << ", seed " << GetParam();
     EXPECT_EQ(full.read_ram(0, a), opted.read_ram(0, a))
         << "optimized RAM word " << a << ", seed " << GetParam();
+    EXPECT_EQ(full.read_ram(0, a), thr_raw.read_ram(0, a))
+        << "threaded RAM word " << a << ", seed " << GetParam();
+    EXPECT_EQ(full.read_ram(0, a), thr_opt.read_ram(0, a))
+        << "threaded+opt RAM word " << a << ", seed " << GetParam();
   }
   // Identical samples => byte-identical waveforms.
   const std::string full_bytes = slurp(full_vcd);
   ASSERT_FALSE(full_bytes.empty());
   EXPECT_EQ(full_bytes, slurp(event_vcd)) << "seed " << GetParam();
   EXPECT_EQ(full_bytes, slurp(opted_vcd)) << "optimized seed " << GetParam();
+  EXPECT_EQ(full_bytes, slurp(thr_raw_vcd)) << "threaded seed " << GetParam();
+  EXPECT_EQ(full_bytes, slurp(thr_opt_vcd))
+      << "threaded+opt seed " << GetParam();
   std::remove(full_vcd.c_str());
   std::remove(event_vcd.c_str());
   std::remove(opted_vcd.c_str());
+  std::remove(thr_raw_vcd.c_str());
+  std::remove(thr_opt_vcd.c_str());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SequentialFuzz,
