@@ -8,12 +8,14 @@
 // faster again than event-driven, all bit-identical; and the optimizer
 // pipeline (fold/dce/cse/fuse) shrinks the op tape on top of that.
 // Emits BENCH_simspeed.json with one row per backend per workload.
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -76,12 +78,25 @@ struct ModeResult {
   double cycles_per_sec = 0;
   std::uint64_t comp_evals = 0;
   std::size_t tape_ops = 0;
+  EvalMode resolved = EvalMode::kEventDriven;  // what actually ran
   OptimizeReport opt;                   // copy; empty when optimizer off
   bool optimized = false;
   std::vector<std::uint64_t> observed;  // architectural results to compare
 };
 
-/// The four evaluation policies every workload runs under.
+const char* mode_name(EvalMode m) {
+  switch (m) {
+    case EvalMode::kFullSweep: return "full_sweep";
+    case EvalMode::kEventDriven: return "event";
+    case EvalMode::kThreaded: return "threaded";
+    case EvalMode::kAuto: return "auto";
+  }
+  return "?";
+}
+
+/// The five evaluation policies every workload runs under. kAuto is the
+/// default_sim_options() production policy: it must land on (within
+/// noise of) the best pinned backend for each workload.
 SimOptions policy_full() {
   return SimOptions{.mode = EvalMode::kFullSweep, .optimize = false};
 }
@@ -93,6 +108,9 @@ SimOptions policy_event_opt() {
 }
 SimOptions policy_threaded() {
   return SimOptions{.mode = EvalMode::kThreaded, .optimize = true};
+}
+SimOptions policy_auto() {
+  return SimOptions{.mode = EvalMode::kAuto, .optimize = true};
 }
 
 std::int64_t pass_removed(const OptimizeReport& r, const char* name) {
@@ -139,6 +157,19 @@ int main() {
   // skips the wall-clock speed expectations below; the bit-identical
   // and op-count checks still run in full.
   const bool smoke = bench::smoke();
+  // Full runs take the best of five timings per policy: the wall-clock
+  // ratio checks below compare backends within a few percent, the fast
+  // backends finish a run in single-digit milliseconds, and a single
+  // timing on a busy host can eat that margin in scheduler noise.
+  const int kReps = smoke ? 1 : 5;
+  auto best_of = [&](const auto& fn) {
+    ModeResult best = fn();
+    for (int rep = 1; rep < kReps; ++rep) {
+      ModeResult r = fn();
+      if (r.cycles_per_sec > best.cycles_per_sec) best = std::move(r);
+    }
+    return best;
+  };
   const int kTrtCycles = smoke ? 4000 : 24000;
   const int kTrtPeriod = 64;
   auto run_trt = [&](const SimOptions& so) {
@@ -152,6 +183,7 @@ int main() {
     r.cycles_per_sec = kTrtCycles / r.secs;
     r.comp_evals = sim.activity().comp_evals;
     r.tape_ops = sim.tape_ops();
+    r.resolved = sim.eval_mode();
     if (sim.optimize_report() != nullptr) {
       r.opt = *sim.optimize_report();
       r.optimized = true;
@@ -163,10 +195,11 @@ int main() {
     }
     return r;
   };
-  const ModeResult trt_full = run_trt(policy_full());
-  const ModeResult trt_raw = run_trt(policy_event_raw());
-  const ModeResult trt_opt = run_trt(policy_event_opt());
-  const ModeResult trt_thr = run_trt(policy_threaded());
+  const ModeResult trt_full = best_of([&] { return run_trt(policy_full()); });
+  const ModeResult trt_raw = best_of([&] { return run_trt(policy_event_raw()); });
+  const ModeResult trt_opt = best_of([&] { return run_trt(policy_event_opt()); });
+  const ModeResult trt_thr = best_of([&] { return run_trt(policy_threaded()); });
+  const ModeResult trt_auto = best_of([&] { return run_trt(policy_auto()); });
   const double trt_speedup = trt_opt.cycles_per_sec / trt_full.cycles_per_sec;
   const double trt_thr_speedup =
       trt_thr.cycles_per_sec / trt_opt.cycles_per_sec;
@@ -184,6 +217,7 @@ int main() {
     r.cycles_per_sec = kConvPixels / r.secs;
     r.comp_evals = sim.activity().comp_evals;
     r.tape_ops = sim.tape_ops();
+    r.resolved = sim.eval_mode();
     if (sim.optimize_report() != nullptr) {
       r.opt = *sim.optimize_report();
       r.optimized = true;
@@ -193,10 +227,11 @@ int main() {
     r.observed.push_back(host.read(0x03));
     return r;
   };
-  const ModeResult conv_full = run_conv(policy_full());
-  const ModeResult conv_raw = run_conv(policy_event_raw());
-  const ModeResult conv_opt = run_conv(policy_event_opt());
-  const ModeResult conv_thr = run_conv(policy_threaded());
+  const ModeResult conv_full = best_of([&] { return run_conv(policy_full()); });
+  const ModeResult conv_raw = best_of([&] { return run_conv(policy_event_raw()); });
+  const ModeResult conv_opt = best_of([&] { return run_conv(policy_event_opt()); });
+  const ModeResult conv_thr = best_of([&] { return run_conv(policy_threaded()); });
+  const ModeResult conv_auto = best_of([&] { return run_conv(policy_auto()); });
   const double conv_speedup =
       conv_opt.cycles_per_sec / conv_full.cycles_per_sec;
   const double conv_thr_speedup =
@@ -221,19 +256,34 @@ int main() {
     }
     double secs = seconds(
         [&] { board.step_matrix(kMatrixCycles, parallel, false, pool); });
-    return kMatrixCycles / secs;
+    return std::pair<double, double>{kMatrixCycles / secs, secs};
   };
-  const double matrix_serial_cps = run_matrix(false, nullptr);
+  const double matrix_serial_cps = run_matrix(false, nullptr).first;
   struct MatrixRow {
     int workers = 0;
     double cps = 0;
+    // Per-worker share of the wall clock spent inside simulator steps
+    // (index 0 = the calling thread). A flat-lined pool shows up here as
+    // helpers stuck near zero while worker 0 does everything.
+    std::vector<double> util;
+    std::vector<std::uint64_t> tasks;
   };
   std::vector<MatrixRow> matrix_rows;
   double matrix_best_cps = 0;
   for (const int w : worker_counts_from_env()) {
     util::WorkerPool pool(w);
-    const double cps = run_matrix(true, &pool);
-    matrix_rows.push_back({pool.size(), cps});
+    pool.reset_worker_stats();
+    const auto [cps, secs] = run_matrix(true, &pool);
+    MatrixRow mr;
+    mr.workers = pool.size();
+    mr.cps = cps;
+    for (const util::WorkerPool::WorkerStats& ws : pool.worker_stats()) {
+      mr.util.push_back(secs > 0
+                            ? static_cast<double>(ws.busy_ns) / (secs * 1e9)
+                            : 0.0);
+      mr.tasks.push_back(ws.tasks);
+    }
+    matrix_rows.push_back(std::move(mr));
     if (cps > matrix_best_cps) matrix_best_cps = cps;
   }
   const double matrix_speedup = matrix_best_cps / matrix_serial_cps;
@@ -241,10 +291,10 @@ int main() {
   // --- report ---------------------------------------------------------------
   util::Table t("A5: cycles/sec by evaluation policy");
   t.set_header({"workload", "full-sweep", "event raw", "event+opt", "threaded",
-                "thr/event", "tape ops", "fold/dce/cse/fuse"});
+                "auto", "thr/event", "tape ops", "fold/dce/cse/fuse"});
   auto row = [&](const std::string& name, const ModeResult& f,
                  const ModeResult& raw, const ModeResult& opt,
-                 const ModeResult& thr, double thr_s) {
+                 const ModeResult& thr, const ModeResult& au, double thr_s) {
     std::string tape = std::to_string(opt.opt.ops_before) + "->" +
                        std::to_string(opt.tape_ops);
     std::string passes = std::to_string(pass_removed(opt.opt, "fold")) + "/" +
@@ -255,37 +305,50 @@ int main() {
                std::to_string(static_cast<long long>(raw.cycles_per_sec)),
                std::to_string(static_cast<long long>(opt.cycles_per_sec)),
                std::to_string(static_cast<long long>(thr.cycles_per_sec)),
+               std::to_string(static_cast<long long>(au.cycles_per_sec)) +
+                   " (" + mode_name(au.resolved) + ")",
                std::to_string(thr_s).substr(0, 5), tape, passes});
   };
   row("TRT histogrammer (1/64 duty)", trt_full, trt_raw, trt_opt, trt_thr,
-      trt_thr_speedup);
+      trt_auto, trt_thr_speedup);
   row("3x3 conv (pixel every clock)", conv_full, conv_raw, conv_opt, conv_thr,
-      conv_thr_speedup);
+      conv_auto, conv_thr_speedup);
   for (const MatrixRow& mr : matrix_rows) {
+    std::string util_s;
+    for (std::size_t i = 0; i < mr.util.size(); ++i) {
+      if (i != 0) util_s += "/";
+      util_s += std::to_string(static_cast<int>(mr.util[i] * 100 + 0.5));
+      util_s += "%";
+    }
     t.add_row({"ACB 2x2 matrix, pool x" + std::to_string(mr.workers),
                std::to_string(static_cast<long long>(matrix_serial_cps)),
-               "-", std::to_string(static_cast<long long>(mr.cps)), "-",
+               "-", std::to_string(static_cast<long long>(mr.cps)), "-", "-",
                std::to_string(mr.cps / matrix_serial_cps).substr(0, 5),
-               "-", "-"});
+               "-", "util " + util_s});
   }
   t.add_note("threaded = region-superop backend (" +
              std::string(chdl::threaded_uses_computed_goto()
                              ? "computed-goto"
                              : "switch") +
              " dispatch); thr/event = threaded vs event+opt cycles/sec");
+  t.add_note("auto = default production policy; resolves per design to the "
+             "event or threaded backend by tape size (resolved mode in "
+             "parentheses)");
   t.add_note("tape ops column: comb ops as elaborated -> ops compiled after "
              "fold/dce/cse/fuse; pass column counts ops removed (fuse: "
              "rewrites)");
   t.add_note("matrix rows compare serial stepping vs a worker pool of the "
-             "given size (full-sweep sims; speedup tracks available cores)");
+             "given size; util = per-worker share of wall time inside "
+             "simulator steps (worker 0 = caller)");
   t.print();
 
   const char* dispatch =
       chdl::threaded_uses_computed_goto() ? "computed_goto" : "switch";
   auto emit_workload = [&](const char* key, int cycles, const ModeResult& f,
                            const ModeResult& raw, const ModeResult& opt,
-                           const ModeResult& thr, double speedup,
-                           double thr_speedup, bool trailing_comma) {
+                           const ModeResult& thr, const ModeResult& au,
+                           double speedup, double thr_speedup,
+                           bool trailing_comma) {
     // One row per backend, tagged with a "backend" field, plus the flat
     // keys older consumers of this file already read.
     const auto backend_row = [&](const char* backend, const ModeResult& r,
@@ -302,6 +365,8 @@ int main() {
          << ", \"event_raw_cps\": " << raw.cycles_per_sec
          << ", \"event_cps\": " << opt.cycles_per_sec
          << ", \"threaded_cps\": " << thr.cycles_per_sec
+         << ", \"auto_cps\": " << au.cycles_per_sec
+         << ", \"auto_resolved\": \"" << mode_name(au.resolved) << "\""
          << ", \"speedup\": " << speedup
          << ", \"threaded_speedup\": " << thr_speedup
          << ", \"dispatch\": \"" << dispatch << "\""
@@ -318,21 +383,31 @@ int main() {
     backend_row("full_sweep", f, false);
     backend_row("event_raw", raw, false);
     backend_row("event_opt", opt, false);
-    backend_row("threaded", thr, true);
+    backend_row("threaded", thr, false);
+    backend_row("auto", au, true);
     json << "  ]}" << (trailing_comma ? ",\n" : "\n");
   };
   emit_workload("trt", kTrtCycles, trt_full, trt_raw, trt_opt, trt_thr,
-                trt_speedup, trt_thr_speedup, true);
+                trt_auto, trt_speedup, trt_thr_speedup, true);
   emit_workload("conv", kConvPixels, conv_full, conv_raw, conv_opt, conv_thr,
-                conv_speedup, conv_thr_speedup, true);
+                conv_auto, conv_speedup, conv_thr_speedup, true);
   json << "  \"acb_matrix\": {\"cycles\": " << kMatrixCycles
        << ", \"sims\": " << core::AcbBoard::kFpgaCount
        << ", \"serial_cps\": " << matrix_serial_cps
        << ", \"parallel_cps\": " << matrix_best_cps
        << ", \"speedup\": " << matrix_speedup << ", \"sweep\": [";
   for (std::size_t i = 0; i < matrix_rows.size(); ++i) {
-    json << (i != 0 ? ", " : "") << "{\"workers\": " << matrix_rows[i].workers
-         << ", \"parallel_cps\": " << matrix_rows[i].cps << "}";
+    const MatrixRow& mr = matrix_rows[i];
+    json << (i != 0 ? ", " : "") << "{\"workers\": " << mr.workers
+         << ", \"parallel_cps\": " << mr.cps << ", \"worker_util\": [";
+    for (std::size_t wi = 0; wi < mr.util.size(); ++wi) {
+      json << (wi != 0 ? ", " : "") << mr.util[wi];
+    }
+    json << "], \"worker_tasks\": [";
+    for (std::size_t wi = 0; wi < mr.tasks.size(); ++wi) {
+      json << (wi != 0 ? ", " : "") << mr.tasks[wi];
+    }
+    json << "]}";
   }
   json << "]}\n";
   json << "}\n";
@@ -351,6 +426,13 @@ int main() {
                 "threaded TRT results are bit-identical to full sweep");
   bench::expect(conv_thr.observed == conv_full.observed,
                 "threaded conv results are bit-identical to full sweep");
+  bench::expect(trt_auto.observed == trt_full.observed,
+                "auto TRT results are bit-identical to full sweep");
+  bench::expect(conv_auto.observed == conv_full.observed,
+                "auto conv results are bit-identical to full sweep");
+  bench::expect(trt_auto.resolved != EvalMode::kAuto &&
+                    conv_auto.resolved != EvalMode::kAuto,
+                "auto mode resolves to a concrete backend at construction");
   if (smoke) {
     std::printf("  [smoke   ] wall-clock speed expectations skipped "
                 "(BENCH_SMOKE set)\n");
@@ -360,7 +442,28 @@ int main() {
     bench::expect(trt_thr_speedup >= 3.0,
                   "threaded backend >= 3x over event-driven on the "
                   "quiescent-heavy TRT workload");
+    // The default policy must not leave meaningful speed on the table on
+    // either workload shape (0.95 absorbs run-to-run timer noise).
+    bench::expect(trt_auto.cycles_per_sec >=
+                      0.95 * std::max(trt_opt.cycles_per_sec,
+                                      trt_thr.cycles_per_sec),
+                  "auto policy within 5% of the best pinned backend on TRT");
+    bench::expect(conv_auto.cycles_per_sec >=
+                      0.95 * std::max(conv_opt.cycles_per_sec,
+                                      conv_thr.cycles_per_sec),
+                  "auto policy within 5% of the best pinned backend on conv");
   }
+  bool stats_cover_pool = !matrix_rows.empty();
+  for (const MatrixRow& mr : matrix_rows) {
+    std::uint64_t total_tasks = 0;
+    for (const std::uint64_t tk : mr.tasks) total_tasks += tk;
+    stats_cover_pool = stats_cover_pool &&
+                       static_cast<int>(mr.tasks.size()) == mr.workers &&
+                       total_tasks > 0;
+  }
+  bench::expect(stats_cover_pool,
+                "per-worker utilization covers every pool worker and "
+                "records executed chunks");
   bench::expect(trt_opt.comp_evals * 5 < trt_full.comp_evals,
                 "dirty worklist skips most evaluations on sparse input");
   bench::expect(trt_opt.tape_ops <

@@ -1,17 +1,27 @@
 // S1 — the serving layer: batched scheduling with a bitstream cache
-// versus reconfigure-per-job.
+// versus reconfigure-per-job, and differential partial reconfiguration
+// on the cache-miss path.
 //
 // A two-board crate serves a mixed stream of TRT event blocks and image
 // tiles submitted by two tenants. The naive policy drains the stream in
 // strict submission order with the cache disabled, so nearly every job
 // swaps the FPGA configuration; the batched policy groups same-config
-// jobs and keeps recent bitstreams staged. The shape the paper's
-// reconfiguration model predicts: batching + cache wins by well over 2x
-// because a full configuration load costs milliseconds while a job costs
-// microseconds. A third row drops a board mid-stream and checks the
-// service drains it without losing a single job.
+// jobs and keeps recent bitstreams staged. The three configurations
+// share a common base bitstream and differ in a few of the ORCA's 32
+// configuration regions, so with region-diff loading enabled a cache
+// miss re-shifts a handful of frames instead of the full 18.75 ms load
+// — the hardware task switch the paper's ORCA parts were chosen for.
+// A config-diff-ordered row additionally serves the queue whose
+// configuration is cheapest to switch to. A dropout row drops a board
+// mid-stream and checks the service drains it without losing a job.
+// Every policy must produce bit-identical job results (the ledger
+// check): reconfiguration policy moves time, never answers.
+//
+// Set S1_DIFF=off to pin every row to the full-configure path (the CI
+// A/B baseline).
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -33,6 +43,8 @@ using namespace atlantis;
 
 namespace {
 
+constexpr int kRegions = 32;  // ORCA 3T125 configuration regions
+
 struct ServeCell {
   std::string name;
   std::uint64_t served = 0;
@@ -42,9 +54,13 @@ struct ServeCell {
   double p99_ms = 0.0;
   double hit_rate = 0.0;
   std::uint64_t full_reconfigs = 0;
+  std::uint64_t partial_reconfigs = 0;
+  std::uint64_t regions_loaded = 0;
   double reconfig_ms = 0.0;
+  double partial_reconfig_ms = 0.0;
   double makespan_ms = 0.0;
   int dead_boards = 0;
+  std::uint64_t results_hash = 0;  // job outcomes, timing-free
 };
 
 struct Workload {
@@ -58,6 +74,43 @@ struct Workload {
   std::vector<int> order;  // 0 = TRT, 1 = imgproc blur, 2 = imgproc edge
 };
 
+/// The three serve configurations as region-signed bitstreams: all share
+/// a base; the TRT LUT occupies its own frames, the two image kernels
+/// share their convolution datapath and differ only in coefficient
+/// pages. Switching conv<->edge costs 2 frames, trt<->img costs 8.
+std::vector<hw::Bitstream> make_configs() {
+  const auto base = hw::make_region_signatures("serve_base", kRegions);
+  hw::Bitstream trt_lut;
+  trt_lut.name = "trt_lut";
+  trt_lut.region_sigs = base;
+  hw::stamp_regions(trt_lut.region_sigs, "trt_lut", 0, 3);
+  hw::Bitstream img_conv;
+  img_conv.name = "img_conv";
+  img_conv.region_sigs = base;
+  hw::stamp_regions(img_conv.region_sigs, "img_datapath", 3, 6);
+  hw::Bitstream img_edge = img_conv;
+  img_edge.name = "img_edge";
+  hw::stamp_regions(img_edge.region_sigs, "edge_coeffs", 6, 8);
+  return {trt_lut, img_conv, img_edge};
+}
+
+/// Timing-free digest of every job's outcome: policy changes the
+/// schedule, never the answers.
+std::uint64_t hash_results(const std::vector<serve::JobRecord>& records) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (const serve::JobRecord& r : records) {
+    mix(r.id);
+    mix(static_cast<std::uint64_t>(r.error));
+    mix(r.outcome.checksum);
+    for (const char c : r.config) mix(static_cast<std::uint64_t>(c));
+  }
+  return h;
+}
+
 ServeCell run_cell(const std::string& name, const Workload& w,
                    const serve::ServeOptions& options,
                    const sim::FaultPlan* plan) {
@@ -68,14 +121,12 @@ ServeCell run_cell(const std::string& name, const Workload& w,
   if (plan != nullptr) sys.set_fault_injector(&injector);
 
   serve::JobService service(sys, options);
-  service.register_config(hw::Bitstream{"trt_lut", {}, nullptr, 1.0});
-  service.register_config(hw::Bitstream{"img_conv", {}, nullptr, 1.0});
-  service.register_config(hw::Bitstream{"img_edge", {}, nullptr, 1.0});
+  for (const hw::Bitstream& bs : make_configs()) service.register_config(bs);
 
   ServeCell cell;
   cell.name = name;
   std::uint64_t hits = 0, misses = 0;
-  util::Picoseconds makespan = 0, reconfig_time = 0;
+  util::Picoseconds makespan = 0, reconfig_time = 0, partial_time = 0;
 
   // The stream arrives in bursts: each wave is submitted, then served to
   // completion before the next burst lands. Later waves revisit
@@ -111,10 +162,13 @@ ServeCell run_cell(const std::string& name, const Workload& w,
     cell.served += rep.served;
     cell.failed += rep.failed;
     cell.full_reconfigs += rep.full_reconfigs;
+    cell.partial_reconfigs += rep.partial_reconfigs;
+    cell.regions_loaded += rep.regions_loaded;
     cell.dead_boards += static_cast<int>(rep.dead_boards.size());
     hits += rep.cache_hits;
     misses += rep.cache_misses;
     reconfig_time += rep.reconfig_time;
+    partial_time += rep.partial_reconfig_time;
     makespan = std::max(makespan, rep.makespan);
   }
 
@@ -123,6 +177,7 @@ ServeCell run_cell(const std::string& name, const Workload& w,
                       : static_cast<double>(hits) /
                             static_cast<double>(hits + misses);
   cell.reconfig_ms = util::ps_to_ms(reconfig_time);
+  cell.partial_reconfig_ms = util::ps_to_ms(partial_time);
   cell.makespan_ms = util::ps_to_ms(makespan);
   if (makespan > 0) {
     cell.jobs_per_s = static_cast<double>(cell.served) /
@@ -138,6 +193,7 @@ ServeCell run_cell(const std::string& name, const Workload& w,
     cell.p99_ms = util::ps_to_ms(
         static_cast<util::Picoseconds>(util::percentile(waits, 0.99)));
   }
+  cell.results_hash = hash_results(service.jobs());
   if (plan != nullptr) sys.set_fault_injector(nullptr);
   return cell;
 }
@@ -145,10 +201,13 @@ ServeCell run_cell(const std::string& name, const Workload& w,
 }  // namespace
 
 int main() {
-  bench::banner("S1", "job service: batching + bitstream cache vs "
-                      "reconfigure-per-job");
+  bench::banner("S1", "job service: batching + bitstream cache + "
+                      "differential reconfiguration vs reconfigure-per-job");
 
   const int n_jobs = bench::smoke() ? 12 : 48;
+  const char* s1_diff = std::getenv("S1_DIFF");
+  const bool diff_on = s1_diff == nullptr || std::string(s1_diff) != "off";
+  if (!diff_on) std::printf("S1_DIFF=off: differential loading disabled\n");
 
   // --- shared workload (identical stream for every policy) -------------
   // Reduced TRT geometry: a job must cost far less than the ~19 ms full
@@ -196,37 +255,61 @@ int main() {
   naive.max_batch = 1;
   naive.cache_capacity = 0;
   naive.fifo_order = true;
+  naive.differential_reconfig = false;  // the legacy baseline
   serve::ServeOptions batched;  // defaults: batch 8, cache 4
+  batched.differential_reconfig = false;
+  serve::ServeOptions batched_diff = batched;
+  batched_diff.differential_reconfig = diff_on;
+  serve::ServeOptions ordered = batched_diff;
+  ordered.diff_order = true;
 
   const ServeCell n = run_cell("naive fifo", w, naive, nullptr);
   const ServeCell b = run_cell("batched+cache", w, batched, nullptr);
+  const ServeCell bd = run_cell("batched+diff", w, batched_diff, nullptr);
+  const ServeCell od = run_cell("batched+diff+order", w, ordered, nullptr);
   sim::FaultPlan plan;
   plan.inject(sim::FaultKind::kBoardDropout, "board/acb1", /*nth=*/1);
-  const ServeCell d = run_cell("dropout", w, batched, &plan);
+  const ServeCell d = run_cell("dropout", w, batched_diff, &plan);
 
   util::Table table("mixed TRT/imgproc stream, " + std::to_string(n_jobs) +
                     " jobs, 2 boards");
-  table.set_header({"policy", "served", "jobs/s", "p50 wait (ms)",
-                    "p99 wait (ms)", "hit rate", "reconfigs",
-                    "reconfig (ms)", "makespan (ms)"});
-  for (const ServeCell* c : {&n, &b, &d}) {
+  table.set_header({"policy", "served", "jobs/s", "p99 wait (ms)",
+                    "hit rate", "full rcfg", "partial rcfg", "regions",
+                    "reconfig (ms)", "partial (ms)", "makespan (ms)"});
+  for (const ServeCell* c : {&n, &b, &bd, &od, &d}) {
     table.add_row({c->name, std::to_string(c->served),
                    util::Table::fmt(c->jobs_per_s, 0),
-                   util::Table::fmt(c->p50_ms, 2),
                    util::Table::fmt(c->p99_ms, 2),
                    util::Table::fmt(c->hit_rate, 2),
                    std::to_string(c->full_reconfigs),
+                   std::to_string(c->partial_reconfigs),
+                   std::to_string(c->regions_loaded),
                    util::Table::fmt(c->reconfig_ms, 1),
+                   util::Table::fmt(c->partial_reconfig_ms, 1),
                    util::Table::fmt(c->makespan_ms, 1)});
   }
   table.print();
 
   const double speedup = n.jobs_per_s > 0 ? b.jobs_per_s / n.jobs_per_s : 0.0;
+  const double diff_saving =
+      bd.reconfig_ms > 0 ? b.reconfig_ms / bd.reconfig_ms : 0.0;
   std::printf("\nbatched+cache vs naive: %.1fx throughput\n", speedup);
+  if (diff_on) {
+    std::printf("region-diff loading vs full reconfiguration: "
+                "%.1fx less reconfig time\n", diff_saving);
+  }
 
   bench::expect(n.served == static_cast<std::uint64_t>(n_jobs) &&
-                    b.served == static_cast<std::uint64_t>(n_jobs),
-                "both policies serve the full stream");
+                    b.served == static_cast<std::uint64_t>(n_jobs) &&
+                    bd.served == static_cast<std::uint64_t>(n_jobs) &&
+                    od.served == static_cast<std::uint64_t>(n_jobs),
+                "every policy serves the full stream");
+  bench::expect(n.results_hash == b.results_hash &&
+                    n.results_hash == bd.results_hash &&
+                    n.results_hash == od.results_hash &&
+                    n.results_hash == d.results_hash,
+                "job results are bit-identical across every policy "
+                "(ledger equality)");
   bench::expect(speedup >= 2.0,
                 "batching + warm cache is at least 2x naive throughput");
   bench::expect(b.full_reconfigs < n.full_reconfigs,
@@ -238,13 +321,35 @@ int main() {
                 "a mid-stream board dropout is drained without losing jobs");
   bench::expect(b.p99_ms < n.p99_ms,
                 "batching also cuts tail queue latency, not just throughput");
+  if (diff_on) {
+    bench::expect(bd.partial_reconfigs > 0,
+                  "warm cache misses take the differential path");
+    bench::expect(bd.regions_loaded > 0 &&
+                      bd.regions_loaded < bd.partial_reconfigs * kRegions,
+                  "differential loads move a strict subset of the frames");
+    // The two cold full configurations (one per board) are paid by every
+    // policy; with only a smoke-sized stream they dominate the total, so
+    // the 2x bar only applies to the full run.
+    if (!bench::smoke()) {
+      bench::expect(bd.reconfig_ms * 2.0 <= b.reconfig_ms,
+                    "region-diff loading at least halves total reconfig time");
+    } else {
+      bench::expect(bd.reconfig_ms < b.reconfig_ms,
+                    "region-diff loading cuts total reconfig time");
+    }
+    bench::expect(od.reconfig_ms <= bd.reconfig_ms * 1.001,
+                  "config-diff ordering never pays more reconfiguration");
+  }
 
   // --- artifact --------------------------------------------------------
   std::ofstream json("BENCH_serve.json");
   json << "{\n  \"jobs\": " << n_jobs
-       << ",\n  \"speedup\": " << speedup << ",\n  \"rows\": [";
+       << ",\n  \"differential\": " << (diff_on ? "true" : "false")
+       << ",\n  \"speedup\": " << speedup
+       << ",\n  \"diff_reconfig_saving\": " << diff_saving
+       << ",\n  \"rows\": [";
   bool first = true;
-  for (const ServeCell* c : {&n, &b, &d}) {
+  for (const ServeCell* c : {&n, &b, &bd, &od, &d}) {
     json << (first ? "" : ",") << "\n    {\"policy\": \"" << c->name
          << "\", \"served\": " << c->served << ", \"failed\": " << c->failed
          << ", \"jobs_per_s\": " << c->jobs_per_s
@@ -252,8 +357,12 @@ int main() {
          << ", \"p99_queue_ms\": " << c->p99_ms
          << ", \"cache_hit_rate\": " << c->hit_rate
          << ", \"full_reconfigs\": " << c->full_reconfigs
+         << ", \"partial_reconfigs\": " << c->partial_reconfigs
+         << ", \"regions_loaded\": " << c->regions_loaded
          << ", \"reconfig_ms\": " << c->reconfig_ms
+         << ", \"partial_reconfig_ms\": " << c->partial_reconfig_ms
          << ", \"makespan_ms\": " << c->makespan_ms
+         << ", \"results_hash\": " << c->results_hash
          << ", \"dead_boards\": " << c->dead_boards << "}";
     first = false;
   }

@@ -44,7 +44,9 @@ void copy_bits(std::uint64_t* dst, int dst_lo, const std::uint64_t* src,
 }  // namespace
 
 Simulator::Simulator(const Design& design, const SimOptions& options)
-    : design_(design), mode_(options.mode), region_opts_(options.region) {
+    : design_(design), mode_(options.mode),
+      auto_threaded_min_ops_(options.auto_threaded_min_ops),
+      region_opts_(options.region) {
   design.check_complete();
   if (options.optimize) opt_.emplace(optimize(design, options.opt));
   // Allocate one flat slot per wire. A wire the optimizer forwarded
@@ -128,8 +130,14 @@ Simulator::Simulator(const Design& design, const SimOptions& options)
       wire_lazy_[static_cast<std::size_t>(id)] = 1;
     }
   }
+  if (mode_ == EvalMode::kAuto) mode_ = resolve_auto();
   if (mode_ == EvalMode::kThreaded) ensure_threaded();
   reset();
+}
+
+EvalMode Simulator::resolve_auto() const {
+  return tape_.size() >= auto_threaded_min_ops_ ? EvalMode::kThreaded
+                                                : EvalMode::kEventDriven;
 }
 
 Simulator::~Simulator() = default;
@@ -403,6 +411,7 @@ void Simulator::mark_all_dirty() {
 }
 
 void Simulator::set_eval_mode(EvalMode mode) {
+  if (mode == EvalMode::kAuto) mode = resolve_auto();
   if (mode == mode_) return;
   mode_ = mode;
   if (mode == EvalMode::kThreaded) ensure_threaded();

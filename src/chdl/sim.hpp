@@ -51,6 +51,7 @@ enum class EvalMode {
   kEventDriven,  // dirty-worklist over the compiled op tape
   kThreaded,     // region superops + computed-goto dispatch
   kFullSweep,    // re-evaluate everything (reference cross-check path)
+  kAuto,         // pick threaded vs event-driven by compiled tape size
 };
 
 /// Simulator construction options. The netlist optimizer
@@ -62,6 +63,13 @@ struct SimOptions {
   OptimizeOptions opt{};
   /// Region partitioning knobs for EvalMode::kThreaded.
   RegionBuildOptions region{};
+  /// EvalMode::kAuto threshold: tapes with at least this many compiled
+  /// ops get the threaded region-superop engine; smaller tapes stay on
+  /// the event-driven worklist, whose per-op dispatch is cheaper than a
+  /// region plan that can barely amortize its shadow-diff checks
+  /// (BENCH_simspeed: the 46-op conv tape runs ~6% faster event-driven,
+  /// the 2860-op TRT tape ~10x faster threaded).
+  std::size_t auto_threaded_min_ops = 256;
 };
 
 /// Work counters for speed reporting and activity-based tuning.
@@ -85,9 +93,13 @@ class Simulator {
 
   const Design& design() const { return design_; }
 
+  /// The resolved evaluation policy — never kAuto: auto resolves to
+  /// kThreaded or kEventDriven against the compiled tape at
+  /// construction (or inside set_eval_mode).
   EvalMode eval_mode() const { return mode_; }
   /// Switches the evaluation policy; all combinational state is
   /// re-evaluated on the next peek/step, so results are unaffected.
+  /// kAuto re-resolves against the tape size.
   void set_eval_mode(EvalMode mode);
 
   const SimActivity& activity() const { return activity_; }
@@ -201,6 +213,7 @@ class Simulator {
   void mark_wire_dirty(std::int32_t wire_id);
   void mark_all_dirty();
   void ensure_threaded();
+  EvalMode resolve_auto() const;
   void store(Wire w, const BitVec& v);
   BitVec load(Wire w) const;
 
@@ -236,6 +249,8 @@ class Simulator {
   std::vector<std::uint8_t> wire_lazy_;    // per wire: driven by a dead comp
   bool lazy_stale_ = true;
   SimActivity activity_;
+
+  std::size_t auto_threaded_min_ops_ = 256;
 
   // Threaded backend (chdl/threaded.hpp); built lazily on first use of
   // EvalMode::kThreaded and kept across mode switches.

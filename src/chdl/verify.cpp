@@ -93,6 +93,7 @@ std::string side_label(const SimOptions& so) {
     case EvalMode::kEventDriven: s = "event"; break;
     case EvalMode::kThreaded:    s = "threaded"; break;
     case EvalMode::kFullSweep:   s = "full-sweep"; break;
+    case EvalMode::kAuto:        s = "auto"; break;
   }
   return s + (so.optimize ? "+opt" : "");
 }

@@ -14,21 +14,32 @@ bool ConfigCache::touch(const std::string& name) {
   return true;
 }
 
-void ConfigCache::insert(const std::string& name) {
+void ConfigCache::insert(const std::string& name,
+                         std::vector<std::uint64_t> sigs) {
   if (!enabled()) return;
   const auto it = index_.find(name);
   if (it != index_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second);
+    if (!sigs.empty()) sigs_[name] = std::move(sigs);
     return;
   }
   if (lru_.size() >= capacity_) {
+    sigs_.erase(lru_.back());
     index_.erase(lru_.back());
     lru_.pop_back();
     ++stats_.evictions;
   }
   lru_.push_front(name);
   index_[name] = lru_.begin();
+  if (!sigs.empty()) sigs_[name] = std::move(sigs);
   ++stats_.insertions;
+}
+
+const std::vector<std::uint64_t>& ConfigCache::signatures(
+    const std::string& name) const {
+  static const std::vector<std::uint64_t> kEmpty;
+  const auto it = sigs_.find(name);
+  return it == sigs_.end() ? kEmpty : it->second;
 }
 
 void ConfigCache::erase(const std::string& name) {
@@ -36,11 +47,13 @@ void ConfigCache::erase(const std::string& name) {
   if (it == index_.end()) return;
   lru_.erase(it->second);
   index_.erase(it);
+  sigs_.erase(name);
 }
 
 void ConfigCache::clear() {
   lru_.clear();
   index_.clear();
+  sigs_.clear();
 }
 
 std::vector<std::string> ConfigCache::contents() const {

@@ -56,7 +56,16 @@ class ConfigCache {
   /// Stages `name` as most-recently-used, evicting the least-recently-
   /// used entry when the cache is full. Re-inserting a resident entry
   /// only promotes it.
-  void insert(const std::string& name);
+  void insert(const std::string& name) { insert(name, {}); }
+
+  /// Same, remembering the staged bitstream's per-region content
+  /// signatures (hw::Bitstream::region_sigs) so the task switcher can
+  /// compute config-diff distances against staged entries.
+  void insert(const std::string& name, std::vector<std::uint64_t> sigs);
+
+  /// Region signatures recorded for a staged entry; empty when the entry
+  /// is absent or was staged without a region model. No promotion.
+  const std::vector<std::uint64_t>& signatures(const std::string& name) const;
 
   /// Drops one entry (e.g. a bitstream whose staged copy went bad).
   void erase(const std::string& name);
@@ -73,6 +82,7 @@ class ConfigCache {
   std::size_t capacity_;
   std::list<std::string> lru_;  // front = most recently used
   std::unordered_map<std::string, std::list<std::string>::iterator> index_;
+  std::unordered_map<std::string, std::vector<std::uint64_t>> sigs_;
   ConfigCacheStats stats_;
 };
 

@@ -49,10 +49,56 @@ util::Result<util::Picoseconds> AtlantisDriver::try_switch_task(
   if (r.value() > 0) {
     const sim::Transaction& txn =
         timeline().post(track_, sim::TxnKind::kReconfig, "switch to " + name,
-                        sim::ResourceId{}, now_, r.value());
+                        sim::ResourceId{}, now_, r.value(), 0,
+                        static_cast<std::uint32_t>(
+                            switcher.last_regions_loaded()));
     now_ = txn.end;
   }
   return r;
+}
+
+util::Result<util::Picoseconds> AtlantisDriver::poll_self_reconfig(int fpga) {
+  hw::FpgaDevice& dev = board_.fpga(fpga);
+  chdl::Simulator* sim = dev.sim();
+  if (sim == nullptr) return util::Picoseconds{0};
+  const chdl::Design& design = sim->design();
+  if (!design.has_port("reconfig_req")) return util::Picoseconds{0};
+  if (sim->peek_u64("reconfig_req") == 0) return util::Picoseconds{0};
+  int region = 0;
+  if (design.has_port("reconfig_region")) {
+    region = static_cast<int>(sim->peek_u64("reconfig_region") %
+                              static_cast<std::uint64_t>(dev.region_count()));
+  }
+  const hw::ReconfigOutcome oc =
+      dev.self_reconfigure_region(region, policy_.max_attempts);
+  const sim::Transaction& txn = timeline().post(
+      track_, sim::TxnKind::kReconfig,
+      oc.ok ? "self-reconfig region " + std::to_string(region)
+            : "self-reconfig region " + std::to_string(region) +
+                  " (crc fail)",
+      sim::ResourceId{}, now_, oc.time,
+      static_cast<std::uint64_t>(
+          dev.family().config_bits / dev.family().config_regions / 8),
+      oc.ok ? 1u : 0u);
+  now_ = txn.end;
+  config_retries_ += static_cast<std::uint64_t>(oc.region_retries);
+  if (!oc.ok) {
+    recovery_time_ += oc.time;
+    host_ifs_[static_cast<std::size_t>(fpga)].reset();
+    return util::Result<util::Picoseconds>::failure(
+        util::ErrorCode::kConfigCrc,
+        "self-reconfiguration of " + dev.name() + " region " +
+            std::to_string(region) + " failed CRC");
+  }
+  // Ack pulse: one design clock with reconfig_ack high lets the
+  // requesting FSM deassert its request. The simulator (and the design
+  // state) survived the frame reload, so this is the same sim.
+  if (design.has_port("reconfig_ack")) {
+    sim->poke("reconfig_ack", 1);
+    sim->step();
+    sim->poke("reconfig_ack", 0);
+  }
+  return util::Result<util::Picoseconds>(oc.time);
 }
 
 void AtlantisDriver::advance(util::Picoseconds t, const char* label) {

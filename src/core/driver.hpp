@@ -103,6 +103,20 @@ class AtlantisDriver {
   util::Result<util::Picoseconds> try_switch_task(TaskSwitcher& switcher,
                                                   const std::string& name);
 
+  /// Self-reconfiguration service poll (driver-mediated, deterministic):
+  /// if the FPGA's resident design asserts its `reconfig_req` output,
+  /// the driver re-shifts the requested frame (`reconfig_region` output,
+  /// region 0 when the port is absent) from the staged configuration
+  /// data via FpgaDevice::self_reconfigure_region — live design state
+  /// survives — posts the kReconfig transaction at this driver's cursor
+  /// and acknowledges with a one-cycle pulse on the design's
+  /// `reconfig_ack` input (when present) so the design can deassert the
+  /// request. Returns 0 when there is no simulator, no request port or
+  /// no pending request; fails with kConfigCrc when the frame reload
+  /// exhausts the retry budget (the device is then unconfigured and the
+  /// next task switch takes the full-configure path).
+  util::Result<util::Picoseconds> poll_self_reconfig(int fpga);
+
   /// Programs the board's design clock (the "design speed 40 MHz" knob
   /// from the Table 1 measurements).
   void set_design_clock(double mhz);

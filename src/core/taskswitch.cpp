@@ -8,15 +8,22 @@ void TaskSwitcher::add_task(const hw::Bitstream& bs) {
   ATLANTIS_CHECK(!bs.name.empty(), "task needs a name");
   ATLANTIS_CHECK(tasks_.find(bs.name) == tasks_.end(),
                  "task '" + bs.name + "' already registered");
+  if (bs.has_regions()) {
+    ATLANTIS_CHECK(static_cast<int>(bs.region_sigs.size()) ==
+                       device_.region_count(),
+                   "task '" + bs.name + "' region count does not match " +
+                       device_.family().name);
+  }
   tasks_.emplace(bs.name, bs);
 }
 
 util::Picoseconds TaskSwitcher::post_reconfig(const std::string& label,
-                                              util::Picoseconds t) {
+                                              util::Picoseconds t,
+                                              std::uint32_t regions) {
   if (bound()) {
     cursor_ = timeline_
                   ->post(track_, sim::TxnKind::kReconfig, label,
-                         sim::ResourceId{}, cursor_, t)
+                         sim::ResourceId{}, cursor_, t, 0, regions)
                   .end;
   }
   return t;
@@ -27,6 +34,39 @@ void TaskSwitcher::enable_cache(std::size_t capacity, double hit_fraction) {
                  "cache hit fraction out of range");
   cache_ = ConfigCache(capacity);
   cache_hit_fraction_ = hit_fraction;
+}
+
+bool TaskSwitcher::diff_applicable(const hw::Bitstream& bs) const {
+  return differential_ && device_.configured() &&
+         device_.family().partial_reconfig && device_.region_count() > 1 &&
+         bs.has_regions() &&
+         hw::region_diff_count(device_.resident_regions(), bs.region_sigs) >= 0;
+}
+
+util::Picoseconds TaskSwitcher::estimate_switch_cost(
+    const std::string& name) const {
+  const auto it = tasks_.find(name);
+  if (it == tasks_.end()) {
+    throw util::StateError("unknown task '" + name + "'");
+  }
+  if (current_ == name && device_.configured()) return 0;
+  const util::Picoseconds full = device_.config_time(
+      device_.family().config_bits);
+  if (cache_.enabled() && cache_.contains(name) && device_.configured() &&
+      !device_.upset_pending()) {
+    return static_cast<util::Picoseconds>(
+        static_cast<double>(full) * cache_hit_fraction_);
+  }
+  if (diff_applicable(it->second)) {
+    const int d = hw::region_diff_count(device_.resident_regions(),
+                                        it->second.region_sigs);
+    return device_.region_time() * d;
+  }
+  if (device_.configured() && device_.family().partial_reconfig) {
+    return static_cast<util::Picoseconds>(
+        static_cast<double>(full) * it->second.fraction);
+  }
+  return full;
 }
 
 util::Picoseconds TaskSwitcher::switch_to(const std::string& name) {
@@ -41,6 +81,7 @@ util::Result<util::Picoseconds> TaskSwitcher::try_switch_to(
   if (it == tasks_.end()) {
     throw util::StateError("unknown task '" + name + "'");
   }
+  last_regions_ = 0;
   if (current_ == name && device_.configured()) {
     last_time_ = 0;
     return util::Picoseconds{0};  // already resident
@@ -66,16 +107,36 @@ util::Result<util::Picoseconds> TaskSwitcher::try_switch_to(
   util::Picoseconds total = 0;
   for (int attempt = 1;; ++attempt) {
     util::Picoseconds t = 0;
-    if (device_.configured() && device_.family().partial_reconfig) {
+    bool ok = false;
+    std::uint32_t regions = 0;
+    if (diff_applicable(it->second)) {
+      // Differential load: only changed frames move, each with its own
+      // CRC opportunity retried up to the policy budget. Exhausting the
+      // budget on one frame drops the device unconfigured and the outer
+      // loop falls back to a full configuration.
+      const hw::ReconfigOutcome oc =
+          device_.reconfigure_diff(it->second, policy_.max_attempts);
+      t = oc.time;
+      ok = oc.ok;
+      reconfig_retries_ += static_cast<std::uint64_t>(oc.region_retries);
+      if (ok) {
+        regions = static_cast<std::uint32_t>(oc.regions_loaded);
+        ++partial_switches_;
+        regions_loaded_ += static_cast<std::uint64_t>(oc.regions_loaded);
+        partial_time_ += t;
+        last_regions_ = oc.regions_loaded;
+      }
+    } else if (device_.configured() && device_.family().partial_reconfig) {
       t = device_.partial_reconfigure(it->second);
+      ok = device_.config_crc_ok();
     } else {
       t = device_.configure(it->second);
+      ok = device_.config_crc_ok();
     }
     total += t;
-    const bool ok = device_.config_crc_ok();
     post_reconfig(ok ? "switch to " + name
                      : "switch to " + name + " (crc fail)",
-                  t);
+                  t, regions);
     if (ok) break;
     // The CRC failure left the device unconfigured: the next attempt is
     // a full configuration, not a partial one.
@@ -92,7 +153,9 @@ util::Result<util::Picoseconds> TaskSwitcher::try_switch_to(
   ++switches_;
   total_time_ += total;
   last_time_ = total;
-  cache_.insert(name);  // the full load staged a fresh local copy
+  // Both the full load and the differential one leave a complete fresh
+  // copy of the configuration staged locally.
+  cache_.insert(name, it->second.region_sigs);
   return total;
 }
 
@@ -102,26 +165,46 @@ bool TaskSwitcher::scrub() {
   device_.draw_config_upset();  // one SEU opportunity per scrub window
   util::Picoseconds t = device_.readback();
   bool repaired = false;
+  std::uint32_t regions = 0;
   if (device_.upset_pending()) {
-    // Readback shows a bitstream mismatch: reload the current task. The
-    // reload is itself a CRC opportunity; a failure there surfaces via
-    // the next try_switch_to(), which sees an unconfigured device.
+    // Readback shows a bitstream mismatch: repair it. With the
+    // differential path available the upset frame is re-shifted alone
+    // and the live design state survives (reconfigure_diff of the
+    // resident bitstream touches only the upset region); otherwise the
+    // current task is reloaded wholesale. Either reload is a CRC
+    // opportunity; a failure there surfaces via the next
+    // try_switch_to(), which sees an unconfigured device.
     const auto it = tasks_.find(current_);
     if (it != tasks_.end()) {
-      if (device_.family().partial_reconfig) {
-        t += device_.partial_reconfigure(it->second);
+      if (diff_applicable(it->second)) {
+        const hw::ReconfigOutcome oc =
+            device_.reconfigure_diff(it->second, policy_.max_attempts);
+        t += oc.time;
+        reconfig_retries_ += static_cast<std::uint64_t>(oc.region_retries);
+        if (oc.ok) {
+          repaired = true;
+          ++upsets_corrected_;
+          ++region_scrubs_;
+          regions = static_cast<std::uint32_t>(oc.regions_loaded);
+        } else {
+          current_.clear();
+        }
       } else {
-        t += device_.configure(it->second);
-      }
-      if (device_.config_crc_ok()) {
-        repaired = true;
-        ++upsets_corrected_;
-      } else {
-        current_.clear();
+        if (device_.family().partial_reconfig) {
+          t += device_.partial_reconfigure(it->second);
+        } else {
+          t += device_.configure(it->second);
+        }
+        if (device_.config_crc_ok()) {
+          repaired = true;
+          ++upsets_corrected_;
+        } else {
+          current_.clear();
+        }
       }
     }
   }
-  post_reconfig(repaired ? "scrub (repair)" : "scrub", t);
+  post_reconfig(repaired ? "scrub (repair)" : "scrub", t, regions);
   return repaired;
 }
 

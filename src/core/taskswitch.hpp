@@ -5,6 +5,16 @@
 // switcher keeps a set of named tasks (bitstreams) for one FPGA and swaps
 // between them, using partial reconfiguration when the device supports it
 // and the incoming task declares the array fraction it touches.
+//
+// Differential switching: tasks whose bitstreams carry per-region content
+// signatures (hw::make_region_signatures) switch by loading only the
+// regions that differ from the resident configuration
+// (hw::FpgaDevice::reconfigure_diff) — two TRT variants sharing pattern
+// banks, or imgproc kernels differing only in coefficient pages, pay a
+// few frames instead of the full 18.75 ms ORCA load. The scalar
+// `fraction` path and full configuration remain the fallbacks, and
+// set_differential(false) pins the switcher to them so schedulers can A/B
+// the two policies on identical workloads.
 #pragma once
 
 #include <map>
@@ -34,19 +44,37 @@ class TaskSwitcher {
 
   /// Recoverable switch: a configuration-CRC failure drops the device to
   /// the unconfigured state and the switcher retries with a full
-  /// configuration, up to the policy's attempt budget. The returned time
-  /// includes every failed attempt. Unknown task names still throw — that
-  /// is caller misuse, not a hardware fault.
+  /// configuration, up to the policy's attempt budget. On the
+  /// differential path the budget applies per region first (a failed
+  /// frame is re-shifted alone). The returned time includes every failed
+  /// attempt. Unknown task names still throw — that is caller misuse,
+  /// not a hardware fault.
   util::Result<util::Picoseconds> try_switch_to(const std::string& name);
 
   /// One configuration-SRAM scrub window: gives the injector an SEU
-  /// opportunity, reads the configuration back, and reloads the current
-  /// task when the readback shows an upset. Returns true when an upset
-  /// was found and repaired. No-op on an unconfigured device.
+  /// opportunity, reads the configuration back, and repairs an upset by
+  /// reloading the current task — a single-frame region scrub when the
+  /// differential path is available (which leaves the live design state
+  /// untouched), a full reload otherwise. Returns true when an upset was
+  /// found and repaired. No-op on an unconfigured device.
   bool scrub();
 
   void set_retry_policy(const sim::RetryPolicy& policy) { policy_ = policy; }
   const sim::RetryPolicy& retry_policy() const { return policy_; }
+
+  /// Differential region loading on cache misses (default on). Only
+  /// bites when the task and the resident configuration both carry
+  /// region signatures — behaviour is bit-identical to the legacy
+  /// switcher otherwise, so leaving this on is always safe.
+  void set_differential(bool on) { differential_ = on; }
+  bool differential() const { return differential_; }
+
+  /// Estimated cost of switching to `name` right now, in configuration
+  /// time units — the scheduler's config-diff distance. 0 when resident;
+  /// the activation fraction when staged in the cache; the region diff
+  /// when the differential path applies; a full load otherwise. Pure
+  /// (no stats, no promotion). Unknown tasks throw.
+  util::Picoseconds estimate_switch_cost(const std::string& name) const;
 
   // --- bitstream/configuration cache ------------------------------------
   /// Enables the LRU bitstream cache: up to `capacity` recently used
@@ -72,9 +100,20 @@ class TaskSwitcher {
   std::uint64_t scrub_count() const { return scrubs_; }
   std::uint64_t upsets_corrected() const { return upsets_corrected_; }
 
+  /// Differential-path accounting.
+  std::uint64_t partial_switches() const { return partial_switches_; }
+  std::uint64_t regions_loaded() const { return regions_loaded_; }
+  util::Picoseconds partial_switch_time() const { return partial_time_; }
+  /// Regions moved by the most recent switch (0: full/scalar/cached).
+  int last_regions_loaded() const { return last_regions_; }
+  /// Upsets repaired by a single-frame region scrub (subset of
+  /// upsets_corrected()).
+  std::uint64_t region_scrubs() const { return region_scrubs_; }
+
   /// Binds the switcher to a timeline: every switch_to() additionally
   /// posts a kReconfig transaction at the switcher's cursor (sequential
-  /// switches chain end to start).
+  /// switches chain end to start). Differential switches carry their
+  /// region count on the transaction.
   void bind(sim::Timeline& timeline, sim::TrackId track) {
     timeline_ = &timeline;
     track_ = track;
@@ -83,7 +122,8 @@ class TaskSwitcher {
 
  private:
   util::Picoseconds post_reconfig(const std::string& label,
-                                  util::Picoseconds t);
+                                  util::Picoseconds t, std::uint32_t regions = 0);
+  bool diff_applicable(const hw::Bitstream& bs) const;
 
   hw::FpgaDevice& device_;
   std::map<std::string, hw::Bitstream> tasks_;
@@ -94,6 +134,12 @@ class TaskSwitcher {
   std::uint64_t reconfig_retries_ = 0;
   std::uint64_t scrubs_ = 0;
   std::uint64_t upsets_corrected_ = 0;
+  std::uint64_t partial_switches_ = 0;
+  std::uint64_t regions_loaded_ = 0;
+  util::Picoseconds partial_time_ = 0;
+  int last_regions_ = 0;
+  std::uint64_t region_scrubs_ = 0;
+  bool differential_ = true;
   ConfigCache cache_;
   double cache_hit_fraction_ = 1.0 / 64.0;
   sim::RetryPolicy policy_;

@@ -1,5 +1,7 @@
 #include "hw/fpga.hpp"
 
+#include <algorithm>
+
 #include "util/status.hpp"
 
 namespace atlantis::hw {
@@ -16,6 +18,10 @@ const FpgaFamily& orca_3t125() {
       .config_bus_bits = 8,
       .partial_reconfig = true,
       .readback = true,
+      // The ORCA configuration store is addressable in column groups; we
+      // model 32 frames (~46.9 kbit each), the granularity of the
+      // differential loader and the region scrub.
+      .config_regions = 32,
   };
   return f;
 }
@@ -31,14 +37,66 @@ const FpgaFamily& virtex_xcv600() {
       .config_bus_bits = 8,
       .partial_reconfig = false,
       .readback = true,
+      .config_regions = 1,  // monolithic: no partial reconfiguration
   };
   return f;
+}
+
+namespace {
+
+std::uint64_t fnv1a64(std::uint64_t h, const void* data, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::uint64_t region_signature(const std::string& tag, int region) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  h = fnv1a64(h, tag.data(), tag.size());
+  const auto r = static_cast<std::uint64_t>(region);
+  h = fnv1a64(h, &r, sizeof(r));
+  return h;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> make_region_signatures(const std::string& tag,
+                                                  int regions) {
+  ATLANTIS_CHECK(regions > 0, "region count must be positive");
+  std::vector<std::uint64_t> sigs(static_cast<std::size_t>(regions));
+  for (int r = 0; r < regions; ++r) {
+    sigs[static_cast<std::size_t>(r)] = region_signature(tag, r);
+  }
+  return sigs;
+}
+
+void stamp_regions(std::vector<std::uint64_t>& sigs, const std::string& tag,
+                   int lo, int hi) {
+  ATLANTIS_CHECK(lo >= 0 && hi >= lo &&
+                     static_cast<std::size_t>(hi) <= sigs.size(),
+                 "stamp_regions range out of bounds");
+  for (int r = lo; r < hi; ++r) {
+    sigs[static_cast<std::size_t>(r)] = region_signature(tag, r);
+  }
+}
+
+int region_diff_count(const std::vector<std::uint64_t>& a,
+                      const std::vector<std::uint64_t>& b) {
+  if (a.empty() || b.empty() || a.size() != b.size()) return -1;
+  int n = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) ++n;
+  }
+  return n;
 }
 
 chdl::SimOptions& FpgaDevice::default_sim_options() {
   static chdl::SimOptions options = [] {
     chdl::SimOptions o;
-    o.mode = chdl::EvalMode::kThreaded;
+    o.mode = chdl::EvalMode::kAuto;
     return o;
   }();
   return options;
@@ -76,6 +134,12 @@ util::Picoseconds FpgaDevice::config_time(std::int64_t bits) const {
          util::period_from_mhz(family_->config_clock_mhz);
 }
 
+util::Picoseconds FpgaDevice::region_time() const {
+  return config_time(util::ceil_div(
+      static_cast<std::uint64_t>(family_->config_bits),
+      static_cast<std::uint64_t>(family_->config_regions)));
+}
+
 bool FpgaDevice::draw_crc_failure() {
   if (injector_ == nullptr) return false;
   if (!injector_->draw(sim::FaultKind::kConfigCrc, fault_site_)) return false;
@@ -86,16 +150,40 @@ bool FpgaDevice::draw_crc_failure() {
   configured_ = false;
   design_name_.clear();
   sim_.reset();
+  resident_sigs_.clear();
   upset_pending_ = false;
+  upset_region_ = -1;
   return true;
 }
 
 bool FpgaDevice::draw_config_upset() {
   if (injector_ == nullptr || !configured_) return false;
-  if (!injector_->draw(sim::FaultKind::kSeuConfig, fault_site_)) return false;
+  const auto hit = injector_->draw(sim::FaultKind::kSeuConfig, fault_site_);
+  if (!hit) return false;
   ++config_upsets_;
   upset_pending_ = true;
+  // Pin the upset to a frame so a region scrub can repair it without a
+  // full reload. The fault parameter picks the frame deterministically.
+  upset_region_ = static_cast<int>(hit->param %
+                                   static_cast<std::uint64_t>(
+                                       family_->config_regions));
   return true;
+}
+
+void FpgaDevice::install(const Bitstream& bs) {
+  // Same resident design: the frames that moved do not disturb live
+  // flip-flop/RAM state, so the simulator (and its state) survives.
+  // Anything else rebuilds from the incoming bitstream.
+  const bool same_design = configured_ && design_name_ == bs.name &&
+                           (bs.design == nullptr || sim_ != nullptr);
+  configured_ = true;
+  design_name_ = bs.name;
+  if (!same_design) {
+    sim_.reset();
+    if (bs.design != nullptr) {
+      sim_ = std::make_unique<chdl::Simulator>(*bs.design, sim_options_);
+    }
+  }
 }
 
 util::Picoseconds FpgaDevice::configure(const Bitstream& bs) {
@@ -106,12 +194,14 @@ util::Picoseconds FpgaDevice::configure(const Bitstream& bs) {
   }
   crc_ok_ = true;
   upset_pending_ = false;
+  upset_region_ = -1;
   configured_ = true;
   design_name_ = bs.name;
   sim_.reset();
   if (bs.design != nullptr) {
     sim_ = std::make_unique<chdl::Simulator>(*bs.design, sim_options_);
   }
+  resident_sigs_ = bs.region_sigs;
   return config_time(family_->config_bits);
 }
 
@@ -130,12 +220,139 @@ util::Picoseconds FpgaDevice::partial_reconfigure(const Bitstream& bs) {
   if (draw_crc_failure()) return spent;
   crc_ok_ = true;
   upset_pending_ = false;
+  upset_region_ = -1;
   design_name_ = bs.name;
   sim_.reset();
   if (bs.design != nullptr) {
     sim_ = std::make_unique<chdl::Simulator>(*bs.design, sim_options_);
   }
+  resident_sigs_ = bs.region_sigs;
   return spent;
+}
+
+ReconfigOutcome FpgaDevice::load_regions(const std::vector<int>& regions,
+                                         int max_region_attempts,
+                                         bool differential) {
+  ATLANTIS_CHECK(max_region_attempts >= 1,
+                 "need at least one attempt per region");
+  ReconfigOutcome outcome;
+  outcome.regions_total = family_->config_regions;
+  outcome.differential = differential;
+  const util::Picoseconds frame = region_time();
+  for (int region : regions) {
+    bool loaded = false;
+    for (int attempt = 1; attempt <= max_region_attempts; ++attempt) {
+      outcome.time += frame;
+      // One configuration-CRC opportunity per frame shifted: a failure
+      // costs one frame retry, not the whole bitstream.
+      const bool crc_fail =
+          injector_ != nullptr &&
+          injector_->draw(sim::FaultKind::kConfigCrc, fault_site_).has_value();
+      if (!crc_fail) {
+        loaded = true;
+        break;
+      }
+      ++crc_failures_;
+      if (attempt < max_region_attempts) {
+        ++region_crc_retries_;
+        ++outcome.region_retries;
+      }
+    }
+    if (!loaded) {
+      // Retry budget exhausted on this frame: the device asserts INIT
+      // and drops unconfigured; the caller falls back to a full
+      // configure.
+      crc_ok_ = false;
+      configured_ = false;
+      design_name_.clear();
+      sim_.reset();
+      resident_sigs_.clear();
+      upset_pending_ = false;
+      upset_region_ = -1;
+      outcome.ok = false;
+      return outcome;
+    }
+    ++outcome.regions_loaded;
+  }
+  crc_ok_ = true;
+  regions_loaded_ += static_cast<std::uint64_t>(outcome.regions_loaded);
+  return outcome;
+}
+
+ReconfigOutcome FpgaDevice::reconfigure_diff(const Bitstream& bs,
+                                             int max_region_attempts) {
+  ATLANTIS_CHECK(family_->partial_reconfig,
+                 family_->name + " does not support partial reconfiguration");
+  ATLANTIS_CHECK(family_->config_regions > 1,
+                 family_->name + " has a monolithic configuration store");
+  ATLANTIS_CHECK(bs.has_regions(), "bitstream carries no region signatures");
+  ATLANTIS_CHECK(static_cast<int>(bs.region_sigs.size()) ==
+                     family_->config_regions,
+                 "bitstream region count does not match " + family_->name);
+  if (!configured_) {
+    throw util::StateError("partial reconfiguration of unconfigured device " +
+                           name_);
+  }
+  check_fit(bs.stats);
+
+  const bool comparable =
+      region_diff_count(resident_sigs_, bs.region_sigs) >= 0;
+  std::vector<int> changed;
+  if (comparable) {
+    for (std::size_t r = 0; r < bs.region_sigs.size(); ++r) {
+      if (resident_sigs_[r] != bs.region_sigs[r]) {
+        changed.push_back(static_cast<int>(r));
+      }
+    }
+    // A pending configuration upset lives in one frame; reloading that
+    // frame repairs it even when the target content is unchanged.
+    if (upset_pending_ && upset_region_ >= 0 &&
+        !std::binary_search(changed.begin(), changed.end(), upset_region_)) {
+      changed.insert(std::upper_bound(changed.begin(), changed.end(),
+                                      upset_region_),
+                     upset_region_);
+    }
+  } else {
+    // Resident configuration is opaque: every frame must be assumed
+    // stale. Still a region-granular load (per-frame CRC), just not a
+    // differential one.
+    changed.resize(static_cast<std::size_t>(family_->config_regions));
+    for (int r = 0; r < family_->config_regions; ++r) {
+      changed[static_cast<std::size_t>(r)] = r;
+    }
+  }
+
+  ReconfigOutcome outcome =
+      load_regions(changed, max_region_attempts, comparable);
+  if (!outcome.ok) return outcome;
+  ++partial_reconfigs_;
+  upset_pending_ = false;
+  upset_region_ = -1;
+  install(bs);
+  resident_sigs_ = bs.region_sigs;
+  return outcome;
+}
+
+ReconfigOutcome FpgaDevice::self_reconfigure_region(int region,
+                                                    int max_region_attempts) {
+  ATLANTIS_CHECK(family_->partial_reconfig,
+                 family_->name + " does not support partial reconfiguration");
+  ATLANTIS_CHECK(region >= 0 && region < family_->config_regions,
+                 "self-reconfiguration region out of range");
+  if (!configured_) {
+    throw util::StateError("self-reconfiguration of unconfigured device " +
+                           name_);
+  }
+  // The resident design re-shifts one of its own frames from the staged
+  // configuration data. The design (and its live state) stays put.
+  ReconfigOutcome outcome = load_regions({region}, max_region_attempts, true);
+  if (!outcome.ok) return outcome;
+  ++self_reconfigs_;
+  if (upset_pending_ && upset_region_ == region) {
+    upset_pending_ = false;
+    upset_region_ = -1;
+  }
+  return outcome;
 }
 
 util::Picoseconds FpgaDevice::activate(const Bitstream& bs,
@@ -154,6 +371,7 @@ util::Picoseconds FpgaDevice::activate(const Bitstream& bs,
   if (bs.design != nullptr) {
     sim_ = std::make_unique<chdl::Simulator>(*bs.design, sim_options_);
   }
+  resident_sigs_ = bs.region_sigs;
   return config_time(static_cast<std::int64_t>(
       static_cast<double>(family_->config_bits) * fraction_of_full));
 }
@@ -171,7 +389,9 @@ void FpgaDevice::deconfigure() {
   configured_ = false;
   design_name_.clear();
   sim_.reset();
+  resident_sigs_.clear();
   upset_pending_ = false;
+  upset_region_ = -1;
 }
 
 }  // namespace atlantis::hw

@@ -6,12 +6,25 @@
 // reconfiguration*, which enables hardware task switches), and Xilinx
 // Virtex XCV600 on the AIB. A configured device can carry a CHDL design,
 // in which case it owns a cycle simulator for it.
+//
+// Region model (differential partial reconfiguration): a family with
+// partial-reconfig support exposes its configuration store as
+// `config_regions` independently addressable frames. A Bitstream may
+// carry one content signature per region; the device remembers the
+// signatures of the resident configuration, and reconfigure_diff()
+// loads only the regions whose signatures differ — the hardware task
+// switch the paper's ORCA parts were chosen for, generalized from the
+// scalar `fraction` model. Each region load is its own configuration-CRC
+// fault opportunity, so a CRC failure retries one frame, not the whole
+// bitstream, and a configuration-SRAM upset is pinned to a region that
+// a region scrub can repair without touching live design state.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "chdl/sim.hpp"
 #include "chdl/stats.hpp"
@@ -30,6 +43,9 @@ struct FpgaFamily {
   int config_bus_bits = 8;          // bits loaded per config clock
   bool partial_reconfig = false;
   bool readback = false;
+  /// Independently addressable configuration regions (frames). 1 means
+  /// the bitstream is monolithic (no region-level reconfiguration).
+  int config_regions = 1;
 };
 
 /// Lucent ORCA 3T125: ~186k average gates (the paper's 4-chip matrix sums
@@ -40,6 +56,25 @@ const FpgaFamily& orca_3t125();
 /// the generation ATLANTIS used.
 const FpgaFamily& virtex_xcv600();
 
+/// Deterministic per-region content signatures for a bitstream: region
+/// r's signature is an FNV-1a hash of (tag, r). Compose families that
+/// share regions by starting from a common tag and stamping the
+/// variant-specific range (stamp_regions).
+std::vector<std::uint64_t> make_region_signatures(const std::string& tag,
+                                                  int regions);
+
+/// Overwrites regions [lo, hi) with signatures derived from `tag` —
+/// models a variant that differs from its base only in those frames
+/// (coefficient pages, pattern banks, ...).
+void stamp_regions(std::vector<std::uint64_t>& sigs, const std::string& tag,
+                   int lo, int hi);
+
+/// Number of regions whose signatures differ; -1 when the two vectors
+/// are incomparable (either empty, or different region counts) and a
+/// differential load is impossible.
+int region_diff_count(const std::vector<std::uint64_t>& a,
+                      const std::vector<std::uint64_t>& b);
+
 /// A loadable configuration: resource footprint plus (optionally) the
 /// CHDL design itself for bit-accurate simulation.
 struct Bitstream {
@@ -47,9 +82,25 @@ struct Bitstream {
   chdl::NetlistStats stats;
   const chdl::Design* design = nullptr;  // optional; enables CycleSim
   double fraction = 1.0;  // fraction of the device the bitstream covers
+  /// Per-region content signatures (size = family config_regions).
+  /// Empty: no region model; (partial) reconfiguration falls back to
+  /// the scalar `fraction` path.
+  std::vector<std::uint64_t> region_sigs;
+
+  bool has_regions() const { return !region_sigs.empty(); }
 
   /// Convenience: analyze a design and wrap it.
   static Bitstream from_design(const chdl::Design& design);
+};
+
+/// What one differential (re)configuration did.
+struct ReconfigOutcome {
+  util::Picoseconds time = 0;  // frames shifted, including retried ones
+  int regions_total = 0;       // regions in the target bitstream
+  int regions_loaded = 0;      // distinct regions actually loaded
+  int region_retries = 0;      // per-region CRC retries that succeeded
+  bool differential = false;   // diffed against a comparable resident config
+  bool ok = true;              // false: CRC retries exhausted, device cleared
 };
 
 class FpgaDevice {
@@ -59,12 +110,14 @@ class FpgaDevice {
         sim_options_(default_sim_options()) {}
 
   /// Process-wide default SimOptions for simulators built by
-  /// configure()/partial_reconfigure()/activate(). Ships with the
-  /// threaded region-superop backend (chdl/threaded.hpp) — the fastest
-  /// engine on real device workloads — while plain `chdl::Simulator`
-  /// construction elsewhere keeps the event-driven default. Mutate the
-  /// reference (e.g. in a benchmark harness) to change the fleet-wide
-  /// policy; per-device overrides go through set_sim_options().
+  /// configure()/partial_reconfigure()/activate(). Ships with
+  /// EvalMode::kAuto — per-design backend selection that picks the
+  /// threaded region-superop engine for large tapes and the lighter
+  /// event-driven engine for small ones (chdl/sim.hpp) — while plain
+  /// `chdl::Simulator` construction elsewhere keeps the event-driven
+  /// default. Mutate the reference (e.g. in a benchmark harness) to
+  /// change the fleet-wide policy; per-device overrides go through
+  /// set_sim_options().
   static chdl::SimOptions& default_sim_options();
 
   /// Per-device override; applies to the NEXT (re)configuration — an
@@ -84,10 +137,32 @@ class FpgaDevice {
   /// gate or pin budget. Returns the configuration time.
   util::Picoseconds configure(const Bitstream& bs);
 
-  /// Partial reconfiguration of `fraction` of the array (hardware task
-  /// switch). Only legal on families with partial_reconfig; the device
-  /// must already be configured.
+  /// Partial reconfiguration (hardware task switch), scalar model: the
+  /// load shifts `fraction` of the full bitstream with a single CRC
+  /// opportunity. Only legal on families with partial_reconfig; the
+  /// device must already be configured. Region-aware callers use
+  /// reconfigure_diff instead — the two paths are kept separate so a
+  /// scheduler can A/B them on identical workloads.
   util::Picoseconds partial_reconfigure(const Bitstream& bs);
+
+  /// Differential partial reconfiguration: loads only the regions whose
+  /// signatures differ from the resident configuration (plus the upset
+  /// region when a configuration upset is pending, which this repairs).
+  /// Each region load is a configuration-CRC opportunity retried up to
+  /// `max_region_attempts` times; exhausting the budget on any region
+  /// drops the device to the unconfigured state (outcome.ok = false).
+  /// Loading a bitstream with the resident design's name preserves the
+  /// live simulator — configuration frames move, design state does not
+  /// (this is what makes a region scrub repair non-destructive).
+  ReconfigOutcome reconfigure_diff(const Bitstream& bs,
+                                   int max_region_attempts = 1);
+
+  /// Self-reconfiguration: the resident design reloads one of its own
+  /// regions from the staged configuration data (driver-mediated; see
+  /// AtlantisDriver::poll_self_reconfig). Preserves the simulator and
+  /// repairs a pending upset pinned to that region.
+  ReconfigOutcome self_reconfigure_region(int region,
+                                          int max_region_attempts = 1);
 
   /// Activates a configuration context whose data is already staged in
   /// the local configuration store (a bitstream-cache hit): only
@@ -111,10 +186,22 @@ class FpgaDevice {
   /// Time to shift `bits` of configuration data.
   util::Picoseconds config_time(std::int64_t bits) const;
 
+  /// Regions in this device's configuration store and the time to shift
+  /// one region's frame data.
+  int region_count() const { return family_->config_regions; }
+  util::Picoseconds region_time() const;
+
+  /// Signatures of the resident configuration; empty when the resident
+  /// bitstream carried none (or the device is unconfigured).
+  const std::vector<std::uint64_t>& resident_regions() const {
+    return resident_sigs_;
+  }
+
   // --- fault injection --------------------------------------------------
   /// Attaches a fault injector; the injection site is "fpga/<name>".
   /// configure()/partial_reconfigure() are configuration-CRC
-  /// opportunities; draw_config_upset() is a configuration-SRAM SEU
+  /// opportunities (one per monolithic load, one per region frame on the
+  /// differential path); draw_config_upset() is a configuration-SRAM SEU
   /// opportunity (one per scrub window).
   void set_fault_injector(sim::FaultInjector* injector) {
     injector_ = injector;
@@ -128,16 +215,30 @@ class FpgaDevice {
 
   /// One configuration-SRAM SEU opportunity. On a hit the loaded design
   /// is marked upset (readback would show a bitstream mismatch) until a
-  /// reconfiguration repairs it.
+  /// reconfiguration repairs it. The upset is pinned to a region (the
+  /// fault parameter modulo region_count), so a region scrub can repair
+  /// it by reloading one frame.
   bool draw_config_upset();
   bool upset_pending() const { return upset_pending_; }
+  /// Region carrying the pending upset; -1 when none is pending.
+  int upset_region() const { return upset_region_; }
 
   std::uint64_t crc_failures() const { return crc_failures_; }
   std::uint64_t config_upsets() const { return config_upsets_; }
+  /// Differential-path lifetime counters.
+  std::uint64_t partial_reconfigs() const { return partial_reconfigs_; }
+  std::uint64_t regions_loaded() const { return regions_loaded_; }
+  std::uint64_t region_crc_retries() const { return region_crc_retries_; }
+  std::uint64_t self_reconfigs() const { return self_reconfigs_; }
 
  private:
   void check_fit(const chdl::NetlistStats& stats) const;
   bool draw_crc_failure();
+  /// Loads the listed regions frame by frame with per-region CRC retry;
+  /// shared tail of reconfigure_diff / self_reconfigure_region.
+  ReconfigOutcome load_regions(const std::vector<int>& regions,
+                               int max_region_attempts, bool differential);
+  void install(const Bitstream& bs);
 
   std::string name_;
   const FpgaFamily* family_;
@@ -145,10 +246,16 @@ class FpgaDevice {
   std::string design_name_;
   chdl::SimOptions sim_options_;
   std::unique_ptr<chdl::Simulator> sim_;
+  std::vector<std::uint64_t> resident_sigs_;
   bool crc_ok_ = true;
   bool upset_pending_ = false;
+  int upset_region_ = -1;
   std::uint64_t crc_failures_ = 0;
   std::uint64_t config_upsets_ = 0;
+  std::uint64_t partial_reconfigs_ = 0;
+  std::uint64_t regions_loaded_ = 0;
+  std::uint64_t region_crc_retries_ = 0;
+  std::uint64_t self_reconfigs_ = 0;
   sim::FaultInjector* injector_ = nullptr;
   std::string fault_site_;
 };

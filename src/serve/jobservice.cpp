@@ -26,6 +26,7 @@ JobService::JobService(core::AtlantisSystem& system, ServeOptions options)
         std::make_unique<core::TaskSwitcher>(system_.acb(i).fpga(0));
     state.switcher->enable_cache(options_.cache_capacity,
                                  options_.cache_hit_fraction);
+    state.switcher->set_differential(options_.differential_reconfig);
     boards_.push_back(std::move(state));
   }
 }
@@ -100,7 +101,8 @@ const ServiceReport& JobService::run(util::WorkerPool* pool) {
   // Delta baselines, so repeated run() calls report only their own work.
   struct Baseline {
     std::uint64_t switches, hits, misses, evictions, insertions;
-    util::Picoseconds switch_time;
+    std::uint64_t partials, regions;
+    util::Picoseconds switch_time, partial_time;
   };
   std::vector<Baseline> base;
   base.reserve(boards_.size());
@@ -109,7 +111,10 @@ const ServiceReport& JobService::run(util::WorkerPool* pool) {
                     b.switcher->cache_misses(),
                     b.switcher->cache_stats().evictions,
                     b.switcher->cache_stats().insertions,
-                    b.switcher->total_switch_time()});
+                    b.switcher->partial_switches(),
+                    b.switcher->regions_loaded(),
+                    b.switcher->total_switch_time(),
+                    b.switcher->partial_switch_time()});
   }
 
   while (!queues_.empty()) {
@@ -120,9 +125,13 @@ const ServiceReport& JobService::run(util::WorkerPool* pool) {
     }
     core::AcbBoard& acb = system_.acb(board->index);
 
-    const std::string config = options_.fifo_order
-                                   ? queues_.pick_fifo()
-                                   : queues_.pick(board->switcher->current());
+    const std::string config =
+        options_.fifo_order ? queues_.pick_fifo()
+        : options_.diff_order
+            ? queues_.pick_closest([&](const std::string& c) {
+                return board->switcher->estimate_switch_cost(c);
+              })
+            : queues_.pick(board->switcher->current());
     std::deque<JobId> batch;
     while (static_cast<int>(batch.size()) < options_.max_batch &&
            queues_.depth(config) > 0) {
@@ -162,12 +171,20 @@ const ServiceReport& JobService::run(util::WorkerPool* pool) {
     const core::TaskSwitcher& sw = *boards_[i].switcher;
     const std::uint64_t switches = sw.switch_count() - base[i].switches;
     const std::uint64_t hits = sw.cache_hits() - base[i].hits;
+    const std::uint64_t partials = sw.partial_switches() - base[i].partials;
     report_.task_switches += switches;
     report_.cache_hits += hits;
     report_.cache_misses += sw.cache_misses() - base[i].misses;
     report_.cache_evictions += sw.cache_stats().evictions - base[i].evictions;
-    report_.full_reconfigs += switches - hits;
+    // A cache miss is either a differential region load or a full
+    // bitstream load; with no region signatures partials is always 0 and
+    // this reduces to the old switches - hits.
+    report_.partial_reconfigs += partials;
+    report_.regions_loaded += sw.regions_loaded() - base[i].regions;
+    report_.full_reconfigs += switches - hits - partials;
     report_.reconfig_time += sw.total_switch_time() - base[i].switch_time;
+    report_.partial_reconfig_time +=
+        sw.partial_switch_time() - base[i].partial_time;
   }
   const std::uint64_t lookups = report_.cache_hits + report_.cache_misses;
   report_.cache_hit_rate =

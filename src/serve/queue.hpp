@@ -36,6 +36,17 @@ struct ServeOptions {
   /// configuration's queue at a time — the reconfigure-per-job baseline
   /// the serving benchmark compares batching against.
   bool fifo_order = false;
+  /// Differential region loading on cache misses (TaskSwitcher
+  /// set_differential). Only bites for configurations registered with
+  /// region signatures; bit-identical to the full-configure path
+  /// otherwise. Off gives the A/B baseline for the serving benchmark.
+  bool differential_reconfig = true;
+  /// Order batches by config-diff distance: instead of draining the
+  /// deepest queue, the scheduler serves the queue whose configuration
+  /// is cheapest to switch to from the board's resident one
+  /// (TaskSwitcher::estimate_switch_cost), ties broken by depth then
+  /// name. Ignored when fifo_order is set.
+  bool diff_order = false;
 };
 
 /// FIFO queues keyed by configuration name, plus per-tenant backlog
@@ -81,6 +92,28 @@ class ConfigQueues {
       if (q.front() < best_id) {
         best_id = q.front();
         best = config;
+      }
+    }
+    return best;
+  }
+
+  /// Config-diff-ordered variant: the non-empty queue whose
+  /// configuration costs the least to switch to, per `cost` (the
+  /// scheduler passes TaskSwitcher::estimate_switch_cost). Ties go to
+  /// the deeper queue, then the smaller name — deterministic for any
+  /// submission interleaving, like pick().
+  template <typename CostFn>
+  std::string pick_closest(CostFn&& cost) const {
+    std::string best;
+    util::Picoseconds best_cost = 0;
+    std::size_t best_depth = 0;
+    for (const auto& [config, q] : queues_) {
+      const util::Picoseconds c = cost(config);
+      if (best.empty() || c < best_cost ||
+          (c == best_cost && q.size() > best_depth)) {
+        best = config;
+        best_cost = c;
+        best_depth = q.size();
       }
     }
     return best;

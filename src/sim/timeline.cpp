@@ -46,7 +46,8 @@ const Transaction& Timeline::post(TrackId track, TxnKind kind,
                                   std::string label, ResourceId resource,
                                   util::Picoseconds not_before,
                                   util::Picoseconds service,
-                                  std::uint64_t bytes) {
+                                  std::uint64_t bytes,
+                                  std::uint32_t regions) {
   ATLANTIS_CHECK(track.valid() && track.value < track_count(),
                  "post() needs a registered track");
   ATLANTIS_CHECK(not_before >= 0 && service >= 0,
@@ -59,6 +60,7 @@ const Transaction& Timeline::post(TrackId track, TxnKind kind,
   t.resource = resource;
   t.post = not_before;
   t.bytes = bytes;
+  t.regions = regions;
   if (resource.valid()) {
     ATLANTIS_CHECK(resource.value < resource_count(),
                    "post() on an unregistered resource");
@@ -227,6 +229,7 @@ void Timeline::export_chrome_trace(std::ostream& out) const {
     out << ", \"ts\": " << ps_to_trace_us(t->start)
         << ", \"dur\": " << ps_to_trace_us(t->duration())
         << ", \"args\": {\"bytes\": " << t->bytes
+        << ", \"regions\": " << t->regions
         << ", \"queue_delay_us\": " << ps_to_trace_us(t->queue_delay())
         << ", \"actor\": ";
     write_json_string(out, track_name(t->track));

@@ -78,6 +78,10 @@ struct Transaction {
   util::Picoseconds start = 0;
   util::Picoseconds end = 0;
   std::uint64_t bytes = 0;
+  /// Configuration regions moved by a kReconfig transaction (0 = a
+  /// monolithic load, or not a reconfiguration at all). Lets traces and
+  /// benches separate full-bitstream loads from differential ones.
+  std::uint32_t regions = 0;
 
   util::Picoseconds queue_delay() const { return start - post; }
   util::Picoseconds duration() const { return end - start; }
@@ -128,7 +132,8 @@ class Timeline {
   /// scheduled transaction (valid until the next post()).
   const Transaction& post(TrackId track, TxnKind kind, std::string label,
                           ResourceId resource, util::Picoseconds not_before,
-                          util::Picoseconds service, std::uint64_t bytes = 0);
+                          util::Picoseconds service, std::uint64_t bytes = 0,
+                          std::uint32_t regions = 0);
 
   /// Latest end over all transactions (the crate-wide makespan).
   util::Picoseconds horizon() const { return horizon_; }

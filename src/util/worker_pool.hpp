@@ -7,8 +7,18 @@
 // deliberately simple: one job at a time, indices handed out by an
 // atomic cursor, completion signalled through a condition variable, so
 // it is easy to reason about under TSan.
+//
+// Granularity: per-index handout costs one mutex round-trip, which
+// swamps sub-microsecond tasks (the ACB matrix steps four ~100ns event
+// sims per cycle). parallel_for_chunked() hands each worker one
+// contiguous slice instead, and helpers briefly spin for the next job
+// before sleeping on the condition variable, so back-to-back
+// parallel_for calls don't pay a futex wake per cycle. Per-worker
+// utilization counters (worker_stats) make the granularity visible in
+// the benches instead of leaving a silent flat-line.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -20,6 +30,13 @@ namespace atlantis::util {
 
 class WorkerPool {
  public:
+  /// Work done by one worker since the last reset_worker_stats().
+  /// Worker 0 is the calling thread; 1..size()-1 are the helpers.
+  struct WorkerStats {
+    std::uint64_t tasks = 0;    // indices (or chunks) executed
+    std::uint64_t busy_ns = 0;  // wall time spent inside the functor
+  };
+
   /// `threads` is the total worker count including the caller;
   /// 0 picks min(hardware_concurrency, 4) — "a small worker pool".
   explicit WorkerPool(int threads = 0);
@@ -36,15 +53,27 @@ class WorkerPool {
   /// from inside a task.
   void parallel_for(int n, const std::function<void(int)>& fn);
 
+  /// Same contract, but indices are handed out as at most size()
+  /// contiguous chunks — one mutex round-trip per worker instead of per
+  /// index. Use for many small uniform tasks; results are identical to
+  /// parallel_for whenever fn(i) calls are independent (which the
+  /// barrier contract already requires).
+  void parallel_for_chunked(int n, const std::function<void(int)>& fn);
+
+  /// Per-worker counters since the last reset (snapshot; call while no
+  /// parallel_for is in flight for exact totals). Index 0 = caller.
+  std::vector<WorkerStats> worker_stats() const;
+  void reset_worker_stats();
+
   /// Process-wide pool shared by board stepping and multiboard runs.
   static WorkerPool& shared();
 
  private:
-  void worker_loop();
+  void worker_loop(int wid);
   void work(const std::function<void(int)>& fn);
 
   std::vector<std::thread> helpers_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable start_cv_;
   std::condition_variable done_cv_;
   const std::function<void(int)>* job_ = nullptr;  // guarded by mutex_
@@ -53,6 +82,11 @@ class WorkerPool {
   int remaining_ = 0;        // indices not yet completed
   std::uint64_t job_seq_ = 0;
   bool stop_ = false;
+  std::vector<WorkerStats> stats_;  // guarded by mutex_
+  // Lock-free signals for the helpers' pre-sleep spin: bumped/set under
+  // mutex_ by the publisher, read unlocked by spinning helpers.
+  std::atomic<std::uint64_t> job_gen_{0};
+  std::atomic<bool> stopping_{false};
 };
 
 }  // namespace atlantis::util

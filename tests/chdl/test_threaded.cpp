@@ -341,5 +341,65 @@ TEST(Verify, CheckBackendsPinsExplicitSides) {
   EXPECT_TRUE(rep) << rep.mismatch;
 }
 
+/// A combinational chain long enough to clear the kAuto threshold.
+Design wide_fixture(int chain_length) {
+  Design d("wide");
+  const Wire a = d.input("a", 16);
+  Wire acc = a;
+  for (int i = 0; i < chain_length; ++i) {
+    acc = d.bxor(d.add(acc, a), d.constant(16, static_cast<std::uint64_t>(i)));
+  }
+  d.output("y", acc);
+  return d;
+}
+
+TEST(Auto, SmallTapeResolvesToEventDriven) {
+  // plan_fixture compiles to a few dozen ops — far below the threshold,
+  // where the event-driven engine wins (BENCH_simspeed conv workload).
+  const Design d = plan_fixture();
+  Simulator sim(d, SimOptions{.mode = EvalMode::kAuto});
+  EXPECT_EQ(sim.eval_mode(), EvalMode::kEventDriven);
+  EXPECT_EQ(sim.region_plan(), nullptr);  // no threaded engine was built
+}
+
+TEST(Auto, LargeTapeResolvesToThreaded) {
+  const Design d = wide_fixture(300);  // ≥ 600 compiled ops
+  Simulator sim(d, SimOptions{.mode = EvalMode::kAuto});
+  EXPECT_EQ(sim.eval_mode(), EvalMode::kThreaded);
+  EXPECT_NE(sim.region_plan(), nullptr);
+}
+
+TEST(Auto, ThresholdIsTunable) {
+  const Design d = plan_fixture();
+  SimOptions so;
+  so.mode = EvalMode::kAuto;
+  so.auto_threaded_min_ops = 1;  // everything is "large"
+  Simulator sim(d, so);
+  EXPECT_EQ(sim.eval_mode(), EvalMode::kThreaded);
+}
+
+TEST(Auto, SetEvalModeReResolves) {
+  const Design d = wide_fixture(300);
+  Simulator sim(d, EvalMode::kEventDriven);
+  EXPECT_EQ(sim.eval_mode(), EvalMode::kEventDriven);
+  sim.set_eval_mode(EvalMode::kAuto);
+  EXPECT_EQ(sim.eval_mode(), EvalMode::kThreaded);  // never reports kAuto
+}
+
+TEST(Auto, MatchesPinnedBackendsBitForBit) {
+  const Design d = plan_fixture();
+  BackendCheckOptions opts;
+  opts.cycles = 200;
+  SimOptions aut;
+  aut.mode = EvalMode::kAuto;
+  SimOptions event;
+  event.mode = EvalMode::kEventDriven;
+  SimOptions thr;
+  thr.mode = EvalMode::kThreaded;
+  opts.sides = {aut, event, thr};
+  const BackendCheckReport rep = check_backends(d, opts);
+  EXPECT_TRUE(rep) << rep.mismatch;
+}
+
 }  // namespace
 }  // namespace atlantis::chdl

@@ -75,7 +75,7 @@ TEST(ApiDuals, TrySelfTestMatchesThrowingVersion) {
 }
 
 TEST(ApiDuals, TryConfigureAllMatchesThrowingVersion) {
-  const hw::Bitstream bs{"blank", {}, nullptr, 1.0};
+  const hw::Bitstream bs{"blank", {}, nullptr, 1.0, {}};
   core::AcbBoard board("acb0");
   const util::Result<util::Picoseconds> r = board.try_configure_all(bs);
   ASSERT_TRUE(r.ok());
@@ -110,7 +110,7 @@ TEST(ApiDuals, TrySwitchTaskPostsAtTheDriverCursor) {
   core::AtlantisSystem sys("crate");
   core::AtlantisDriver drv(sys, sys.add_acb("acb0"));
   core::TaskSwitcher sw(sys.acb(0).fpga(0));
-  sw.add_task(hw::Bitstream{"alpha", {}, nullptr, 1.0});
+  sw.add_task(hw::Bitstream{"alpha", {}, nullptr, 1.0, {}});
 
   const util::Picoseconds before = drv.now();
   const util::Result<util::Picoseconds> r = drv.try_switch_task(sw, "alpha");
@@ -126,7 +126,7 @@ TEST(ApiDuals, TrySwitchTaskPostsAtTheDriverCursor) {
 
   // A bound switcher would double-post; that is caller misuse.
   core::TaskSwitcher bound_sw(sys.acb(0).fpga(1));
-  bound_sw.add_task(hw::Bitstream{"alpha", {}, nullptr, 1.0});
+  bound_sw.add_task(hw::Bitstream{"alpha", {}, nullptr, 1.0, {}});
   bound_sw.bind(sys.timeline(), sys.timeline().add_track("sw"));
   EXPECT_THROW((void)drv.try_switch_task(bound_sw, "alpha"), util::Error);
 }

@@ -116,6 +116,77 @@ TEST(Bitstream, FromDesignAnalyzes) {
   EXPECT_EQ(bs.name, "blinky");
   EXPECT_GT(bs.stats.gate_equivalents, 0);
   EXPECT_EQ(bs.design, &small_design());
+  // from_design never invents region signatures — the scalar model stays
+  // the default until a caller attaches them.
+  EXPECT_FALSE(bs.has_regions());
+}
+
+TEST(FpgaDevice, RegionGeometryMatchesTheFamily) {
+  const FpgaDevice orca("fpga0", orca_3t125());
+  const FpgaDevice virtex("fpga1", virtex_xcv600());
+  EXPECT_GT(orca.region_count(), 1);
+  EXPECT_EQ(virtex.region_count(), 1);  // monolithic configuration store
+  // The frames tile the bitstream: region_count frame loads cost at
+  // least a full configuration (rounding may add a few clocks).
+  EXPECT_GE(orca.region_count() * orca.region_time(),
+            orca.config_time(orca.family().config_bits));
+}
+
+TEST(FpgaDevice, ReconfigureDiffPreservesResidentSimulator) {
+  FpgaDevice dev("fpga0", orca_3t125());
+  Bitstream bs = Bitstream::from_design(small_design());
+  bs.region_sigs = make_region_signatures("blinky_v1", dev.region_count());
+  dev.configure(bs);
+  chdl::Simulator* sim = dev.sim();
+  ASSERT_NE(sim, nullptr);
+  sim->poke("en", 1);
+  for (int i = 0; i < 5; ++i) sim->step();
+  const std::uint64_t q = sim->peek_u64("q");
+
+  // Same design name, two regions' content changed (coefficient pages):
+  // the frames move, the flip-flops do not.
+  Bitstream v2 = bs;
+  stamp_regions(v2.region_sigs, "blinky_v2", 3, 5);
+  const ReconfigOutcome oc = dev.reconfigure_diff(v2);
+  EXPECT_TRUE(oc.ok);
+  EXPECT_EQ(oc.regions_loaded, 2);
+  EXPECT_EQ(dev.sim(), sim);
+  EXPECT_EQ(dev.sim()->peek_u64("q"), q);
+
+  // A different design name rebuilds the simulator from scratch (the
+  // allocator may reuse the address, so check the state, not the
+  // pointer: the counter restarts at zero).
+  Bitstream other = v2;
+  other.name = "blinky2";
+  stamp_regions(other.region_sigs, "blinky2", 0, 2);
+  EXPECT_TRUE(dev.reconfigure_diff(other).ok);
+  EXPECT_EQ(dev.design_name(), "blinky2");
+  ASSERT_NE(dev.sim(), nullptr);
+  EXPECT_EQ(dev.sim()->peek_u64("q"), 0u);
+}
+
+TEST(FpgaDevice, SelfReconfigureRepairsOnlyItsOwnRegion) {
+  FpgaDevice dev("fpga0", orca_3t125());
+  Bitstream bs = Bitstream::from_design(small_design());
+  bs.region_sigs = make_region_signatures("blinky", dev.region_count());
+
+  sim::FaultPlan plan;
+  // param picks the upset frame: 40 % 32 = region 8.
+  plan.inject(sim::FaultKind::kSeuConfig, "fpga/fpga0", 1, /*param=*/40);
+  sim::FaultInjector inj(plan);
+  dev.set_fault_injector(&inj);
+  dev.configure(bs);
+  ASSERT_TRUE(dev.draw_config_upset());
+  EXPECT_EQ(dev.upset_region(), 8);
+
+  // Reloading a different frame leaves the upset pending…
+  EXPECT_TRUE(dev.self_reconfigure_region(3).ok);
+  EXPECT_TRUE(dev.upset_pending());
+  // …reloading the pinned frame repairs it.
+  EXPECT_TRUE(dev.self_reconfigure_region(8).ok);
+  EXPECT_FALSE(dev.upset_pending());
+  EXPECT_EQ(dev.upset_region(), -1);
+  EXPECT_EQ(dev.self_reconfigs(), 2u);
 }
 
 }  // namespace

@@ -44,6 +44,7 @@ std::string serialize(const std::vector<serve::JobRecord>& records) {
 struct RunResult {
   std::string schedule;
   std::string records;
+  std::string results;  // timing-free functional identity (region tests)
   std::vector<int> boards;  // per job, the board it ran on
   serve::ServiceReport report;
 };
@@ -79,8 +80,8 @@ RunResult run_workload(int pool_threads, const sim::FaultPlan* plan = nullptr,
     sys.set_fault_injector(injector.get());
   }
   serve::JobService service(sys, options);
-  service.register_config(hw::Bitstream{"alpha", {}, nullptr, 1.0});
-  service.register_config(hw::Bitstream{"beta", {}, nullptr, 1.0});
+  service.register_config(hw::Bitstream{"alpha", {}, nullptr, 1.0, {}});
+  service.register_config(hw::Bitstream{"beta", {}, nullptr, 1.0, {}});
   for (int i = 0; i < 24; ++i) {
     const std::string tenant =
         i % 3 == 0 ? "atlas" : (i % 3 == 1 ? "cms" : "lhcb");
@@ -158,7 +159,7 @@ TEST(JobService, AdmissionControlRefusesOverload) {
   serve::ServeOptions opt;
   opt.max_queued_per_tenant = 2;
   serve::JobService service(sys, opt);
-  service.register_config(hw::Bitstream{"alpha", {}, nullptr, 1.0});
+  service.register_config(hw::Bitstream{"alpha", {}, nullptr, 1.0, {}});
   EXPECT_TRUE(service.submit(custom_job("greedy", "alpha", 0, 0)).ok());
   EXPECT_TRUE(service.submit(custom_job("greedy", "alpha", 1, 0)).ok());
   const util::Result<serve::JobId> refused =
@@ -175,7 +176,7 @@ TEST(JobService, AllBoardsDeadFailsRemainingJobs) {
   core::AtlantisSystem sys("crate");
   sys.add_acb("acb0");
   serve::JobService service(sys);
-  service.register_config(hw::Bitstream{"alpha", {}, nullptr, 1.0});
+  service.register_config(hw::Bitstream{"alpha", {}, nullptr, 1.0, {}});
   for (int i = 0; i < 3; ++i) {
     (void)service.submit(custom_job("t", "alpha", i, 0)).value();
   }
@@ -214,6 +215,124 @@ TEST(JobService, SubmitUnknownConfigIsMisuse) {
   serve::JobService service(sys);
   EXPECT_THROW((void)service.submit(custom_job("t", "nope", 0, 0)),
                util::Error);
+}
+
+// --- differential partial reconfiguration on the serve path ------------
+
+/// Functional identity of a run: which job produced what, ignoring the
+/// modelled timing (which the reconfiguration policy is supposed to
+/// change).
+std::string serialize_results(const std::vector<serve::JobRecord>& records) {
+  std::ostringstream os;
+  for (const serve::JobRecord& r : records) {
+    os << r.id << '|' << r.tenant << '|' << r.config << '|' << r.board << '|'
+       << util::error_code_name(r.error) << '|' << r.outcome.checksum << '\n';
+  }
+  return os.str();
+}
+
+/// Five configurations sharing a common base: each variant differs from
+/// the base in four of the ORCA's 32 frames, so a switch between any
+/// two of them is an 8-frame (or less) differential load instead of a
+/// full 18.75 ms bitstream.
+RunResult run_region_workload(int pool_threads, serve::ServeOptions options,
+                              const sim::FaultPlan* plan = nullptr) {
+  std::unique_ptr<sim::FaultInjector> injector;
+  core::AtlantisSystem sys("crate");
+  sys.add_acb("acb0");
+  if (plan != nullptr) {
+    injector = std::make_unique<sim::FaultInjector>(*plan);
+    sys.set_fault_injector(injector.get());
+  }
+  serve::JobService service(sys, options);
+  constexpr int kConfigs = 5;
+  for (int c = 0; c < kConfigs; ++c) {
+    hw::Bitstream bs{"cfg" + std::to_string(c), {}, nullptr, 1.0, {}};
+    bs.region_sigs = hw::make_region_signatures("shared_base", 32);
+    hw::stamp_regions(bs.region_sigs, bs.name, 4 * c, 4 * c + 4);
+    service.register_config(bs);
+  }
+  for (int i = 0; i < 30; ++i) {
+    const std::string tenant = i % 2 == 0 ? "atlas" : "cms";
+    const std::string config = "cfg" + std::to_string(i % kConfigs);
+    (void)service
+        .submit(custom_job(tenant, config, i, i * util::kMicrosecond))
+        .value();
+  }
+  util::WorkerPool pool(pool_threads);
+  service.run(&pool);
+  RunResult rr;
+  rr.schedule = serialize(sys.timeline());
+  rr.records = serialize(service.jobs());
+  for (const serve::JobRecord& rec : service.jobs()) {
+    rr.boards.push_back(rec.board);
+  }
+  rr.report = service.report();
+  rr.results = serialize_results(service.jobs());
+  sys.set_fault_injector(nullptr);
+  return rr;
+}
+
+TEST(JobService, DifferentialPathMatchesFullPathResults) {
+  serve::ServeOptions full;
+  full.max_batch = 4;
+  full.cache_capacity = 2;  // 5 configs through 2 slots: misses guaranteed
+  full.differential_reconfig = false;
+  serve::ServeOptions diff = full;
+  diff.differential_reconfig = true;
+
+  const RunResult f = run_region_workload(1, full);
+  const RunResult d = run_region_workload(1, diff);
+
+  // Same jobs, same boards, same outcomes — bit-identical results.
+  EXPECT_EQ(f.results, d.results);
+  EXPECT_EQ(f.report.served, 30u);
+  EXPECT_EQ(d.report.served, 30u);
+  EXPECT_EQ(f.report.failed, d.report.failed);
+
+  // But the differential runs paid frames, not bitstreams.
+  EXPECT_EQ(f.report.partial_reconfigs, 0u);
+  EXPECT_GT(d.report.partial_reconfigs, 0u);
+  EXPECT_GT(d.report.regions_loaded, 0u);
+  EXPECT_GT(d.report.partial_reconfig_time, 0);
+  EXPECT_LE(d.report.partial_reconfig_time, d.report.reconfig_time);
+  EXPECT_LT(d.report.reconfig_time, f.report.reconfig_time);
+  EXPECT_LT(d.report.makespan, f.report.makespan);
+}
+
+TEST(JobService, DiffOrderPicksTheCheapestQueueDeterministically) {
+  serve::ServeOptions opt;
+  opt.max_batch = 4;
+  opt.cache_capacity = 2;
+  opt.diff_order = true;
+  const RunResult one = run_region_workload(1, opt);
+  const RunResult eight = run_region_workload(8, opt);
+  EXPECT_EQ(one.schedule, eight.schedule);
+  EXPECT_EQ(one.records, eight.records);
+  EXPECT_EQ(one.report.served, 30u);
+  EXPECT_GT(one.report.partial_reconfigs, 0u);
+
+  // Ordering by config-diff distance never costs more reconfiguration
+  // time than the fair round-robin on the same workload.
+  serve::ServeOptions unordered = opt;
+  unordered.diff_order = false;
+  const RunResult rr = run_region_workload(1, unordered);
+  EXPECT_EQ(rr.report.served, one.report.served);
+  EXPECT_LE(one.report.reconfig_time, rr.report.reconfig_time);
+}
+
+TEST(JobService, DifferentialRunIsReplayIdenticalUnderFaults) {
+  sim::FaultPlan plan;
+  plan.seed = 11;
+  plan.with_rate(sim::FaultKind::kConfigCrc, 0.1);
+  serve::ServeOptions opt;
+  opt.max_batch = 4;
+  opt.cache_capacity = 2;
+  const RunResult a = run_region_workload(1, opt, &plan);
+  const RunResult b = run_region_workload(8, opt, &plan);
+  EXPECT_EQ(a.schedule, b.schedule);
+  EXPECT_EQ(a.records, b.records);
+  EXPECT_EQ(a.report.served + a.report.failed, 30u);
 }
 
 }  // namespace

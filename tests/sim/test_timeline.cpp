@@ -99,6 +99,19 @@ TEST(Timeline, StatsAccumulateBytesAndUtilization) {
   EXPECT_DOUBLE_EQ(s.utilization(tl.horizon()), 1.0);
 }
 
+TEST(Timeline, ReconfigTransactionsCarryRegionCounts) {
+  Timeline tl;
+  const TrackId t = tl.add_track("switcher");
+  const Transaction& full =
+      tl.post(t, TxnKind::kReconfig, "full load", ResourceId{}, 0, 100);
+  EXPECT_EQ(full.regions, 0u);  // monolithic load: no region count
+  const Transaction& diff = tl.post(t, TxnKind::kReconfig, "diff load",
+                                    ResourceId{}, 100, 10, /*bytes=*/512,
+                                    /*regions=*/4);
+  EXPECT_EQ(diff.regions, 4u);
+  EXPECT_EQ(tl.txn(diff.id).regions, 4u);  // survives in the ledger
+}
+
 TEST(Timeline, RejectsBadPosts) {
   Timeline tl;
   const ResourceId bus = tl.add_resource("bus");
