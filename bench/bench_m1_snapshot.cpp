@@ -1,0 +1,267 @@
+// M1 — the snapshot/restore layer: stream size, save/restore wall
+// latency, bit-identical mid-stream restore under a fault plan, and
+// what preemptive scheduling buys on a deadline-heavy mix.
+//
+// Part 1 freezes a two-board crate mid-serve — ledger, queues, per-job
+// progress, per-board driver/switcher state, the timeline and the
+// fault injector, all in one versioned stream — and restores it into an
+// identically assembled twin. The twin must finish the run with a
+// bit-identical schedule and ledger (that is the whole point of the
+// layer: a restore is indistinguishable from never having paused).
+//
+// Part 2 runs the same staged workload — two 30 ms background jobs,
+// then eight 100 us jobs under a 40 ms deadline — under the batched,
+// abort/rerun and checkpoint/resume policies. Batching makes the
+// deadline jobs wait out the background batch; abort/rerun holds the
+// deadlines but re-pays the evicted compute; checkpoint/resume holds
+// the deadlines at a strictly smaller makespan. Writes
+// BENCH_snapshot.json.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/system.hpp"
+#include "serve/jobservice.hpp"
+#include "sim/fault.hpp"
+#include "sim/snapshot.hpp"
+#include "sim/timeline.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+using namespace atlantis;
+
+namespace {
+
+std::string serialize(const sim::Timeline& tl) {
+  std::ostringstream os;
+  for (const sim::Transaction& t : tl.transactions()) {
+    os << sim::txn_kind_name(t.kind) << '|' << t.label << '|'
+       << tl.track_name(t.track) << '|' << t.post << '|' << t.start << '|'
+       << t.end << '|' << t.bytes << '\n';
+  }
+  return os.str();
+}
+
+std::string serialize(const std::vector<serve::JobRecord>& records) {
+  std::ostringstream os;
+  for (const serve::JobRecord& r : records) {
+    os << r.id << '|' << r.tenant << '|' << r.config << '|' << r.board << '|'
+       << r.start << '|' << r.finish << '|' << r.preemptions << '|'
+       << util::error_code_name(r.error) << '|' << r.outcome.checksum << '\n';
+  }
+  return os.str();
+}
+
+serve::JobSpec make_job(const std::string& tenant, const std::string& config,
+                        int index, util::Picoseconds compute,
+                        util::Picoseconds deadline = 0) {
+  serve::JobSpec job;
+  job.tenant = tenant;
+  job.kind = serve::JobKind::kCustom;
+  job.config = config;
+  job.deadline = deadline;
+  job.work = [index, compute] {
+    serve::JobOutcome out;
+    out.checksum =
+        0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(index + 1);
+    out.compute_time = compute;
+    out.dma_in_bytes = 1024;
+    out.dma_out_bytes = 256;
+    return out;
+  };
+  return job;
+}
+
+struct World {
+  std::unique_ptr<sim::FaultInjector> injector;
+  core::AtlantisSystem sys;
+  std::unique_ptr<serve::JobService> service;
+
+  World(serve::ServeOptions options, int boards, const sim::FaultPlan* plan)
+      : sys("crate") {
+    for (int i = 0; i < boards; ++i) sys.add_acb("acb" + std::to_string(i));
+    if (plan != nullptr) {
+      injector = std::make_unique<sim::FaultInjector>(*plan);
+      sys.set_fault_injector(injector.get());
+    }
+    service = std::make_unique<serve::JobService>(sys, options);
+    service->register_config(hw::Bitstream{"alpha", {}, nullptr, 1.0, {}});
+    service->register_config(hw::Bitstream{"beta", {}, nullptr, 1.0, {}});
+  }
+
+  ~World() { sys.set_fault_injector(nullptr); }
+};
+
+void submit_serve_mix(serve::JobService& s, int jobs) {
+  for (int i = 0; i < jobs; ++i) {
+    const std::string tenant =
+        i % 3 == 0 ? "atlas" : (i % 3 == 1 ? "cms" : "lhcb");
+    const std::string config = (i % 2 == 0) ? "alpha" : "beta";
+    (void)s.submit(
+             make_job(tenant, config, i, (i % 5 + 1) * util::kMicrosecond))
+        .value();
+  }
+}
+
+struct PolicyCell {
+  std::string name;
+  double makespan_ms = 0.0;
+  std::uint64_t deadline_misses = 0;
+  std::uint64_t preemptions = 0;
+};
+
+/// Two 30 ms background jobs dispatched first, then eight 100 us
+/// deadline jobs land — the staging where scheduling policy decides
+/// who makes their deadline.
+PolicyCell run_policy(const std::string& name, serve::Policy policy) {
+  serve::ServeOptions options;
+  options.policy = policy;
+  options.preempt_slice = util::kMillisecond;
+  World world(options, 1, nullptr);
+  for (int i = 0; i < 2; ++i) {
+    (void)world.service
+        ->submit(make_job("batch", "alpha", i, 30 * util::kMillisecond))
+        .value();
+  }
+  world.service->run_bounded(1);
+  for (int i = 2; i < 10; ++i) {
+    (void)world.service
+        ->submit(make_job("rt", "alpha", i, 100 * util::kMicrosecond,
+                          40 * util::kMillisecond))
+        .value();
+  }
+  world.service->run();
+  PolicyCell cell;
+  cell.name = name;
+  util::Picoseconds last_finish = 0;
+  for (const serve::JobRecord& rec : world.service->jobs()) {
+    last_finish = std::max(last_finish, rec.finish);
+    cell.preemptions += rec.preemptions;
+    if (rec.deadline > 0 && rec.finish > rec.deadline) ++cell.deadline_misses;
+  }
+  cell.makespan_ms = util::ps_to_ms(last_finish);
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("M1", "snapshot/restore: stream cost, bit-identical "
+                      "mid-stream restore, preempt vs rerun");
+
+  const int n_jobs = bench::smoke() ? 12 : 36;
+
+  // --- part 1: freeze a fault-plan serve run mid-stream ----------------
+  sim::FaultPlan plan;
+  plan.seed = 20260808;
+  plan.with_rate(sim::FaultKind::kDmaStall, 0.10);
+  plan.inject(sim::FaultKind::kBoardDropout, "board/acb1", /*nth=*/2);
+  serve::ServeOptions options;  // batched, the serving default
+
+  World ref(options, 2, &plan);
+  submit_serve_mix(*ref.service, n_jobs);
+  ref.service->run();
+  const std::string want_records = serialize(ref.service->jobs());
+  const std::string want_schedule = serialize(ref.sys.timeline());
+
+  World live(options, 2, &plan);
+  submit_serve_mix(*live.service, n_jobs);
+  live.service->run_bounded(3);
+
+  const auto save_begin = std::chrono::steady_clock::now();
+  sim::SnapshotWriter w;
+  live.service->save_state(w);
+  const std::vector<std::uint8_t> bytes = w.bytes();
+  const auto save_end = std::chrono::steady_clock::now();
+
+  World twin(options, 2, &plan);
+  submit_serve_mix(*twin.service, n_jobs);
+  const auto restore_begin = std::chrono::steady_clock::now();
+  auto opened = sim::SnapshotReader::open(bytes);
+  if (!opened.ok()) {
+    std::printf("snapshot reopen failed: %s\n", opened.message().c_str());
+    return 1;
+  }
+  twin.service->load_state(opened.value());
+  const auto restore_end = std::chrono::steady_clock::now();
+  twin.service->run();
+
+  const double save_us =
+      std::chrono::duration<double, std::micro>(save_end - save_begin).count();
+  const double restore_us =
+      std::chrono::duration<double, std::micro>(restore_end - restore_begin)
+          .count();
+  const bool identical = serialize(twin.service->jobs()) == want_records &&
+                         serialize(twin.sys.timeline()) == want_schedule;
+
+  util::Table snap("mid-stream snapshot of a 2-board serve run (" +
+                   std::to_string(n_jobs) + " jobs, fault plan active)");
+  snap.set_header({"metric", "value"});
+  snap.add_row({"stream size (bytes)", std::to_string(bytes.size())});
+  snap.add_row({"save latency (us)", util::Table::fmt(save_us, 1)});
+  snap.add_row({"restore latency (us)", util::Table::fmt(restore_us, 1)});
+  snap.add_row({"restored replay", identical ? "bit-identical" : "DIVERGED"});
+  snap.print();
+
+  bench::expect(identical,
+                "restored twin finishes with a bit-identical schedule, "
+                "ledger and fault tail");
+  bench::expect(bytes.size() > 0 && bytes.size() < (1u << 20),
+                "snapshot stream is compact (under 1 MiB for this crate)");
+
+  // --- part 2: scheduling policies on the deadline mix -----------------
+  const PolicyCell batched = run_policy("batched", serve::Policy::kBatched);
+  const PolicyCell rerun =
+      run_policy("abort+rerun", serve::Policy::kAbortRerun);
+  const PolicyCell resume =
+      run_policy("checkpoint+resume", serve::Policy::kPreemptive);
+
+  util::Table pol("deadline mix: 2x30 ms background + 8x100 us @ 40 ms "
+                  "deadline, 1 board");
+  pol.set_header({"policy", "makespan (ms)", "deadline misses",
+                  "preemptions"});
+  for (const PolicyCell* c : {&batched, &rerun, &resume}) {
+    pol.add_row({c->name, util::Table::fmt(c->makespan_ms, 2),
+                 std::to_string(c->deadline_misses),
+                 std::to_string(c->preemptions)});
+  }
+  pol.print();
+
+  bench::expect(batched.deadline_misses == 8,
+                "the batched drain misses every deadline behind the "
+                "background batch");
+  bench::expect(resume.deadline_misses == 0 && rerun.deadline_misses == 0,
+                "both preemptive policies hold every deadline");
+  bench::expect(resume.preemptions > 0,
+                "the deadline jobs actually preempted the background work");
+  bench::expect(resume.makespan_ms < rerun.makespan_ms,
+                "checkpoint/resume beats abort/rerun on makespan "
+                "(preempted compute is not re-paid)");
+
+  // --- artifact --------------------------------------------------------
+  std::ofstream json("BENCH_snapshot.json");
+  json << "{\n  \"jobs\": " << n_jobs
+       << ",\n  \"snapshot_bytes\": " << bytes.size()
+       << ",\n  \"save_us\": " << save_us
+       << ",\n  \"restore_us\": " << restore_us
+       << ",\n  \"restore_identical\": " << (identical ? "true" : "false")
+       << ",\n  \"policies\": [";
+  bool first = true;
+  for (const PolicyCell* c : {&batched, &rerun, &resume}) {
+    json << (first ? "" : ",") << "\n    {\"policy\": \"" << c->name
+         << "\", \"makespan_ms\": " << c->makespan_ms
+         << ", \"deadline_misses\": " << c->deadline_misses
+         << ", \"preemptions\": " << c->preemptions << "}";
+    first = false;
+  }
+  json << "\n  ]\n}\n";
+  json.close();
+  std::printf("\nwrote BENCH_snapshot.json\n");
+
+  return bench::finish();
+}

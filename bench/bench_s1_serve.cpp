@@ -23,6 +23,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -60,7 +61,9 @@ struct ServeCell {
   double partial_reconfig_ms = 0.0;
   double makespan_ms = 0.0;
   int dead_boards = 0;
+  std::uint64_t migrated = 0;      // jobs drained to the spare crate
   std::uint64_t results_hash = 0;  // job outcomes, timing-free
+  std::uint64_t func_hash = 0;     // id-free functional ledger digest
 };
 
 struct Workload {
@@ -111,9 +114,39 @@ std::uint64_t hash_results(const std::vector<serve::JobRecord>& records) {
   return h;
 }
 
+/// Id-free digest of what was actually served, summed over any number
+/// of ledgers: migration reissues JobIds on the target, so the check
+/// "no job was lost or altered crossing crates" must hash (tenant,
+/// config, checksum) of every served record, order-independently.
+std::uint64_t functional_digest(
+    const std::vector<const std::vector<serve::JobRecord>*>& ledgers) {
+  std::vector<std::uint64_t> entries;
+  for (const auto* records : ledgers) {
+    for (const serve::JobRecord& r : *records) {
+      if (r.error != util::ErrorCode::kOk || r.migrated) continue;
+      std::uint64_t h = 1469598103934665603ull;
+      auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ull;
+      };
+      for (const char c : r.tenant) mix(static_cast<std::uint64_t>(c));
+      for (const char c : r.config) mix(static_cast<std::uint64_t>(c));
+      mix(r.outcome.checksum);
+      entries.push_back(h);
+    }
+  }
+  std::sort(entries.begin(), entries.end());
+  std::uint64_t h = 1469598103934665603ull;
+  for (const std::uint64_t e : entries) {
+    h ^= e;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
 ServeCell run_cell(const std::string& name, const Workload& w,
                    const serve::ServeOptions& options,
-                   const sim::FaultPlan* plan) {
+                   const sim::FaultPlan* plan, bool migrate = false) {
   core::AtlantisSystem sys("crate");
   sys.add_acb("acb0");
   sys.add_acb("acb1");
@@ -122,6 +155,18 @@ ServeCell run_cell(const std::string& name, const Workload& w,
 
   serve::JobService service(sys, options);
   for (const hw::Bitstream& bs : make_configs()) service.register_config(bs);
+
+  // Spare crate standing by: with a migration target set, losing the
+  // serving capacity drains pending jobs there via migrate_job instead
+  // of failing them with kBoardDead.
+  core::AtlantisSystem spare_sys("spare");
+  std::unique_ptr<serve::JobService> spare;
+  if (migrate) {
+    spare_sys.add_acb("spare0");
+    spare = std::make_unique<serve::JobService>(spare_sys, options);
+    for (const hw::Bitstream& bs : make_configs()) spare->register_config(bs);
+    service.set_migration_target(spare.get());
+  }
 
   ServeCell cell;
   cell.name = name;
@@ -170,6 +215,14 @@ ServeCell run_cell(const std::string& name, const Workload& w,
     reconfig_time += rep.reconfig_time;
     partial_time += rep.partial_reconfig_time;
     makespan = std::max(makespan, rep.makespan);
+    cell.migrated += rep.migrated;
+    if (spare) {
+      // Serve whatever this wave drained to the spare crate.
+      const serve::ServiceReport& srep = spare->run();
+      cell.served += srep.served;
+      cell.failed += srep.failed;
+      makespan = std::max(makespan, srep.makespan);
+    }
   }
 
   cell.hit_rate = hits + misses == 0
@@ -194,6 +247,9 @@ ServeCell run_cell(const std::string& name, const Workload& w,
         static_cast<util::Picoseconds>(util::percentile(waits, 0.99)));
   }
   cell.results_hash = hash_results(service.jobs());
+  std::vector<const std::vector<serve::JobRecord>*> ledgers{&service.jobs()};
+  if (spare) ledgers.push_back(&spare->jobs());
+  cell.func_hash = functional_digest(ledgers);
   if (plan != nullptr) sys.set_fault_injector(nullptr);
   return cell;
 }
@@ -270,13 +326,22 @@ int main() {
   sim::FaultPlan plan;
   plan.inject(sim::FaultKind::kBoardDropout, "board/acb1", /*nth=*/1);
   const ServeCell d = run_cell("dropout", w, batched_diff, &plan);
+  // Total crate loss with a spare crate standing by: both boards drop
+  // on their first dispatch, so every job crosses crates via
+  // migrate_job instead of failing with kBoardDead.
+  sim::FaultPlan total_loss;
+  total_loss.inject(sim::FaultKind::kBoardDropout, "board/acb0", /*nth=*/1);
+  total_loss.inject(sim::FaultKind::kBoardDropout, "board/acb1", /*nth=*/1);
+  const ServeCell m =
+      run_cell("dropout+migrate", w, batched_diff, &total_loss,
+               /*migrate=*/true);
 
   util::Table table("mixed TRT/imgproc stream, " + std::to_string(n_jobs) +
                     " jobs, 2 boards");
   table.set_header({"policy", "served", "jobs/s", "p99 wait (ms)",
                     "hit rate", "full rcfg", "partial rcfg", "regions",
                     "reconfig (ms)", "partial (ms)", "makespan (ms)"});
-  for (const ServeCell* c : {&n, &b, &bd, &od, &d}) {
+  for (const ServeCell* c : {&n, &b, &bd, &od, &d, &m}) {
     table.add_row({c->name, std::to_string(c->served),
                    util::Table::fmt(c->jobs_per_s, 0),
                    util::Table::fmt(c->p99_ms, 2),
@@ -319,6 +384,13 @@ int main() {
   bench::expect(d.served == static_cast<std::uint64_t>(n_jobs) &&
                     d.failed == 0 && d.dead_boards == 1,
                 "a mid-stream board dropout is drained without losing jobs");
+  bench::expect(m.served == static_cast<std::uint64_t>(n_jobs) &&
+                    m.failed == 0 && m.migrated > 0,
+                "total crate loss drains every job to the spare crate via "
+                "migrate_job");
+  bench::expect(m.func_hash == bd.func_hash,
+                "migration preserves the functional ledger digest "
+                "(no job lost or altered crossing crates)");
   bench::expect(b.p99_ms < n.p99_ms,
                 "batching also cuts tail queue latency, not just throughput");
   if (diff_on) {
@@ -349,7 +421,7 @@ int main() {
        << ",\n  \"diff_reconfig_saving\": " << diff_saving
        << ",\n  \"rows\": [";
   bool first = true;
-  for (const ServeCell* c : {&n, &b, &bd, &od, &d}) {
+  for (const ServeCell* c : {&n, &b, &bd, &od, &d, &m}) {
     json << (first ? "" : ",") << "\n    {\"policy\": \"" << c->name
          << "\", \"served\": " << c->served << ", \"failed\": " << c->failed
          << ", \"jobs_per_s\": " << c->jobs_per_s
@@ -363,6 +435,8 @@ int main() {
          << ", \"partial_reconfig_ms\": " << c->partial_reconfig_ms
          << ", \"makespan_ms\": " << c->makespan_ms
          << ", \"results_hash\": " << c->results_hash
+         << ", \"func_hash\": " << c->func_hash
+         << ", \"migrated\": " << c->migrated
          << ", \"dead_boards\": " << c->dead_boards << "}";
     first = false;
   }

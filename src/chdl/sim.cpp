@@ -459,6 +459,52 @@ void Simulator::reset() {
   mark_all_dirty();
 }
 
+void Simulator::save_state(sim::SnapshotWriter& w) const {
+  // Only primary state goes into the stream. Worklists, shadow values
+  // and region plans are derived; load_state rebuilds them.
+  w.put_string(design_.name());
+  w.put_words(values_);
+  w.put_u32(static_cast<std::uint32_t>(ram_data_.size()));
+  for (const std::vector<std::uint64_t>& ram : ram_data_) w.put_words(ram);
+  w.put_words(cycle_count_);
+  w.put_u64(activity_.comp_evals);
+  w.put_u64(activity_.comp_changes);
+  w.put_u64(activity_.edges);
+}
+
+void Simulator::load_state(sim::SnapshotReader& r) {
+  const std::string name = r.get_string();
+  ATLANTIS_CHECK(name == design_.name(),
+                 "snapshot was taken from design '" + name + "', not '" +
+                     design_.name() + "'");
+  std::vector<std::uint64_t> values = r.get_words();
+  ATLANTIS_CHECK(values.size() == values_.size(),
+                 "snapshot wire storage shape mismatch");
+  const std::uint32_t n_rams = r.get_u32();
+  ATLANTIS_CHECK(n_rams == ram_data_.size(), "snapshot RAM count mismatch");
+  std::vector<std::vector<std::uint64_t>> rams;
+  rams.reserve(n_rams);
+  for (std::uint32_t i = 0; i < n_rams; ++i) {
+    rams.push_back(r.get_words());
+    ATLANTIS_CHECK(rams.back().size() == ram_data_[i].size(),
+                   "snapshot RAM shape mismatch");
+  }
+  std::vector<std::uint64_t> cycles = r.get_words();
+  ATLANTIS_CHECK(cycles.size() == cycle_count_.size(),
+                 "snapshot clock domain count mismatch");
+  values_ = std::move(values);
+  ram_data_ = std::move(rams);
+  cycle_count_ = std::move(cycles);
+  activity_.comp_evals = r.get_u64();
+  activity_.comp_changes = r.get_u64();
+  activity_.edges = r.get_u64();
+  // Re-derive everything else: with all ops marked dirty, the next
+  // evaluation recomputes every combinational value from the restored
+  // wires — a pure function of them — so all three backends converge to
+  // the same fixed point the saved simulator held.
+  mark_all_dirty();
+}
+
 void Simulator::store(Wire w, const BitVec& v) {
   ATLANTIS_CHECK(v.width() == w.width, "value width mismatch");
   const WireSlot& s = slots_[static_cast<std::size_t>(w.id)];

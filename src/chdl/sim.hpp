@@ -41,6 +41,7 @@
 #include "chdl/design.hpp"
 #include "chdl/optimize.hpp"
 #include "chdl/region.hpp"
+#include "sim/snapshot.hpp"
 
 namespace atlantis::chdl {
 
@@ -144,6 +145,18 @@ class Simulator {
   /// activity counters: a reset starts a fresh measurement epoch, so
   /// work done before it is never double-counted against work after.
   void reset();
+
+  /// Snapshottable leaf (see sim/snapshot.hpp): writes the complete
+  /// replayable state — every wire word, every RAM word, per-domain
+  /// cycle counts and the activity counters — into the caller's open
+  /// section. Worklist/backend state is *not* serialized: it is derived,
+  /// and load_state re-derives it by marking everything dirty, which
+  /// converges to the identical fixed point on all three eval backends
+  /// (evaluation is a pure function of the restored values). load_state
+  /// requires a simulator constructed over the same design and throws
+  /// util::Error on a shape mismatch.
+  void save_state(sim::SnapshotWriter& w) const;
+  void load_state(sim::SnapshotReader& r);
 
   /// Levelization depth of the combinational netlist (longest
   /// comb path, in components).

@@ -169,6 +169,15 @@ class AcbBoard {
   /// when a drop-out fired now (the board also goes !alive()).
   bool draw_dropout();
 
+  /// Snapshottable leaf, written into the caller's open section (the
+  /// system opens one "board/<name>" section per ACB): health, clock
+  /// programming, the PLX/S-Link devices, all four FPGAs (with resident
+  /// simulator state inline) and every attached memory module. load_state
+  /// requires an identically assembled board (same modules attached to
+  /// the same ports, same designs configured).
+  void save_state(sim::SnapshotWriter& w) const;
+  void load_state(sim::SnapshotReader& r);
+
  private:
   std::string name_;
   std::vector<std::unique_ptr<hw::FpgaDevice>> fpgas_;

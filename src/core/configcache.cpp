@@ -60,4 +60,35 @@ std::vector<std::string> ConfigCache::contents() const {
   return {lru_.begin(), lru_.end()};
 }
 
+void ConfigCache::save_state(sim::SnapshotWriter& w) const {
+  w.put_u32(static_cast<std::uint32_t>(lru_.size()));
+  for (const std::string& name : lru_) {  // MRU -> LRU
+    w.put_string(name);
+    const auto it = sigs_.find(name);
+    w.put_words(it == sigs_.end() ? std::vector<std::uint64_t>{}
+                                  : it->second);
+  }
+  w.put_u64(stats_.hits);
+  w.put_u64(stats_.misses);
+  w.put_u64(stats_.insertions);
+  w.put_u64(stats_.evictions);
+}
+
+void ConfigCache::load_state(sim::SnapshotReader& r) {
+  clear();
+  const std::uint32_t n = r.get_u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string name = r.get_string();
+    std::vector<std::uint64_t> sigs = r.get_words();
+    // Entries arrive MRU-first; appending at the back preserves order.
+    lru_.push_back(name);
+    index_[name] = std::prev(lru_.end());
+    if (!sigs.empty()) sigs_[std::move(name)] = std::move(sigs);
+  }
+  stats_.hits = r.get_u64();
+  stats_.misses = r.get_u64();
+  stats_.insertions = r.get_u64();
+  stats_.evictions = r.get_u64();
+}
+
 }  // namespace atlantis::core

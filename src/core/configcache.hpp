@@ -16,6 +16,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sim/snapshot.hpp"
+
 namespace atlantis::core {
 
 /// Lifetime counters of one cache; hit_rate() is over touch() calls.
@@ -77,6 +79,13 @@ class ConfigCache {
   std::vector<std::string> contents() const;
 
   const ConfigCacheStats& stats() const { return stats_; }
+
+  /// Snapshottable leaf: entries in MRU→LRU order with their region
+  /// signatures, plus the lifetime stats, written into the caller's open
+  /// section. load_state replaces the contents (capacity is construction
+  /// configuration and must already match).
+  void save_state(sim::SnapshotWriter& w) const;
+  void load_state(sim::SnapshotReader& r);
 
  private:
   std::size_t capacity_;

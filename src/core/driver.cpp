@@ -35,8 +35,37 @@ void AtlantisDriver::reset(ResetScope scope) {
     recovery_time_ = 0;
   }
   if (scope == ResetScope::kFaults || scope == ResetScope::kAll) {
+    // The injector rewind is "load the post-construction snapshot"
+    // (FaultInjector::reset); the timeline's per-resource fault/retry
+    // counters must rewind with it, or the two fault ledgers diverge
+    // after a mid-run reset (injected_total() == 0 while the timeline
+    // still reports the pre-reset faults). Both are idempotent.
     if (sim::FaultInjector* inj = system_.fault_injector()) inj->reset();
+    timeline().reset_stats();
   }
+}
+
+void AtlantisDriver::save_state(sim::SnapshotWriter& w) const {
+  w.put_i64(now_);
+  w.put_i64(epoch_);
+  w.put_u32(static_cast<std::uint32_t>(pending_.size()));
+  for (const util::Picoseconds t : pending_) w.put_i64(t);
+  w.put_u64(dma_faults_);
+  w.put_u64(dma_retries_);
+  w.put_u64(config_retries_);
+  w.put_i64(recovery_time_);
+}
+
+void AtlantisDriver::load_state(sim::SnapshotReader& r) {
+  now_ = r.get_i64();
+  epoch_ = r.get_i64();
+  const std::uint32_t n_pending = r.get_u32();
+  pending_.assign(n_pending, 0);
+  for (util::Picoseconds& t : pending_) t = r.get_i64();
+  dma_faults_ = r.get_u64();
+  dma_retries_ = r.get_u64();
+  config_retries_ = r.get_u64();
+  recovery_time_ = r.get_i64();
 }
 
 util::Result<util::Picoseconds> AtlantisDriver::try_switch_task(

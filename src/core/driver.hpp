@@ -176,6 +176,13 @@ class AtlantisDriver {
   chdl::HostInterface* host_if(int fpga);
   chdl::Simulator* sim(int fpga) { return board_.fpga(fpga).sim(); }
 
+  /// Snapshottable leaf, written into the caller's open section: the
+  /// timeline cursor, elapsed() epoch, outstanding async-DMA ends and
+  /// the recovery counters. The board's devices are saved by the board;
+  /// the retry policy is construction configuration.
+  void save_state(sim::SnapshotWriter& w) const;
+  void load_state(sim::SnapshotReader& r);
+
  private:
   /// Posts design-clock compute on the board's compute resource and
   /// moves the cursor past it.

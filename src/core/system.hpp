@@ -17,7 +17,7 @@
 
 namespace atlantis::core {
 
-class AtlantisSystem {
+class AtlantisSystem : public sim::Snapshottable {
  public:
   /// Creates a crate with the host CPU in slot 0 and an empty backplane.
   explicit AtlantisSystem(std::string name,
@@ -76,6 +76,18 @@ class AtlantisSystem {
   /// outlive the system (or be detached with nullptr).
   void set_fault_injector(sim::FaultInjector* injector);
   sim::FaultInjector* fault_injector() const { return injector_; }
+
+  /// Snapshottable composite: a "system" section (board census), the
+  /// crate timeline ("sim/timeline"), the attached fault injector
+  /// ("sim/fault", when one is attached) and one "board/<name>" section
+  /// per ACB. load_state restores into an identically assembled crate
+  /// (same boards in the same order, same designs configured, an
+  /// injector attached iff one was attached at save) and throws
+  /// util::StateError / util::Error otherwise. AIB boards carry no
+  /// mutable state beyond their buffers' timing models and are not
+  /// serialized; their count is verified.
+  void save_state(sim::SnapshotWriter& w) const override;
+  void load_state(sim::SnapshotReader& r) override;
 
  private:
   int take_slot(const std::string& what);

@@ -120,6 +120,16 @@ class TaskSwitcher {
   }
   bool bound() const { return timeline_ != nullptr; }
 
+  /// Snapshottable leaf, written into the caller's open section: the A/B
+  /// pin (differential_), current task, every lifetime counter, the
+  /// reconfiguration cursor and the staged-bitstream cache. The task
+  /// registry is construction configuration — a restored switcher must
+  /// have the same add_task() calls applied; load_state verifies the
+  /// current task is registered. Device state is saved separately by the
+  /// board that owns the FPGA.
+  void save_state(sim::SnapshotWriter& w) const;
+  void load_state(sim::SnapshotReader& r);
+
  private:
   util::Picoseconds post_reconfig(const std::string& label,
                                   util::Picoseconds t, std::uint32_t regions = 0);

@@ -394,4 +394,71 @@ void FpgaDevice::deconfigure() {
   upset_region_ = -1;
 }
 
+void FpgaDevice::save_state(sim::SnapshotWriter& w) const {
+  w.put_bool(configured_);
+  w.put_string(design_name_);
+  w.put_words(resident_sigs_);
+  w.put_bool(crc_ok_);
+  w.put_bool(upset_pending_);
+  w.put_i64(upset_region_);
+  w.put_u64(crc_failures_);
+  w.put_u64(config_upsets_);
+  w.put_u64(partial_reconfigs_);
+  w.put_u64(regions_loaded_);
+  w.put_u64(region_crc_retries_);
+  w.put_u64(self_reconfigs_);
+  w.put_bool(sim_ != nullptr);
+  if (sim_) sim_->save_state(w);
+}
+
+void FpgaDevice::load_state(sim::SnapshotReader& r) {
+  const bool configured = r.get_bool();
+  std::string design_name = r.get_string();
+  std::vector<std::uint64_t> sigs = r.get_words();
+  const bool crc_ok = r.get_bool();
+  const bool upset_pending = r.get_bool();
+  const int upset_region = static_cast<int>(r.get_i64());
+  const std::uint64_t crc_failures = r.get_u64();
+  const std::uint64_t config_upsets = r.get_u64();
+  const std::uint64_t partial_reconfigs = r.get_u64();
+  const std::uint64_t regions_loaded = r.get_u64();
+  const std::uint64_t region_crc_retries = r.get_u64();
+  const std::uint64_t self_reconfigs = r.get_u64();
+  const bool has_sim = r.get_bool();
+  // State restores onto configuration data, it does not carry it: when
+  // the snapshot holds live design state (a simulator), the device must
+  // already be configured with that design — the migration contract is
+  // "ship the bitstream, then the state". A design-less configuration
+  // (model-level bitstream, as the serving layer registers) is pure
+  // model state and restores onto any device, configured or not.
+  if (has_sim && design_name != design_name_) {
+    throw util::StateError("fpga '" + name_ + "': snapshot holds design '" +
+                           design_name + "' but '" +
+                           (design_name_.empty() ? "<none>" : design_name_) +
+                           "' is resident; configure it before load_state");
+  }
+  if (has_sim && !sim_) {
+    throw util::StateError("fpga '" + name_ +
+                           "': snapshot carries simulator state but no "
+                           "simulator is resident");
+  }
+  configured_ = configured;
+  design_name_ = std::move(design_name);
+  resident_sigs_ = std::move(sigs);
+  crc_ok_ = crc_ok;
+  upset_pending_ = upset_pending;
+  upset_region_ = upset_region;
+  crc_failures_ = crc_failures;
+  config_upsets_ = config_upsets;
+  partial_reconfigs_ = partial_reconfigs;
+  regions_loaded_ = regions_loaded;
+  region_crc_retries_ = region_crc_retries;
+  self_reconfigs_ = self_reconfigs;
+  if (has_sim) {
+    sim_->load_state(r);
+  } else {
+    sim_.reset();
+  }
+}
+
 }  // namespace atlantis::hw

@@ -223,6 +223,18 @@ class FpgaDevice {
   /// Region carrying the pending upset; -1 when none is pending.
   int upset_region() const { return upset_region_; }
 
+  /// Snapshottable leaf, written into the caller's open section: the
+  /// resident configuration (design name, region signatures, CRC/upset
+  /// flags), the lifetime reconfiguration counters, and — when the
+  /// resident bitstream carried a design — the live simulator's complete
+  /// state inline. load_state restores configuration *state*, not
+  /// configuration *data*: the caller must have configured the device
+  /// with the same bitstream first (load_state throws util::StateError
+  /// when the resident design does not match the snapshot), which is
+  /// also the migration contract — ship the bitstream, then the state.
+  void save_state(sim::SnapshotWriter& w) const;
+  void load_state(sim::SnapshotReader& r);
+
   std::uint64_t crc_failures() const { return crc_failures_; }
   std::uint64_t config_upsets() const { return config_upsets_; }
   /// Differential-path lifetime counters.

@@ -92,6 +92,22 @@ class Plx9080 {
     dma_aborts_ = 0;
   }
 
+  /// Snapshottable leaf: the lifetime DMA counters, written into the
+  /// caller's open section (bindings and the injector are wiring, not
+  /// state).
+  void save_state(sim::SnapshotWriter& w) const {
+    w.put_u64(total_bytes_);
+    w.put_i64(total_time_);
+    w.put_u64(dma_stalls_);
+    w.put_u64(dma_aborts_);
+  }
+  void load_state(sim::SnapshotReader& r) {
+    total_bytes_ = r.get_u64();
+    total_time_ = r.get_i64();
+    dma_stalls_ = r.get_u64();
+    dma_aborts_ = r.get_u64();
+  }
+
   // --- fault injection --------------------------------------------------
   /// Attaches a fault injector. `site` names this bridge's injection
   /// point ("pci/<board>"); the chip has no name of its own.

@@ -59,6 +59,25 @@ class Sdram {
   }
   void reset_counters();
 
+  /// Snapshottable leaf: per-bank open rows and the access/ECC counters,
+  /// written into the caller's open section.
+  void save_state(sim::SnapshotWriter& w) const {
+    w.put_u32(static_cast<std::uint32_t>(open_row_.size()));
+    for (const std::int64_t row : open_row_) w.put_i64(row);
+    w.put_u64(accesses_);
+    w.put_u64(hits_);
+    w.put_u64(ecc_corrections_);
+  }
+  void load_state(sim::SnapshotReader& r) {
+    const std::uint32_t banks = r.get_u32();
+    ATLANTIS_CHECK(banks == open_row_.size(),
+                   "snapshot SDRAM bank count mismatch");
+    for (std::int64_t& row : open_row_) row = r.get_i64();
+    accesses_ = r.get_u64();
+    hits_ = r.get_u64();
+    ecc_corrections_ = r.get_u64();
+  }
+
   // --- fault injection --------------------------------------------------
   /// Attaches a fault injector; the injection site is "sdram/<name>".
   /// Each post_burst() is one SEU opportunity; a hit appends an ECC

@@ -65,6 +65,44 @@ class SlinkChannel {
   bool xoff() const { return buffered() >= fifo_depth_; }
   std::size_t buffered() const { return fifo_.size() - head_; }
 
+  /// Snapshottable leaf: FIFO contents (compacted from head_) plus the
+  /// link counters and any in-progress injected XOFF burst, written into
+  /// the caller's open section.
+  void save_state(sim::SnapshotWriter& w) const {
+    w.put_u64(buffered());
+    for (std::size_t i = head_; i < fifo_.size(); ++i) {
+      const SlinkWord& word = fifo_[i];
+      w.put_u32(word.payload);
+      w.put_bool(word.control);
+      w.put_bool(word.lderr);
+    }
+    w.put_u64(sent_);
+    w.put_u64(refused_);
+    w.put_u64(link_errors_);
+    w.put_u64(truncated_frames_);
+    w.put_u64(retransmissions_);
+    w.put_u64(forced_xoff_);
+  }
+  void load_state(sim::SnapshotReader& r) {
+    const std::uint64_t n = r.get_u64();
+    fifo_.clear();
+    fifo_.reserve(n);
+    head_ = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      SlinkWord word;
+      word.payload = r.get_u32();
+      word.control = r.get_bool();
+      word.lderr = r.get_bool();
+      fifo_.push_back(word);
+    }
+    sent_ = r.get_u64();
+    refused_ = r.get_u64();
+    link_errors_ = r.get_u64();
+    truncated_frames_ = r.get_u64();
+    retransmissions_ = r.get_u64();
+    forced_xoff_ = r.get_u64();
+  }
+
   /// Link-level statistics.
   std::uint64_t words_sent() const { return sent_; }
   std::uint64_t words_refused() const { return refused_; }

@@ -71,6 +71,20 @@ class SyncSram {
 
   std::uint64_t seu_flips() const { return seu_flips_; }
 
+  /// Snapshottable leaf: the full word array and the SEU counter, written
+  /// into the caller's open section. load_state requires the same shape.
+  void save_state(sim::SnapshotWriter& w) const {
+    w.put_words(data_);
+    w.put_u64(seu_flips_);
+  }
+  void load_state(sim::SnapshotReader& r) {
+    std::vector<std::uint64_t> data = r.get_words();
+    ATLANTIS_CHECK(data.size() == data_.size(),
+                   "snapshot SRAM shape mismatch");
+    data_ = std::move(data);
+    seu_flips_ = r.get_u64();
+  }
+
   /// Timing: `accesses` single-word transactions spread over the banks.
   /// Synchronous SRAM is fully pipelined — one access per bank per cycle.
   std::uint64_t cycles_for(std::uint64_t accesses) const {

@@ -88,6 +88,10 @@ struct JobSpec {
   JobKind kind = JobKind::kCustom;
   std::string config;
   util::Picoseconds arrival = 0;
+  /// Absolute completion deadline (modelled time); 0 = none. The
+  /// preemptive policy schedules earliest-deadline-first and counts a
+  /// finish past this as a deadline miss.
+  util::Picoseconds deadline = 0;
   std::function<JobOutcome()> work;
 };
 
@@ -103,6 +107,9 @@ struct JobRecord {
   util::Picoseconds start = 0;   // service start on the board
   util::Picoseconds finish = 0;  // result DMA complete
   util::Picoseconds queue_wait = 0;
+  util::Picoseconds deadline = 0;  // from the spec; 0 = none
+  std::uint32_t preemptions = 0;   // times this job was slice-preempted
+  bool migrated = false;  // checkpointed out and restored on another service
   util::ErrorCode error = util::ErrorCode::kOk;  // kOk when served
   JobOutcome outcome;
 };

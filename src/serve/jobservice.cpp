@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <deque>
+#include <limits>
+#include <utility>
 
 #include "util/stats.hpp"
 #include "util/status.hpp"
@@ -56,6 +58,7 @@ util::Result<JobId> JobService::submit(JobSpec spec) {
   rec.kind = spec.kind;
   rec.config = spec.config;
   rec.arrival = spec.arrival;
+  rec.deadline = spec.deadline;
   records_.push_back(std::move(rec));
   queues_.push_back(spec.config, id);
   specs_.push_back(std::move(spec));
@@ -93,6 +96,16 @@ JobService::BoardState* JobService::pick_board() {
 }
 
 const ServiceReport& JobService::run(util::WorkerPool* pool) {
+  return run_impl(static_cast<std::size_t>(-1), pool);
+}
+
+const ServiceReport& JobService::run_bounded(std::size_t max_dispatches,
+                                             util::WorkerPool* pool) {
+  return run_impl(max_dispatches, pool);
+}
+
+const ServiceReport& JobService::run_impl(std::size_t max_dispatches,
+                                          util::WorkerPool* pool) {
   util::WorkerPool& workers =
       pool != nullptr ? *pool : util::WorkerPool::shared();
   report_ = ServiceReport{};
@@ -117,53 +130,10 @@ const ServiceReport& JobService::run(util::WorkerPool* pool) {
                     b.switcher->partial_switch_time()});
   }
 
-  while (!queues_.empty()) {
-    BoardState* board = pick_board();
-    if (board == nullptr) {
-      fail_remaining(util::ErrorCode::kBoardDead);
-      break;
-    }
-    core::AcbBoard& acb = system_.acb(board->index);
-
-    const std::string config =
-        options_.fifo_order ? queues_.pick_fifo()
-        : options_.diff_order
-            ? queues_.pick_closest([&](const std::string& c) {
-                return board->switcher->estimate_switch_cost(c);
-              })
-            : queues_.pick(board->switcher->current());
-    std::deque<JobId> batch;
-    while (static_cast<int>(batch.size()) < options_.max_batch &&
-           queues_.depth(config) > 0) {
-      batch.push_back(queues_.pop_front(config));
-    }
-
-    // One drop-out opportunity per dispatch, drawn on the scheduling
-    // thread BEFORE any state changes, so the draw order — and the
-    // schedule — is pool-size invariant.
-    if (acb.draw_dropout()) {
-      board->dead = true;
-      board->switcher->invalidate_cache();
-      report_.dead_boards.push_back(board->index);
-      queues_.push_front(config, batch);
-      continue;
-    }
-
-    // Make the configuration resident (full load, partial reconfig, or a
-    // cache-hit activation). A switch that cannot complete within the
-    // retry policy means the board lost its configuration path: drain it.
-    const util::Result<util::Picoseconds> sw =
-        board->driver->try_switch_task(*board->switcher, config);
-    if (!sw.ok()) {
-      board->dead = true;
-      board->switcher->invalidate_cache();
-      report_.dead_boards.push_back(board->index);
-      queues_.push_front(config, batch);
-      continue;
-    }
-
-    serve_batch(*board, config, batch, workers);
-    ++report_.batches;
+  if (options_.policy == Policy::kBatched) {
+    run_batched(workers, max_dispatches);
+  } else {
+    run_preemptive(max_dispatches);
   }
 
   // Cache / reconfiguration accounting (deltas over this run).
@@ -194,6 +164,285 @@ const ServiceReport& JobService::run(util::WorkerPool* pool) {
 
   finalize_report();
   return report_;
+}
+
+void JobService::run_batched(util::WorkerPool& pool,
+                             std::size_t max_dispatches) {
+  std::size_t dispatches = 0;
+  while (!queues_.empty()) {
+    if (dispatches++ >= max_dispatches) return;  // bounded run: paused
+    BoardState* board = pick_board();
+    if (board == nullptr) {
+      fail_remaining(util::ErrorCode::kBoardDead);
+      break;
+    }
+    core::AcbBoard& acb = system_.acb(board->index);
+
+    const std::string config =
+        options_.fifo_order ? queues_.pick_fifo()
+        : options_.diff_order
+            ? queues_.pick_closest([&](const std::string& c) {
+                return board->switcher->estimate_switch_cost(c);
+              })
+            : queues_.pick(board->switcher->current());
+    std::deque<JobId> batch;
+    while (static_cast<int>(batch.size()) < options_.max_batch &&
+           queues_.depth(config) > 0) {
+      batch.push_back(queues_.pop_front(config));
+    }
+
+    // One drop-out opportunity per dispatch, drawn on the scheduling
+    // thread BEFORE any state changes, so the draw order — and the
+    // schedule — is pool-size invariant.
+    if (acb.draw_dropout()) {
+      queues_.push_front(config, batch);
+      lose_board(*board);
+      continue;
+    }
+
+    // Make the configuration resident (full load, partial reconfig, or a
+    // cache-hit activation). A switch that cannot complete within the
+    // retry policy means the board lost its configuration path: drain it.
+    const util::Result<util::Picoseconds> sw =
+        board->driver->try_switch_task(*board->switcher, config);
+    if (!sw.ok()) {
+      queues_.push_front(config, batch);
+      lose_board(*board);
+      continue;
+    }
+
+    serve_batch(*board, config, batch, pool);
+    ++report_.batches;
+  }
+}
+
+void JobService::run_preemptive(std::size_t max_dispatches) {
+  std::size_t dispatches = 0;
+  const auto any_active = [&] {
+    for (const BoardState& b : boards_) {
+      if (!b.dead && b.active) return true;
+    }
+    return false;
+  };
+  while (!queues_.empty() || any_active()) {
+    if (dispatches++ >= max_dispatches) return;  // bounded run: paused
+
+    // Advance the alive board with the smallest cursor that has either a
+    // job mid-compute or, when idle, work to pick up. Deterministic:
+    // cursor ties keep the lowest board index.
+    BoardState* board = nullptr;
+    for (BoardState& b : boards_) {
+      if (b.dead) continue;
+      if (!system_.acb(b.index).alive()) {  // killed from outside
+        lose_board(b);
+        continue;
+      }
+      if (!b.active && queues_.empty()) continue;
+      if (board == nullptr || b.driver->now() < board->driver->now()) {
+        board = &b;
+      }
+    }
+    if (board == nullptr) {
+      if (any_active()) continue;  // boards were lost in the scan above
+      fail_remaining(util::ErrorCode::kBoardDead);
+      break;
+    }
+
+    if (!board->active) {
+      const std::optional<JobId> next = edf_pick();
+      if (!next) continue;  // raced with a lost board; re-scan
+      // One drop-out opportunity per fresh dispatch, mirroring the
+      // batched policy's draw point.
+      if (system_.acb(board->index).draw_dropout()) {
+        queues_.push_front(records_[*next].config, {*next});
+        lose_board(*board);
+        continue;
+      }
+      if (!start_run(*board, *next)) continue;
+      if (!board->active) continue;  // job resolved at dispatch (I/O fail)
+    }
+
+    JobProgress& prog = progress_.at(*board->active);
+    const util::Picoseconds quantum =
+        options_.preempt_slice > 0 ? options_.preempt_slice : prog.remaining;
+    const util::Picoseconds slice = std::min(prog.remaining, quantum);
+    if (slice > 0) {
+      const JobRecord& rec = records_[*board->active];
+      const std::string label =
+          std::string(job_kind_name(rec.kind)) + " " + rec.tenant + "#" +
+          std::to_string(rec.id) + (prog.preemptions > 0 ? " (resumed)" : "");
+      board->driver->advance(slice, label.c_str());
+      prog.remaining -= slice;
+    }
+    if (prog.remaining <= 0) {
+      finish_run(*board);
+      continue;
+    }
+    // Preemption check after each slice: a strictly earlier waiting
+    // deadline evicts the active job (no deadline = never urgent enough
+    // to preempt, always preemptible).
+    const std::optional<util::Picoseconds> waiting =
+        earliest_waiting_deadline();
+    const JobRecord& active_rec = records_[*board->active];
+    const util::Picoseconds active_deadline =
+        active_rec.deadline > 0 ? active_rec.deadline
+                                : std::numeric_limits<util::Picoseconds>::max();
+    if (waiting && *waiting < active_deadline) preempt(*board);
+  }
+}
+
+std::optional<JobId> JobService::edf_pick() {
+  std::optional<JobId> best;
+  std::string best_config;
+  util::Picoseconds best_deadline = 0;
+  for (const auto& [config, id] : queues_.all()) {
+    const util::Picoseconds d =
+        records_[id].deadline > 0
+            ? records_[id].deadline
+            : std::numeric_limits<util::Picoseconds>::max();
+    if (!best || d < best_deadline || (d == best_deadline && id < *best)) {
+      best = id;
+      best_config = config;
+      best_deadline = d;
+    }
+  }
+  if (best) queues_.erase(best_config, *best);
+  return best;
+}
+
+std::optional<util::Picoseconds> JobService::earliest_waiting_deadline()
+    const {
+  std::optional<util::Picoseconds> best;
+  for (const auto& [config, id] : queues_.all()) {
+    const util::Picoseconds d =
+        records_[id].deadline > 0
+            ? records_[id].deadline
+            : std::numeric_limits<util::Picoseconds>::max();
+    if (!best || d < *best) best = d;
+  }
+  return best;
+}
+
+void JobService::ensure_progress(JobId id) {
+  JobProgress& prog = progress_[id];
+  if (prog.outcome_ready) return;
+  // The pure functor is evaluated once, inline on the scheduling thread:
+  // from here on the job is fully described by data, which is what makes
+  // checkpoints portable without the functor.
+  prog.outcome = specs_[id].work();
+  prog.outcome_ready = true;
+  prog.remaining = prog.outcome.compute_time;
+}
+
+bool JobService::start_run(BoardState& board, JobId id) {
+  JobRecord& rec = records_[id];
+  const util::Result<util::Picoseconds> sw =
+      board.driver->try_switch_task(*board.switcher, rec.config);
+  if (!sw.ok()) {
+    queues_.push_front(rec.config, {id});
+    lose_board(board);
+    return false;
+  }
+  ensure_progress(id);
+  JobProgress& prog = progress_.at(id);
+  core::AtlantisDriver& drv = *board.driver;
+  if (rec.board < 0) {
+    // First dispatch: the queue wait ends now and lands on the tenant's
+    // track, exactly like the batched policy.
+    rec.start = drv.now();
+    rec.queue_wait = std::max<util::Picoseconds>(0, rec.start - rec.arrival);
+    drv.timeline().post(tenant_track(rec.tenant), sim::TxnKind::kQueueWait,
+                        std::string(job_kind_name(rec.kind)) + " wait [" +
+                            rec.config + "]",
+                        sim::ResourceId{}, rec.arrival, rec.queue_wait);
+  }
+  rec.board = board.index;
+  if (!prog.input_done && prog.outcome.dma_in_bytes > 0) {
+    const util::Result<hw::DmaTransfer> w =
+        drv.try_dma_write(prog.outcome.dma_in_bytes);
+    if (!w.ok()) {
+      fail_job(id, w.error(), "input DMA failed");
+      return true;  // board stays alive and idle
+    }
+  }
+  prog.input_done = true;
+  board.active = id;
+  return true;
+}
+
+void JobService::finish_run(BoardState& board) {
+  const JobId id = *board.active;
+  board.active.reset();
+  JobRecord& rec = records_[id];
+  JobProgress& prog = progress_.at(id);
+  core::AtlantisDriver& drv = *board.driver;
+  bool io_ok = true;
+  if (prog.outcome.dma_out_bytes > 0) {
+    const util::Result<hw::DmaTransfer> r =
+        drv.try_dma_read(prog.outcome.dma_out_bytes);
+    if (!r.ok()) {
+      rec.error = r.error();
+      io_ok = false;
+    }
+  }
+  rec.finish = drv.now();
+  rec.outcome = prog.outcome;
+  rec.preemptions = prog.preemptions;
+  if (io_ok) {
+    ++report_.served;
+  } else {
+    ++report_.failed;
+  }
+  if (rec.deadline > 0 && rec.finish > rec.deadline) {
+    ++report_.deadline_misses;
+  }
+  --pending_by_tenant_[rec.tenant];
+  run_ids_.push_back(id);
+  progress_.erase(id);
+}
+
+void JobService::preempt(BoardState& board) {
+  const JobId id = *board.active;
+  board.active.reset();
+  JobProgress& prog = progress_.at(id);
+  ++prog.preemptions;
+  ++report_.preemptions;
+  if (options_.policy == Policy::kAbortRerun) {
+    // The baseline without checkpointing: all progress is lost, the
+    // input payload must be streamed again.
+    prog.remaining = prog.outcome.compute_time;
+    prog.input_done = false;
+  }
+  queues_.push_front(records_[id].config, {id});
+}
+
+void JobService::fail_job(JobId id, util::ErrorCode code,
+                          const std::string& detail) {
+  JobRecord& rec = records_[id];
+  rec.error = code;
+  rec.outcome.ok = false;
+  rec.outcome.detail = detail;
+  ++report_.failed;
+  --pending_by_tenant_[rec.tenant];
+  run_ids_.push_back(id);
+  progress_.erase(id);
+}
+
+void JobService::lose_board(BoardState& board) {
+  board.dead = true;
+  board.switcher->invalidate_cache();
+  report_.dead_boards.push_back(board.index);
+  if (board.active) {
+    const JobId id = *board.active;
+    board.active.reset();
+    if (migration_target_ != nullptr) {
+      migrate_out(id);
+    } else {
+      // The job's progress lives in progress_, so any surviving board
+      // resumes it from its remaining compute — an in-crate migration.
+      queues_.push_front(records_[id].config, {id});
+    }
+  }
 }
 
 void JobService::serve_batch(BoardState& board, const std::string& config,
@@ -260,8 +509,12 @@ void JobService::serve_batch(BoardState& board, const std::string& config,
     } else {
       ++report_.failed;
     }
+    if (rec.deadline > 0 && rec.finish > rec.deadline) {
+      ++report_.deadline_misses;
+    }
     --pending_by_tenant_[rec.tenant];
     run_ids_.push_back(id);
+    progress_.erase(id);  // restored jobs may carry one
   }
 }
 
@@ -269,6 +522,12 @@ void JobService::fail_remaining(util::ErrorCode code) {
   while (!queues_.empty()) {
     const std::string config = queues_.pick("");
     const JobId id = queues_.pop_front(config);
+    if (migration_target_ != nullptr) {
+      // The drain path of a dying crate: pending jobs move to the spare
+      // service instead of completing with kBoardDead.
+      migrate_out(id);
+      continue;
+    }
     JobRecord& rec = records_[id];
     rec.error = code;
     rec.outcome.ok = false;
@@ -276,6 +535,344 @@ void JobService::fail_remaining(util::ErrorCode code) {
     ++report_.failed;
     --pending_by_tenant_[rec.tenant];
     run_ids_.push_back(id);
+    progress_.erase(id);
+  }
+}
+
+JobCheckpoint JobService::make_checkpoint(JobId id) {
+  ensure_progress(id);
+  const JobRecord& rec = records_[id];
+  const JobProgress& prog = progress_.at(id);
+  sim::SnapshotWriter w;
+  w.begin_section("serve/job");
+  w.put_u64(rec.id);
+  w.put_string(rec.tenant);
+  w.put_u8(static_cast<std::uint8_t>(rec.kind));
+  w.put_string(rec.config);
+  w.put_i64(rec.arrival);
+  w.put_i64(rec.deadline);
+  w.put_i64(prog.remaining);
+  w.put_bool(prog.input_done);
+  w.put_u32(prog.preemptions);
+  w.put_bool(prog.outcome.ok);
+  w.put_string(prog.outcome.detail);
+  w.put_u64(prog.outcome.checksum);
+  w.put_f64(prog.outcome.value);
+  w.put_i64(prog.outcome.compute_time);
+  w.put_u64(prog.outcome.dma_in_bytes);
+  w.put_u64(prog.outcome.dma_out_bytes);
+  w.end_section();
+  JobCheckpoint ckpt;
+  ckpt.id = rec.id;
+  ckpt.tenant = rec.tenant;
+  ckpt.config = rec.config;
+  ckpt.bytes = w.bytes();
+  return ckpt;
+}
+
+util::Result<JobCheckpoint> JobService::checkpoint_job(JobId id) {
+  if (id >= records_.size()) {
+    return util::Result<JobCheckpoint>::failure(util::ErrorCode::kJobNotPending,
+                                                "unknown job id " +
+                                                    std::to_string(id));
+  }
+  JobRecord& rec = records_[id];
+  if (checkpointed_out_.count(id) != 0) {
+    return util::Result<JobCheckpoint>::failure(
+        util::ErrorCode::kJobNotPending,
+        "job " + std::to_string(id) + " is already checkpointed out");
+  }
+  bool detached = queues_.erase(rec.config, id);
+  if (!detached) {
+    for (BoardState& b : boards_) {
+      if (b.active && *b.active == id) {
+        b.active.reset();
+        detached = true;
+        break;
+      }
+    }
+  }
+  if (!detached) {
+    return util::Result<JobCheckpoint>::failure(
+        util::ErrorCode::kJobNotPending,
+        "job " + std::to_string(id) + " is not pending (already resolved?)");
+  }
+  JobCheckpoint ckpt = make_checkpoint(id);
+  checkpointed_out_.insert(id);
+  --pending_by_tenant_[rec.tenant];
+  return ckpt;
+}
+
+util::Result<JobId> JobService::restore_job(const JobCheckpoint& ckpt) {
+  util::Result<sim::SnapshotReader> opened =
+      sim::SnapshotReader::open(ckpt.bytes);
+  if (!opened.ok()) {
+    return util::Result<JobId>::failure(opened.error(), opened.message());
+  }
+  sim::SnapshotReader r = std::move(opened.value());
+  r.select("serve/job");
+  const JobId saved_id = r.get_u64();
+  std::string tenant = r.get_string();
+  const JobKind kind = static_cast<JobKind>(r.get_u8());
+  std::string config = r.get_string();
+  const util::Picoseconds arrival = r.get_i64();
+  const util::Picoseconds deadline = r.get_i64();
+  JobProgress prog;
+  prog.outcome_ready = true;  // a checkpoint always carries the outcome
+  prog.remaining = r.get_i64();
+  prog.input_done = r.get_bool();
+  prog.preemptions = r.get_u32();
+  prog.outcome.ok = r.get_bool();
+  prog.outcome.detail = r.get_string();
+  prog.outcome.checksum = r.get_u64();
+  prog.outcome.value = r.get_f64();
+  prog.outcome.compute_time = r.get_i64();
+  prog.outcome.dma_in_bytes = r.get_u64();
+  prog.outcome.dma_out_bytes = r.get_u64();
+  ATLANTIS_CHECK(configs_.count(config) != 0,
+                 "checkpointed job needs configuration '" + config +
+                     "', which was never registered with this service");
+
+  // Back home: the service that produced the checkpoint revives the
+  // original id (ledger continuity for preempt-and-resume).
+  if (saved_id < records_.size() && checkpointed_out_.count(saved_id) != 0 &&
+      records_[saved_id].tenant == tenant &&
+      records_[saved_id].config == config) {
+    checkpointed_out_.erase(saved_id);
+    records_[saved_id].migrated = false;
+    progress_[saved_id] = std::move(prog);
+    queues_.push_back(config, saved_id);
+    ++pending_by_tenant_[tenant];
+    return saved_id;
+  }
+
+  std::uint64_t& pending = pending_by_tenant_[tenant];
+  if (pending >= options_.max_queued_per_tenant) {
+    return util::Result<JobId>::failure(
+        util::ErrorCode::kOverloaded,
+        "tenant '" + tenant + "' already holds " + std::to_string(pending) +
+            " queued jobs");
+  }
+  const JobId id = static_cast<JobId>(records_.size());
+  JobRecord rec;
+  rec.id = id;
+  rec.tenant = tenant;
+  rec.kind = kind;
+  rec.config = config;
+  rec.arrival = arrival;
+  rec.deadline = deadline;
+  rec.preemptions = prog.preemptions;
+  records_.push_back(std::move(rec));
+  JobSpec spec;
+  spec.tenant = std::move(tenant);
+  spec.kind = kind;
+  spec.config = config;
+  spec.arrival = arrival;
+  spec.deadline = deadline;
+  const JobOutcome outcome = prog.outcome;
+  spec.work = [outcome] { return outcome; };  // the data replaces the functor
+  specs_.push_back(std::move(spec));
+  progress_[id] = std::move(prog);
+  queues_.push_back(config, id);
+  ++pending;
+  return id;
+}
+
+util::Result<JobId> JobService::migrate_job(JobId id, JobService& target) {
+  const util::Result<JobCheckpoint> ckpt = checkpoint_job(id);
+  if (!ckpt.ok()) {
+    return util::Result<JobId>::failure(ckpt.error(), ckpt.message());
+  }
+  const util::Result<JobId> restored = target.restore_job(ckpt.value());
+  if (!restored.ok()) return restored;
+  records_[id].migrated = true;
+  ++report_.migrated;
+  progress_.erase(id);
+  return restored;
+}
+
+void JobService::migrate_out(JobId id) {
+  JobRecord& rec = records_[id];
+  const JobCheckpoint ckpt = make_checkpoint(id);
+  const util::Result<JobId> restored = migration_target_->restore_job(ckpt);
+  --pending_by_tenant_[rec.tenant];
+  progress_.erase(id);
+  if (!restored.ok()) {
+    rec.error = restored.error();
+    rec.outcome.ok = false;
+    rec.outcome.detail = "migration failed: " + restored.message();
+    ++report_.failed;
+    run_ids_.push_back(id);
+    return;
+  }
+  rec.migrated = true;
+  ++report_.migrated;
+}
+
+void JobService::save_state(sim::SnapshotWriter& w) const {
+  system_.save_state(w);
+  w.begin_section("serve/service");
+  w.put_u32(static_cast<std::uint32_t>(boards_.size()));
+  for (const BoardState& b : boards_) {
+    w.put_bool(b.dead);
+    w.put_bool(b.active.has_value());
+    w.put_u64(b.active.value_or(0));
+    b.driver->save_state(w);
+    b.switcher->save_state(w);
+  }
+  w.put_u64(records_.size());
+  for (const JobRecord& rec : records_) {
+    w.put_u64(rec.id);
+    w.put_string(rec.tenant);
+    w.put_u8(static_cast<std::uint8_t>(rec.kind));
+    w.put_string(rec.config);
+    w.put_i64(rec.board);
+    w.put_i64(rec.arrival);
+    w.put_i64(rec.start);
+    w.put_i64(rec.finish);
+    w.put_i64(rec.queue_wait);
+    w.put_i64(rec.deadline);
+    w.put_u32(rec.preemptions);
+    w.put_bool(rec.migrated);
+    w.put_u32(static_cast<std::uint32_t>(rec.error));
+    w.put_bool(rec.outcome.ok);
+    w.put_string(rec.outcome.detail);
+    w.put_u64(rec.outcome.checksum);
+    w.put_f64(rec.outcome.value);
+    w.put_i64(rec.outcome.compute_time);
+    w.put_u64(rec.outcome.dma_in_bytes);
+    w.put_u64(rec.outcome.dma_out_bytes);
+  }
+  const auto queued = queues_.all();
+  w.put_u64(queued.size());
+  for (const auto& [config, id] : queued) {
+    w.put_string(config);
+    w.put_u64(id);
+  }
+  w.put_u32(static_cast<std::uint32_t>(pending_by_tenant_.size()));
+  for (const auto& [tenant, n] : pending_by_tenant_) {
+    w.put_string(tenant);
+    w.put_u64(n);
+  }
+  // Tenant tracks are created lazily on the shared timeline; the mapping
+  // must survive so a restored twin keeps posting on the same tracks.
+  w.put_u32(static_cast<std::uint32_t>(tenant_tracks_.size()));
+  for (const auto& [tenant, track] : tenant_tracks_) {
+    w.put_string(tenant);
+    w.put_u32(static_cast<std::uint32_t>(track.value));
+  }
+  w.put_u32(static_cast<std::uint32_t>(progress_.size()));
+  for (const auto& [id, prog] : progress_) {
+    w.put_u64(id);
+    w.put_bool(prog.outcome_ready);
+    w.put_i64(prog.remaining);
+    w.put_bool(prog.input_done);
+    w.put_u32(prog.preemptions);
+    w.put_bool(prog.outcome.ok);
+    w.put_string(prog.outcome.detail);
+    w.put_u64(prog.outcome.checksum);
+    w.put_f64(prog.outcome.value);
+    w.put_i64(prog.outcome.compute_time);
+    w.put_u64(prog.outcome.dma_in_bytes);
+    w.put_u64(prog.outcome.dma_out_bytes);
+  }
+  w.put_u32(static_cast<std::uint32_t>(checkpointed_out_.size()));
+  for (const JobId id : checkpointed_out_) w.put_u64(id);
+  w.end_section();
+}
+
+void JobService::load_state(sim::SnapshotReader& r) {
+  system_.load_state(r);
+  r.select("serve/service");
+  const std::uint32_t n_boards = r.get_u32();
+  if (n_boards != boards_.size()) {
+    throw util::StateError("service snapshot board count mismatch");
+  }
+  for (BoardState& b : boards_) {
+    b.dead = r.get_bool();
+    const bool has_active = r.get_bool();
+    const JobId active = r.get_u64();
+    b.active = has_active ? std::optional<JobId>(active) : std::nullopt;
+    b.driver->load_state(r);
+    b.switcher->load_state(r);
+  }
+  const std::uint64_t n_records = r.get_u64();
+  if (n_records != records_.size()) {
+    throw util::StateError(
+        "service snapshot has " + std::to_string(n_records) +
+        " jobs; this service has " + std::to_string(records_.size()) +
+        " — a twin must replay the same submissions before load_state");
+  }
+  for (JobRecord& rec : records_) {
+    const JobId id = r.get_u64();
+    std::string tenant = r.get_string();
+    const JobKind kind = static_cast<JobKind>(r.get_u8());
+    std::string config = r.get_string();
+    if (rec.id != id || rec.tenant != tenant || rec.config != config) {
+      throw util::StateError(
+          "service snapshot ledger entry " + std::to_string(id) +
+          " does not match this service's submission order");
+    }
+    rec.kind = kind;
+    rec.board = static_cast<int>(r.get_i64());
+    rec.arrival = r.get_i64();
+    rec.start = r.get_i64();
+    rec.finish = r.get_i64();
+    rec.queue_wait = r.get_i64();
+    rec.deadline = r.get_i64();
+    rec.preemptions = r.get_u32();
+    rec.migrated = r.get_bool();
+    rec.error = static_cast<util::ErrorCode>(r.get_u32());
+    rec.outcome.ok = r.get_bool();
+    rec.outcome.detail = r.get_string();
+    rec.outcome.checksum = r.get_u64();
+    rec.outcome.value = r.get_f64();
+    rec.outcome.compute_time = r.get_i64();
+    rec.outcome.dma_in_bytes = r.get_u64();
+    rec.outcome.dma_out_bytes = r.get_u64();
+  }
+  queues_ = ConfigQueues{};
+  const std::uint64_t n_queued = r.get_u64();
+  for (std::uint64_t i = 0; i < n_queued; ++i) {
+    std::string config = r.get_string();
+    const JobId id = r.get_u64();
+    queues_.push_back(config, id);
+  }
+  pending_by_tenant_.clear();
+  const std::uint32_t n_tenants = r.get_u32();
+  for (std::uint32_t i = 0; i < n_tenants; ++i) {
+    std::string tenant = r.get_string();
+    pending_by_tenant_[std::move(tenant)] = r.get_u64();
+  }
+  tenant_tracks_.clear();
+  const std::uint32_t n_tracks = r.get_u32();
+  for (std::uint32_t i = 0; i < n_tracks; ++i) {
+    std::string tenant = r.get_string();
+    tenant_tracks_[std::move(tenant)] =
+        sim::TrackId{static_cast<int>(r.get_u32())};
+  }
+  progress_.clear();
+  const std::uint32_t n_progress = r.get_u32();
+  for (std::uint32_t i = 0; i < n_progress; ++i) {
+    const JobId id = r.get_u64();
+    JobProgress prog;
+    prog.outcome_ready = r.get_bool();
+    prog.remaining = r.get_i64();
+    prog.input_done = r.get_bool();
+    prog.preemptions = r.get_u32();
+    prog.outcome.ok = r.get_bool();
+    prog.outcome.detail = r.get_string();
+    prog.outcome.checksum = r.get_u64();
+    prog.outcome.value = r.get_f64();
+    prog.outcome.compute_time = r.get_i64();
+    prog.outcome.dma_in_bytes = r.get_u64();
+    prog.outcome.dma_out_bytes = r.get_u64();
+    progress_[id] = std::move(prog);
+  }
+  checkpointed_out_.clear();
+  const std::uint32_t n_out = r.get_u32();
+  for (std::uint32_t i = 0; i < n_out; ++i) {
+    checkpointed_out_.insert(r.get_u64());
   }
 }
 

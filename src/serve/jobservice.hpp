@@ -28,6 +28,8 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -36,6 +38,7 @@
 #include "core/taskswitch.hpp"
 #include "serve/job.hpp"
 #include "serve/queue.hpp"
+#include "sim/snapshot.hpp"
 #include "util/status.hpp"
 #include "util/units.hpp"
 
@@ -74,11 +77,26 @@ struct ServiceReport {
   util::Picoseconds partial_reconfig_time = 0;  // subset of reconfig_time
   util::Picoseconds makespan = 0;  // latest job finish (modelled)
   double jobs_per_second = 0.0;    // served / makespan
+  std::uint64_t preemptions = 0;      // slice preemptions this run
+  std::uint64_t deadline_misses = 0;  // jobs finished past their deadline
+  std::uint64_t migrated = 0;         // jobs checkpointed out to a target
   std::vector<TenantStats> tenants;       // sorted by tenant name
   std::vector<int> dead_boards;           // ACB indices lost to drop-outs
 };
 
-class JobService {
+/// A job frozen mid-service: the versioned snapshot stream (section
+/// "serve/job") carrying the job's identity, its already-evaluated
+/// functional outcome and its compute progress — everything another
+/// JobService needs to finish it without the work functor. The
+/// convenience fields mirror the stream for inspection.
+struct JobCheckpoint {
+  JobId id = 0;
+  std::string tenant;
+  std::string config;
+  std::vector<std::uint8_t> bytes;
+};
+
+class JobService : public sim::Snapshottable {
  public:
   /// Builds the service over every computing board currently in the
   /// crate. Each board gets a driver (its cursor on the timeline) and a
@@ -101,7 +119,58 @@ class JobService {
   /// Drains every queue across the alive boards and returns the run's
   /// report. `pool` sizes the functional evaluation only — the schedule
   /// and the results are bit-identical for any pool (nullptr = shared).
+  /// Under Policy::kPreemptive / kAbortRerun the drain is EDF-ordered
+  /// with slice-quantum preemption instead of batched.
   const ServiceReport& run(util::WorkerPool* pool = nullptr);
+
+  /// run(), but stops after at most `max_dispatches` scheduling steps
+  /// (batches under kBatched, slices under the preemptive policies),
+  /// leaving the remaining work queued / mid-job. A later run() — on
+  /// this service or on a twin restored from save_state — continues
+  /// exactly where it stopped. The snapshot tests save mid-stream here.
+  const ServiceReport& run_bounded(std::size_t max_dispatches,
+                                   util::WorkerPool* pool = nullptr);
+
+  // --- checkpoint / restore / migration --------------------------------
+  /// Freezes one pending job (queued or preempted mid-compute) into a
+  /// portable checkpoint and removes it from this service's scheduling
+  /// structures (the ledger entry stays, in a checkpointed-out state).
+  /// A job that was never dispatched has its pure work functor evaluated
+  /// now, so the checkpoint always carries the functional outcome and
+  /// never needs the functor. Fails with kJobNotPending when the job is
+  /// not pending (already finished, failed, migrated or checkpointed).
+  util::Result<JobCheckpoint> checkpoint_job(JobId id);
+
+  /// Re-admits a checkpointed job. On the service that produced the
+  /// checkpoint the original JobId is revived; on any other service a
+  /// new id is issued. Compute progress is honoured by the preemptive
+  /// policies (the job only pays its remaining compute). Fails with
+  /// kOverloaded past the tenant quota, kSnapshot* on a bad stream;
+  /// throws util::StateError when the configuration is not registered.
+  util::Result<JobId> restore_job(const JobCheckpoint& ckpt);
+
+  /// checkpoint_job + target.restore_job in one step: moves a pending
+  /// job to another service (typically over another crate). The source
+  /// ledger entry is marked migrated; the returned id is the job's id
+  /// on the target.
+  util::Result<JobId> migrate_job(JobId id, JobService& target);
+
+  /// When set, losing the last alive board — or a drop-out under a
+  /// preemptive policy — drains pending jobs to `target` via
+  /// migrate_job instead of failing them with kBoardDead. The target is
+  /// not owned and must outlive this service; nullptr detaches.
+  void set_migration_target(JobService* target) { migration_target_ = target; }
+  JobService* migration_target() const { return migration_target_; }
+
+  /// Snapshottable composite: the whole serving state — the underlying
+  /// system (boards, timeline, injector) via AtlantisSystem::save_state,
+  /// then a "serve/service" section with the ledger, queues, per-job
+  /// progress and per-board driver/switcher state. load_state restores
+  /// into a twin service built over an identically assembled system with
+  /// the same options, configurations and submissions (work functors
+  /// live in the twin's own specs; they are never serialized).
+  void save_state(sim::SnapshotWriter& w) const override;
+  void load_state(sim::SnapshotReader& r) override;
 
   /// Ledger of every job ever submitted, indexed by JobId.
   const std::vector<JobRecord>& jobs() const { return records_; }
@@ -116,15 +185,48 @@ class JobService {
   struct BoardState {
     int index = -1;
     bool dead = false;
+    std::optional<JobId> active;  // job mid-compute (preemptive policies)
     std::unique_ptr<core::AtlantisDriver> driver;
     std::unique_ptr<core::TaskSwitcher> switcher;
   };
 
+  /// What the service knows about a job once it has been touched by the
+  /// scheduler: its (once-evaluated) pure outcome and how much of the
+  /// modelled compute is still owed. This — not the functor — is what a
+  /// checkpoint carries.
+  struct JobProgress {
+    JobOutcome outcome;
+    bool outcome_ready = false;
+    util::Picoseconds remaining = 0;
+    bool input_done = false;
+    std::uint32_t preemptions = 0;
+  };
+
   sim::TrackId tenant_track(const std::string& tenant);
   BoardState* pick_board();
+  const ServiceReport& run_impl(std::size_t max_dispatches,
+                                util::WorkerPool* pool);
+  void run_batched(util::WorkerPool& pool, std::size_t max_dispatches);
+  void run_preemptive(std::size_t max_dispatches);
   void serve_batch(BoardState& board, const std::string& config,
                    const std::deque<JobId>& batch,
                    util::WorkerPool& pool);
+  /// EDF pick over every queued job (deadline 0 = +inf; ties by id);
+  /// removes the winner from its queue. Returns nullopt when idle.
+  std::optional<JobId> edf_pick();
+  /// Earliest effective deadline among queued jobs, or nullopt.
+  std::optional<util::Picoseconds> earliest_waiting_deadline() const;
+  void ensure_progress(JobId id);
+  bool start_run(BoardState& board, JobId id);
+  void finish_run(BoardState& board);
+  void preempt(BoardState& board);
+  void fail_job(JobId id, util::ErrorCode code, const std::string& detail);
+  /// Marks a board dead (drop-out / lost configuration path); its active
+  /// job is re-queued — or migrated when a target is set.
+  void lose_board(BoardState& board);
+  JobCheckpoint make_checkpoint(JobId id);
+  /// Migrates an already-detached pending job to the migration target.
+  void migrate_out(JobId id);
   void fail_remaining(util::ErrorCode code);
   void finalize_report();
 
@@ -138,6 +240,9 @@ class JobService {
   std::vector<JobSpec> specs_;      // by JobId
   std::vector<JobRecord> records_;  // by JobId
   std::vector<JobId> run_ids_;      // jobs resolved by the current run()
+  std::map<JobId, JobProgress> progress_;  // jobs touched, not yet resolved
+  std::set<JobId> checkpointed_out_;
+  JobService* migration_target_ = nullptr;
   ServiceReport report_;
 };
 

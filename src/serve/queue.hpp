@@ -7,15 +7,34 @@
 // FPGA reconfiguration a queue switch costs.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "serve/job.hpp"
 #include "util/units.hpp"
 
 namespace atlantis::serve {
+
+/// Scheduling discipline of the JobService.
+enum class Policy {
+  /// Drain whole same-configuration batches per board visit — the
+  /// reconfiguration-amortizing default.
+  kBatched,
+  /// Earliest-deadline-first with slice-quantum preemption: a running
+  /// job is checkpointed (compute progress kept) whenever a strictly
+  /// earlier deadline is waiting, and resumed later from where it
+  /// stopped — possibly on another board.
+  kPreemptive,
+  /// Like kPreemptive, but preemption discards progress: the victim
+  /// re-pays its full compute (and its input DMA) when re-dispatched.
+  /// The baseline the snapshot benchmark compares checkpointing against.
+  kAbortRerun,
+};
 
 /// Tuning knobs of the JobService.
 struct ServeOptions {
@@ -47,6 +66,13 @@ struct ServeOptions {
   /// (TaskSwitcher::estimate_switch_cost), ties broken by depth then
   /// name. Ignored when fifo_order is set.
   bool diff_order = false;
+  /// Scheduling discipline. The preemptive policies ignore fifo_order /
+  /// diff_order (job order is deadline-driven) but keep every other knob.
+  Policy policy = Policy::kBatched;
+  /// Preemption quantum of the preemptive policies: a running job yields
+  /// a preemption opportunity every `preempt_slice` of modelled compute.
+  /// <= 0 disables slicing (jobs run to completion once dispatched).
+  util::Picoseconds preempt_slice = 2'000'000'000;  // 2 ms
 };
 
 /// FIFO queues keyed by configuration name, plus per-tenant backlog
@@ -70,6 +96,31 @@ class ConfigQueues {
     q.pop_front();
     if (q.empty()) queues_.erase(config);
     return id;
+  }
+
+  /// Removes one specific id from a configuration's queue (the
+  /// preemptive scheduler pulls by deadline, not position). Returns
+  /// false when the id is not queued under that configuration.
+  bool erase(const std::string& config, JobId id) {
+    const auto it = queues_.find(config);
+    if (it == queues_.end()) return false;
+    auto& q = it->second;
+    const auto pos = std::find(q.begin(), q.end(), id);
+    if (pos == q.end()) return false;
+    q.erase(pos);
+    if (q.empty()) queues_.erase(it);
+    return true;
+  }
+
+  /// Every queued job with its configuration, in (configuration, FIFO)
+  /// order — the candidate list the EDF picker scans.
+  std::vector<std::pair<std::string, JobId>> all() const {
+    std::vector<std::pair<std::string, JobId>> out;
+    out.reserve(total());
+    for (const auto& [config, q] : queues_) {
+      for (const JobId id : q) out.emplace_back(config, id);
+    }
+    return out;
   }
 
   bool empty() const { return queues_.empty(); }

@@ -70,7 +70,12 @@ std::uint64_t site_hash(std::uint64_t seed, int kind,
 
 }  // namespace
 
-FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  // Capture the post-construction state; reset() restores exactly this.
+  SnapshotWriter w;
+  save_state(w);
+  genesis_ = w.bytes();
+}
 
 FaultInjector::SiteState& FaultInjector::site_state(FaultKind kind,
                                                     const std::string& site) {
@@ -125,9 +130,81 @@ std::uint64_t FaultInjector::injected_total() const {
 }
 
 void FaultInjector::reset() {
-  sites_.clear();
-  injected_.fill(0);
+  // "Reset" is defined as loading the post-construction snapshot; the
+  // hand-rolled member clearing this replaced could silently fall out of
+  // sync with new state as it was added.
+  auto r = SnapshotReader::open(genesis_);
+  load_state(r.value());
+}
+
+void FaultInjector::save_state(SnapshotWriter& w) const {
+  w.begin_section("sim/fault");
+  w.put_u64(plan_.seed);
+  for (const double rate : plan_.rates) w.put_f64(rate);
+  w.put_u32(static_cast<std::uint32_t>(plan_.scheduled.size()));
+  for (const ScheduledFault& sf : plan_.scheduled) {
+    w.put_u8(static_cast<std::uint8_t>(sf.kind));
+    w.put_string(sf.site);
+    w.put_u64(sf.nth);
+    w.put_u64(sf.param);
+  }
+  for (const std::uint64_t n : injected_) w.put_u64(n);
+  w.put_u64(log_.size());
+  for (const FaultRecord& rec : log_) {
+    w.put_u8(static_cast<std::uint8_t>(rec.kind));
+    w.put_string(rec.site);
+    w.put_u64(rec.opportunity);
+    w.put_u64(rec.param);
+  }
+  w.put_u32(static_cast<std::uint32_t>(sites_.size()));
+  for (const auto& [key, st] : sites_) {
+    w.put_u32(static_cast<std::uint32_t>(key.first));
+    w.put_string(key.second);
+    w.put_u64(st.opportunities);
+    for (const std::uint64_t word : st.rng.save_state()) w.put_u64(word);
+  }
+  w.end_section();
+}
+
+void FaultInjector::load_state(SnapshotReader& r) {
+  r.select("sim/fault");
+  plan_.seed = r.get_u64();
+  for (double& rate : plan_.rates) rate = r.get_f64();
+  const std::uint32_t n_sched = r.get_u32();
+  plan_.scheduled.clear();
+  plan_.scheduled.reserve(n_sched);
+  for (std::uint32_t i = 0; i < n_sched; ++i) {
+    ScheduledFault sf;
+    sf.kind = static_cast<FaultKind>(r.get_u8());
+    sf.site = r.get_string();
+    sf.nth = r.get_u64();
+    sf.param = r.get_u64();
+    plan_.scheduled.push_back(std::move(sf));
+  }
+  for (std::uint64_t& n : injected_) n = r.get_u64();
+  const std::uint64_t n_log = r.get_u64();
   log_.clear();
+  log_.reserve(n_log);
+  for (std::uint64_t i = 0; i < n_log; ++i) {
+    FaultRecord rec;
+    rec.kind = static_cast<FaultKind>(r.get_u8());
+    rec.site = r.get_string();
+    rec.opportunity = r.get_u64();
+    rec.param = r.get_u64();
+    log_.push_back(std::move(rec));
+  }
+  const std::uint32_t n_sites = r.get_u32();
+  sites_.clear();
+  for (std::uint32_t i = 0; i < n_sites; ++i) {
+    const int kind = static_cast<int>(r.get_u32());
+    std::string site = r.get_string();
+    SiteState st;
+    st.opportunities = r.get_u64();
+    std::array<std::uint64_t, 6> rng_state{};
+    for (std::uint64_t& word : rng_state) word = r.get_u64();
+    st.rng.load_state(rng_state);
+    sites_.emplace(SiteKey{kind, std::move(site)}, std::move(st));
+  }
 }
 
 }  // namespace atlantis::sim

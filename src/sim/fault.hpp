@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/snapshot.hpp"
 #include "util/rng.hpp"
 #include "util/units.hpp"
 
@@ -120,7 +121,7 @@ struct RetryPolicy {
 /// Draws faults against a FaultPlan. Not thread-safe by design: all
 /// injection hooks run on the (single) scheduling thread; the functional
 /// worker pool never draws.
-class FaultInjector {
+class FaultInjector : public Snapshottable {
  public:
   explicit FaultInjector(FaultPlan plan);
 
@@ -139,8 +140,19 @@ class FaultInjector {
   const std::vector<FaultRecord>& log() const { return log_; }
 
   /// Rewinds every site stream and counter to the freshly-constructed
-  /// state (same plan, same seed), for bit-identical replay.
+  /// state (same plan, same seed), for bit-identical replay. Implemented
+  /// as a load of the post-construction snapshot captured by the
+  /// constructor — reset *is* restore, so the two paths cannot drift.
+  /// Idempotent.
   void reset();
+
+  /// Snapshottable: the complete injector — plan (seed, rates, scheduled
+  /// faults), per-(kind, site) opportunity counters and RNG stream
+  /// positions, injected tallies and the replay log — under a
+  /// "sim/fault" section. A restored injector continues the exact fault
+  /// tail the saved one would have produced.
+  void save_state(SnapshotWriter& w) const override;
+  void load_state(SnapshotReader& r) override;
 
  private:
   struct SiteState {
@@ -155,6 +167,8 @@ class FaultInjector {
   std::map<SiteKey, SiteState> sites_;
   std::array<std::uint64_t, kFaultKindCount> injected_{};
   std::vector<FaultRecord> log_;
+  /// Post-construction snapshot; reset() loads it.
+  std::vector<std::uint8_t> genesis_;
 };
 
 }  // namespace atlantis::sim

@@ -1,0 +1,167 @@
+// Versioned, tagged binary snapshot stream — the uniform save/restore
+// layer for every stateful component in the crate.
+//
+// The ROADMAP's preemptive-scheduling and live-migration items both
+// reduce to one primitive: serialize the complete state of a component
+// tree to bytes, and later restore those bytes into an identically
+// constructed tree, bit-identically. The model is QEMU's savevm: a
+// stream of flat, *tagged sections*, each independently framed with a
+// length and a CRC, so a reader can (a) verify integrity eagerly, (b)
+// skip sections whose tag it does not know (forward compatibility on
+// minor version bumps), and (c) reject streams whose major version it
+// cannot interpret at all.
+//
+// Stream layout (all integers little-endian):
+//
+//   header:   u32 magic "ATLS" | u16 major | u16 minor | u32 reserved
+//   section:  u32 tag_len | tag bytes | u64 payload_len | payload
+//             | u32 crc32(tag_len..payload)
+//   ...repeated; no nesting, no trailer. The CRC covers the whole
+//   frame — tag length, tag, payload length and payload — so a flipped
+//   bit anywhere after the header is detected, not just in the payload.
+//
+// Section contract: *composite* components (Timeline, FaultInjector,
+// AtlantisSystem, JobService) open their own tagged sections — their
+// save_state must be called with no section open. *Leaf* components
+// (chdl::Simulator, the hw devices, TaskSwitcher, AtlantisDriver) write
+// primitives into whatever section the caller has open, so an
+// orchestrator owns the tag namespace and a leaf can be embedded
+// anywhere. Readers consume a section with the exact same sequence of
+// typed reads; an overread within a section throws util::Error (that is
+// a programming error, not a recoverable stream condition).
+//
+// Versioning rules: bump kSnapshotMinor when adding sections or
+// appending fields readers may skip; bump kSnapshotMajor when the
+// meaning of existing bytes changes. open() fails with
+// ErrorCode::kSnapshotVersion on a foreign major and with
+// ErrorCode::kSnapshotCorrupt on truncation or a CRC mismatch.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace atlantis::sim {
+
+inline constexpr std::uint32_t kSnapshotMagic = 0x534C5441u;  // "ATLS"
+inline constexpr std::uint16_t kSnapshotMajor = 1;
+inline constexpr std::uint16_t kSnapshotMinor = 0;
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected), the framing checksum.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t len);
+
+/// Appends a header + tagged sections to a growable byte buffer.
+/// Typed puts are only legal between begin_section()/end_section().
+class SnapshotWriter {
+ public:
+  SnapshotWriter();
+
+  void begin_section(const std::string& tag);
+  void end_section();
+  bool in_section() const { return open_; }
+
+  void put_u8(std::uint8_t v);
+  void put_u16(std::uint16_t v);
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  void put_i64(std::int64_t v);
+  void put_f64(double v);
+  void put_bool(bool v) { put_u8(v ? 1 : 0); }
+  void put_string(const std::string& s);
+  /// u64 count followed by the words.
+  void put_words(const std::vector<std::uint64_t>& words);
+  /// Raw bytes, no count prefix (caller frames them).
+  void put_bytes(const std::uint8_t* data, std::size_t len);
+
+  /// The finished stream; requires no section be open.
+  const std::vector<std::uint8_t>& bytes() const;
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  void raw(const void* p, std::size_t n);
+
+  std::vector<std::uint8_t> buf_;
+  std::size_t frame_at_ = 0;    // offset of the open section's frame start
+  std::size_t len_at_ = 0;      // offset of the open section's length field
+  std::size_t payload_at_ = 0;  // offset of the open section's payload
+  bool open_ = false;
+};
+
+/// Parses and validates a stream eagerly at open(): header, every
+/// section frame and every CRC are checked up front, so load_state
+/// implementations never see a torn stream. Duplicate tags keep their
+/// stream order; select() addresses the first occurrence and
+/// select_index() any of them.
+class SnapshotReader {
+ public:
+  /// Validates the stream. Fails with kSnapshotVersion on an unknown
+  /// major version, kSnapshotCorrupt on bad magic, truncation or CRC
+  /// mismatch. Unknown sections are retained and simply never selected
+  /// (minor-version forward compatibility).
+  static util::Result<SnapshotReader> open(std::vector<std::uint8_t> data);
+
+  std::uint16_t version_major() const { return major_; }
+  std::uint16_t version_minor() const { return minor_; }
+
+  bool has_section(const std::string& tag) const;
+  /// Section tags in stream order.
+  std::vector<std::string> section_tags() const;
+  /// Selects the first section with `tag` for reading; throws
+  /// util::StateError when absent.
+  void select(const std::string& tag);
+  bool try_select(const std::string& tag);
+  /// Selects section `i` in stream order.
+  void select_index(std::size_t i);
+
+  std::uint8_t get_u8();
+  std::uint16_t get_u16();
+  std::uint32_t get_u32();
+  std::uint64_t get_u64();
+  std::int64_t get_i64();
+  double get_f64();
+  bool get_bool() { return get_u8() != 0; }
+  std::string get_string();
+  std::vector<std::uint64_t> get_words();
+  void get_bytes(std::uint8_t* out, std::size_t len);
+
+  /// Bytes left in the selected section.
+  std::size_t remaining() const { return end_ - cursor_; }
+
+ private:
+  struct Section {
+    std::string tag;
+    std::size_t begin = 0;  // payload offset into data_
+    std::size_t len = 0;
+  };
+
+  SnapshotReader() = default;
+  void need(std::size_t n) const;
+
+  std::vector<std::uint8_t> data_;
+  std::vector<Section> sections_;
+  std::map<std::string, std::size_t> index_;  // tag -> first section
+  std::size_t cursor_ = 0;
+  std::size_t end_ = 0;
+  std::uint16_t major_ = 0;
+  std::uint16_t minor_ = 0;
+
+  friend class util::Result<SnapshotReader>;
+};
+
+/// The uniform save/load interface. save_state serializes the
+/// component's complete replayable state; load_state restores it into an
+/// identically constructed component (same design, same topology, same
+/// registrations) and throws util::StateError / util::Error when the
+/// stream does not match that construction. See the section contract
+/// above for who opens sections.
+class Snapshottable {
+ public:
+  virtual ~Snapshottable() = default;
+  virtual void save_state(SnapshotWriter& w) const = 0;
+  virtual void load_state(SnapshotReader& r) = 0;
+};
+
+}  // namespace atlantis::sim

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/snapshot.hpp"
 #include "util/units.hpp"
 
 namespace atlantis::sim {
@@ -115,7 +116,7 @@ struct ResourceStats {
   double mbps() const { return util::mb_per_s(bytes, last_end - first_start); }
 };
 
-class Timeline {
+class Timeline : public Snapshottable {
  public:
   /// Registers a shared resource with `channels` independent servers
   /// (1 = the CompactPCI segment; 4 = the default backplane channel
@@ -173,6 +174,26 @@ class Timeline {
   /// time went per resource.
   void record_fault(ResourceId id);
   void record_retry(ResourceId id, util::Picoseconds recovery);
+
+  /// Clears the per-resource fault/retry counters (faults, retries,
+  /// retry_time) on every resource. Idempotent. This is the timeline
+  /// half of a `ResetScope::kFaults` reset: `FaultInjector::reset()`
+  /// rewinds the injector's streams and counters, and without this call
+  /// the timeline's ResourceStats would keep reporting the pre-reset
+  /// fault tallies — the two ledgers would diverge after a mid-run
+  /// reset. Scheduling state (free times, transactions, horizon) is
+  /// untouched.
+  void reset_stats();
+
+  /// Snapshottable: writes/restores the complete timeline — resources
+  /// with their channel free-times and stats, tracks, every transaction
+  /// and the horizon — under a "sim/timeline" section. load_state fully
+  /// replaces the current contents; ResourceId/TrackId handles held by
+  /// callers stay valid only when the restored stream was taken from an
+  /// identically registered timeline (same add_resource/add_track
+  /// order), which load_state verifies by count and name.
+  void save_state(SnapshotWriter& w) const override;
+  void load_state(SnapshotReader& r) override;
 
   /// Chrome-trace/Perfetto JSON: complete events ("ph":"X") with
   /// microsecond timestamps, one named thread per resource and one per

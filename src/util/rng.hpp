@@ -5,8 +5,10 @@
 // experiment is bit-reproducible from its seed.
 #pragma once
 
+#include <array>
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <limits>
 
 namespace atlantis::util {
@@ -74,6 +76,22 @@ class Rng {
 
   /// Bernoulli draw with probability p of returning true.
   bool bernoulli(double p) { return next_double() < p; }
+
+  /// Complete engine state as 6 words (4 state words, the cached
+  /// normal() spare bit-cast to an integer, and the spare-valid flag) —
+  /// the snapshot layer's representation. load_state(save_state()) is an
+  /// exact round trip: the draw sequence continues bit-identically.
+  std::array<std::uint64_t, 6> save_state() const {
+    std::uint64_t spare_bits = 0;
+    std::memcpy(&spare_bits, &spare_, sizeof(spare_bits));
+    return {state_[0], state_[1], state_[2], state_[3], spare_bits,
+            have_spare_ ? 1ull : 0ull};
+  }
+  void load_state(const std::array<std::uint64_t, 6>& s) {
+    for (int i = 0; i < 4; ++i) state_[i] = s[static_cast<std::size_t>(i)];
+    std::memcpy(&spare_, &s[4], sizeof(spare_));
+    have_spare_ = s[5] != 0;
+  }
 
   /// Standard normal via Marsaglia polar method.
   double normal() {

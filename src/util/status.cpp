@@ -18,6 +18,9 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::kTimeout: return "timeout";
     case ErrorCode::kRetriesExhausted: return "retries_exhausted";
     case ErrorCode::kOverloaded: return "overloaded";
+    case ErrorCode::kSnapshotVersion: return "snapshot_version";
+    case ErrorCode::kSnapshotCorrupt: return "snapshot_corrupt";
+    case ErrorCode::kJobNotPending: return "job_not_pending";
   }
   return "unknown";
 }

@@ -49,6 +49,9 @@ enum class ErrorCode {
   kTimeout,           // recovery exceeded its time budget
   kRetriesExhausted,  // all retry attempts failed
   kOverloaded,        // admission control refused the request
+  kSnapshotVersion,   // snapshot stream from an incompatible major version
+  kSnapshotCorrupt,   // snapshot stream truncated or failed its CRC
+  kJobNotPending,     // checkpoint/migrate target is not a pending job
 };
 
 /// Stable lowercase name ("dma_stall", "config_crc", ...).

@@ -1,0 +1,353 @@
+// The snapshot stream itself: framing, versioning, corruption rejection —
+// and the Timeline / FaultInjector round trips built on it.
+#include "sim/snapshot.hpp"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/fault.hpp"
+#include "sim/timeline.hpp"
+#include "util/status.hpp"
+#include "util/units.hpp"
+
+namespace atlantis::sim {
+namespace {
+
+std::vector<std::uint8_t> one_section_stream() {
+  SnapshotWriter w;
+  w.begin_section("test/section");
+  w.put_u8(0xAB);
+  w.put_u16(0xBEEF);
+  w.put_u32(0xDEADBEEFu);
+  w.put_u64(0x0123456789ABCDEFull);
+  w.put_i64(-42);
+  w.put_f64(3.25);
+  w.put_bool(true);
+  w.put_string("hello snapshot");
+  w.put_words({1, 2, 3, 0xFFFFFFFFFFFFFFFFull});
+  w.end_section();
+  return w.bytes();
+}
+
+TEST(SnapshotStream, PrimitivesRoundTrip) {
+  auto r = SnapshotReader::open(one_section_stream());
+  ASSERT_TRUE(r.ok()) << r.message();
+  SnapshotReader reader = std::move(r.value());
+  EXPECT_EQ(reader.version_major(), kSnapshotMajor);
+  EXPECT_EQ(reader.version_minor(), kSnapshotMinor);
+  reader.select("test/section");
+  EXPECT_EQ(reader.get_u8(), 0xAB);
+  EXPECT_EQ(reader.get_u16(), 0xBEEF);
+  EXPECT_EQ(reader.get_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(reader.get_u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(reader.get_i64(), -42);
+  EXPECT_DOUBLE_EQ(reader.get_f64(), 3.25);
+  EXPECT_TRUE(reader.get_bool());
+  EXPECT_EQ(reader.get_string(), "hello snapshot");
+  const std::vector<std::uint64_t> words = reader.get_words();
+  ASSERT_EQ(words.size(), 4u);
+  EXPECT_EQ(words[3], 0xFFFFFFFFFFFFFFFFull);
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(SnapshotStream, MultipleSectionsSelectByTag) {
+  SnapshotWriter w;
+  w.begin_section("alpha");
+  w.put_u32(1);
+  w.end_section();
+  w.begin_section("beta");
+  w.put_u32(2);
+  w.end_section();
+  auto r = SnapshotReader::open(w.bytes());
+  ASSERT_TRUE(r.ok());
+  SnapshotReader reader = std::move(r.value());
+  EXPECT_TRUE(reader.has_section("alpha"));
+  EXPECT_TRUE(reader.has_section("beta"));
+  EXPECT_FALSE(reader.has_section("gamma"));
+  ASSERT_EQ(reader.section_tags(),
+            (std::vector<std::string>{"alpha", "beta"}));
+  reader.select("beta");
+  EXPECT_EQ(reader.get_u32(), 2u);
+  reader.select("alpha");  // selection may go backwards
+  EXPECT_EQ(reader.get_u32(), 1u);
+  EXPECT_FALSE(reader.try_select("gamma"));
+  EXPECT_THROW(reader.select("gamma"), util::StateError);
+}
+
+TEST(SnapshotStream, HeaderOnlyStreamIsValid) {
+  SnapshotWriter w;
+  auto r = SnapshotReader::open(w.bytes());
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().section_tags().empty());
+}
+
+TEST(SnapshotStream, RejectsForeignMajorVersion) {
+  std::vector<std::uint8_t> bytes = one_section_stream();
+  // Header: u32 magic | u16 major (offset 4, little-endian) | u16 minor.
+  bytes[4] = static_cast<std::uint8_t>((kSnapshotMajor + 1) & 0xFF);
+  auto r = SnapshotReader::open(bytes);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), util::ErrorCode::kSnapshotVersion);
+}
+
+TEST(SnapshotStream, SkipsUnknownSectionsOnMinorBump) {
+  SnapshotWriter w;
+  w.begin_section("known");
+  w.put_u64(77);
+  w.end_section();
+  w.begin_section("future/added-in-minor-bump");
+  w.put_string("a reader of minor 0 has never heard of this");
+  w.end_section();
+  std::vector<std::uint8_t> bytes = w.bytes();
+  bytes[6] = static_cast<std::uint8_t>((kSnapshotMinor + 3) & 0xFF);
+  auto r = SnapshotReader::open(bytes);
+  ASSERT_TRUE(r.ok()) << "minor bumps must stay readable";
+  SnapshotReader reader = std::move(r.value());
+  EXPECT_EQ(reader.version_minor(), kSnapshotMinor + 3);
+  reader.select("known");
+  EXPECT_EQ(reader.get_u64(), 77u);
+  // The unknown section is retained (and CRC-checked), just never used.
+  EXPECT_TRUE(reader.has_section("future/added-in-minor-bump"));
+}
+
+TEST(SnapshotStream, RejectsBadMagic) {
+  std::vector<std::uint8_t> bytes = one_section_stream();
+  bytes[0] ^= 0xFF;
+  auto r = SnapshotReader::open(bytes);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), util::ErrorCode::kSnapshotCorrupt);
+}
+
+TEST(SnapshotStream, RejectsTruncation) {
+  const std::vector<std::uint8_t> bytes = one_section_stream();
+  // Any proper prefix must be rejected, wherever the cut lands.
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{5}, std::size_t{11}, bytes.size() / 2,
+        bytes.size() - 1}) {
+    std::vector<std::uint8_t> cut(bytes.begin(),
+                                  bytes.begin() + static_cast<long>(keep));
+    auto r = SnapshotReader::open(cut);
+    ASSERT_FALSE(r.ok()) << "accepted a " << keep << "-byte prefix";
+    EXPECT_EQ(r.error(), util::ErrorCode::kSnapshotCorrupt);
+  }
+}
+
+TEST(SnapshotStream, RejectsPayloadCorruption) {
+  const std::vector<std::uint8_t> good = one_section_stream();
+  // Flip one bit in every byte position after the header; every flip must
+  // be caught (frame fields break parsing, payload bytes break the CRC,
+  // CRC bytes mismatch the payload).
+  for (std::size_t i = 12; i < good.size(); ++i) {
+    std::vector<std::uint8_t> bad = good;
+    bad[i] ^= 0x01;
+    auto r = SnapshotReader::open(bad);
+    EXPECT_FALSE(r.ok()) << "accepted corruption at byte " << i;
+  }
+}
+
+TEST(SnapshotStream, SectionOverreadThrows) {
+  SnapshotWriter w;
+  w.begin_section("small");
+  w.put_u8(1);
+  w.end_section();
+  auto r = SnapshotReader::open(w.bytes());
+  ASSERT_TRUE(r.ok());
+  SnapshotReader reader = std::move(r.value());
+  reader.select("small");
+  EXPECT_EQ(reader.get_u8(), 1);
+  EXPECT_THROW(reader.get_u64(), util::Error);
+}
+
+TEST(SnapshotStream, WordCountOverflowIsRejected) {
+  // A CRC-valid section whose word count promises more data than the
+  // section holds must throw, not wrap the size computation.
+  SnapshotWriter w;
+  w.begin_section("lying");
+  w.put_u64(0xFFFFFFFFFFFFFFFFull);  // "word count"
+  w.end_section();
+  auto r = SnapshotReader::open(w.bytes());
+  ASSERT_TRUE(r.ok());
+  SnapshotReader reader = std::move(r.value());
+  reader.select("lying");
+  EXPECT_THROW(reader.get_words(), util::Error);
+}
+
+// --- Timeline ----------------------------------------------------------
+
+struct TwinTimelines {
+  Timeline a;
+  Timeline b;
+  ResourceId pci_a, pci_b;
+  TrackId t0_a, t0_b;
+
+  TwinTimelines() {
+    pci_a = a.add_resource("cpci");
+    pci_b = b.add_resource("cpci");
+    t0_a = a.add_track("driver0");
+    t0_b = b.add_track("driver0");
+  }
+};
+
+TEST(TimelineSnapshot, RoundTripAndContinuedGrantsMatch) {
+  TwinTimelines tw;
+  for (int i = 0; i < 20; ++i) {
+    tw.a.post(tw.t0_a, TxnKind::kPciDma, "dma", tw.pci_a, i * 10, 25, 4096);
+  }
+  tw.a.record_fault(tw.pci_a);
+  tw.a.record_retry(tw.pci_a, 777);
+
+  SnapshotWriter w;
+  tw.a.save_state(w);
+  auto r = SnapshotReader::open(w.bytes());
+  ASSERT_TRUE(r.ok()) << r.message();
+  tw.b.load_state(r.value());
+
+  EXPECT_EQ(tw.b.horizon(), tw.a.horizon());
+  ASSERT_EQ(tw.b.transactions().size(), tw.a.transactions().size());
+  for (std::size_t i = 0; i < tw.a.transactions().size(); ++i) {
+    const Transaction& x = tw.a.transactions()[i];
+    const Transaction& y = tw.b.transactions()[i];
+    EXPECT_EQ(x.start, y.start);
+    EXPECT_EQ(x.end, y.end);
+    EXPECT_EQ(x.label, y.label);
+  }
+  const ResourceStats sa = tw.a.stats(tw.pci_a);
+  const ResourceStats sb = tw.b.stats(tw.pci_b);
+  EXPECT_EQ(sb.transactions, sa.transactions);
+  EXPECT_EQ(sb.busy, sa.busy);
+  EXPECT_EQ(sb.faults, 1u);
+  EXPECT_EQ(sb.retry_time, 777);
+
+  // The restored arbiter state must grant the next transaction at the
+  // exact same instant — that is what makes mid-stream restore exact.
+  const Transaction& na =
+      tw.a.post(tw.t0_a, TxnKind::kPciDma, "next", tw.pci_a, 0, 10, 64);
+  const Transaction& nb =
+      tw.b.post(tw.t0_b, TxnKind::kPciDma, "next", tw.pci_b, 0, 10, 64);
+  EXPECT_EQ(na.start, nb.start);
+  EXPECT_EQ(na.end, nb.end);
+}
+
+TEST(TimelineSnapshot, LoadRejectsMismatchedRegistration) {
+  Timeline a;
+  a.add_resource("cpci");
+  SnapshotWriter w;
+  a.save_state(w);
+
+  Timeline other;
+  other.add_resource("not-cpci");
+  auto r = SnapshotReader::open(w.bytes());
+  ASSERT_TRUE(r.ok());
+  EXPECT_THROW(other.load_state(r.value()), util::Error);
+}
+
+TEST(TimelineSnapshot, ResetStatsClearsFaultLedgerIdempotently) {
+  Timeline t;
+  const ResourceId pci = t.add_resource("cpci");
+  const TrackId trk = t.add_track("drv");
+  t.post(trk, TxnKind::kPciDma, "dma", pci, 0, 100, 512);
+  t.record_fault(pci);
+  t.record_fault(pci);
+  t.record_retry(pci, 999);
+  ASSERT_EQ(t.stats(pci).faults, 2u);
+
+  const util::Picoseconds horizon = t.horizon();
+  t.reset_stats();
+  EXPECT_EQ(t.stats(pci).faults, 0u);
+  EXPECT_EQ(t.stats(pci).retries, 0u);
+  EXPECT_EQ(t.stats(pci).retry_time, 0);
+  // Scheduling state is untouched; a second reset is a no-op.
+  EXPECT_EQ(t.horizon(), horizon);
+  EXPECT_EQ(t.stats(pci).transactions, 1u);
+  t.reset_stats();
+  EXPECT_EQ(t.stats(pci).faults, 0u);
+  EXPECT_EQ(t.stats(pci).transactions, 1u);
+}
+
+// --- FaultInjector -----------------------------------------------------
+
+FaultPlan busy_plan() {
+  FaultPlan plan;
+  plan.seed = 20260808;
+  plan.with_rate(FaultKind::kDmaStall, 0.15)
+      .with_rate(FaultKind::kSlinkError, 0.08)
+      .with_rate(FaultKind::kSeuMemory, 0.05);
+  plan.inject(FaultKind::kConfigCrc, "fpga/acb0/fpga0", 3);
+  return plan;
+}
+
+std::vector<bool> draw_tail(FaultInjector& inj, int n) {
+  std::vector<bool> hits;
+  for (int i = 0; i < n; ++i) {
+    hits.push_back(inj.draw(FaultKind::kDmaStall, "pci/acb0").has_value());
+    hits.push_back(inj.draw(FaultKind::kSlinkError, "slink/a").has_value());
+    hits.push_back(
+        inj.draw(FaultKind::kSeuMemory, "mem/acb0/m0").has_value());
+    hits.push_back(
+        inj.draw(FaultKind::kConfigCrc, "fpga/acb0/fpga0").has_value());
+  }
+  return hits;
+}
+
+TEST(FaultSnapshot, RestoredInjectorReplaysTheSameFaultTail) {
+  FaultInjector a(busy_plan());
+  draw_tail(a, 25);  // advance mid-stream
+
+  SnapshotWriter w;
+  a.save_state(w);
+  FaultInjector b(busy_plan());
+  draw_tail(b, 7);  // twin is deliberately out of sync before the load
+  auto r = SnapshotReader::open(w.bytes());
+  ASSERT_TRUE(r.ok()) << r.message();
+  b.load_state(r.value());
+
+  EXPECT_EQ(b.injected_total(), a.injected_total());
+  EXPECT_EQ(b.log(), a.log());
+  // The tail after the restore point is the tail the original produces.
+  EXPECT_EQ(draw_tail(b, 40), draw_tail(a, 40));
+  EXPECT_EQ(b.log(), a.log());
+}
+
+TEST(FaultSnapshot, ResetIsGenesisLoadAndIdempotent) {
+  FaultInjector inj(busy_plan());
+  FaultInjector fresh(busy_plan());
+  const std::vector<bool> first = draw_tail(inj, 30);
+  EXPECT_GT(inj.injected_total(), 0u);
+
+  inj.reset();
+  EXPECT_EQ(inj.injected_total(), 0u);
+  EXPECT_TRUE(inj.log().empty());
+  inj.reset();  // idempotent: a second reset changes nothing
+  EXPECT_EQ(inj.injected_total(), 0u);
+
+  // Replay after reset is bit-identical to the first run and to a
+  // freshly constructed injector.
+  EXPECT_EQ(draw_tail(inj, 30), first);
+  EXPECT_EQ(draw_tail(fresh, 30), first);
+}
+
+TEST(FaultSnapshot, LoadRestoresPlanAndScheduledFaults) {
+  FaultInjector a(busy_plan());
+  draw_tail(a, 2);
+  SnapshotWriter w;
+  a.save_state(w);
+
+  FaultPlan other;  // different plan; the load replaces it wholesale
+  other.seed = 1;
+  FaultInjector b(other);
+  auto r = SnapshotReader::open(w.bytes());
+  ASSERT_TRUE(r.ok());
+  b.load_state(r.value());
+  EXPECT_EQ(b.plan().seed, busy_plan().seed);
+  EXPECT_EQ(b.plan().rate(FaultKind::kDmaStall), 0.15);
+  ASSERT_EQ(b.plan().scheduled.size(), 1u);
+  EXPECT_EQ(b.plan().scheduled[0].site, "fpga/acb0/fpga0");
+  EXPECT_EQ(draw_tail(b, 10), draw_tail(a, 10));
+}
+
+}  // namespace
+}  // namespace atlantis::sim
