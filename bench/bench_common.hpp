@@ -1,12 +1,23 @@
 // Shared helpers for the experiment harnesses.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "sim/timeline.hpp"
 #include "util/table.hpp"
+
+// Compiled in by bench/CMakeLists.txt: the source-tree directory holding
+// committed warm-start snapshots (bench/data). Falls back to the working
+// directory so the header stays usable outside the bench build.
+#ifndef ATLANTIS_BENCH_DATA_DIR
+#define ATLANTIS_BENCH_DATA_DIR "."
+#endif
 
 namespace atlantis::bench {
 
@@ -31,6 +42,33 @@ inline void banner(const std::string& id, const std::string& title) {
 inline bool smoke() {
   const char* env = std::getenv("BENCH_SMOKE");
   return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+/// Path of a committed warm-start artifact under bench/data.
+inline std::string data_path(const std::string& name) {
+  return std::string(ATLANTIS_BENCH_DATA_DIR) + "/" + name;
+}
+
+/// Reads a committed snapshot byte-for-byte; nullopt when missing or
+/// unreadable, so benches can regenerate instead of failing.
+inline std::optional<std::vector<std::uint8_t>> load_snapshot_file(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>(in),
+                                  std::istreambuf_iterator<char>()};
+  if (!in.good() && !in.eof()) return std::nullopt;
+  if (bytes.empty()) return std::nullopt;
+  return bytes;
+}
+
+inline bool save_snapshot_file(const std::string& path,
+                               const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  return out.good();
 }
 
 /// Per-resource view of a crate timeline: what was busy, for how long,

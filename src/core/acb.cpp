@@ -67,6 +67,35 @@ bool AcbBoard::draw_dropout() {
   return true;
 }
 
+HealthProbe AcbBoard::probe_health() {
+  HealthProbe probe;
+  probe.alive = alive_;
+  SelfTestHealth& h = probe.counters;
+  h.dma_stalls = pci_.dma_stalls();
+  h.dma_aborts = pci_.dma_aborts();
+  h.slink_errors = slink_.link_errors();
+  h.truncated_frames = slink_.truncated_frames();
+  h.retransmissions = slink_.retransmissions();
+  for (int i = 0; i < kFpgaCount; ++i) {
+    h.config_upsets += fpga(i).config_upsets();
+    h.crc_failures += fpga(i).crc_failures();
+  }
+  for (auto& m : modules_) {
+    if (m.sram() != nullptr) h.seu_flips += m.sram()->seu_flips();
+    if (m.sdram() != nullptr) h.ecc_corrections += m.sdram()->ecc_corrections();
+  }
+  if (timeline_ != nullptr) {
+    for (const sim::ResourceId id : {compute_resource_, slink_.resource()}) {
+      if (!id.valid()) continue;
+      const sim::ResourceStats stats = timeline_->stats(id);
+      probe.resource_faults += stats.faults;
+      probe.resource_retries += stats.retries;
+      probe.resource_retry_time += stats.retry_time;
+    }
+  }
+  return probe;
+}
+
 hw::FpgaDevice& AcbBoard::fpga(int index) {
   ATLANTIS_CHECK(index >= 0 && index < kFpgaCount, "FPGA index out of range");
   return *fpgas_[static_cast<std::size_t>(index)];

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "core/health_probe.hpp"
 #include "core/memmodule.hpp"
 #include "hw/clock.hpp"
 #include "hw/fpga.hpp"
@@ -168,6 +169,12 @@ class AcbBoard {
   /// One board-drop-out opportunity at site "board/<name>". Returns true
   /// when a drop-out fired now (the board also goes !alive()).
   bool draw_dropout();
+
+  /// Samples the board's health: liveness, the cumulative component
+  /// fault counters (PLX, S-Link, FPGAs, memory modules) and the
+  /// timeline fault/retry stats on the board's own resources. Cheap
+  /// enough for a supervisor to call every probe window.
+  HealthProbe probe_health();
 
   /// Snapshottable leaf, written into the caller's open section (the
   /// system opens one "board/<name>" section per ACB): health, clock

@@ -1,0 +1,61 @@
+// Board health sampling for the supervision layer.
+//
+// Production detector-side crates (the ATCA full-mesh processor, the
+// HL-LHC track trigger) run under always-on health monitoring: something
+// reads the fault counters every few milliseconds and decides whether a
+// board is still trustworthy. This header is the data side of that loop:
+// SelfTestHealth is the cumulative per-component counter page (also
+// embedded in the self-test report), and HealthProbe is one sampled
+// observation of a board — counters plus liveness plus the timeline's
+// per-resource fault/retry accounting attributable to the board.
+//
+// Deliberately header-only and dependency-free (util only) so both
+// core/acb.hpp and core/selftest.hpp can include it without cycles.
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.hpp"
+
+namespace atlantis::core {
+
+/// Fault/recovery counters gathered from every component on the board —
+/// the health page of the self-test report. All zero on a fault-free run.
+struct SelfTestHealth {
+  std::uint64_t dma_stalls = 0;
+  std::uint64_t dma_aborts = 0;
+  std::uint64_t slink_errors = 0;
+  std::uint64_t truncated_frames = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t seu_flips = 0;        // memory-module data upsets
+  std::uint64_t config_upsets = 0;    // FPGA configuration upsets
+  std::uint64_t crc_failures = 0;     // configuration CRC failures
+  std::uint64_t ecc_corrections = 0;  // SDRAM ECC events
+  std::uint64_t total() const {
+    return dma_stalls + dma_aborts + slink_errors + truncated_frames +
+           retransmissions + seu_flips + config_upsets + crc_failures +
+           ecc_corrections;
+  }
+};
+
+/// One sampled health observation of a board, as returned by
+/// AcbBoard::probe_health() / AtlantisSystem::probe_health(). Counters
+/// are cumulative; a monitor diffs consecutive probes to get per-window
+/// event counts.
+struct HealthProbe {
+  int board = -1;   // index within the crate; -1 for a standalone board
+  bool alive = true;
+  SelfTestHealth counters;
+  /// Timeline fault/retry accounting on the board's own resources
+  /// (compute track + S-Link stream). The shared CompactPCI segment is
+  /// crate-wide and deliberately not attributed to any single board.
+  std::uint64_t resource_faults = 0;
+  std::uint64_t resource_retries = 0;
+  util::Picoseconds resource_retry_time = 0;
+
+  std::uint64_t total_faults() const {
+    return counters.total() + resource_faults;
+  }
+};
+
+}  // namespace atlantis::core

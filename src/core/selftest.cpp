@@ -60,25 +60,9 @@ SelfTestStep slink_test(hw::SlinkChannel& link) {
 }
 
 SelfTestHealth collect_health(AcbBoard& board) {
-  SelfTestHealth h;
-  h.dma_stalls = board.pci().dma_stalls();
-  h.dma_aborts = board.pci().dma_aborts();
-  h.slink_errors = board.slink().link_errors();
-  h.truncated_frames = board.slink().truncated_frames();
-  h.retransmissions = board.slink().retransmissions();
-  for (int i = 0; i < AcbBoard::kFpgaCount; ++i) {
-    h.config_upsets += board.fpga(i).config_upsets();
-    h.crc_failures += board.fpga(i).crc_failures();
-  }
-  for (int i = 0; i < AcbBoard::kFpgaCount; ++i) {
-    MemModule* module = board.memory_at(i);
-    if (module == nullptr) continue;
-    if (module->sram() != nullptr) h.seu_flips += module->sram()->seu_flips();
-    if (module->sdram() != nullptr) {
-      h.ecc_corrections += module->sdram()->ecc_corrections();
-    }
-  }
-  return h;
+  // The counter walk lives in AcbBoard::probe_health() (shared with the
+  // supervision layer); the self-test report only wants the counter page.
+  return board.probe_health().counters;
 }
 
 SelfTestReport self_test_acb(AcbBoard& board) {

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/acb.hpp"
+#include "core/health_probe.hpp"
 #include "hw/slink.hpp"
 #include "util/status.hpp"
 #include "util/units.hpp"
@@ -26,24 +27,8 @@ struct SelfTestStep {
   std::string detail;
 };
 
-/// Fault/recovery counters gathered from every component on the board —
-/// the health page of the self-test report. All zero on a fault-free run.
-struct SelfTestHealth {
-  std::uint64_t dma_stalls = 0;
-  std::uint64_t dma_aborts = 0;
-  std::uint64_t slink_errors = 0;
-  std::uint64_t truncated_frames = 0;
-  std::uint64_t retransmissions = 0;
-  std::uint64_t seu_flips = 0;        // memory-module data upsets
-  std::uint64_t config_upsets = 0;    // FPGA configuration upsets
-  std::uint64_t crc_failures = 0;     // configuration CRC failures
-  std::uint64_t ecc_corrections = 0;  // SDRAM ECC events
-  std::uint64_t total() const {
-    return dma_stalls + dma_aborts + slink_errors + truncated_frames +
-           retransmissions + seu_flips + config_upsets + crc_failures +
-           ecc_corrections;
-  }
-};
+// SelfTestHealth now lives in core/health_probe.hpp (shared with the
+// supervision layer's HealthProbe); this header re-exports it unchanged.
 
 /// Reads the health counters off a board's components.
 SelfTestHealth collect_health(AcbBoard& board);

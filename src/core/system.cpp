@@ -73,6 +73,17 @@ std::vector<int> AtlantisSystem::alive_acbs() const {
   return out;
 }
 
+std::vector<HealthProbe> AtlantisSystem::probe_health() {
+  std::vector<HealthProbe> probes;
+  probes.reserve(acbs_.size());
+  for (int i = 0; i < acb_count(); ++i) {
+    HealthProbe probe = acbs_[static_cast<std::size_t>(i)]->probe_health();
+    probe.board = i;
+    probes.push_back(probe);
+  }
+  return probes;
+}
+
 std::uint64_t AtlantisSystem::step_acbs(int cycles, bool parallel) {
   ATLANTIS_CHECK(cycles >= 0, "negative cycle count");
   std::uint64_t edges = 0;

@@ -70,6 +70,91 @@ const core::TaskSwitcher& JobService::switcher(int board_index) const {
   return *boards_.at(static_cast<std::size_t>(board_index)).switcher;
 }
 
+const core::AtlantisDriver& JobService::driver(int board_index) const {
+  return *boards_.at(static_cast<std::size_t>(board_index)).driver;
+}
+
+bool JobService::board_dead(int board_index) const {
+  return boards_.at(static_cast<std::size_t>(board_index)).dead;
+}
+
+bool JobService::board_quarantined(int board_index) const {
+  return boards_.at(static_cast<std::size_t>(board_index)).quarantined;
+}
+
+void JobService::set_board_enabled(int board_index, bool enabled) {
+  BoardState& board = boards_.at(static_cast<std::size_t>(board_index));
+  if (!enabled && board.active) {
+    // Detach the mid-compute job with its progress intact (the same
+    // in-crate migration a preemption performs): another board resumes
+    // it from its remaining compute.
+    const JobId id = *board.active;
+    board.active.reset();
+    queues_.push_front(records_[id].config, {id});
+  }
+  board.quarantined = !enabled;
+}
+
+void JobService::revive_board(int board_index) {
+  BoardState& board = boards_.at(static_cast<std::size_t>(board_index));
+  ATLANTIS_CHECK(system_.acb(board.index).alive(),
+                 "revive_board needs the underlying board alive again");
+  if (!board.dead) return;
+  board.dead = false;
+  board.switcher->invalidate_cache();
+}
+
+bool JobService::scrub_board(int board_index) {
+  BoardState& board = boards_.at(static_cast<std::size_t>(board_index));
+  return board.switcher->scrub();
+}
+
+std::vector<JobId> JobService::pending_ids() const {
+  std::vector<JobId> ids;
+  for (const auto& [config, id] : queues_.all()) ids.push_back(id);
+  return ids;
+}
+
+util::Result<JobId> JobService::retry_job(JobId id) {
+  if (id >= records_.size()) {
+    return util::Result<JobId>::failure(
+        util::ErrorCode::kJobNotPending,
+        "unknown job id " + std::to_string(id));
+  }
+  JobRecord& rec = records_[id];
+  if (rec.migrated || checkpointed_out_.count(id) != 0 ||
+      rec.error == util::ErrorCode::kOk) {
+    return util::Result<JobId>::failure(
+        util::ErrorCode::kJobNotPending,
+        "job " + std::to_string(id) + " is not a resolved failure");
+  }
+  // Back to pending: the spec (and its pure functor) is still held, so a
+  // fresh dispatch re-evaluates and re-pays the full job.
+  rec.error = util::ErrorCode::kOk;
+  rec.outcome = JobOutcome{};
+  rec.board = -1;
+  rec.start = 0;
+  rec.finish = 0;
+  rec.queue_wait = 0;
+  queues_.push_back(rec.config, id);
+  ++pending_by_tenant_[rec.tenant];
+  return id;
+}
+
+bool JobService::has_active_jobs() const {
+  for (const BoardState& b : boards_) {
+    if (b.active) return true;
+  }
+  return false;
+}
+
+bool JobService::any_quarantined_alive() const {
+  for (const BoardState& b : boards_) {
+    if (!b.dead && b.quarantined && system_.acb(b.index).alive()) return true;
+  }
+  return false;
+}
+
 sim::TrackId JobService::tenant_track(const std::string& tenant) {
   const auto it = tenant_tracks_.find(tenant);
   if (it != tenant_tracks_.end()) return it->second;
@@ -82,7 +167,7 @@ sim::TrackId JobService::tenant_track(const std::string& tenant) {
 JobService::BoardState* JobService::pick_board() {
   BoardState* best = nullptr;
   for (BoardState& board : boards_) {
-    if (board.dead) continue;
+    if (board.dead || board.quarantined) continue;
     if (!system_.acb(board.index).alive()) {  // killed from outside
       board.dead = true;
       board.switcher->invalidate_cache();
@@ -173,6 +258,10 @@ void JobService::run_batched(util::WorkerPool& pool,
     if (dispatches++ >= max_dispatches) return;  // bounded run: paused
     BoardState* board = pick_board();
     if (board == nullptr) {
+      // All schedulable boards are merely quarantined: leave the work
+      // queued for the supervisor (re-admission or spare drain) rather
+      // than declaring the crate dead.
+      if (any_quarantined_alive()) return;
       fail_remaining(util::ErrorCode::kBoardDead);
       break;
     }
@@ -237,6 +326,7 @@ void JobService::run_preemptive(std::size_t max_dispatches) {
         lose_board(b);
         continue;
       }
+      if (b.quarantined) continue;
       if (!b.active && queues_.empty()) continue;
       if (board == nullptr || b.driver->now() < board->driver->now()) {
         board = &b;
@@ -244,6 +334,7 @@ void JobService::run_preemptive(std::size_t max_dispatches) {
     }
     if (board == nullptr) {
       if (any_active()) continue;  // boards were lost in the scan above
+      if (any_quarantined_alive()) return;  // supervisor owns the next step
       fail_remaining(util::ErrorCode::kBoardDead);
       break;
     }
@@ -610,6 +701,13 @@ util::Result<JobId> JobService::restore_job(const JobCheckpoint& ckpt) {
     return util::Result<JobId>::failure(opened.error(), opened.message());
   }
   sim::SnapshotReader r = std::move(opened.value());
+  if (!r.has_section("serve/job")) {
+    // A truncation that ends exactly on a frame boundary parses as a
+    // valid (shorter) stream; missing the job section is still a
+    // corrupt checkpoint, not a caller error.
+    return util::Result<JobId>::failure(util::ErrorCode::kSnapshotCorrupt,
+                                        "checkpoint has no job section");
+  }
   r.select("serve/job");
   const JobId saved_id = r.get_u64();
   std::string tenant = r.get_string();
@@ -778,6 +876,16 @@ void JobService::save_state(sim::SnapshotWriter& w) const {
   }
   w.put_u32(static_cast<std::uint32_t>(checkpointed_out_.size()));
   for (const JobId id : checkpointed_out_) w.put_u64(id);
+  // Appended in minor 1: the quarantine bitmask. Kept at the section
+  // tail so minor-0 readers simply never reach it and minor-0 streams
+  // load with no board quarantined (remaining() == 0 below).
+  ATLANTIS_CHECK(boards_.size() <= 64,
+                 "quarantine mask carries at most 64 boards");
+  std::uint64_t quarantine_mask = 0;
+  for (std::size_t i = 0; i < boards_.size(); ++i) {
+    if (boards_[i].quarantined) quarantine_mask |= 1ull << i;
+  }
+  w.put_u64(quarantine_mask);
   w.end_section();
 }
 
@@ -873,6 +981,11 @@ void JobService::load_state(sim::SnapshotReader& r) {
   const std::uint32_t n_out = r.get_u32();
   for (std::uint32_t i = 0; i < n_out; ++i) {
     checkpointed_out_.insert(r.get_u64());
+  }
+  const std::uint64_t quarantine_mask =
+      r.remaining() >= sizeof(std::uint64_t) ? r.get_u64() : 0;
+  for (std::size_t i = 0; i < boards_.size(); ++i) {
+    boards_[i].quarantined = (quarantine_mask & (1ull << i)) != 0;
   }
 }
 

@@ -178,13 +178,53 @@ class JobService : public sim::Snapshottable {
   const ServiceReport& report() const { return report_; }
 
   std::size_t pending() const { return queues_.total(); }
+  /// True while any board holds a job mid-compute (preemptive policies
+  /// paused by run_bounded).
+  bool has_active_jobs() const;
   /// Per-board switcher (cache stats, current task) for inspection.
   const core::TaskSwitcher& switcher(int board_index) const;
+  /// Per-board driver (timeline cursor, DMA/config fault counters).
+  const core::AtlantisDriver& driver(int board_index) const;
+
+  // --- supervision hooks (serve::Supervisor) ---------------------------
+  int board_count() const { return static_cast<int>(boards_.size()); }
+  bool board_dead(int board_index) const;
+  bool board_quarantined(int board_index) const;
+
+  /// Quarantine gate. A disabled board is skipped by the scheduler but
+  /// stays alive (its cache and cursor survive); its active job, if any,
+  /// is re-queued with its progress intact. When every schedulable board
+  /// is merely quarantined (none alive and enabled), run() returns with
+  /// the work still queued instead of failing it — the supervisor owns
+  /// the next step (re-admission or a drain to the spare crate).
+  void set_board_enabled(int board_index, bool enabled);
+
+  /// Re-admits a board lost to a drop-out after the underlying AcbBoard
+  /// came back alive (field repair / power cycle). The board rejoins the
+  /// rotation with an invalidated cache; its next job pays a full
+  /// configuration load.
+  void revive_board(int board_index);
+
+  /// One configuration scrub pass over the board's host-PCI FPGA
+  /// (readback + rewrite; an SEU opportunity per window). Returns true
+  /// when an upset was found and corrected.
+  bool scrub_board(int board_index);
+
+  /// Pending (queued) job ids, in deterministic queue order.
+  std::vector<JobId> pending_ids() const;
+
+  /// Re-opens a job that resolved with a transient failure (DMA retries
+  /// exhausted, timeout, dead board): the ledger entry goes back to
+  /// pending and the job is re-queued for a fresh dispatch. Fails with
+  /// kJobNotPending for jobs that are pending, served, migrated or
+  /// checkpointed out.
+  util::Result<JobId> retry_job(JobId id);
 
  private:
   struct BoardState {
     int index = -1;
     bool dead = false;
+    bool quarantined = false;     // supervision gate; skipped, not failed
     std::optional<JobId> active;  // job mid-compute (preemptive policies)
     std::unique_ptr<core::AtlantisDriver> driver;
     std::unique_ptr<core::TaskSwitcher> switcher;
@@ -204,6 +244,9 @@ class JobService : public sim::Snapshottable {
 
   sim::TrackId tenant_track(const std::string& tenant);
   BoardState* pick_board();
+  /// True when at least one alive board is sidelined by the quarantine
+  /// gate — the "no board" condition is then the supervisor's to fix.
+  bool any_quarantined_alive() const;
   const ServiceReport& run_impl(std::size_t max_dispatches,
                                 util::WorkerPool* pool);
   void run_batched(util::WorkerPool& pool, std::size_t max_dispatches);

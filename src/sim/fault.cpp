@@ -17,6 +17,7 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::kSeuMemory: return "seu_memory";
     case FaultKind::kConfigCrc: return "config_crc";
     case FaultKind::kBoardDropout: return "board_dropout";
+    case FaultKind::kServiceCrash: return "service_crash";
   }
   return "unknown";
 }
@@ -51,6 +52,43 @@ util::Picoseconds RetryPolicy::backoff(int retry) const {
     wait = next;
   }
   return std::min(wait, max_backoff);
+}
+
+namespace {
+
+/// splitmix64 finalizer: a full-avalanche mix, so consecutive ordinals
+/// at one site land on unrelated jitter factors.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+util::Picoseconds RetryPolicy::backoff(int retry,
+                                       std::uint64_t stream) const {
+  const util::Picoseconds base = backoff(retry);
+  if (jitter <= 0.0) return base;
+  ATLANTIS_CHECK(jitter < 1.0, "backoff jitter must stay below 1");
+  // Map the stream word to u in [0, 1) and scale into [1 - jitter, 1].
+  const double u =
+      static_cast<double>(mix64(stream) >> 11) * 0x1.0p-53;
+  const double scale = 1.0 - jitter * u;
+  const auto wait =
+      static_cast<util::Picoseconds>(static_cast<double>(base) * scale);
+  return std::max<util::Picoseconds>(1, wait);
+}
+
+std::uint64_t jitter_stream(std::uint64_t seed, const std::string& site,
+                            std::uint64_t ordinal) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : site) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return mix64(h ^ mix64(seed) ^ (ordinal * 0x9E3779B97F4A7C15ull));
 }
 
 namespace {

@@ -48,7 +48,8 @@ namespace atlantis::sim {
 
 inline constexpr std::uint32_t kSnapshotMagic = 0x534C5441u;  // "ATLS"
 inline constexpr std::uint16_t kSnapshotMajor = 1;
-inline constexpr std::uint16_t kSnapshotMinor = 0;
+// Minor 1: "serve/service" appends a quarantine bitmask readers may skip.
+inline constexpr std::uint16_t kSnapshotMinor = 1;
 
 /// CRC-32 (IEEE 802.3 polynomial, reflected), the framing checksum.
 std::uint32_t crc32(const std::uint8_t* data, std::size_t len);

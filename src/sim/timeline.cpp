@@ -203,9 +203,12 @@ void Timeline::load_state(SnapshotReader& r) {
     s.retries = r.get_u64();
     s.retry_time = r.get_i64();
   }
+  // Tracks grow lazily (tenant tracks appear at first dispatch), so a
+  // snapshot may carry more tracks than the twin has created — and a
+  // rollback restore may carry fewer than the live timeline grew since
+  // the checkpoint. Both directions resize; components that own late
+  // track ids restore them from the same stream.
   const std::uint32_t n_tracks = r.get_u32();
-  ATLANTIS_CHECK(n_tracks >= tracks_.size(),
-                 "snapshot timeline track count mismatch");
   tracks_.resize(n_tracks);
   for (Track& t : tracks_) {
     t.name = r.get_string();

@@ -21,6 +21,8 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::kSnapshotVersion: return "snapshot_version";
     case ErrorCode::kSnapshotCorrupt: return "snapshot_corrupt";
     case ErrorCode::kJobNotPending: return "job_not_pending";
+    case ErrorCode::kCircuitOpen: return "circuit_open";
+    case ErrorCode::kServiceCrash: return "service_crash";
   }
   return "unknown";
 }

@@ -52,10 +52,22 @@ enum class ErrorCode {
   kSnapshotVersion,   // snapshot stream from an incompatible major version
   kSnapshotCorrupt,   // snapshot stream truncated or failed its CRC
   kJobNotPending,     // checkpoint/migrate target is not a pending job
+  kCircuitOpen,       // circuit breaker refused the operation
+  kServiceCrash,      // the serving process itself went down
 };
+
+/// One past the last ErrorCode value. Keep in sync with the enum above;
+/// the status unit test iterates [0, kErrorCodeCount) and fails on any
+/// code whose name falls through to "unknown".
+inline constexpr int kErrorCodeCount =
+    static_cast<int>(ErrorCode::kServiceCrash) + 1;
 
 /// Stable lowercase name ("dma_stall", "config_crc", ...).
 const char* error_code_name(ErrorCode code);
+
+/// Alias for error_code_name — the short spelling used by newer call
+/// sites (supervisor reports, bench tables).
+inline const char* error_name(ErrorCode code) { return error_code_name(code); }
 
 /// Value-or-error return for recoverable outcomes (E.2/E.14: types for
 /// errors a caller can handle locally). A Result is either ok() and

@@ -192,6 +192,64 @@ TEST(FaultRecovery, SelfTestReportsHealthCounters) {
   EXPECT_EQ(clean_report.to_string().find("health:"), std::string::npos);
 }
 
+TEST(FaultRecovery, BackoffJitterIsDeterministicAndBounded) {
+  sim::RetryPolicy p;
+  // jitter = 0 (the default): the jittered overload is the plain one.
+  EXPECT_EQ(p.backoff(2, sim::jitter_stream(1, "retry/acb0", 0)),
+            p.backoff(2));
+  p.jitter = 0.5;
+  for (int retry = 1; retry <= 6; ++retry) {
+    const util::Picoseconds base = p.backoff(retry);
+    for (std::uint64_t ordinal = 0; ordinal < 8; ++ordinal) {
+      const std::uint64_t s = sim::jitter_stream(42, "retry/acb0", ordinal);
+      const util::Picoseconds wait = p.backoff(retry, s);
+      EXPECT_LE(wait, base);
+      EXPECT_GE(wait, base / 2);  // scale in (1 - jitter, 1]
+      // Pure function of its inputs: replay is bit-identical.
+      EXPECT_EQ(wait, p.backoff(retry, s));
+    }
+  }
+  // Distinct seeds, sites and ordinals draw distinct words, so
+  // concurrent retries desynchronize.
+  EXPECT_NE(sim::jitter_stream(42, "retry/acb0", 3),
+            sim::jitter_stream(42, "retry/acb1", 3));
+  EXPECT_NE(sim::jitter_stream(42, "retry/acb0", 3),
+            sim::jitter_stream(42, "retry/acb0", 4));
+  EXPECT_NE(sim::jitter_stream(42, "retry/acb0", 3),
+            sim::jitter_stream(43, "retry/acb0", 3));
+}
+
+TEST(FaultRecovery, JitteredDriverScheduleReplaysIdentically) {
+  auto run = [](double jitter) {
+    AtlantisSystem sys("crate");
+    sim::FaultPlan plan;
+    plan.seed = 42;
+    plan.with_rate(sim::FaultKind::kDmaStall, 0.3)
+        .with_rate(sim::FaultKind::kDmaAbort, 0.2);
+    sim::FaultInjector inj(plan);
+    sys.set_fault_injector(&inj);
+    AtlantisDriver drv(sys, sys.add_acb("acb0"));
+    sim::RetryPolicy p;
+    p.jitter = jitter;
+    drv.set_retry_policy(p);
+    for (int i = 0; i < 20; ++i) {
+      (void)drv.try_dma_write(util::kKiB * (1 + i % 4));
+    }
+    return std::make_tuple(drv.dma_faults(), drv.dma_retries(),
+                           drv.recovery_time(), drv.elapsed(),
+                           txn_labels(sys.timeline()));
+  };
+  const auto jittered = run(0.5);
+  EXPECT_EQ(jittered, run(0.5));  // bit-identical replay, jitter and all
+  const auto plain = run(0.0);
+  // The jitter stream is separate from the fault streams: the same
+  // faults fire either way, only the backoff waits shrink.
+  EXPECT_EQ(std::get<0>(jittered), std::get<0>(plain));
+  EXPECT_EQ(std::get<1>(jittered), std::get<1>(plain));
+  EXPECT_GT(std::get<1>(jittered), 0u);
+  EXPECT_LT(std::get<2>(jittered), std::get<2>(plain));
+}
+
 TEST(FaultRecovery, DeterministicReplayOfDriverSchedule) {
   // Same seed, same plan, same call sequence: the retry counters and the
   // complete transaction list replay bit-identically.

@@ -332,6 +332,62 @@ INSTANTIATE_TEST_SUITE_P(Policies, MidStreamRestore,
                          ::testing::Values(serve::Policy::kBatched,
                                            serve::Policy::kPreemptive));
 
+// --- checkpoint stream corruption fuzz -----------------------------------
+
+TEST(JobCheckpointFuzz, EveryCorruptionIsRejectedAtomically) {
+  World world{preemptive_options()};
+  submit_deadline_mix(*world.service);
+  auto taken = world.service->checkpoint_job(4);
+  ASSERT_TRUE(taken.ok()) << taken.message();
+  const serve::JobCheckpoint good = taken.value();
+  ASSERT_GT(good.bytes.size(), 16u);
+  const std::size_t pending = world.service->pending();
+  const std::size_t ledger = world.service->jobs().size();
+
+  auto expect_rejected = [&](const serve::JobCheckpoint& bad,
+                             util::ErrorCode want, const std::string& what) {
+    auto r = world.service->restore_job(bad);
+    ASSERT_FALSE(r.ok()) << what;
+    EXPECT_EQ(r.error(), want) << what;
+    // Atomic rejection: nothing was admitted, no ledger entry appeared.
+    EXPECT_EQ(world.service->pending(), pending) << what;
+    EXPECT_EQ(world.service->jobs().size(), ledger) << what;
+  };
+
+  // Truncation at every possible length.
+  for (std::size_t len = 0; len < good.bytes.size(); ++len) {
+    serve::JobCheckpoint bad = good;
+    bad.bytes.resize(len);
+    expect_rejected(bad, util::ErrorCode::kSnapshotCorrupt,
+                    "truncated to " + std::to_string(len) + " bytes");
+  }
+
+  // One flipped bit in every byte. Header layout (sim/snapshot.hpp):
+  // magic u32 | major u16 | minor u16 | reserved u32. A corrupt magic or
+  // major fails header validation; minor and reserved may legally
+  // differ (forward compatibility); every byte from the first section
+  // frame on is CRC-covered.
+  for (std::size_t at = 0; at < good.bytes.size(); ++at) {
+    if (at >= 6 && at < 12) continue;  // minor + reserved
+    serve::JobCheckpoint bad = good;
+    bad.bytes[at] ^= static_cast<std::uint8_t>(1u << (at % 8));
+    const util::ErrorCode want = (at == 4 || at == 5)
+                                     ? util::ErrorCode::kSnapshotVersion
+                                     : util::ErrorCode::kSnapshotCorrupt;
+    expect_rejected(bad, want, "bit flip at byte " + std::to_string(at));
+  }
+
+  // The intact stream still restores after the storm of rejections, so
+  // no failed attempt left partial state behind.
+  auto revived = world.service->restore_job(good);
+  ASSERT_TRUE(revived.ok()) << revived.message();
+  EXPECT_EQ(revived.value(), 4u);
+  world.service->run();
+  EXPECT_EQ(world.service->job(4).error, util::ErrorCode::kOk);
+  EXPECT_EQ(world.service->job(4).outcome.checksum,
+            0x9e3779b97f4a7c15ull * 5u);
+}
+
 TEST(ServiceSnapshot, LoadRejectsAMismatchedTwin) {
   World live{serve::ServeOptions{}};
   submit_deadline_mix(*live.service);

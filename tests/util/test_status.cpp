@@ -1,5 +1,6 @@
 #include "util/status.hpp"
 
+#include <set>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -21,6 +22,22 @@ TEST(ErrorCode, NamesAreStable) {
   EXPECT_STREQ(error_code_name(ErrorCode::kTimeout), "timeout");
   EXPECT_STREQ(error_code_name(ErrorCode::kRetriesExhausted),
                "retries_exhausted");
+  EXPECT_STREQ(error_code_name(ErrorCode::kCircuitOpen), "circuit_open");
+  EXPECT_STREQ(error_code_name(ErrorCode::kServiceCrash), "service_crash");
+}
+
+TEST(ErrorCode, EveryCodeHasAName) {
+  // Guards kErrorCodeCount against the enum drifting: a code added
+  // without a name (or without bumping the count) fails here.
+  std::set<std::string> seen;
+  for (int i = 0; i < kErrorCodeCount; ++i) {
+    const char* name = error_name(static_cast<ErrorCode>(i));
+    EXPECT_STRNE(name, "unknown") << "ErrorCode " << i << " has no name";
+    EXPECT_TRUE(seen.insert(name).second)
+        << "duplicate ErrorCode name: " << name;
+  }
+  EXPECT_STREQ(error_name(static_cast<ErrorCode>(kErrorCodeCount)),
+               "unknown");
 }
 
 TEST(Result, SuccessCarriesValue) {
