@@ -104,7 +104,7 @@ void submit_serve_mix(serve::JobService& s, int jobs) {
     const std::string config = (i % 2 == 0) ? "alpha" : "beta";
     (void)s.submit(
              make_job(tenant, config, i, (i % 5 + 1) * util::kMicrosecond))
-        .value();
+        .value_or_throw();
   }
 }
 
@@ -126,14 +126,16 @@ PolicyCell run_policy(const std::string& name, serve::Policy policy) {
   for (int i = 0; i < 2; ++i) {
     (void)world.service
         ->submit(make_job("batch", "alpha", i, 30 * util::kMillisecond))
-        .value();
+        .value_or_throw();
   }
-  world.service->run_bounded(1);
+  serve::RunOptions one_step;
+  one_step.max_dispatches = 1;
+  world.service->run(one_step);
   for (int i = 2; i < 10; ++i) {
     (void)world.service
         ->submit(make_job("rt", "alpha", i, 100 * util::kMicrosecond,
                           40 * util::kMillisecond))
-        .value();
+        .value_or_throw();
   }
   world.service->run();
   PolicyCell cell;
@@ -171,7 +173,9 @@ int main() {
 
   World live(options, 2, &plan);
   submit_serve_mix(*live.service, n_jobs);
-  live.service->run_bounded(3);
+  serve::RunOptions three_steps;
+  three_steps.max_dispatches = 3;
+  live.service->run(three_steps);
 
   const auto save_begin = std::chrono::steady_clock::now();
   sim::SnapshotWriter w;
@@ -263,7 +267,7 @@ int main() {
         const std::string tenant =
             i % 3 == 0 ? "atlas" : (i % 3 == 1 ? "cms" : "lhcb");
         (void)s.submit(heavy_job(tenant, i % 2 == 0 ? "alpha" : "beta", i))
-            .value();
+            .value_or_throw();
       }
     };
 
@@ -272,7 +276,9 @@ int main() {
     World cold(options, 2, &plan);
     submit_warm_mix(*cold.service);
     const auto cold_begin = std::chrono::steady_clock::now();
-    cold.service->run_bounded(6);
+    serve::RunOptions six_steps;
+    six_steps.max_dispatches = 6;
+    cold.service->run(six_steps);
     const auto cold_end = std::chrono::steady_clock::now();
     sim::SnapshotWriter ww;
     cold.service->save_state(ww);

@@ -69,7 +69,7 @@ void submit_mix(serve::JobService& s, int n_jobs) {
     const util::Picoseconds deadline =
         (i % 5 == 0) ? 100 * util::kMillisecond : 0;
     (void)s.submit(make_job(i, (i % 5 + 1) * util::kMicrosecond, deadline))
-        .value();
+        .value_or_throw();
   }
 }
 

@@ -192,7 +192,7 @@ ServeCell run_cell(const std::string& name, const Workload& w,
         (void)service
             .submit(trt::make_histogram_job(*w.bank, ev, w.trt_cfg,
                                             "trigger", "trt_lut", arrival))
-            .value();
+            .value_or_throw();
       } else {
         const imgproc::Gray8& tile =
             (*w.tiles)[next_tile++ % w.tiles->size()];
@@ -202,7 +202,7 @@ ServeCell run_cell(const std::string& name, const Workload& w,
                 tile, edge ? w.edge_kernel : w.blur_kernel, w.img_cfg,
                 edge ? "mosaic" : "imaging", edge ? "img_edge" : "img_conv",
                 arrival))
-            .value();
+            .value_or_throw();
       }
     }
     const serve::ServiceReport& rep = service.run();
@@ -449,7 +449,7 @@ int main() {
           (void)service
               ->submit(trt::make_histogram_job(bank, ev, w.trt_cfg, "trigger",
                                                "trt_lut", arrival))
-              .value();
+              .value_or_throw();
         } else {
           const imgproc::Gray8& tile = tiles[next_tile++ % tiles.size()];
           const bool edge = w.order[static_cast<std::size_t>(i)] == 2;
@@ -458,7 +458,7 @@ int main() {
                   tile, edge ? w.edge_kernel : w.blur_kernel, w.img_cfg,
                   edge ? "mosaic" : "imaging",
                   edge ? "img_edge" : "img_conv", arrival))
-              .value();
+              .value_or_throw();
         }
       }
       return service;

@@ -72,10 +72,14 @@ class AtlantisDriver {
   void reset(ResetScope scope);
 
   /// Deprecated: use reset(ResetScope::kTime). Thin forwarder kept so
-  /// existing call sites compile and behave identically.
+  /// existing call sites compile and behave identically; in-tree use
+  /// fails the -Werror=deprecated-declarations CI leg.
+  [[deprecated("use reset(ResetScope::kTime)")]]
   void reset_time() { reset(ResetScope::kTime); }
   /// Deprecated: use reset(ResetScope::kStats). Thin forwarder kept so
-  /// existing call sites compile and behave identically.
+  /// existing call sites compile and behave identically; in-tree use
+  /// fails the -Werror=deprecated-declarations CI leg.
+  [[deprecated("use reset(ResetScope::kStats)")]]
   void reset_stats() { reset(ResetScope::kStats); }
   /// Adds externally-computed hardware time (e.g. N design clocks),
   /// posted as a design-clock compute transaction. `label` names the

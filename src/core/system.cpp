@@ -39,6 +39,20 @@ int AtlantisSystem::add_aib(const std::string& name) {
   return static_cast<int>(aibs_.size() - 1);
 }
 
+std::unique_ptr<AtlantisSystem> assemble_crate(const std::string& name,
+                                               int acbs, int aibs) {
+  ATLANTIS_CHECK(acbs >= 1, "a crate needs at least one computing board");
+  ATLANTIS_CHECK(aibs >= 0, "negative I/O board count");
+  auto sys = std::make_unique<AtlantisSystem>(name);
+  for (int i = 0; i < acbs; ++i) {
+    sys->add_acb(name + "/acb" + std::to_string(i));
+  }
+  for (int i = 0; i < aibs; ++i) {
+    sys->add_aib(name + "/aib" + std::to_string(i));
+  }
+  return sys;
+}
+
 void AtlantisSystem::set_fault_injector(sim::FaultInjector* injector) {
   injector_ = injector;
   for (auto& b : acbs_) b->set_fault_injector(injector);

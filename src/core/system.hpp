@@ -111,4 +111,14 @@ class AtlantisSystem : public sim::Snapshottable {
   sim::FaultInjector* injector_ = nullptr;
 };
 
+/// Assembles one crate with `acbs` computing boards (named
+/// "<name>/acb<i>") and `aibs` I/O boards ("<name>/aib<i>") — the
+/// per-shard construction path of the serving cluster, which needs N
+/// identically laid-out crates whose board names (and therefore fault
+/// sites and timeline tracks) are distinct per shard. The heap
+/// allocation keeps references into the system (drivers, services)
+/// valid wherever the owner moves.
+std::unique_ptr<AtlantisSystem> assemble_crate(const std::string& name,
+                                               int acbs, int aibs = 0);
+
 }  // namespace atlantis::core

@@ -39,9 +39,12 @@ void JobService::register_config(const hw::Bitstream& bs) {
 }
 
 util::Result<JobId> JobService::submit(JobSpec spec) {
-  ATLANTIS_CHECK(configs_.count(spec.config) != 0,
-                 "configuration '" + spec.config +
-                     "' was never registered with the service");
+  if (configs_.count(spec.config) == 0) {
+    return util::Result<JobId>::failure(
+        util::ErrorCode::kAdmissionReject,
+        "configuration '" + spec.config +
+            "' was never registered with the service");
+  }
   ATLANTIS_CHECK(static_cast<bool>(spec.work),
                  "a job needs a work functor");
   std::uint64_t& pending = pending_by_tenant_[spec.tenant];
@@ -180,19 +183,9 @@ JobService::BoardState* JobService::pick_board() {
   return best;
 }
 
-const ServiceReport& JobService::run(util::WorkerPool* pool) {
-  return run_impl(static_cast<std::size_t>(-1), pool);
-}
-
-const ServiceReport& JobService::run_bounded(std::size_t max_dispatches,
-                                             util::WorkerPool* pool) {
-  return run_impl(max_dispatches, pool);
-}
-
-const ServiceReport& JobService::run_impl(std::size_t max_dispatches,
-                                          util::WorkerPool* pool) {
+const ServiceReport& JobService::run(const RunOptions& options) {
   util::WorkerPool& workers =
-      pool != nullptr ? *pool : util::WorkerPool::shared();
+      options.pool != nullptr ? *options.pool : util::WorkerPool::shared();
   report_ = ServiceReport{};
   run_ids_.clear();
 
@@ -216,9 +209,9 @@ const ServiceReport& JobService::run_impl(std::size_t max_dispatches,
   }
 
   if (options_.policy == Policy::kBatched) {
-    run_batched(workers, max_dispatches);
+    run_batched(workers, options);
   } else {
-    run_preemptive(max_dispatches);
+    run_preemptive(options);
   }
 
   // Cache / reconfiguration accounting (deltas over this run).
@@ -251,11 +244,21 @@ const ServiceReport& JobService::run_impl(std::size_t max_dispatches,
   return report_;
 }
 
+void JobService::reset(core::ResetScope scope) {
+  // Forward the scope to every board driver (the fault rewind inside is
+  // crate-wide but idempotent, so repeating it per board is harmless).
+  for (BoardState& b : boards_) b.driver->reset(scope);
+  if (scope == core::ResetScope::kStats || scope == core::ResetScope::kAll) {
+    report_ = ServiceReport{};
+    run_ids_.clear();
+  }
+}
+
 void JobService::run_batched(util::WorkerPool& pool,
-                             std::size_t max_dispatches) {
+                             const RunOptions& options) {
   std::size_t dispatches = 0;
   while (!queues_.empty()) {
-    if (dispatches++ >= max_dispatches) return;  // bounded run: paused
+    if (paused(options, dispatches++)) return;  // bounded run: paused
     BoardState* board = pick_board();
     if (board == nullptr) {
       // All schedulable boards are merely quarantined: leave the work
@@ -305,7 +308,7 @@ void JobService::run_batched(util::WorkerPool& pool,
   }
 }
 
-void JobService::run_preemptive(std::size_t max_dispatches) {
+void JobService::run_preemptive(const RunOptions& options) {
   std::size_t dispatches = 0;
   const auto any_active = [&] {
     for (const BoardState& b : boards_) {
@@ -314,7 +317,7 @@ void JobService::run_preemptive(std::size_t max_dispatches) {
     return false;
   };
   while (!queues_.empty() || any_active()) {
-    if (dispatches++ >= max_dispatches) return;  // bounded run: paused
+    if (paused(options, dispatches++)) return;  // bounded run: paused
 
     // Advance the alive board with the smallest cursor that has either a
     // job mid-compute or, when idle, work to pick up. Deterministic:
@@ -727,9 +730,12 @@ util::Result<JobId> JobService::restore_job(const JobCheckpoint& ckpt) {
   prog.outcome.compute_time = r.get_i64();
   prog.outcome.dma_in_bytes = r.get_u64();
   prog.outcome.dma_out_bytes = r.get_u64();
-  ATLANTIS_CHECK(configs_.count(config) != 0,
-                 "checkpointed job needs configuration '" + config +
-                     "', which was never registered with this service");
+  if (configs_.count(config) == 0) {
+    return util::Result<JobId>::failure(
+        util::ErrorCode::kAdmissionReject,
+        "checkpointed job needs configuration '" + config +
+            "', which was never registered with this service");
+  }
 
   // Back home: the service that produced the checkpoint revives the
   // original id (ledger continuity for preempt-and-resume).

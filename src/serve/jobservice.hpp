@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -47,6 +48,21 @@ class WorkerPool;
 }
 
 namespace atlantis::serve {
+
+/// How far one run() call may go — the single entry point's knobs.
+/// Default-constructed it drains everything, like the old run();
+/// max_dispatches bounds the scheduling steps (batches under kBatched,
+/// slices under the preemptive policies), like the old run_bounded();
+/// stop_when pauses the drain as soon as the predicate turns true
+/// (checked before every scheduling step, on the scheduling thread, so
+/// it cannot perturb determinism); pool sizes the functional evaluation
+/// only — the schedule and the results are bit-identical for any pool.
+struct RunOptions {
+  static constexpr std::size_t kUnbounded = static_cast<std::size_t>(-1);
+  std::size_t max_dispatches = kUnbounded;
+  util::WorkerPool* pool = nullptr;  // nullptr = the shared pool
+  std::function<bool()> stop_when;   // empty = never stop early
+};
 
 /// Per-tenant service quality over one run() — the numbers a
 /// "millions of users" operator actually watches.
@@ -112,24 +128,41 @@ class JobService : public sim::Snapshottable {
   void register_config(const hw::Bitstream& bs);
 
   /// Admits one job. Fails with kOverloaded when the tenant already
-  /// holds max_queued_per_tenant pending jobs, with a StateError throw
-  /// when the configuration was never registered (caller misuse).
+  /// holds max_queued_per_tenant pending jobs, and with kAdmissionReject
+  /// when the configuration was never registered — every recoverable
+  /// refusal travels through the Result, never an exception; callers
+  /// that want the old throwing behaviour write .value_or_throw().
   util::Result<JobId> submit(JobSpec spec);
 
-  /// Drains every queue across the alive boards and returns the run's
-  /// report. `pool` sizes the functional evaluation only — the schedule
-  /// and the results are bit-identical for any pool (nullptr = shared).
-  /// Under Policy::kPreemptive / kAbortRerun the drain is EDF-ordered
-  /// with slice-quantum preemption instead of batched.
-  const ServiceReport& run(util::WorkerPool* pool = nullptr);
+  /// THE one entry point for making progress: drains every queue across
+  /// the alive boards — all of it by default, or up to
+  /// options.max_dispatches scheduling steps / until options.stop_when
+  /// fires, leaving the remaining work queued / mid-job. A later run()
+  /// — on this service or on a twin restored from save_state —
+  /// continues exactly where it stopped (the snapshot tests save
+  /// mid-stream at such a pause). Under Policy::kPreemptive /
+  /// kAbortRerun the drain is EDF-ordered with slice-quantum preemption
+  /// instead of batched. Returns the run's report.
+  const ServiceReport& run(const RunOptions& options = {});
 
-  /// run(), but stops after at most `max_dispatches` scheduling steps
-  /// (batches under kBatched, slices under the preemptive policies),
-  /// leaving the remaining work queued / mid-job. A later run() — on
-  /// this service or on a twin restored from save_state — continues
-  /// exactly where it stopped. The snapshot tests save mid-stream here.
+  /// Deprecated: use run({.pool = pool}). Thin forwarder kept so
+  /// existing call sites compile and behave identically; in-tree use
+  /// fails the -Werror=deprecated-declarations CI leg.
+  [[deprecated("use run(const RunOptions&)")]]
+  const ServiceReport& run(util::WorkerPool* pool) {
+    RunOptions options;
+    options.pool = pool;
+    return run(options);
+  }
+  /// Deprecated: use run({.max_dispatches = n, .pool = pool}).
+  [[deprecated("use run(const RunOptions&)")]]
   const ServiceReport& run_bounded(std::size_t max_dispatches,
-                                   util::WorkerPool* pool = nullptr);
+                                   util::WorkerPool* pool = nullptr) {
+    RunOptions options;
+    options.max_dispatches = max_dispatches;
+    options.pool = pool;
+    return run(options);
+  }
 
   // --- checkpoint / restore / migration --------------------------------
   /// Freezes one pending job (queued or preempted mid-compute) into a
@@ -145,8 +178,8 @@ class JobService : public sim::Snapshottable {
   /// checkpoint the original JobId is revived; on any other service a
   /// new id is issued. Compute progress is honoured by the preemptive
   /// policies (the job only pays its remaining compute). Fails with
-  /// kOverloaded past the tenant quota, kSnapshot* on a bad stream;
-  /// throws util::StateError when the configuration is not registered.
+  /// kOverloaded past the tenant quota, kSnapshot* on a bad stream and
+  /// kAdmissionReject when the configuration is not registered here.
   util::Result<JobId> restore_job(const JobCheckpoint& ckpt);
 
   /// checkpoint_job + target.restore_job in one step: moves a pending
@@ -176,6 +209,14 @@ class JobService : public sim::Snapshottable {
   const std::vector<JobRecord>& jobs() const { return records_; }
   const JobRecord& job(JobId id) const { return records_.at(id); }
   const ServiceReport& report() const { return report_; }
+
+  /// The serve-wide lifecycle verb (same scopes as AtlantisDriver):
+  /// kTime moves every board driver's elapsed() epoch; kStats
+  /// additionally clears driver/PLX counters and this service's report;
+  /// kFaults rewinds the crate's fault injector; kAll is everything.
+  /// The ledger, queues and mid-job progress are never touched — reset
+  /// re-zeroes accounting, it does not lose work.
+  void reset(core::ResetScope scope);
 
   std::size_t pending() const { return queues_.total(); }
   /// True while any board holds a job mid-compute (preemptive policies
@@ -247,10 +288,13 @@ class JobService : public sim::Snapshottable {
   /// True when at least one alive board is sidelined by the quarantine
   /// gate — the "no board" condition is then the supervisor's to fix.
   bool any_quarantined_alive() const;
-  const ServiceReport& run_impl(std::size_t max_dispatches,
-                                util::WorkerPool* pool);
-  void run_batched(util::WorkerPool& pool, std::size_t max_dispatches);
-  void run_preemptive(std::size_t max_dispatches);
+  /// True when the bounded run should pause before the next step.
+  bool paused(const RunOptions& options, std::size_t dispatches) const {
+    return dispatches >= options.max_dispatches ||
+           (options.stop_when && options.stop_when());
+  }
+  void run_batched(util::WorkerPool& pool, const RunOptions& options);
+  void run_preemptive(const RunOptions& options);
   void serve_batch(BoardState& board, const std::string& config,
                    const std::deque<JobId>& batch,
                    util::WorkerPool& pool);

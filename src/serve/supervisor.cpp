@@ -245,10 +245,12 @@ void Supervisor::tick() {
   ++report_.ticks;
   const util::Picoseconds tick_start = now();
 
-  // 1. Bounded service progress. run_bounded resets the service report,
-  // so report().migrated is this tick's count — a drop-out that moved
-  // its active job to the spare mid-run shows up here.
-  service_.run_bounded(options_.dispatches_per_tick);
+  // 1. Bounded service progress. run() resets the service report, so
+  // report().migrated is this tick's count — a drop-out that moved its
+  // active job to the spare mid-run shows up here.
+  RunOptions bounded;
+  bounded.max_dispatches = options_.dispatches_per_tick;
+  service_.run(bounded);
   if (service_.report().migrated > 0) migrated_since_checkpoint_ = true;
 
   // 2-6. Probe every board and run its supervision state machine.
@@ -468,6 +470,13 @@ const CircuitBreaker& Supervisor::reconfig_breaker(int board_index) const {
 
 const CircuitBreaker& Supervisor::dma_breaker(int board_index) const {
   return *boards_.at(static_cast<std::size_t>(board_index)).dma;
+}
+
+void Supervisor::reset(core::ResetScope scope) {
+  service_.reset(scope);
+  if (scope == core::ResetScope::kStats || scope == core::ResetScope::kAll) {
+    report_ = SupervisorReport{};
+  }
 }
 
 }  // namespace atlantis::serve

@@ -137,6 +137,13 @@ class Supervisor {
   void tick();
 
   const SupervisorReport& report() const { return report_; }
+
+  /// The uniform lifecycle verb (same contract as JobService::reset and
+  /// Cluster::reset): kTime/kFaults forward to the supervised service;
+  /// kStats additionally clears this supervisor's report; kAll does both.
+  /// Supervision state (conditions, breakers, checkpoints) is never
+  /// touched — reset re-baselines accounting, it does not heal boards.
+  void reset(core::ResetScope scope);
   BoardCondition board_condition(int board_index) const;
   double board_health(int board_index) const;
   const CircuitBreaker& reconfig_breaker(int board_index) const;

@@ -23,6 +23,8 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::kJobNotPending: return "job_not_pending";
     case ErrorCode::kCircuitOpen: return "circuit_open";
     case ErrorCode::kServiceCrash: return "service_crash";
+    case ErrorCode::kAdmissionReject: return "admission_reject";
+    case ErrorCode::kShardOverload: return "shard_overload";
   }
   return "unknown";
 }

@@ -54,13 +54,15 @@ enum class ErrorCode {
   kJobNotPending,     // checkpoint/migrate target is not a pending job
   kCircuitOpen,       // circuit breaker refused the operation
   kServiceCrash,      // the serving process itself went down
+  kAdmissionReject,   // QoS/SLO admission control refused the job up front
+  kShardOverload,     // every candidate shard's bounded queue is full
 };
 
 /// One past the last ErrorCode value. Keep in sync with the enum above;
 /// the status unit test iterates [0, kErrorCodeCount) and fails on any
 /// code whose name falls through to "unknown".
 inline constexpr int kErrorCodeCount =
-    static_cast<int>(ErrorCode::kServiceCrash) + 1;
+    static_cast<int>(ErrorCode::kShardOverload) + 1;
 
 /// Stable lowercase name ("dma_stall", "config_crc", ...).
 const char* error_code_name(ErrorCode code);
@@ -104,6 +106,20 @@ class [[nodiscard]] Result {
   }
   T value_or(T fallback) const { return ok() ? *value_ : std::move(fallback); }
 
+  /// The one sanctioned bridge back into the throwing world: returns the
+  /// value, or throws util::StateError naming the ErrorCode. Call sites
+  /// that used to rely on an API throwing on misuse (submit() of an
+  /// unregistered configuration, restore of a foreign checkpoint) write
+  /// `.value_or_throw()` instead of keeping per-API throwing variants.
+  T& value_or_throw() {
+    if (!ok()) throw_state_error();
+    return *value_;
+  }
+  const T& value_or_throw() const {
+    if (!ok()) throw_state_error();
+    return *value_;
+  }
+
  private:
   Result() = default;
   void require_ok() const {
@@ -112,6 +128,10 @@ class [[nodiscard]] Result {
                   error_code_name(code_) +
                   (message_.empty() ? ")" : "): " + message_));
     }
+  }
+  [[noreturn]] void throw_state_error() const {
+    throw StateError(std::string(error_code_name(code_)) +
+                     (message_.empty() ? "" : ": " + message_));
   }
 
   std::optional<T> value_;

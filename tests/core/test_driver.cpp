@@ -43,7 +43,7 @@ TEST(Driver, RegisterAccessReachesSimulatedDesign) {
   AtlantisSystem sys("crate");
   AtlantisDriver drv(sys, sys.add_acb("acb0"));
   drv.configure(0, hw::Bitstream::from_design(echo_design()));
-  drv.reset_time();
+  drv.reset(core::ResetScope::kTime);
   drv.reg_write(0, 0, 0xBEEF);
   EXPECT_EQ(drv.reg_read(0, 0), 0xBEEFu);
   EXPECT_EQ(drv.reg_read(0, 1), 1u);  // one write seen by the fabric
@@ -73,7 +73,7 @@ TEST(Driver, DesignClockProgrammable) {
   AtlantisDriver drv(sys, sys.add_acb("acb0"));
   drv.set_design_clock(40.0);
   EXPECT_DOUBLE_EQ(drv.design_clock_mhz(), 40.0);
-  drv.reset_time();
+  drv.reset(core::ResetScope::kTime);
   drv.advance_cycles(1'000'000);  // 1M cycles @ 40 MHz = 25 ms
   EXPECT_NEAR(util::ps_to_ms(drv.elapsed()), 25.0, 0.01);
 }
@@ -82,7 +82,7 @@ TEST(Driver, DmaToSimDeliversPayload) {
   AtlantisSystem sys("crate");
   AtlantisDriver drv(sys, sys.add_acb("acb0"));
   drv.configure(0, hw::Bitstream::from_design(echo_design()));
-  drv.reset_time();
+  drv.reset(core::ResetScope::kTime);
   const std::vector<std::uint64_t> words = {1, 2, 3, 4, 5, 6, 7};
   drv.dma_write_to_sim(0, 0, words);
   // Register 0 holds the last word; the write counter saw all of them.
@@ -162,7 +162,7 @@ TEST(Driver, AsyncDmaOverlapsCompute) {
   EXPECT_EQ(serial_extra, io);
   drv.advance_cycles(1'000'000);
   const util::Picoseconds serial = drv.elapsed();
-  drv.reset_time();
+  drv.reset(core::ResetScope::kTime);
   // Overlapped: the async transfer occupies the bus while the design
   // clock runs; the join is the max, strictly less than the sum.
   drv.dma_write_async(256 * util::kKiB);
@@ -186,7 +186,7 @@ TEST(Driver, ResetTimeKeepsPciLifetimeCounters) {
   drv.dma_write(64 * util::kKiB);
   const std::uint64_t bytes_before = drv.board().pci().total_bytes();
   EXPECT_EQ(bytes_before, 64 * util::kKiB);
-  drv.reset_time();
+  drv.reset(core::ResetScope::kTime);
   EXPECT_EQ(drv.elapsed(), 0);
   EXPECT_EQ(drv.board().pci().total_bytes(), bytes_before)
       << "reset_time() must not clear PLX lifetime counters";
@@ -195,7 +195,7 @@ TEST(Driver, ResetTimeKeepsPciLifetimeCounters) {
   drv.dma_read(32 * util::kKiB);
   EXPECT_EQ(drv.board().pci().total_bytes(), 96 * util::kKiB);
 
-  drv.reset_stats();
+  drv.reset(core::ResetScope::kStats);
   EXPECT_EQ(drv.elapsed(), 0);
   EXPECT_EQ(drv.board().pci().total_bytes(), 0u);
   EXPECT_EQ(drv.board().pci().total_time(), 0);

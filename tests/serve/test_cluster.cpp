@@ -1,0 +1,385 @@
+// The cluster front-end's contracts: placement determinism across
+// worker pools and shard iteration orders, elastic add/remove with the
+// functional ledger preserved, replay-identical admission verdicts
+// under a fault plan, weighted-fair QoS, SLO admission, bounded-queue
+// backpressure and the whole-cluster snapshot round trip.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/cluster.hpp"
+#include "serve/placement.hpp"
+#include "sim/fault.hpp"
+#include "util/units.hpp"
+#include "util/worker_pool.hpp"
+
+namespace atlantis {
+namespace {
+
+serve::JobSpec cluster_job(const std::string& tenant,
+                           const std::string& config, int index,
+                           util::Picoseconds arrival,
+                           util::Picoseconds deadline = 0) {
+  serve::JobSpec job;
+  job.tenant = tenant;
+  job.kind = serve::JobKind::kCustom;
+  job.config = config;
+  job.arrival = arrival;
+  job.deadline = deadline;
+  job.work = [index] {
+    serve::JobOutcome out;
+    out.checksum =
+        0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(index + 1);
+    out.compute_time = (index % 5 + 1) * util::kMicrosecond;
+    out.dma_in_bytes = 1024u * static_cast<std::uint64_t>(index % 3 + 1);
+    out.dma_out_bytes = 256;
+    return out;
+  };
+  return job;
+}
+
+/// A fleet with `shards` crates and `configs` registered bitstreams
+/// named cfg0..cfgN-1.
+std::unique_ptr<serve::Cluster> make_cluster(int shards, int configs,
+                                             serve::ClusterOptions options =
+                                                 {}) {
+  auto cluster = std::make_unique<serve::Cluster>(options);
+  for (int s = 0; s < shards; ++s) cluster->add_shard();
+  for (int c = 0; c < configs; ++c) {
+    cluster->register_config(
+        hw::Bitstream{"cfg" + std::to_string(c), {}, nullptr, 1.0, {}});
+  }
+  return cluster;
+}
+
+void submit_wave(serve::Cluster& cluster, int jobs, int configs,
+                 int first_index = 0) {
+  for (int i = 0; i < jobs; ++i) {
+    const int idx = first_index + i;
+    const std::string tenant = idx % 2 == 0 ? "atlas" : "cms";
+    const std::string config = "cfg" + std::to_string(idx % configs);
+    (void)cluster.submit(
+        cluster_job(tenant, config, idx, idx * util::kMicrosecond));
+  }
+}
+
+// --- determinism --------------------------------------------------------
+
+TEST(Cluster, ScheduleBitIdenticalAcrossWorkerPools) {
+  std::uint64_t reference = 0;
+  for (const int threads : {1, 2, 4}) {
+    auto cluster = make_cluster(3, 6);
+    submit_wave(*cluster, 48, 6);
+    util::WorkerPool pool(threads);
+    serve::RunOptions options;
+    options.pool = &pool;
+    cluster->run(options);
+    const std::uint64_t digest = cluster->schedule_digest();
+    if (reference == 0) {
+      reference = digest;
+    } else {
+      EXPECT_EQ(digest, reference)
+          << "pool size " << threads << " changed the cluster schedule";
+    }
+  }
+  EXPECT_NE(reference, 0u);
+}
+
+TEST(Cluster, ScheduleBitIdenticalAcrossShardIterationOrder) {
+  auto forward = make_cluster(3, 6);
+  auto reverse = make_cluster(3, 6);
+  submit_wave(*forward, 48, 6);
+  submit_wave(*reverse, 48, 6);
+
+  forward->run();  // shard 0, 1, 2
+
+  // Drain the twin's shards back to front: each crate has its own
+  // timeline, so the visit order must not leak into any schedule.
+  for (int s = reverse->shard_count() - 1; s >= 0; --s) {
+    reverse->service(s).run();
+  }
+
+  EXPECT_EQ(forward->schedule_digest(), reverse->schedule_digest());
+  EXPECT_EQ(forward->functional_digest(), reverse->functional_digest());
+}
+
+TEST(Cluster, ConsistentHashKeepsConfigurationsHome) {
+  auto cluster = make_cluster(3, 6);
+  submit_wave(*cluster, 48, 6);
+  // Every job of one configuration must sit on one shard.
+  std::map<std::string, int> home;
+  for (const serve::ClusterRecord& rec : cluster->jobs()) {
+    const auto it = home.find(rec.config);
+    if (it == home.end()) {
+      home[rec.config] = rec.shard;
+    } else {
+      EXPECT_EQ(it->second, rec.shard)
+          << "config " << rec.config << " split across shards";
+    }
+  }
+  cluster->run();
+  EXPECT_EQ(cluster->report().served, 48u);
+}
+
+// --- elasticity ---------------------------------------------------------
+
+TEST(Cluster, RemoveShardDrainsPendingAndPreservesFunctionalDigest) {
+  auto stable = make_cluster(3, 6);
+  auto elastic = make_cluster(3, 6);
+
+  submit_wave(*stable, 30, 6);
+  submit_wave(*elastic, 30, 6);
+  stable->run();
+  elastic->run();
+
+  // Second wave lands, then a shard holding some of it retires: its
+  // pending jobs must re-home via migrate_job, not fail.
+  submit_wave(*stable, 30, 6, /*first_index=*/30);
+  submit_wave(*elastic, 30, 6, /*first_index=*/30);
+  int victim = -1;
+  for (int s = 0; s < 3; ++s) {
+    if (elastic->service(s).pending() > 0) victim = s;
+  }
+  ASSERT_GE(victim, 0);
+  const std::size_t pending_before = elastic->pending();
+  elastic->remove_shard(victim);
+  EXPECT_TRUE(elastic->shard_retired(victim));
+  EXPECT_EQ(elastic->shard_count(), 2);
+  EXPECT_EQ(elastic->pending(), pending_before) << "drain lost jobs";
+  EXPECT_GT(elastic->service(victim == 0 ? 1 : 0).pending(), 0u);
+
+  stable->run();
+  elastic->run();
+  EXPECT_EQ(stable->report().served + stable->report().failed, 30u);
+  EXPECT_EQ(elastic->report().served + elastic->report().failed, 30u);
+  // The re-home moved work, never outcomes: the functional ledger is
+  // identical with and without the topology change.
+  EXPECT_EQ(stable->functional_digest(), elastic->functional_digest());
+}
+
+TEST(Cluster, AddShardJoinsTheRingWithConfigsReplayed) {
+  auto cluster = make_cluster(2, 4);
+  submit_wave(*cluster, 16, 4);
+  cluster->run();
+  const int added = cluster->add_shard();
+  EXPECT_EQ(cluster->shard_count(), 3);
+  // The new shard serves any registered configuration immediately.
+  submit_wave(*cluster, 16, 4, /*first_index=*/16);
+  cluster->run();
+  EXPECT_EQ(cluster->report().served, 16u);
+  (void)added;
+}
+
+// --- admission ----------------------------------------------------------
+
+TEST(Cluster, AdmissionVerdictsReplayIdenticalUnderFaultPlan) {
+  sim::FaultPlan plan;
+  // Drop a board on shard 0 mid-run; the survivor absorbs the work.
+  plan.inject(sim::FaultKind::kBoardDropout, "cluster/shard0/acb0",
+              /*nth=*/2);
+
+  const auto run_once = [&plan](std::vector<util::ErrorCode>& refusals,
+                                std::uint64_t& digest) {
+    serve::ClusterOptions options;
+    options.max_pending_per_shard = 4;
+    options.max_placement_attempts = 2;
+    auto cluster = make_cluster(2, 2, options);
+    sim::FaultInjector injector(plan);
+    cluster->system(0).set_fault_injector(&injector);
+    submit_wave(*cluster, 24, 2);  // well past 2 shards x 4 slots
+    cluster->run();
+    refusals = cluster->refusals();
+    digest = cluster->schedule_digest();
+    cluster->system(0).set_fault_injector(nullptr);
+  };
+
+  std::vector<util::ErrorCode> refusals_a, refusals_b;
+  std::uint64_t digest_a = 0, digest_b = 0;
+  run_once(refusals_a, digest_a);
+  run_once(refusals_b, digest_b);
+  EXPECT_FALSE(refusals_a.empty()) << "workload was sized to overload";
+  EXPECT_EQ(refusals_a, refusals_b);
+  EXPECT_EQ(digest_a, digest_b);
+}
+
+TEST(Cluster, WeightedFairShareCapsTheNoisyTenant) {
+  serve::ClusterOptions options;
+  options.max_pending_per_shard = 8;
+  options.tenant_weights["noisy"] = 1.0;
+  options.tenant_weights["quiet"] = 1.0;
+  auto cluster = make_cluster(2, 2, options);
+
+  // Equal weights over 2x8 slots: 8 each. The noisy tenant floods.
+  std::uint64_t noisy_admitted = 0, noisy_rejected = 0;
+  for (int i = 0; i < 16; ++i) {
+    const util::Result<serve::JobId> r = cluster->submit(
+        cluster_job("noisy", "cfg0", i, i * util::kMicrosecond));
+    if (r.ok()) {
+      ++noisy_admitted;
+    } else {
+      EXPECT_EQ(r.error(), util::ErrorCode::kAdmissionReject);
+      ++noisy_rejected;
+    }
+  }
+  EXPECT_EQ(noisy_admitted, 8u);
+  EXPECT_EQ(noisy_rejected, 8u);
+  // The quiet tenant's share is untouched by the noisy one's flood.
+  const util::Result<serve::JobId> quiet =
+      cluster->submit(cluster_job("quiet", "cfg1", 99, 0));
+  EXPECT_TRUE(quiet.ok());
+  cluster->run();
+  EXPECT_EQ(cluster->report().rejected_admission, 8u);
+}
+
+TEST(Cluster, SloAdmissionRejectsUnreachableDeadlines) {
+  serve::ClusterOptions options;
+  options.max_pending_per_shard = 64;
+  auto cluster = make_cluster(1, 1, options);
+
+  // First window trains the per-shard service-time EWMA.
+  submit_wave(*cluster, 8, 1);
+  cluster->run();
+  ASSERT_EQ(cluster->report().served, 8u);
+
+  // Back up the queue, then ask for an impossible deadline: the
+  // backlog estimate (queue depth x EWMA) refuses it at the door.
+  submit_wave(*cluster, 8, 1, /*first_index=*/8);
+  const util::Result<serve::JobId> tight = cluster->submit(
+      cluster_job("rt", "cfg0", 99, 0, /*deadline=*/util::kNanosecond));
+  ASSERT_FALSE(tight.ok());
+  EXPECT_EQ(tight.error(), util::ErrorCode::kAdmissionReject);
+
+  // A generous deadline sails through the same gate.
+  const util::Result<serve::JobId> loose = cluster->submit(cluster_job(
+      "rt", "cfg0", 100, 0, /*deadline=*/util::kSecond));
+  EXPECT_TRUE(loose.ok());
+  cluster->run();
+}
+
+TEST(Cluster, BoundedQueuesOverflowToTheSuccessorThenShed) {
+  serve::ClusterOptions options;
+  options.max_pending_per_shard = 2;
+  options.max_placement_attempts = 2;
+  options.fair_admission = false;  // isolate the backpressure path
+  auto cluster = make_cluster(2, 1, options);
+
+  // One configuration, so every job targets the same owner shard:
+  // 2 fill the owner, 2 overflow to the ring successor, then shed.
+  std::uint64_t admitted = 0, shed = 0;
+  for (int i = 0; i < 6; ++i) {
+    const util::Result<serve::JobId> r =
+        cluster->submit(cluster_job("t", "cfg0", i, 0));
+    if (r.ok()) {
+      ++admitted;
+    } else {
+      EXPECT_EQ(r.error(), util::ErrorCode::kShardOverload);
+      ++shed;
+    }
+  }
+  EXPECT_EQ(admitted, 4u);
+  EXPECT_EQ(shed, 2u);
+  cluster->run();
+  EXPECT_EQ(cluster->report().overflowed, 2u);
+  EXPECT_EQ(cluster->report().shed_overload, 2u);
+  EXPECT_EQ(cluster->report().served, 4u);
+}
+
+// --- lifecycle and snapshots -------------------------------------------
+
+TEST(Cluster, ResetScopesMatchTheFleetWideContract) {
+  auto cluster = make_cluster(2, 2);
+  submit_wave(*cluster, 8, 2);
+  cluster->run();
+  EXPECT_EQ(cluster->report().served, 8u);
+  // Placement may home every configuration on one shard; sum the fleet.
+  const auto fleet_elapsed = [&cluster] {
+    util::Picoseconds total = 0;
+    for (int s = 0; s < 2; ++s) {
+      total += cluster->service(s).driver(0).elapsed();
+    }
+    return total;
+  };
+  EXPECT_GT(fleet_elapsed(), 0);
+
+  cluster->reset(core::ResetScope::kStats);
+  EXPECT_EQ(cluster->report().served, 0u);  // report cleared
+  EXPECT_EQ(fleet_elapsed(), 0);            // epochs moved, fleet-wide
+  // The ledger survives: reset re-zeroes accounting, not history.
+  EXPECT_EQ(cluster->jobs().size(), 8u);
+}
+
+TEST(Cluster, SnapshotRoundTripIntoATwinFleet) {
+  auto live = make_cluster(2, 4);
+  submit_wave(*live, 20, 4);
+  live->run();
+  submit_wave(*live, 10, 4, /*first_index=*/20);  // pending at save
+
+  sim::SnapshotWriter w;
+  live->save_state(w);
+
+  // The twin replays construction and the same submissions (work
+  // functors are never serialized), then restores the cluster state.
+  auto twin = make_cluster(2, 4);
+  submit_wave(*twin, 20, 4);
+  twin->run();
+  submit_wave(*twin, 10, 4, /*first_index=*/20);
+  util::Result<sim::SnapshotReader> r = sim::SnapshotReader::open(w.bytes());
+  ASSERT_TRUE(r.ok()) << r.message();
+  twin->load_state(r.value());
+
+  live->run();
+  twin->run();
+  EXPECT_EQ(live->report().served, 10u);
+  EXPECT_EQ(twin->report().served, 10u);
+  EXPECT_EQ(live->schedule_digest(), twin->schedule_digest());
+  EXPECT_EQ(live->functional_digest(), twin->functional_digest());
+}
+
+// --- the placement ring itself -----------------------------------------
+
+TEST(HashRing, LookupIsStableAndSuccessorsAreDistinct) {
+  serve::HashRing ring(64);
+  ring.add_node(0, "shard0");
+  ring.add_node(1, "shard1");
+  ring.add_node(2, "shard2");
+  EXPECT_EQ(ring.node_count(), 3);
+
+  const int owner = ring.lookup("cfg42");
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(ring.lookup("cfg42"), owner);
+  }
+  const std::vector<int> succ = ring.successors("cfg42", 3);
+  ASSERT_EQ(succ.size(), 3u);
+  EXPECT_EQ(succ[0], owner);
+  EXPECT_NE(succ[1], succ[0]);
+  EXPECT_NE(succ[2], succ[0]);
+  EXPECT_NE(succ[2], succ[1]);
+}
+
+TEST(HashRing, RemovalOnlyRehomesTheRemovedNodesKeys) {
+  serve::HashRing ring(64);
+  ring.add_node(0, "shard0");
+  ring.add_node(1, "shard1");
+  ring.add_node(2, "shard2");
+
+  std::map<std::string, int> before;
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "cfg" + std::to_string(i);
+    before[key] = ring.lookup(key);
+  }
+  ring.remove_node(1);
+  for (const auto& [key, owner] : before) {
+    if (owner != 1) {
+      EXPECT_EQ(ring.lookup(key), owner)
+          << "removing shard 1 re-homed " << key << " owned by " << owner;
+    } else {
+      EXPECT_NE(ring.lookup(key), 1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace atlantis

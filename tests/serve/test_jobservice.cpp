@@ -91,7 +91,9 @@ RunResult run_workload(int pool_threads, const sim::FaultPlan* plan = nullptr,
         .value();
   }
   util::WorkerPool pool(pool_threads);
-  service.run(&pool);
+  serve::RunOptions run_options;
+  run_options.pool = &pool;
+  service.run(run_options);
   RunResult rr;
   rr.schedule = serialize(sys.timeline());
   rr.records = serialize(service.jobs());
@@ -209,12 +211,16 @@ TEST(JobService, TenantStatsAndQueueWaitTracks) {
   EXPECT_NE(rr.schedule.find("tenant/atlas"), std::string::npos);
 }
 
-TEST(JobService, SubmitUnknownConfigIsMisuse) {
+TEST(JobService, SubmitUnknownConfigIsAdmissionReject) {
   core::AtlantisSystem sys("crate");
   sys.add_acb("acb0");
   serve::JobService service(sys);
-  EXPECT_THROW((void)service.submit(custom_job("t", "nope", 0, 0)),
-               util::Error);
+  const util::Result<serve::JobId> r =
+      service.submit(custom_job("t", "nope", 0, 0));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), util::ErrorCode::kAdmissionReject);
+  // Callers that want the old throwing behaviour spell it out.
+  EXPECT_THROW((void)r.value_or_throw(), util::StateError);
 }
 
 // --- differential partial reconfiguration on the serve path ------------
@@ -260,7 +266,9 @@ RunResult run_region_workload(int pool_threads, serve::ServeOptions options,
         .value();
   }
   util::WorkerPool pool(pool_threads);
-  service.run(&pool);
+  serve::RunOptions run_options;
+  run_options.pool = &pool;
+  service.run(run_options);
   RunResult rr;
   rr.schedule = serialize(sys.timeline());
   rr.records = serialize(service.jobs());

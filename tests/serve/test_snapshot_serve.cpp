@@ -118,7 +118,9 @@ void run_staged_mix(serve::JobService& s) {
   for (int i = 0; i < 2; ++i) {
     (void)s.submit(make_job("batch", "alpha", i, kLong)).value();
   }
-  s.run_bounded(1);
+  serve::RunOptions one_step;
+  one_step.max_dispatches = 1;
+  s.run(one_step);
   for (int i = 2; i < 10; ++i) {
     (void)s.submit(make_job("rt", "alpha", i, kShort, kDeadline)).value();
   }
@@ -306,7 +308,9 @@ TEST_P(MidStreamRestore, FaultPlanRunReplaysIdentically) {
   // perturb the schedule.
   World live{options, 2, &plan, "crate"};
   submit_replay_mix(*live.service);
-  live.service->run_bounded(3);
+  serve::RunOptions three_steps;
+  three_steps.max_dispatches = 3;
+  live.service->run(three_steps);
   sim::SnapshotWriter w;
   live.service->save_state(w);
   const std::vector<std::uint8_t> bytes = w.bytes();

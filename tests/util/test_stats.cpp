@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "util/rng.hpp"
 
@@ -97,6 +99,51 @@ TEST(Histogram, QuantileApproximatesMedian) {
   for (int i = 0; i < 10000; ++i) h.add(rng.uniform(0.0, 100.0));
   EXPECT_NEAR(h.quantile(0.5), 50.0, 3.0);
   EXPECT_NEAR(h.quantile(0.9), 90.0, 3.0);
+}
+
+TEST(LogHistogram, QuantilesTrackADistributionSpanningDecades) {
+  // Latencies spanning 1e3..1e9 — a linear histogram would put nearly
+  // everything in one bin; the log buckets keep ~2.6% relative error.
+  LogHistogram h;
+  Rng rng(29);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = std::pow(10.0, rng.uniform(3.0, 9.0));
+    samples.push_back(x);
+    h.add(x);
+  }
+  std::sort(samples.begin(), samples.end());
+  for (const double q : {0.5, 0.99, 0.999}) {
+    const double exact =
+        samples[static_cast<std::size_t>(q * (samples.size() - 1))];
+    EXPECT_NEAR(h.quantile(q) / exact, 1.0, 0.05) << "q=" << q;
+  }
+  EXPECT_EQ(h.count(), 20000u);
+}
+
+TEST(LogHistogram, TinyAndHugeSamplesLandInTheEdgeBins) {
+  LogHistogram h(/*max_value=*/1e6);
+  h.add(0.0);     // <= 1 -> first bin
+  h.add(0.5);
+  h.add(1e12);    // beyond max -> saturates, never throws
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_LE(h.quantile(0.0), 1.0);
+  EXPECT_GE(h.quantile(1.0), 1e6 * 0.9);
+}
+
+TEST(LogHistogram, MergeMatchesPooledSamples) {
+  LogHistogram a, b, pooled;
+  Rng rng(31);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = std::pow(10.0, rng.uniform(2.0, 8.0));
+    (i % 2 == 0 ? a : b).add(x);
+    pooled.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), pooled.count());
+  for (const double q : {0.5, 0.99, 0.999}) {
+    EXPECT_DOUBLE_EQ(a.quantile(q), pooled.quantile(q)) << "q=" << q;
+  }
 }
 
 }  // namespace

@@ -24,6 +24,9 @@ TEST(ErrorCode, NamesAreStable) {
                "retries_exhausted");
   EXPECT_STREQ(error_code_name(ErrorCode::kCircuitOpen), "circuit_open");
   EXPECT_STREQ(error_code_name(ErrorCode::kServiceCrash), "service_crash");
+  EXPECT_STREQ(error_code_name(ErrorCode::kAdmissionReject),
+               "admission_reject");
+  EXPECT_STREQ(error_code_name(ErrorCode::kShardOverload), "shard_overload");
 }
 
 TEST(ErrorCode, EveryCodeHasAName) {
@@ -58,6 +61,23 @@ TEST(Result, FailureCarriesCodeAndMessage) {
   EXPECT_EQ(r.message(), "budget spent");
   EXPECT_EQ(r.value_or(-1), -1);
   EXPECT_THROW(r.value(), Error);
+}
+
+TEST(Result, ValueOrThrowIsTheSanctionedBridge) {
+  Result<int> ok = 11;
+  EXPECT_EQ(ok.value_or_throw(), 11);
+  const Result<int> bad =
+      Result<int>::failure(ErrorCode::kShardOverload, "queues full");
+  try {
+    (void)bad.value_or_throw();
+    FAIL() << "value_or_throw on a failure must throw";
+  } catch (const StateError& e) {
+    // The exception names the code, so throwing call sites lose no
+    // diagnostics compared with the old ad-hoc throwing variants.
+    EXPECT_NE(std::string(e.what()).find("shard_overload"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("queues full"), std::string::npos);
+  }
 }
 
 TEST(Result, WorksWithMoveOnlyishPayloads) {
